@@ -1,0 +1,384 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§9) from the simulator, printing paper values alongside for
+   fidelity checks, and registers one Bechamel wall-clock test per
+   table/figure for the simulator's own hot paths.
+
+   Usage:
+     bench/main.exe                 # everything (same as "all")
+     bench/main.exe table3|table4|fig8|fig9|table6|fig10|memshare|tables-qual
+     bench/main.exe bechamel        # wall-clock microbenchmarks            *)
+
+let line width = print_endline (String.make width '-')
+
+let header title =
+  Printf.printf "\n%s\n" title;
+  line (String.length title)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_table3 () =
+  header "Table 3: privilege-transition round-trip costs (CPU cycles)";
+  Printf.printf "%-10s %10s %8s   %10s\n" "Call" "#Cycles" "Times" "Paper";
+  List.iter
+    (fun (r : Workloads.Eval.transition_row) ->
+      Printf.printf "%-10s %10d %7.2fx   %10d\n" r.transition r.cycles r.ratio_vs_emc
+        r.paper_cycles)
+    (Workloads.Eval.table3 ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 4                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_table4 () =
+  header "Table 4: privileged-operation costs, Native vs Erebor (CPU cycles)";
+  Printf.printf "%-6s %10s %10s %9s   %s\n" "Op" "Native" "Erebor" "Slowdown"
+    "Paper (native -> erebor)";
+  List.iter
+    (fun (r : Workloads.Eval.privop_row) ->
+      Printf.printf "%-6s %10d %10d %8.2fx   %d -> %d\n" r.op r.native_cycles
+        r.erebor_cycles r.slowdown r.paper_native r.paper_erebor)
+    (Workloads.Eval.table4 ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let print_fig8 () =
+  header "Figure 8: LMBench overheads (non-sandboxed system benchmarks)";
+  Printf.printf "%-10s %12s %12s %8s %10s\n" "Bench" "Native(cy)" "Erebor(cy)" "Ratio"
+    "EMC/s";
+  List.iter
+    (fun (r : Workloads.Eval.lmbench_row) ->
+      Printf.printf "%-10s %12.0f %12.0f %7.2fx %9.2fM\n" r.bench r.native_avg
+        r.erebor_avg r.ratio (r.emc_per_sec /. 1e6))
+    (Workloads.Eval.fig8 ());
+  Printf.printf "(paper: pagefault is the worst case at 3.8x Native)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9 + Table 6                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_cache : Workloads.Eval.program_row list option ref = ref None
+
+let fig9_rows () =
+  match !fig9_cache with
+  | Some rows -> rows
+  | None ->
+      let rows = Workloads.Eval.fig9 () in
+      fig9_cache := Some rows;
+      rows
+
+let print_fig9 () =
+  header "Figure 9: runtime overhead of real-world workloads (% over Native)";
+  let rows = fig9_rows () in
+  Printf.printf "%-10s" "Program";
+  List.iter
+    (fun s -> Printf.printf " %12s" (Sim.Config.name s))
+    (List.tl Sim.Config.all);
+  print_newline ();
+  List.iter
+    (fun (program, _) ->
+      Printf.printf "%-10s" program;
+      List.iter
+        (fun setting ->
+          match
+            List.find_opt
+              (fun (r : Workloads.Eval.program_row) ->
+                r.program = program && r.setting = setting)
+              rows
+          with
+          | Some r -> Printf.printf " %11.2f%%" r.overhead_pct
+          | None -> Printf.printf " %12s" "-")
+        (List.tl Sim.Config.all);
+      print_newline ())
+    Workloads.Eval.all_programs;
+  Printf.printf "%-10s" "geomean";
+  List.iter
+    (fun setting ->
+      Printf.printf " %11.2f%%" (Workloads.Eval.geomean_overhead rows setting))
+    (List.tl Sim.Config.all);
+  print_newline ();
+  Printf.printf
+    "(paper: geomean 8.1%% full Erebor; 1.7%% LibOS-only; 3.6%% / 3.9%% MMU / Exit\n\
+    \ ablations; llama.cpp worst at 13.15%%; full range 4.5%%-13.2%%)\n"
+
+let print_table6 () =
+  header "Table 6: program execution statistics under full Erebor";
+  let rows = Workloads.Eval.table6 (fig9_rows ()) in
+  Printf.printf "%-10s %8s %8s %8s %8s %9s %8s %7s %7s %9s\n" "Program" "#PF/s"
+    "#Timer/s" "#VE/s" "Total/s" "EMC/s" "Time(s)" "Conf." "Com." "Init.ovh";
+  List.iter
+    (fun (r : Workloads.Eval.program_row) ->
+      Printf.printf "%-10s %8.1f %8.1f %8.1f %8.1f %8.1fk %8.2f %6dM %6dM %8.1f%%\n"
+        r.program r.pf_rate r.timer_rate r.ve_rate
+        (r.pf_rate +. r.timer_rate +. r.ve_rate)
+        (r.emc_rate /. 1000.0) r.time_seconds r.confined_mb r.common_mb
+        r.init_overhead_pct)
+    rows;
+  Printf.printf
+    "(paper llama.cpp row: 1.8k / 0.9k / 1.7k / 4.4k exits, 46.9k EMC/s, 52.85s,\n\
+    \ 501M confined, 4096M common, 52.7%% init overhead)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_fig10 () =
+  header "Figure 10: relative throughput of background servers (Erebor / Native)";
+  let rows = Workloads.Eval.fig10 () in
+  List.iter
+    (fun server ->
+      let mine = List.filter (fun (r : Workloads.Eval.netserve_row) -> r.server = server) rows in
+      Printf.printf "%-8s:" server;
+      List.iter
+        (fun (r : Workloads.Eval.netserve_row) ->
+          let label =
+            if r.file_kb >= 1024 then Printf.sprintf "%dMB" (r.file_kb / 1024)
+            else Printf.sprintf "%dKB" r.file_kb
+          in
+          Printf.printf " %s=%.2f" label r.relative)
+        mine;
+      let avg =
+        List.fold_left (fun acc (r : Workloads.Eval.netserve_row) -> acc +. r.relative) 0.0 mine
+        /. float_of_int (List.length mine)
+      in
+      Printf.printf "  (avg reduction %.1f%%)\n" (100.0 *. (1.0 -. avg)))
+    [ "OpenSSH"; "Nginx" ];
+  Printf.printf
+    "(paper: OpenSSH -8.2%% avg / -18%% max on small files; Nginx -5.1%% avg /\n\
+    \ -17.6%% max; <5%% for large files)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Memory sharing (§9.2)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_memshare () =
+  header "Common-memory sharing (§9.2): llama.cpp fleet over one shared model";
+  Printf.printf "%-10s %16s %18s %9s\n" "Sandboxes" "Shared (frames)" "Replicated (frames)"
+    "Saving";
+  List.iter
+    (fun (r : Workloads.Eval.memshare_row) ->
+      Printf.printf "%-10d %16d %18d %8.1f%%\n" r.sandboxes r.shared_frames
+        r.replicated_frames r.saving_pct)
+    (Workloads.Eval.memshare ());
+  Printf.printf
+    "(paper: 8 llama.cpp containers drop from ~36GB replicated to ~8GB shared;\n\
+    \ memory consumption cut by up to 89.1%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices in DESIGN.md                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_ablations () =
+  header "Ablation: batched MMU updates (the optimization §9.1 points at)";
+  let declare ~batched =
+    let m =
+      Sim.Machine.create ~frames:65536 ~cma_frames:16384 ~setting:Sim.Config.Erebor_full ()
+    in
+    let mgr = Option.get (Sim.Machine.manager m) in
+    let kern = Sim.Machine.kern m in
+    Kernel.set_mmu_batching kern batched;
+    let pages = 8192 in
+    let sb =
+      Result.get_ok
+        (Erebor.Sandbox.create_sandbox mgr ~name:"ablate" ~confined_budget:(pages * 4096))
+    in
+    let before = Sim.Machine.snapshot m in
+    ignore (Result.get_ok (Erebor.Sandbox.declare_confined mgr sb ~len:(pages * 4096)));
+    let after = Sim.Machine.snapshot m in
+    let d = Sim.Stats.diff ~before ~after in
+    (d.Sim.Stats.cycles, d.Sim.Stats.emc_mmu)
+  in
+  let unbatched_cycles, unbatched_emc = declare ~batched:false in
+  let batched_cycles, batched_emc = declare ~batched:true in
+  Printf.printf "declare+pin 32MiB confined: unbatched %d cycles (%d MMU EMCs)\n"
+    unbatched_cycles unbatched_emc;
+  Printf.printf "                            batched   %d cycles (%d MMU EMCs)\n"
+    batched_cycles batched_emc;
+  Printf.printf "                            saving    %.1f%%\n"
+    (100.0 *. (1.0 -. (float_of_int batched_cycles /. float_of_int unbatched_cycles)));
+
+  header "Ablation: warm-start pools (the amortization §9.2 points at)";
+  let m =
+    Sim.Machine.create ~frames:65536 ~cma_frames:16384 ~setting:Sim.Config.Erebor_full ()
+  in
+  let mgr = Option.get (Sim.Machine.manager m) in
+  let clock = Sim.Machine.clock m in
+  let t0 = Hw.Cycles.now clock in
+  let pool =
+    Result.get_ok
+      (Sim.Pool.create ~mgr ~name_prefix:"fleet" ~heap_bytes:(2048 * 4096) ~threads:8
+         ~size:1 ())
+  in
+  let prewarm_cost = Hw.Cycles.now clock - t0 in
+  let t1 = Hw.Cycles.now clock in
+  ignore (Result.get_ok (Sim.Pool.acquire pool));
+  let warm_cost = Hw.Cycles.now clock - t1 in
+  let t2 = Hw.Cycles.now clock in
+  ignore (Result.get_ok (Sim.Pool.acquire pool));
+  let cold_cost = Hw.Cycles.now clock - t2 in
+  Printf.printf "8MiB-heap sandbox: cold boot %d cycles; warm acquire %d cycles\n"
+    cold_cost warm_cost;
+  Printf.printf "(prewarm paid %d cycles off the request path)\n" prewarm_cost;
+
+  header "Ablation: side-channel mitigations (§11) on drugbank";
+  let run_with policy_name policy =
+    let m =
+      Sim.Machine.create ~frames:262144 ~cma_frames:65536 ~setting:Sim.Config.Erebor_full ()
+    in
+    (match policy with
+    | Some p -> Erebor.Sandbox.set_mitigations (Option.get (Sim.Machine.manager m)) p
+    | None -> ());
+    let r = Sim.Machine.run m (Workloads.Retrieval.spec ()) in
+    Printf.printf "%-10s %12d run cycles" policy_name r.Sim.Machine.run_cycles;
+    (match Erebor.Sandbox.mitigation_stats (Option.get (Sim.Machine.manager m)) with
+    | Some (stalls, stall_cycles, flushes) ->
+        Printf.printf "  (stalls=%d stall-cycles=%d flushes=%d)" stalls stall_cycles flushes
+    | None -> ());
+    print_newline ();
+    r.Sim.Machine.run_cycles
+  in
+  let base = run_with "none" None in
+  let hardened = run_with "paranoid" (Some Erebor.Mitigations.paranoid) in
+  Printf.printf "mitigation overhead: %.2f%%\n"
+    (100.0 *. ((float_of_int hardened /. float_of_int base) -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Qualitative tables (1, 2, 7)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables_qual () =
+  header "Table 1: CVM data-protection comparison";
+  Printf.printf "%-12s %-8s %-4s %-4s %-4s %-10s %-10s\n" "System" "Approach" "AV1" "AV2"
+    "AV3" "Paravisor" "Hypervisor";
+  List.iter
+    (fun (sys, app, a1, a2, a3, pv, hv) ->
+      Printf.printf "%-12s %-8s %-4s %-4s %-4s %-10s %-10s\n" sys app a1 a2 a3 pv hv)
+    [
+      ("Veil", "Enclave", "yes", "no", "no", "changed", "changed");
+      ("NestedSGX", "Enclave", "yes", "no", "no", "changed", "changed");
+      ("Erebor", "Sandbox", "yes", "yes", "yes", "unchanged", "unchanged");
+    ];
+  header "Table 2: sensitive privileged instructions delegated to the monitor";
+  List.iter
+    (fun (s : Erebor.Policy.sensitive) ->
+      Printf.printf "%-6s %-16s %s\n"
+        (Fmt.str "%a" Erebor.Policy.pp_class s.Erebor.Policy.class_)
+        s.Erebor.Policy.mnemonic s.Erebor.Policy.description)
+    Erebor.Policy.sensitive_instructions;
+  header "Table 7: cross-CVM architectural features";
+  Printf.printf "%-5s %-10s %-7s %-8s %-12s %-11s %-9s\n" "Plat" "Registers" "Ctxt"
+    "GHCI" "K/U separation" "Prot.key" "HW-CFI";
+  List.iter
+    (fun (p, r, c, g, k, pk, cfi) ->
+      Printf.printf "%-5s %-10s %-7s %-8s %-12s %-11s %-9s\n" p r c g k pk cfi)
+    [
+      ("TDX", "CR/MSR", "IDT", "tdcall", "SMEP/SMAP", "PKS", "IBT+SST");
+      ("SEV", "CR/MSR", "IDT", "vmgexit", "SMEP/SMAP", "page table", "IBT+SST");
+      ("CCA", "EL1", "VBAR", "smc", "PXN/PAN", "PIE", "BTI+GCS");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benchmarks of the simulator itself              *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let table3_test =
+    Test.make ~name:"table3-transitions" (Staged.stage (fun () -> ignore (Workloads.Eval.table3 ())))
+  in
+  let table4_test =
+    Test.make ~name:"table4-privops" (Staged.stage (fun () -> ignore (Workloads.Eval.table4 ())))
+  in
+  let fig8_test =
+    let bench = List.hd Workloads.Lmbench.benches in
+    Test.make ~name:"fig8-lmbench-syscall"
+      (Staged.stage (fun () -> ignore (Workloads.Lmbench.run ~setting:Sim.Config.Erebor_full bench)))
+  in
+  let fig9_test =
+    Test.make ~name:"fig9-drugbank-full"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Machine.run_fresh ~frames:65536 ~cma_frames:16384
+                ~setting:Sim.Config.Erebor_full (Workloads.Retrieval.spec ()))))
+  in
+  let table6_test =
+    Test.make ~name:"table6-stats-native"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Machine.run_fresh ~frames:65536 ~cma_frames:16384
+                ~setting:Sim.Config.Native (Workloads.Retrieval.spec ()))))
+  in
+  let fig10_test =
+    Test.make ~name:"fig10-nginx-64kb"
+      (Staged.stage (fun () ->
+           ignore
+             (Workloads.Netserve.run ~setting:Sim.Config.Erebor_full Workloads.Netserve.Nginx
+                ~file_kb:64 ~requests:2)))
+  in
+  let memshare_test =
+    Test.make ~name:"memshare-2-sandboxes"
+      (Staged.stage (fun () -> ignore (Workloads.Eval.memshare ~max_sandboxes:2 ())))
+  in
+  Test.make_grouped ~name:"erebor-eval"
+    [ table3_test; table4_test; fig8_test; fig9_test; table6_test; fig10_test;
+      memshare_test ]
+
+let run_bechamel () =
+  let open Bechamel in
+  header "Bechamel: simulator wall-clock per experiment regeneration";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (v :: _) -> v | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-40s %12.3f ms/run\n" name (ns /. 1e6))
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  print_table3 ();
+  print_table4 ();
+  print_fig8 ();
+  print_fig9 ();
+  print_table6 ();
+  print_fig10 ();
+  print_memshare ();
+  print_ablations ();
+  print_tables_qual ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "all" -> all ()
+  | "table3" -> print_table3 ()
+  | "table4" -> print_table4 ()
+  | "fig8" -> print_fig8 ()
+  | "fig9" -> print_fig9 ()
+  | "table6" -> print_table6 ()
+  | "fig10" -> print_fig10 ()
+  | "memshare" -> print_memshare ()
+  | "ablations" -> print_ablations ()
+  | "tables-qual" -> print_tables_qual ()
+  | "bechamel" -> run_bechamel ()
+  | other ->
+      Printf.eprintf
+        "unknown experiment %S\n\
+         usage: main.exe [all|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|bechamel]\n"
+        other;
+      exit 1

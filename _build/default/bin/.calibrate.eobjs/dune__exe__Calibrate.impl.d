@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array Bytes Hw List Option Printf Sim Sys Unix Workloads

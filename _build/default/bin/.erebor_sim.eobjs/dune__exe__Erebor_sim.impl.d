@@ -1,0 +1,1 @@
+bin/erebor_sim.ml: Arg Bytes Cmd Cmdliner Crypto Erebor Fmt Hw Kernel List Printf Result Sim String Tdx Term Vmm Workloads

@@ -1,0 +1,1 @@
+bin/erebor_sim.mli:

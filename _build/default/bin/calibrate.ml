@@ -1,0 +1,60 @@
+(* Calibration driver: run one workload across all settings and print the
+   emergent overheads and event rates next to the paper's targets. *)
+
+let run_one spec_fn name =
+  Printf.printf "=== %s ===\n%!" name;
+  let specs = List.map (fun setting -> (setting, spec_fn ())) Sim.Config.all in
+  let results =
+    List.map
+      (fun (setting, spec) ->
+        let t0 = Unix.gettimeofday () in
+        let r = Sim.Machine.run_fresh ~setting spec in
+        let wall = Unix.gettimeofday () -. t0 in
+        (setting, r, wall))
+      specs
+  in
+  let native_run =
+    match List.find_opt (fun (s, _, _) -> s = Sim.Config.Native) results with
+    | Some (_, r, _) -> r
+    | None -> assert false
+  in
+  List.iter
+    (fun (setting, (r : Sim.Machine.run_result), wall) ->
+      let ov =
+        100.0
+        *. (float_of_int r.Sim.Machine.run_cycles /. float_of_int native_run.Sim.Machine.run_cycles
+           -. 1.0)
+      in
+      let init_ov =
+        100.0
+        *. (float_of_int r.Sim.Machine.init_cycles
+            /. float_of_int native_run.Sim.Machine.init_cycles
+           -. 1.0)
+      in
+      let s = r.Sim.Machine.stats in
+      Printf.printf
+        "%-12s run=%.2fs ov=%+6.2f%% init_ov=%+6.1f%% | PF=%.0f/s T=%.0f/s VE=%.0f/s EMC=%.1fk/s | out=%dB killed=%s wall=%.1fs\n%!"
+        (Sim.Config.name setting)
+        (Hw.Cycles.to_seconds r.Sim.Machine.run_cycles *. float_of_int Workloads.Workload.time_scale)
+        ov init_ov (Sim.Stats.pf_rate s) (Sim.Stats.timer_rate s) (Sim.Stats.ve_rate s)
+        (Sim.Stats.emc_rate s /. 1000.0)
+        (Bytes.length r.Sim.Machine.output)
+        (Option.value ~default:"-" r.Sim.Machine.killed)
+        wall)
+    results
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "llama" in
+  match which with
+  | "llama" -> run_one Workloads.Llm.spec "llama.cpp"
+  | "yolo" -> run_one Workloads.Imageproc.spec "yolo"
+  | "drugbank" -> run_one Workloads.Retrieval.spec "drugbank"
+  | "graphchi" -> run_one Workloads.Graph.spec "graphchi"
+  | "unicorn" -> run_one Workloads.Ids.spec "unicorn"
+  | "all" ->
+      run_one Workloads.Llm.spec "llama.cpp";
+      run_one Workloads.Imageproc.spec "yolo";
+      run_one Workloads.Retrieval.spec "drugbank";
+      run_one Workloads.Graph.spec "graphchi";
+      run_one Workloads.Ids.spec "unicorn"
+  | other -> failwith ("unknown workload " ^ other)

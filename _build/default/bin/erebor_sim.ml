@@ -1,0 +1,213 @@
+(* erebor-sim: the command-line front end to the simulated Erebor CVM —
+   the counterpart of the artifact's run scripts (§A.4). *)
+
+open Cmdliner
+
+let workloads = Workloads.Eval.all_programs
+
+let setting_conv =
+  let parse s =
+    match Sim.Config.of_name s with
+    | Some setting -> Ok setting
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown setting %S (expected one of: %s)" s
+               (String.concat ", " (List.map Sim.Config.name Sim.Config.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Fmt.string fmt (Sim.Config.name s))
+
+let workload_conv =
+  let parse s =
+    match List.assoc_opt s workloads with
+    | Some spec -> Ok (s, spec)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %S (expected one of: %s)" s
+               (String.concat ", " (List.map fst workloads))))
+  in
+  Arg.conv (parse, fun fmt (name, _) -> Fmt.string fmt name)
+
+let print_run name setting (r : Sim.Machine.run_result) =
+  Printf.printf "workload : %s\n" name;
+  Printf.printf "setting  : %s\n" (Sim.Config.name setting);
+  Printf.printf "exec time: %.2f s (virtual, descaled)\n"
+    (Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
+    *. float_of_int Workloads.Workload.time_scale);
+  Printf.printf "init time: %.2f s\n"
+    (Hw.Cycles.to_seconds r.Sim.Machine.init_cycles
+    *. float_of_int Workloads.Workload.time_scale);
+  let s = r.Sim.Machine.stats in
+  Printf.printf "exits    : #PF %.0f/s, #Timer %.0f/s, #VE %.0f/s, EMC %.1fk/s\n"
+    (Sim.Stats.pf_rate s) (Sim.Stats.timer_rate s) (Sim.Stats.ve_rate s)
+    (Sim.Stats.emc_rate s /. 1000.0);
+  (match r.Sim.Machine.killed with
+  | Some reason -> Printf.printf "KILLED   : %s\n" reason
+  | None -> ());
+  Printf.printf "output   : %d bytes (%d on the wire)\n---\n%s\n"
+    (Bytes.length r.Sim.Machine.output)
+    r.Sim.Machine.wire_output_len
+    (Bytes.to_string r.Sim.Machine.output)
+
+let run_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run (see $(b,list)).")
+  in
+  let setting =
+    Arg.(
+      value
+      & opt setting_conv Sim.Config.Erebor_full
+      & info [ "s"; "setting" ] ~docv:"SETTING"
+          ~doc:"Evaluation setting: native, libos-only, erebor-mmu, erebor-exit, erebor.")
+  in
+  let run (name, spec_fn) setting =
+    print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under one setting and print its results")
+    Term.(const run $ workload $ setting)
+
+let compare_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to compare across settings.")
+  in
+  let compare (name, spec_fn) =
+    Printf.printf "%s across all settings:\n" name;
+    let native = ref 0 in
+    List.iter
+      (fun setting ->
+        let r = Sim.Machine.run_fresh ~setting (spec_fn ()) in
+        if setting = Sim.Config.Native then native := r.Sim.Machine.run_cycles;
+        Printf.printf "  %-12s %8.2fs  %+6.2f%%  EMC %6.1fk/s\n" (Sim.Config.name setting)
+          (Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
+          *. float_of_int Workloads.Workload.time_scale)
+          (100.0
+          *. ((float_of_int r.Sim.Machine.run_cycles /. float_of_int !native) -. 1.0))
+          (Sim.Stats.emc_rate r.Sim.Machine.stats /. 1000.0))
+      Sim.Config.all
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run one workload under every setting (Fig. 9 for one program)")
+    Term.(const compare $ workload)
+
+let list_cmd =
+  let list () =
+    print_endline "workloads:";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) workloads;
+    print_endline "settings:";
+    List.iter (fun s -> Printf.printf "  %s\n" (Sim.Config.name s)) Sim.Config.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and settings") Term.(const list $ const ())
+
+let selfcheck_cmd =
+  let selfcheck () =
+    (* An operator-facing rendition of §8's security analysis: build a
+       fresh stack, throw the attack battery, report per-claim verdicts. *)
+    let hw_key = Crypto.Sha256.digest_string "selfcheck key" in
+    let mem = Hw.Phys_mem.create ~frames:32768 in
+    let clock = Hw.Cycles.clock () in
+    let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 in
+    let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+    let host = Vmm.Host.create () in
+    Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
+    let monitor =
+      Erebor.Monitor.install ~cpu ~mem ~td ~firmware:(Bytes.of_string "OVMF")
+        ~monitor_frames:32 ~device_shared_frames:32 ()
+    in
+    let benign =
+      { Hw.Image.entry = 0x1000;
+        sections =
+          [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+              writable = false; data = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Ret ] } ] }
+    in
+    let kern =
+      match
+        Erebor.Monitor.boot_kernel monitor ~kernel_image:benign ~reserved_frames:128
+          ~cma_frames:8192
+      with
+      | Ok k -> k
+      | Error e -> failwith e
+    in
+    let mgr = Erebor.Sandbox.create_manager ~monitor ~kern in
+    let failures = ref 0 in
+    let claim name expect_blocked f =
+      let blocked =
+        match f () with
+        | _ -> false
+        | exception Erebor.Monitor.Policy_violation _ -> true
+        | exception Hw.Fault.Fault _ -> true
+      in
+      let ok = blocked = expect_blocked in
+      if not ok then incr failures;
+      Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name
+    in
+    print_endline "C1: verified boot";
+    let evil =
+      { benign with
+        Hw.Image.sections =
+          [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+              writable = false; data = Hw.Isa.assemble [ Hw.Isa.Wrmsr ] } ] }
+    in
+    (match Erebor.Monitor.boot_kernel monitor ~kernel_image:evil ~reserved_frames:128 ~cma_frames:64 with
+    | Error _ -> print_endline "  [PASS] kernel with sensitive instructions refused"
+    | Ok _ ->
+        incr failures;
+        print_endline "  [FAIL] kernel with sensitive instructions booted");
+    print_endline "C2-C4: privileged-mode enforcement";
+    let ops = kern.Kernel.privops in
+    claim "clearing SMAP blocked" true (fun () ->
+        ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smap false);
+    claim "writing IA32_PKRS blocked" true (fun () ->
+        ops.Kernel.Privops.write_msr Hw.Msr.ia32_pkrs 0L);
+    claim "stray PTE store blocked" true (fun () ->
+        ops.Kernel.Privops.write_pte ~pte_addr:(Hw.Phys_mem.addr_of_pfn 9000)
+          (Hw.Pte.make ~pfn:5 Hw.Pte.default_flags));
+    Kernel.ensure_direct_map kern ~pfn:kern.Kernel.kernel_root;
+    claim "direct write to page tables blocked" true (fun () ->
+        Hw.Cpu.write_u64 cpu
+          (Kernel.Layout.direct_map (Hw.Phys_mem.addr_of_pfn kern.Kernel.kernel_root))
+          0xBADL);
+    print_endline "C5: attestation exclusivity";
+    claim "kernel tdreport blocked" true (fun () ->
+        ignore (ops.Kernel.Privops.tdcall (Tdx.Ghci.Tdreport { report_data = Bytes.empty })));
+    print_endline "C6-C8: sandbox protection";
+    let sb =
+      Result.get_ok
+        (Erebor.Sandbox.create_sandbox mgr ~name:"probe" ~confined_budget:(64 * 4096))
+    in
+    let base = Result.get_ok (Erebor.Sandbox.declare_confined mgr sb ~len:(16 * 4096)) in
+    ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "secret")));
+    ops.Kernel.Privops.write_cr3
+      ~root_pfn:(Erebor.Sandbox.main_task sb).Kernel.Task.root_pfn;
+    claim "kernel read of sandbox memory blocked (SMAP)" true (fun () ->
+        ignore (Hw.Cpu.read_u8 cpu base));
+    claim "usercopy exfiltration blocked" true (fun () ->
+        ignore (ops.Kernel.Privops.copy_from_user ~user_addr:base ~len:6));
+    (match Erebor.Sandbox.handle_syscall mgr sb (Kernel.Syscall.Open { path = "/leak" }) with
+    | Kernel.Syscall.Rerr _ -> print_endline "  [PASS] post-data syscall killed the sandbox"
+    | _ ->
+        incr failures;
+        print_endline "  [FAIL] post-data syscall allowed");
+    Printf.printf "\nself-check %s (%d failure(s))\n"
+      (if !failures = 0 then "PASSED" else "FAILED")
+      !failures;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "selfcheck" ~doc:"Run the security-claim battery (C1-C8) on a fresh stack")
+    Term.(const selfcheck $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "erebor-sim" ~version:"1.0.0"
+       ~doc:"Run the paper's workloads on the simulated Erebor CVM")
+    [ run_cmd; compare_cmd; list_cmd; selfcheck_cmd ]
+
+let () = exit (Cmd.eval main)

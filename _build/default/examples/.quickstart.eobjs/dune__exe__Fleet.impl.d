@@ -1,0 +1,1 @@
+examples/fleet.ml: Bytes Crypto Erebor Hw Kernel Libos List Printf Result Sim Tdx Vmm

@@ -1,0 +1,1 @@
+examples/intrusion_detection.ml: Bytes Crypto List Printf Sim String Workloads

@@ -1,0 +1,1 @@
+examples/llm_inference.ml: Bytes Hw Lazy Printf Sim String Workloads

@@ -1,0 +1,1 @@
+examples/private_retrieval.ml: Bytes Crypto Erebor Hw Kernel List Option Printf Result Sim String Tdx Vmm Workloads

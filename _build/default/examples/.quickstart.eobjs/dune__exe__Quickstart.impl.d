@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Crypto Erebor Hw Libos List Option Printf Result String Tdx Vmm

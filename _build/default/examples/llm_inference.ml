@@ -1,0 +1,43 @@
+(* LLM inference in a sandbox — the paper's headline scenario and artifact
+   experiment E3 (llama.cpp). The same workload runs twice: natively, then
+   inside full Erebor, mirroring run-tests-native.sh / run-tests-erebor-demo.sh.
+
+   Run with:  dune exec examples/llm_inference.exe *)
+
+let describe label (r : Sim.Machine.run_result) =
+  let s = r.Sim.Machine.stats in
+  Printf.printf "\n--- %s ---\n" label;
+  Printf.printf "inference output (%d bytes):\n  %s\n"
+    (Bytes.length r.Sim.Machine.output)
+    (String.concat "\n  "
+       (String.split_on_char '\n' (Bytes.to_string r.Sim.Machine.output)));
+  Printf.printf
+    "exec: %.2fs virtual | #PF %.0f/s | #Timer %.0f/s | #VE %.0f/s | EMC %.1fk/s\n"
+    (Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
+    *. float_of_int Workloads.Workload.time_scale)
+    (Sim.Stats.pf_rate s) (Sim.Stats.timer_rate s) (Sim.Stats.ve_rate s)
+    (Sim.Stats.emc_rate s /. 1000.0);
+  (match r.Sim.Machine.killed with
+  | Some reason -> Printf.printf "sandbox killed: %s\n" reason
+  | None -> ());
+  r.Sim.Machine.run_cycles
+
+let () =
+  print_endline "LLM inference service (llama.cpp scenario, Table 5)";
+  print_endline "model: shared 4 GiB common instance; KV cache: confined memory";
+
+  let native =
+    describe "native CVM (no protection)"
+      (Sim.Machine.run_fresh ~setting:Sim.Config.Native (Workloads.Llm.spec ()))
+  in
+  let erebor =
+    describe "full Erebor sandbox"
+      (Sim.Machine.run_fresh ~setting:Sim.Config.Erebor_full (Workloads.Llm.spec ()))
+  in
+  Printf.printf "\nruntime overhead of the sandbox: %.2f%%  (paper: 13.15%%)\n"
+    (100.0 *. ((float_of_int erebor /. float_of_int native) -. 1.0));
+
+  (* The inference itself is a real (if tiny) language model: *)
+  let model = Lazy.force Workloads.Llm.default_model in
+  Printf.printf "\n(the stand-in model knows %d n-gram contexts)\n"
+    (Workloads.Llm.Model.contexts model)

@@ -1,0 +1,67 @@
+(* Private information retrieval (the DrugBank scenario, Table 5), plus a
+   demonstration of what happens to a *malicious* service program: once
+   client data is installed, any attempt to reach the outside through a
+   system call kills the sandbox before a byte escapes (AV2).
+
+   Run with:  dune exec examples/private_retrieval.exe *)
+
+let () =
+  print_endline "Private information retrieval over a shared in-memory database";
+
+  (* The honest service, end to end under full Erebor. *)
+  let r = Sim.Machine.run_fresh ~setting:Sim.Config.Erebor_full (Workloads.Retrieval.spec ()) in
+  print_endline "\n--- honest service ---";
+  let lines = String.split_on_char '\n' (Bytes.to_string r.Sim.Machine.output) in
+  List.iteri (fun i l -> if i < 6 then Printf.printf "  %s\n" l) lines;
+  Printf.printf "  ... (%d result lines; %d bytes on the wire after padding)\n"
+    (List.length lines - 1) r.Sim.Machine.wire_output_len;
+
+  (* A dishonest service: tries to write the client's query to a file. *)
+  print_endline "\n--- dishonest service (attempts to exfiltrate) ---";
+  let hw_key = Crypto.Sha256.digest_string "example hardware key" in
+  let mem = Hw.Phys_mem.create ~frames:16384 in
+  let clock = Hw.Cycles.clock () in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 in
+  let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+  let host = Vmm.Host.create () in
+  Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
+  let monitor =
+    Erebor.Monitor.install ~cpu ~mem ~td ~firmware:(Bytes.of_string "OVMF")
+      ~monitor_frames:32 ~device_shared_frames:32 ()
+  in
+  let image =
+    { Hw.Image.entry = 0x1000;
+      sections =
+        [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+            writable = false; data = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Ret ] } ] }
+  in
+  let kern =
+    Result.get_ok
+      (Erebor.Monitor.boot_kernel monitor ~kernel_image:image ~reserved_frames:128
+         ~cma_frames:2048)
+  in
+  let mgr = Erebor.Sandbox.create_manager ~monitor ~kern in
+  let sb =
+    Result.get_ok
+      (Erebor.Sandbox.create_sandbox mgr ~name:"evil-retrieval"
+         ~confined_budget:(32 * 4096))
+  in
+  ignore (Result.get_ok (Erebor.Sandbox.declare_confined mgr sb ~len:(16 * 4096)));
+  ignore
+    (Result.get_ok
+       (Erebor.Sandbox.load_client_data mgr sb
+          (Bytes.of_string "query: embarrassing-condition")));
+  Printf.printf "  client query installed; sandbox sealed\n";
+  (* The provider program tries to open /srv/collected-queries and write. *)
+  (match
+     Erebor.Sandbox.handle_syscall mgr sb
+       (Kernel.Syscall.Open { path = "/srv/collected-queries" })
+   with
+  | Kernel.Syscall.Rerr e -> Printf.printf "  open() after seal -> %s\n" e
+  | _ -> print_endline "  !! syscall was allowed");
+  Printf.printf "  sandbox killed: %s\n"
+    (Option.value ~default:"(no)" (Erebor.Sandbox.kill_reason sb));
+  Printf.printf "  file created on the untrusted side: %b\n"
+    (Kernel.Fs.exists kern.Kernel.fs "/srv/collected-queries");
+  Printf.printf "  query visible to host/hypervisor: %b\n"
+    (Vmm.Host.observed_contains host "embarrassing-condition")

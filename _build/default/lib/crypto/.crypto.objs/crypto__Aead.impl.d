@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Bytes Chacha20 Char Hmac

@@ -1,0 +1,34 @@
+type sealed = { nonce : bytes; ciphertext : bytes; tag : bytes }
+
+let mac_key ~key ~nonce =
+  (* Keystream block 0 provides a one-time MAC key, as in RFC 8439. *)
+  Bytes.sub (Chacha20.block ~key ~nonce ~counter:0l) 0 32
+
+let le64 n =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((n lsr (8 * i)) land 0xff))
+  done;
+  b
+
+let tag_input ~ad ~ciphertext =
+  Bytes.concat Bytes.empty
+    [ ad; ciphertext; le64 (Bytes.length ad); le64 (Bytes.length ciphertext) ]
+
+let seal ~key ~nonce ~ad plaintext =
+  let ciphertext = Chacha20.xor ~key ~nonce plaintext in
+  let mk = mac_key ~key ~nonce in
+  let tag = Hmac.mac ~key:mk (tag_input ~ad ~ciphertext) in
+  { nonce = Bytes.copy nonce; ciphertext; tag }
+
+let open_ ~key ~ad { nonce; ciphertext; tag } =
+  if Bytes.length nonce <> Chacha20.nonce_size then None
+  else begin
+    let mk = mac_key ~key ~nonce in
+    if Hmac.verify ~key:mk (tag_input ~ad ~ciphertext) ~tag then
+      Some (Chacha20.xor ~key ~nonce ciphertext)
+    else None
+  end
+
+let sealed_size { nonce; ciphertext; tag } =
+  Bytes.length nonce + Bytes.length ciphertext + Bytes.length tag

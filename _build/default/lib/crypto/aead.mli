@@ -1,0 +1,21 @@
+(** Authenticated encryption for the secure channel: ChaCha20 for
+    confidentiality, HMAC-SHA256 (encrypt-then-MAC) for integrity. The MAC key
+    is derived from keystream block 0, mirroring the RFC 8439 AEAD layout, and
+    the tag covers the associated data, the ciphertext, and their lengths. *)
+
+type sealed = {
+  nonce : bytes;       (** 12-byte per-message nonce. *)
+  ciphertext : bytes;
+  tag : bytes;         (** 32-byte HMAC tag. *)
+}
+
+val seal : key:bytes -> nonce:bytes -> ad:bytes -> bytes -> sealed
+(** [seal ~key ~nonce ~ad plaintext] encrypts and authenticates. Raises
+    [Invalid_argument] on wrong key/nonce sizes. *)
+
+val open_ : key:bytes -> ad:bytes -> sealed -> bytes option
+(** [open_ ~key ~ad sealed] verifies the tag (in constant time) and decrypts;
+    [None] when authentication fails. *)
+
+val sealed_size : sealed -> int
+(** Wire size of a sealed message: nonce + ciphertext + tag. *)

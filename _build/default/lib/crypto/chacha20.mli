@@ -1,0 +1,17 @@
+(** ChaCha20 stream cipher (RFC 8439), the confidentiality half of the
+    client↔monitor secure channel. *)
+
+val key_size : int
+(** 32 bytes. *)
+
+val nonce_size : int
+(** 12 bytes. *)
+
+val block : key:bytes -> nonce:bytes -> counter:int32 -> bytes
+(** [block ~key ~nonce ~counter] is the raw 64-byte keystream block; exposed
+    for test vectors. Raises [Invalid_argument] on wrong key/nonce sizes. *)
+
+val xor : key:bytes -> nonce:bytes -> ?counter:int32 -> bytes -> bytes
+(** [xor ~key ~nonce data] encrypts (or, being an involution, decrypts) [data]
+    with the keystream starting at block [counter] (default 1, reserving
+    block 0 for a MAC key as AEAD constructions do). *)

@@ -1,0 +1,39 @@
+type keypair = { secret : Bignum.t; public : Bignum.t }
+
+(* RFC 3526, group 5 (1536-bit MODP). *)
+let group_prime =
+  Bignum.of_hex
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+     020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+     4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+     EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+     98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+     9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+let generator = Bignum.of_int 2
+
+let ctx = lazy (Bignum.Mont.create group_prime)
+
+let public_width = 192 (* 1536 bits *)
+
+let generate drbg =
+  (* A 256-bit exponent gives ~128-bit security in this group. Force the top
+     bit so the exponent is full-width, and avoid 0/1. *)
+  let raw = Drbg.bytes drbg 32 in
+  Bytes.set raw 0 (Char.chr (Char.code (Bytes.get raw 0) lor 0x80));
+  let secret = Bignum.of_bytes raw in
+  let public = Bignum.Mont.modpow (Lazy.force ctx) generator secret in
+  { secret; public }
+
+let public_bytes kp = Bignum.to_bytes ~len:public_width kp.public
+
+let shared_secret kp ~peer_public =
+  let peer = Bignum.of_bytes peer_public in
+  if Bignum.compare peer (Bignum.of_int 2) < 0
+     || Bignum.compare peer group_prime >= 0
+  then None
+  else begin
+    let shared = Bignum.Mont.modpow (Lazy.force ctx) peer kp.secret in
+    let raw = Bignum.to_bytes ~len:public_width shared in
+    Some (Hkdf.extract ~salt:(Bytes.of_string "erebor-dh") ~ikm:raw)
+  end

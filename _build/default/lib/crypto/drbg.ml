@@ -1,0 +1,64 @@
+type t = {
+  mutable key : bytes;
+  mutable counter : int64; (* block counter split into nonce + chacha counter *)
+  mutable pool : bytes;    (* unconsumed keystream *)
+  mutable pool_off : int;
+}
+
+let create ~seed =
+  { key = Sha256.digest_string seed; counter = 0L; pool = Bytes.empty; pool_off = 0 }
+
+let refill t =
+  let nonce = Bytes.make Chacha20.nonce_size '\000' in
+  for i = 0 to 7 do
+    Bytes.set nonce i
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical t.counter (8 * i)) 0xffL)))
+  done;
+  t.counter <- Int64.add t.counter 1L;
+  t.pool <- Chacha20.block ~key:t.key ~nonce ~counter:0l;
+  t.pool_off <- 0
+
+let bytes t n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if t.pool_off >= Bytes.length t.pool then refill t;
+    let avail = Bytes.length t.pool - t.pool_off in
+    let take = min avail (n - !filled) in
+    Bytes.blit t.pool t.pool_off out !filled take;
+    t.pool_off <- t.pool_off + take;
+    filled := !filled + take
+  done;
+  out
+
+let int64 t =
+  let b = bytes t 8 in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b i)))
+  done;
+  Int64.shift_right_logical !v 1
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Drbg.int: bound must be positive";
+  (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+  let limit = Int64.mul (Int64.div Int64.max_int (Int64.of_int bound)) (Int64.of_int bound) in
+  let rec draw () =
+    let v = int64 t in
+    if Int64.compare v limit >= 0 then draw ()
+    else Int64.to_int (Int64.rem v (Int64.of_int bound))
+  in
+  draw ()
+
+let float t =
+  (* [int64] yields 63 uniform bits; divide by 2^63 for [0, 1). *)
+  let v = int64 t in
+  Int64.to_float v /. 9.223372036854775808e18
+
+let reseed t entropy =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx t.key;
+  Sha256.feed_string ctx entropy;
+  t.key <- Sha256.digest ctx;
+  t.pool <- Bytes.empty;
+  t.pool_off <- 0

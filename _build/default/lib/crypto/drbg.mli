@@ -1,0 +1,24 @@
+(** Deterministic random bit generator built on ChaCha20, used everywhere the
+    system needs randomness (keys, nonces, workload generation). Deterministic
+    seeding keeps experiments reproducible. *)
+
+type t
+
+val create : seed:string -> t
+(** Seed is hashed to a 32-byte key. *)
+
+val bytes : t -> int -> bytes
+(** Next [n] pseudorandom bytes. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. Uses
+    rejection sampling to avoid modulo bias. *)
+
+val int64 : t -> int64
+(** Next 63-bit non-negative value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val reseed : t -> string -> unit
+(** Mix fresh entropy into the key. *)

@@ -1,0 +1,39 @@
+let block = Sha256.block_size
+
+let normalize_key key =
+  let key = if Bytes.length key > block then Sha256.digest_bytes key else key in
+  let padded = Bytes.make block '\000' in
+  Bytes.blit key 0 padded 0 (Bytes.length key);
+  padded
+
+let xor_pad key byte =
+  let out = Bytes.create block in
+  for i = 0 to block - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  out
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.digest inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5c);
+  Sha256.feed outer inner_digest;
+  Sha256.digest outer
+
+let mac_string ~key s = mac ~key (Bytes.of_string s)
+
+(* Constant-time equality: accumulate the OR of byte differences. *)
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  if Bytes.length tag <> Bytes.length expected then false
+  else begin
+    let diff = ref 0 in
+    for i = 0 to Bytes.length expected - 1 do
+      diff := !diff lor (Char.code (Bytes.get expected i) lxor Char.code (Bytes.get tag i))
+    done;
+    !diff = 0
+  end

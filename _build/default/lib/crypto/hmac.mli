@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104), used to authenticate channel messages and to sign
+    simulated TDX attestation reports. *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key]. Keys
+    longer than one block are hashed first, per RFC 2104. *)
+
+val mac_string : key:bytes -> string -> bytes
+(** [mac_string ~key s] tags a string message. *)
+
+val verify : key:bytes -> bytes -> tag:bytes -> bool
+(** Constant-time comparison of the expected tag against [tag]. *)

@@ -1,0 +1,117 @@
+type public = { n : Bignum.t; e : Bignum.t }
+type keypair = { public : public; d : Bignum.t }
+
+let small_primes =
+  [ 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71;
+    73; 79; 83; 89; 97; 101; 103; 107; 109; 113 ]
+
+let miller_rabin_rounds = 24
+
+let random_below rng n =
+  (* Uniform-enough value in [2, n-2] for witness selection. *)
+  let bytes_needed = (Bignum.bit_length n + 7) / 8 in
+  let rec draw () =
+    let v = Bignum.of_bytes (Drbg.bytes rng bytes_needed) in
+    let v = Bignum.mod_ v n in
+    if Bignum.compare v (Bignum.of_int 2) < 0 then draw () else v
+  in
+  draw ()
+
+let is_probable_prime rng n =
+  if Bignum.compare n (Bignum.of_int 2) < 0 then false
+  else if Bignum.equal n (Bignum.of_int 2) then true
+  else if Bignum.is_even n then false
+  else if List.exists (fun p -> Bignum.equal n (Bignum.of_int p)) small_primes then true
+  else if
+    List.exists
+      (fun p -> Bignum.is_zero (Bignum.mod_ n (Bignum.of_int p)))
+      small_primes
+  then false
+  else begin
+    (* n - 1 = d * 2^s *)
+    let n_minus_1 = Bignum.sub n Bignum.one in
+    let rec strip d s = if Bignum.is_even d then strip (Bignum.shift_right_one d) (s + 1) else (d, s) in
+    let d, s = strip n_minus_1 0 in
+    let ctx = Bignum.Mont.create n in
+    let witness_passes a =
+      let x = ref (Bignum.Mont.modpow ctx a d) in
+      if Bignum.equal !x Bignum.one || Bignum.equal !x n_minus_1 then true
+      else begin
+        let rec square i =
+          if i >= s - 1 then false
+          else begin
+            x := Bignum.Mont.modpow ctx !x (Bignum.of_int 2);
+            if Bignum.equal !x n_minus_1 then true else square (i + 1)
+          end
+        in
+        square 0
+      end
+    in
+    let rec rounds i =
+      i = miller_rabin_rounds || (witness_passes (random_below rng n) && rounds (i + 1))
+    in
+    rounds 0
+  end
+
+let generate_prime rng ~bits =
+  if bits < 16 then invalid_arg "Rsa.generate_prime: too few bits";
+  let rec try_candidate () =
+    let raw = Drbg.bytes rng ((bits + 7) / 8) in
+    (* Force the top two bits (so products reach full width) and oddness. *)
+    Bytes.set raw 0 (Char.chr (Char.code (Bytes.get raw 0) lor 0xC0));
+    Bytes.set raw
+      (Bytes.length raw - 1)
+      (Char.chr (Char.code (Bytes.get raw (Bytes.length raw - 1)) lor 1));
+    let candidate = Bignum.of_bytes raw in
+    if is_probable_prime rng candidate then candidate else try_candidate ()
+  in
+  try_candidate ()
+
+let e65537 = Bignum.of_int 65537
+
+let generate rng ~bits =
+  if bits < 128 then invalid_arg "Rsa.generate: modulus too small";
+  let half = bits / 2 in
+  let rec attempt () =
+    let p = generate_prime rng ~bits:half in
+    let q = generate_prime rng ~bits:(bits - half) in
+    if Bignum.equal p q then attempt ()
+    else begin
+      let n = Bignum.mul p q in
+      let phi = Bignum.mul (Bignum.sub p Bignum.one) (Bignum.sub q Bignum.one) in
+      match Bignum.invmod e65537 phi with
+      | Some d -> { public = { n; e = e65537 }; d }
+      | None -> attempt ()
+    end
+  in
+  attempt ()
+
+let modulus_bytes pub = (Bignum.bit_length pub.n + 7) / 8
+
+(* EMSA-PKCS1-v1_5-style padding: 00 01 FF..FF 00 || SHA256(m). *)
+let encode_digest ~width msg =
+  let digest = Sha256.digest_bytes msg in
+  if width < Bytes.length digest + 11 then invalid_arg "Rsa: modulus too small for digest";
+  let out = Bytes.make width '\xff' in
+  Bytes.set out 0 '\x00';
+  Bytes.set out 1 '\x01';
+  Bytes.set out (width - 33) '\x00';
+  Bytes.blit digest 0 out (width - 32) 32;
+  out
+
+let sign kp msg =
+  let width = modulus_bytes kp.public in
+  let m = Bignum.of_bytes (encode_digest ~width msg) in
+  let ctx = Bignum.Mont.create kp.public.n in
+  Bignum.to_bytes ~len:width (Bignum.Mont.modpow ctx m kp.d)
+
+let verify pub msg ~signature =
+  let width = modulus_bytes pub in
+  Bytes.length signature = width
+  &&
+  let s = Bignum.of_bytes signature in
+  Bignum.compare s pub.n < 0
+  &&
+  let ctx = Bignum.Mont.create pub.n in
+  let recovered = Bignum.to_bytes ~len:width (Bignum.Mont.modpow ctx s pub.e) in
+  Bytes.equal recovered (encode_digest ~width msg)

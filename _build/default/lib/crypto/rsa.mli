@@ -1,0 +1,24 @@
+(** RSA signatures over the in-repo bignum, for the attestation *quoting*
+    layer: real TDX converts CPU-MACed TDREPORTs into asymmetric quotes so
+    relying parties need no shared secret; {!Tdx.Quote} does the same with
+    these signatures. PKCS#1 v1.5-style encoding over SHA-256. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+type keypair = { public : public; d : Bignum.t }
+
+val is_probable_prime : Drbg.t -> Bignum.t -> bool
+(** Miller-Rabin, 24 rounds after small-prime trial division. *)
+
+val generate_prime : Drbg.t -> bits:int -> Bignum.t
+(** Random probable prime with the top two bits and the low bit set. *)
+
+val generate : Drbg.t -> bits:int -> keypair
+(** [bits]-bit modulus, e = 65537. Regenerates primes until
+    gcd(e, φ) = 1. Raises [Invalid_argument] for [bits] < 128. *)
+
+val sign : keypair -> bytes -> bytes
+(** PKCS#1 v1.5-style signature over SHA-256(message), modulus-width. *)
+
+val verify : public -> bytes -> signature:bytes -> bool
+
+val modulus_bytes : public -> int

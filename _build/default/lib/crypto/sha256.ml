@@ -1,0 +1,193 @@
+(* SHA-256 per FIPS 180-4. All word arithmetic is on Int32 so the
+   implementation is exact on 64-bit OCaml without masking games. *)
+
+let digest_size = 32
+let block_size = 64
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  state : int32 array;        (* 8 words H0..H7 *)
+  buf : bytes;                (* partial block *)
+  mutable buf_len : int;      (* bytes pending in [buf] *)
+  mutable total : int64;      (* total message bytes absorbed *)
+  mutable finalized : bool;
+}
+
+let init () =
+  {
+    state =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0L;
+    finalized = false;
+  }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+(* Compress one 64-byte block located at [off] in [b] into [state]. *)
+let compress state b off =
+  let w = Array.make 64 0l in
+  for i = 0 to 15 do
+    let base = off + (i * 4) in
+    let byte j = Int32.of_int (Char.code (Bytes.get b (base + j))) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (byte 0) 24)
+        (Int32.logor
+           (Int32.shift_left (byte 1) 16)
+           (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+  done;
+  for i = 16 to 63 do
+    let s0 =
+      Int32.logxor
+        (Int32.logxor (rotr w.(i - 15) 7) (rotr w.(i - 15) 18))
+        (Int32.shift_right_logical w.(i - 15) 3)
+    and s1 =
+      Int32.logxor
+        (Int32.logxor (rotr w.(i - 2) 17) (rotr w.(i - 2) 19))
+        (Int32.shift_right_logical w.(i - 2) 10)
+    in
+    w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+  done;
+  let a = ref state.(0) and b' = ref state.(1) and c = ref state.(2)
+  and d = ref state.(3) and e = ref state.(4) and f = ref state.(5)
+  and g = ref state.(6) and h = ref state.(7) in
+  for i = 0 to 63 do
+    let s1 =
+      Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25)
+    in
+    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+    let temp1 = Int32.add (Int32.add (Int32.add !h s1) (Int32.add ch k.(i))) w.(i) in
+    let s0 =
+      Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22)
+    in
+    let maj =
+      Int32.logxor
+        (Int32.logxor (Int32.logand !a !b') (Int32.logand !a !c))
+        (Int32.logand !b' !c)
+    in
+    let temp2 = Int32.add s0 maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := Int32.add !d temp1;
+    d := !c;
+    c := !b';
+    b' := !a;
+    a := Int32.add temp1 temp2
+  done;
+  state.(0) <- Int32.add state.(0) !a;
+  state.(1) <- Int32.add state.(1) !b';
+  state.(2) <- Int32.add state.(2) !c;
+  state.(3) <- Int32.add state.(3) !d;
+  state.(4) <- Int32.add state.(4) !e;
+  state.(5) <- Int32.add state.(5) !f;
+  state.(6) <- Int32.add state.(6) !g;
+  state.(7) <- Int32.add state.(7) !h
+
+let feed ctx ?(off = 0) ?len b =
+  if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Sha256.feed: slice out of range";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  (* Fill any partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let need = block_size - ctx.buf_len in
+    let take = min need !remaining in
+    Bytes.blit b !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx.state ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= block_size do
+    compress ctx.state b !pos;
+    pos := !pos + block_size;
+    remaining := !remaining - block_size
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit b !pos ctx.buf 0 !remaining;
+    ctx.buf_len <- !remaining
+  end
+
+let feed_string ctx s = feed ctx (Bytes.unsafe_of_string s)
+
+let digest ctx =
+  if ctx.finalized then invalid_arg "Sha256.digest: context already finalized";
+  ctx.finalized <- true;
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, then the 64-bit big-endian length. *)
+  let pad_len =
+    let rem = (ctx.buf_len + 1 + 8) mod block_size in
+    if rem = 0 then 1 else 1 + (block_size - rem)
+  in
+  let tail = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set tail (pad_len + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xffL)))
+  done;
+  (* Absorb the tail without recounting it in [total]. *)
+  let pos = ref 0 and remaining = ref (Bytes.length tail) in
+  if ctx.buf_len > 0 then begin
+    let need = block_size - ctx.buf_len in
+    let take = min need !remaining in
+    Bytes.blit tail 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    remaining := !remaining - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx.state ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !remaining >= block_size do
+    compress ctx.state tail !pos;
+    pos := !pos + block_size;
+    remaining := !remaining - block_size
+  done;
+  assert (!remaining = 0 && ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  for i = 0 to 7 do
+    let word = ctx.state.(i) in
+    for j = 0 to 3 do
+      let shift = 8 * (3 - j) in
+      Bytes.set out ((i * 4) + j)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xffl)))
+    done
+  done;
+  out
+
+let digest_bytes b =
+  let ctx = init () in
+  feed ctx b;
+  digest ctx
+
+let digest_string s = digest_bytes (Bytes.of_string s)
+
+let hex b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/erebor/channel.ml: Array Bytes Char Crypto List Monitor Queue Tdx

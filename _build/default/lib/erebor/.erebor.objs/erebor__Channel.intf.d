@@ -1,0 +1,1 @@
+lib/erebor/channel.mli: Crypto Monitor Tdx

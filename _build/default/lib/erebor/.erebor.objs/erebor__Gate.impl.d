@@ -1,0 +1,1 @@
+lib/erebor/gate.ml: Bytes Fun Hw Int64 Policy

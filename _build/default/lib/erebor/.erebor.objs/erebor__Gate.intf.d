@@ -1,0 +1,1 @@
+lib/erebor/gate.mli: Hw

@@ -1,0 +1,1 @@
+lib/erebor/mitigations.mli: Hw

@@ -1,0 +1,1 @@
+lib/erebor/mmu_guard.ml: Hashtbl Hw Kernel List Option Policy

@@ -1,0 +1,1 @@
+lib/erebor/mmu_guard.mli: Hw

@@ -1,0 +1,1 @@
+lib/erebor/monitor.ml: Array Bytes Fmt Fun Gate Hashtbl Hw Int64 Kernel List Mmu_guard Policy Scan Tdx

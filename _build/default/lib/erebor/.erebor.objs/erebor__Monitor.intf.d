@@ -1,0 +1,1 @@
+lib/erebor/monitor.mli: Gate Hw Kernel Mmu_guard Tdx

@@ -1,0 +1,1 @@
+lib/erebor/policy.ml: Fmt Hw

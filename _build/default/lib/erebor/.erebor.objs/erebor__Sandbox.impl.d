@@ -1,0 +1,1 @@
+lib/erebor/sandbox.ml: Buffer Bytes Fun Hashtbl Hw Kernel List Mitigations Mmu_guard Monitor Option Printf

@@ -1,0 +1,1 @@
+lib/erebor/sandbox.mli: Hw Kernel Mitigations Monitor

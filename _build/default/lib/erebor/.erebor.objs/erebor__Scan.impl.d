@@ -1,0 +1,1 @@
+lib/erebor/scan.ml: Fmt Hw List

@@ -1,0 +1,1 @@
+lib/erebor/scan.mli: Format Hw

@@ -1,0 +1,118 @@
+(* The gate code mirrors Fig. 5: endbr64 first, scratch saves, PKRS grant,
+   stack switch, and the symmetric exit sequence. It is assembled so the
+   monitor image can be measured and so the endbr offset is real. *)
+let gate_listing =
+  [
+    (* EntryGate: *)
+    Hw.Isa.Endbr;                       (* the only indirect-branch target *)
+    Hw.Isa.Store (Hw.Isa.R7, Hw.Isa.R0);  (* save scratch registers *)
+    Hw.Isa.Store (Hw.Isa.R7, Hw.Isa.R1);
+    Hw.Isa.Wrmsr;                       (* IA32_PKRS <- GRANT_ALL *)
+    Hw.Isa.Mov_imm (Hw.Isa.R6, 0);      (* switch to per-core secure stack *)
+    Hw.Isa.Load (Hw.Isa.R0, Hw.Isa.R7); (* restore scratch *)
+    Hw.Isa.Load (Hw.Isa.R1, Hw.Isa.R7);
+    Hw.Isa.Call 4;                      (* dispatch to the requested service *)
+    (* ExitGate: *)
+    Hw.Isa.Load (Hw.Isa.R6, Hw.Isa.R7); (* switch back to OS stack *)
+    Hw.Isa.Wrmsr;                       (* IA32_PKRS <- REVOKE_OS_R_W *)
+    Hw.Isa.Ret;
+  ]
+
+type privilege = Pks | Write_protect
+
+type t = {
+  cpu : Hw.Cpu.t;
+  code_base : int;
+  code : bytes;
+  privilege : privilege;
+  shadow : Hw.Cet.shadow_stack;
+  mutable depth : int;          (* nested monitor-context calls *)
+  mutable saved_grants : int64 list; (* secure-stack slots for the #INT gate *)
+  mutable emc_count : int;
+  mutable interrupted : int;
+}
+
+let create ~cpu ~code_base ?(privilege = Pks) () =
+  {
+    cpu;
+    code_base;
+    code = Hw.Isa.assemble gate_listing;
+    privilege;
+    shadow = Hw.Cet.create_stack ~base:(code_base + 0x10000);
+    depth = 0;
+    saved_grants = [];
+    emc_count = 0;
+    interrupted = 0;
+  }
+
+let privilege t = t.privilege
+
+let entry_point t = t.code_base
+let code_bytes t = Bytes.copy t.code
+
+let endbr_at t addr = addr = t.code_base
+
+let read_pkrs t = Hw.Msr.read t.cpu.Hw.Cpu.msr Hw.Msr.ia32_pkrs
+let load_pkrs t v = Hw.Msr.write t.cpu.Hw.Cpu.msr Hw.Msr.ia32_pkrs v
+
+(* Read/grant/revoke the privilege state the backend uses. The saved value
+   is opaque to callers: a PKRS image or a CR0.WP bit. *)
+let read_grant t =
+  match t.privilege with
+  | Pks -> read_pkrs t
+  | Write_protect -> if Hw.Cr.wp t.cpu.Hw.Cpu.cr then 1L else 0L
+
+let load_grant t v =
+  match t.privilege with
+  | Pks -> load_pkrs t v
+  | Write_protect -> Hw.Cr.set_bit t.cpu.Hw.Cpu.cr ~reg:`Cr0 Hw.Cr.cr0_wp (Int64.equal v 1L)
+
+let granted_value t =
+  match t.privilege with Pks -> Policy.monitor_mode_pkrs | Write_protect -> 0L
+
+let revoked_value t =
+  match t.privilege with Pks -> Policy.normal_mode_pkrs | Write_protect -> 1L
+
+let enter t ~target f =
+  if t.depth > 0 then f () (* already in monitor context *)
+  else begin
+    let s_cet = Hw.Msr.read t.cpu.Hw.Cpu.msr Hw.Msr.ia32_s_cet in
+    (match Hw.Cet.check_branch ~s_cet ~endbr_at:(endbr_at t) ~target with
+    | Ok () -> ()
+    | Error fault -> Hw.Fault.raise_fault fault);
+    Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
+    t.emc_count <- t.emc_count + 1;
+    let caller_grant = read_grant t in
+    load_grant t (granted_value t);
+    t.depth <- 1;
+    Fun.protect
+      ~finally:(fun () ->
+        t.depth <- 0;
+        load_grant t caller_grant)
+      f
+  end
+
+let call t f = enter t ~target:t.code_base f
+
+let interrupt_during_emc t f =
+  if t.depth = 0 then f ()
+  else begin
+    t.interrupted <- t.interrupted + 1;
+    (* #INT gate: stash the granted privilege on the secure stack, revoke,
+       run the OS handler, restore on return. *)
+    let granted = read_grant t in
+    t.saved_grants <- granted :: t.saved_grants;
+    load_grant t (revoked_value t);
+    Fun.protect
+      ~finally:(fun () ->
+        match t.saved_grants with
+        | saved :: rest ->
+            t.saved_grants <- rest;
+            load_grant t saved
+        | [] -> assert false)
+      f
+  end
+
+let in_emc t = t.depth > 0
+let emc_count t = t.emc_count
+let interrupted_count t = t.interrupted

@@ -1,0 +1,57 @@
+(** EMC entry/exit gates (§5.3, Fig. 5): the only doorway into the monitor's
+    virtual privileged mode.
+
+    Entry is guarded by CET forward CFI — the monitor's code image carries
+    exactly one endbr64, at the entry gate — so an indirect branch anywhere
+    else into monitor code raises #CP. The gate grants the core monitor
+    memory permissions by loading a grant-all IA32_PKRS, switches to a
+    per-core secure stack (modelled by the CET shadow stack token), runs the
+    requested service, then revokes permissions and returns. Interrupts
+    arriving mid-EMC are wrapped by the #INT gate, which stashes the granted
+    PKRS on the secure stack and revokes it before the OS handler runs. *)
+
+type t
+
+type privilege =
+  | Pks
+      (** TDX-style: the gate swaps IA32_PKRS (grant-all vs normal mode). *)
+  | Write_protect
+      (** SEV-style (§10, after Nested Kernel): no PKS exists, so the gate
+          clears CR0.WP inside the monitor — read-only page-table pages and
+          kernel text become writable only in monitor context. *)
+
+val create : cpu:Hw.Cpu.t -> code_base:int -> ?privilege:privilege -> unit -> t
+(** Lay the monitor's gate code at [code_base]; the single endbr64 sits at
+    the entry gate, offset 0. [privilege] defaults to [Pks]. *)
+
+val privilege : t -> privilege
+
+val entry_point : t -> int
+val code_bytes : t -> bytes
+(** The assembled gate code (one endbr64 at offset 0, none elsewhere) —
+    measured into MRTD by stage-one boot. *)
+
+val endbr_at : t -> int -> bool
+(** The IBT predicate for monitor code: true only at {!entry_point}. *)
+
+val enter : t -> target:int -> (unit -> 'a) -> 'a
+(** Perform one EMC whose indirect-branch target is [target].
+
+    Raises [Fault.Fault (Control_protection _)] if [target] is not the entry
+    gate while IBT is on. On the legitimate path: pays the EMC round-trip
+    cost, loads the monitor PKRS, runs the service, restores the caller's
+    PKRS (even on exception). Nested calls from monitor context reuse the
+    already-granted privilege and pay nothing. *)
+
+val call : t -> (unit -> 'a) -> 'a
+(** [enter] through the legitimate entry point — what instrumented kernel
+    code compiles to. *)
+
+val interrupt_during_emc : t -> (unit -> 'a) -> 'a
+(** The #INT gate (Fig. 5c right): if an interrupt preempts an EMC, revoke
+    monitor permissions around the OS handler and restore afterwards. When
+    no EMC is active, just runs the handler. *)
+
+val in_emc : t -> bool
+val emc_count : t -> int
+val interrupted_count : t -> int

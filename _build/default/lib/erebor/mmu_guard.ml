@@ -1,0 +1,316 @@
+type frame_class =
+  | Free
+  | Ptp of { level : int; root : int }
+  | Monitor
+  | Kernel_text
+  | Confined of { owner : int }
+  | Common of { instance : string }
+
+type t = {
+  mem : Hw.Phys_mem.t;
+  cpu : Hw.Cpu.t;
+  classes : (int, frame_class) Hashtbl.t;
+  confined_mapped : (int, unit) Hashtbl.t; (* confined pfns with a live mapping *)
+  sandbox_roots : (int, int) Hashtbl.t;    (* root pfn -> sandbox id *)
+  common_mappings : (string, int list ref) Hashtbl.t; (* instance -> pte addrs *)
+  sealed : (string, unit) Hashtbl.t;
+  mutable kernel_root : int option;
+  mutable denied : int;
+}
+
+let create ~mem ~cpu =
+  {
+    mem;
+    cpu;
+    classes = Hashtbl.create 4096;
+    confined_mapped = Hashtbl.create 1024;
+    sandbox_roots = Hashtbl.create 8;
+    common_mappings = Hashtbl.create 8;
+    sealed = Hashtbl.create 8;
+    kernel_root = None;
+    denied = 0;
+  }
+
+let class_of t pfn = Option.value ~default:Free (Hashtbl.find_opt t.classes pfn)
+
+let set_kernel_root t pfn = t.kernel_root <- Some pfn
+
+let register_root t ~root_pfn =
+  match class_of t root_pfn with
+  | Free ->
+      Hashtbl.replace t.classes root_pfn (Ptp { level = 0; root = root_pfn });
+      Ok ()
+  | Ptp { level = 0; _ } -> Ok () (* re-loading an existing root (context switch) *)
+  | Ptp _ -> Error "CR3 target is an interior page-table page"
+  | Monitor -> Error "CR3 target is monitor memory"
+  | Kernel_text -> Error "CR3 target is kernel text"
+  | Confined _ | Common _ -> Error "CR3 target is sandbox memory"
+
+let register_sandbox_root t ~root_pfn ~sandbox =
+  Hashtbl.replace t.sandbox_roots root_pfn sandbox
+
+let classify t ~pfn cls =
+  match class_of t pfn with
+  | Free ->
+      Hashtbl.replace t.classes pfn cls;
+      Ok ()
+  | Ptp _ -> Error "cannot reclassify a page-table page"
+  | Monitor -> Error "cannot reclassify monitor memory"
+  | Kernel_text | Confined _ | Common _ -> (
+      (* Idempotent re-classification to the same class is fine. *)
+      if class_of t pfn = cls then Ok () else Error "frame already classified")
+
+let is_confined_mapped t ~pfn = Hashtbl.mem t.confined_mapped pfn
+
+let declassify t ~pfn =
+  Hashtbl.remove t.classes pfn;
+  Hashtbl.remove t.confined_mapped pfn
+
+let denied_count t = t.denied
+
+let ptp_count t =
+  Hashtbl.fold (fun _ c acc -> match c with Ptp _ -> acc + 1 | _ -> acc) t.classes 0
+
+let deny_incr t msg =
+  t.denied <- t.denied + 1;
+  Error msg
+
+let record_common_mapping t instance pte_addr =
+  match Hashtbl.find_opt t.common_mappings instance with
+  | Some l -> l := pte_addr :: !l
+  | None -> Hashtbl.replace t.common_mappings instance (ref [ pte_addr ])
+
+(* Forget bookkeeping tied to the entry currently stored at [pte_addr]. *)
+let release_old_leaf t pte_addr =
+  let old = Hw.Phys_mem.read_u64 t.mem pte_addr in
+  if Hw.Pte.present old then
+    match class_of t (Hw.Pte.pfn old) with
+    | Confined _ -> Hashtbl.remove t.confined_mapped (Hw.Pte.pfn old)
+    | Free | Ptp _ | Monitor | Kernel_text | Common _ -> ()
+
+let do_store t pte_addr pte =
+  Hw.Phys_mem.write_u64 t.mem pte_addr pte;
+  Hw.Cpu.flush_tlb t.cpu
+
+(* Leaf policy (§6.1): decide/transform a level-3 entry. *)
+let check_leaf t ~root pte =
+  let target = Hw.Pte.pfn pte in
+  let sandbox = Hashtbl.find_opt t.sandbox_roots root in
+  match class_of t target with
+  | Monitor -> Error "mapping monitor memory is forbidden"
+  | Ptp _ ->
+      (* PTPs are only visible read-only, supervisor, PTP-keyed (the kernel
+         may read page tables but never write them). *)
+      Ok
+        (Hw.Pte.set_pkey
+           (Hw.Pte.set_user (Hw.Pte.set_writable pte false) false)
+           Policy.key_ptp)
+  | Kernel_text ->
+      Ok
+        (Hw.Pte.set_pkey
+           (Hw.Pte.set_user (Hw.Pte.set_writable pte false) false)
+           Policy.key_kernel_text)
+  | Confined { owner } -> (
+      match sandbox with
+      | Some sid when sid = owner ->
+          if Hashtbl.mem t.confined_mapped target then
+            Error "confined frame already mapped (single-mapping rule)"
+          else begin
+            Hashtbl.replace t.confined_mapped target ();
+            Ok pte
+          end
+      | Some _ -> Error "confined frame belongs to another sandbox"
+      | None -> Error "confined frame cannot map outside its sandbox")
+  | Common { instance } ->
+      let pte =
+        if Hashtbl.mem t.sealed instance then Hw.Pte.set_writable pte false else pte
+      in
+      Ok pte
+  | Free -> (
+      match sandbox with
+      | Some _ when Hw.Pte.user pte ->
+          Error "sandbox user mappings must target declared confined/common frames"
+      | Some _ | None -> Ok pte)
+
+let write_pte t ~trusted ~pte_addr pte =
+  let container = Hw.Phys_mem.pfn_of_addr pte_addr in
+  match class_of t container with
+  | Ptp { level; root } ->
+      let deny msg =
+        t.denied <- t.denied + 1;
+        Error msg
+      in
+      if level = 2 && Hw.Pte.present pte && Hw.Pte.huge pte then begin
+        (* A 2 MiB leaf install. Sandboxes must declare memory at 4 KiB
+           granularity, and classified frames never hide inside a huge
+           mapping. *)
+        if Hashtbl.mem t.sandbox_roots root then
+          deny_incr t "huge mappings are not allowed in sandbox address spaces"
+        else begin
+          let base = Hw.Pte.pfn pte in
+          let rec all_free i =
+            i = 512
+            || (class_of t (base + i) = Free && all_free (i + 1))
+          in
+          if base land 0x1ff <> 0 then deny_incr t "huge leaf frame not 2MiB-aligned"
+          else if not (all_free 0) then
+            deny_incr t "huge leaf covers classified frames"
+          else begin
+            do_store t pte_addr pte;
+            Ok ()
+          end
+        end
+      end
+      else if level < 3 then begin
+        (* Intermediate entry: the child becomes (or stops being) a PTP. *)
+        let old = Hw.Phys_mem.read_u64 t.mem pte_addr in
+        if Hw.Pte.present old && Hw.Pte.present pte && Hw.Pte.pfn old <> Hw.Pte.pfn pte
+        then deny "re-pointing a live interior entry is forbidden"
+        else if Hw.Pte.present pte then begin
+          let child = Hw.Pte.pfn pte in
+          match class_of t child with
+          | Free ->
+              Hashtbl.replace t.classes child (Ptp { level = level + 1; root });
+              do_store t pte_addr pte;
+              Ok ()
+          | Ptp { level = l; _ } when l = level + 1 ->
+              (* Sharing an existing subtree (kernel half of a new task). *)
+              do_store t pte_addr pte;
+              Ok ()
+          | Ptp _ -> deny "child frame already a PTP at another level"
+          | Monitor -> deny "monitor frame cannot become a page-table page"
+          | Kernel_text | Confined _ | Common _ ->
+              deny "classified frame cannot become a page-table page"
+        end
+        else begin
+          (* Clearing an interior slot: deregister the child (shallow). *)
+          (if Hw.Pte.present old then
+             match class_of t (Hw.Pte.pfn old) with
+             | Ptp { level = l; _ } when l = level + 1 ->
+                 Hashtbl.remove t.classes (Hw.Pte.pfn old)
+             | _ -> ());
+          do_store t pte_addr pte;
+          Ok ()
+        end
+      end
+      else begin
+        (* Leaf entry. *)
+        release_old_leaf t pte_addr;
+        if not (Hw.Pte.present pte) then begin
+          do_store t pte_addr pte;
+          Ok ()
+        end
+        else if trusted then begin
+          (match class_of t (Hw.Pte.pfn pte) with
+          | Common { instance } -> record_common_mapping t instance pte_addr
+          | _ -> ());
+          do_store t pte_addr pte;
+          Ok ()
+        end
+        else
+          match check_leaf t ~root pte with
+          | Ok pte' ->
+              (match class_of t (Hw.Pte.pfn pte') with
+              | Common { instance } -> record_common_mapping t instance pte_addr
+              | _ -> ());
+              do_store t pte_addr pte';
+              Ok ()
+          | Error e -> deny e
+      end
+  | Free | Monitor | Kernel_text | Confined _ | Common _ ->
+      t.denied <- t.denied + 1;
+      Error "PTE store outside a registered page-table page"
+
+let seal_common t ~instance =
+  Hashtbl.replace t.sealed instance ();
+  match Hashtbl.find_opt t.common_mappings instance with
+  | None -> 0
+  | Some addrs ->
+      let rewritten = ref 0 in
+      List.iter
+        (fun pte_addr ->
+          let pte = Hw.Phys_mem.read_u64 t.mem pte_addr in
+          (* Tolerate stale records: only rewrite entries still pointing at
+             this instance's frames. *)
+          if Hw.Pte.present pte then
+            match class_of t (Hw.Pte.pfn pte) with
+            | Common { instance = i } when i = instance && Hw.Pte.writable pte ->
+                do_store t pte_addr (Hw.Pte.set_writable pte false);
+                incr rewritten
+            | _ -> ())
+        !addrs;
+      !rewritten
+
+let protect_direct_map_inplace t ~pfn ~key ~writable =
+  match t.kernel_root with
+  | None -> false
+  | Some root -> (
+      let vaddr = Kernel.Layout.direct_map (Hw.Phys_mem.addr_of_pfn pfn) in
+      match Hw.Page_table.leaf_addr t.mem ~root_pfn:root vaddr with
+      | None -> false
+      | Some pte_addr ->
+          let pte = Hw.Phys_mem.read_u64 t.mem pte_addr in
+          if not (Hw.Pte.present pte) then false
+          else begin
+            do_store t pte_addr (Hw.Pte.set_writable (Hw.Pte.set_pkey pte key) writable);
+            true
+          end)
+
+
+(* ------------------------------------------------------------------ *)
+(* Huge pages: forced splitting (§7)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let split_huge_leaf t ~pte_addr ~alloc_ptp =
+  let container = Hw.Phys_mem.pfn_of_addr pte_addr in
+  match class_of t container with
+  | Ptp { level = 2; root } ->
+      let old = Hw.Phys_mem.read_u64 t.mem pte_addr in
+      if not (Hw.Pte.present old && Hw.Pte.huge old) then
+        Error "split: entry is not a huge leaf"
+      else begin
+        let base = Hw.Pte.pfn old in
+        let pt = alloc_ptp () in
+        (match class_of t pt with
+        | Free -> Hashtbl.replace t.classes pt (Ptp { level = 3; root })
+        | Ptp _ | Monitor | Kernel_text | Confined _ | Common _ ->
+            failwith "split: allocator returned a classified frame");
+        (* Fill the new table with 512 equivalent 4 KiB entries. *)
+        let small = Hw.Pte.set_huge old false in
+        for i = 0 to 511 do
+          Hw.Phys_mem.write_u64 t.mem
+            (Hw.Phys_mem.addr_of_pfn pt + (8 * i))
+            (Hw.Pte.with_pfn small (base + i))
+        done;
+        (* Swing the directory entry from the huge leaf to the new table. *)
+        let interior =
+          Hw.Pte.make ~pfn:pt
+            { Hw.Pte.default_flags with user = Hw.Pte.user old }
+        in
+        do_store t pte_addr interior;
+        Ok ()
+      end
+  | Ptp _ -> Error "split: entry is not at the page-directory level"
+  | Free | Monitor | Kernel_text | Confined _ | Common _ ->
+      Error "split: address is not inside a registered page-table page"
+
+let protect_page_splitting t ~root_pfn ~vaddr ~key ~writable ~alloc_ptp =
+  match Hw.Page_table.walk t.mem ~root_pfn vaddr with
+  | None -> Error "protect: page not mapped"
+  | Some w ->
+      let retag () =
+        match Hw.Page_table.walk t.mem ~root_pfn vaddr with
+        | Some w' when not w'.Hw.Page_table.huge ->
+            do_store t w'.Hw.Page_table.pte_addr
+              (Hw.Pte.set_writable
+                 (Hw.Pte.set_pkey w'.Hw.Page_table.pte key)
+                 writable);
+            Ok ()
+        | Some _ -> Error "protect: still huge after split"
+        | None -> Error "protect: mapping vanished"
+      in
+      if w.Hw.Page_table.huge then
+        match split_huge_leaf t ~pte_addr:w.Hw.Page_table.pte_addr ~alloc_ptp with
+        | Ok () -> retag ()
+        | Error e -> Error e
+      else retag ()

@@ -1,0 +1,81 @@
+(** The monitor's MMU interface control (§5.2, §6.1).
+
+    Every page-table store in an Erebor system arrives here (via the EMC
+    privops table). The guard maintains a registry classifying physical
+    frames — page-table pages, monitor memory, kernel text, sandbox confined
+    frames, common-region frames — and validates each requested PTE against
+    it:
+
+    - stores are only accepted into registered page-table pages;
+    - intermediate entries register their child frame as a new PTP and
+      write-protect its direct-map view with the PTP protection key;
+    - leaf entries are checked against the target frame's class: monitor
+      frames are unmappable, PTPs and kernel text become read-only with
+      their keys, confined frames obey the single-mapping rule inside their
+      owning sandbox only, and common frames lose writability once sealed. *)
+
+type frame_class =
+  | Free
+  | Ptp of { level : int; root : int }
+  | Monitor
+  | Kernel_text
+  | Confined of { owner : int }   (** Sandbox id. *)
+  | Common of { instance : string }
+
+type t
+
+val create : mem:Hw.Phys_mem.t -> cpu:Hw.Cpu.t -> t
+
+val set_kernel_root : t -> int -> unit
+(** Identify the master kernel root whose tree carries the direct map. *)
+
+val register_root : t -> root_pfn:int -> (unit, string) result
+(** Accept a CR3 target: the frame must not already hold another class. *)
+
+val register_sandbox_root : t -> root_pfn:int -> sandbox:int -> unit
+(** Mark an address-space root as belonging to a sandbox; its leaves are
+    then restricted to that sandbox's confined/common frames. *)
+
+val classify : t -> pfn:int -> frame_class -> (unit, string) result
+(** Monitor-side frame classification (confined/common/monitor/text).
+    Refuses to reclassify PTPs or monitor frames. *)
+
+val class_of : t -> int -> frame_class
+
+val declassify : t -> pfn:int -> unit
+(** Monitor-internal: return a frame to [Free] (sandbox teardown). Refuses
+    nothing — callers must have scrubbed the frame first. *)
+
+val is_confined_mapped : t -> pfn:int -> bool
+(** Whether a confined frame currently has its (single) mapping. *)
+
+val write_pte : t -> trusted:bool -> pte_addr:int -> Hw.Pte.t -> (unit, string) result
+(** Validate and perform one PTE store. [trusted] marks monitor-internal
+    writes, which skip leaf policy but still maintain the PTP registry.
+    Successful stores flush the core's TLB. *)
+
+val seal_common : t -> instance:string -> int
+(** Revoke write permission on every live mapping of an instance's frames
+    (§6.1: once client data is loaded, common memory is read-only). Returns
+    the number of PTEs rewritten. *)
+
+(** {2 Huge pages (§7 future work, implemented)} *)
+
+val split_huge_leaf : t -> pte_addr:int -> alloc_ptp:(unit -> int) -> (unit, string) result
+(** Forced page splitting: replace a 2 MiB leaf with a fresh page table of
+    512 equivalent 4 KiB entries (registered as a PTP), so per-page
+    protection keys can then be applied. Monitor-internal (trusted). *)
+
+val protect_page_splitting :
+  t -> root_pfn:int -> vaddr:int -> key:int -> writable:bool ->
+  alloc_ptp:(unit -> int) -> (unit, string) result
+(** Retag one 4 KiB page with [key]/[writable], splitting the covering huge
+    page first when necessary — the exact operation the paper says forced
+    splitting exists for. *)
+
+val protect_direct_map_inplace : t -> pfn:int -> key:int -> writable:bool -> bool
+(** If the kernel direct map already has a leaf for [pfn], retag it with
+    [key]/[writable]; returns whether a leaf existed. *)
+
+val denied_count : t -> int
+val ptp_count : t -> int

@@ -1,0 +1,318 @@
+exception Policy_violation of string
+
+type emc_stats = {
+  mutable mmu : int;
+  mutable cr : int;
+  mutable msr : int;
+  mutable idt : int;
+  mutable smap : int;
+  mutable ghci : int;
+}
+
+type t = {
+  cpu : Hw.Cpu.t;
+  mem : Hw.Phys_mem.t;
+  td : Tdx.Td_module.t;
+  gate : Gate.t;
+  guard : Mmu_guard.t;
+  monitor_first : int;
+  monitor_frames : int;
+  shared_first : int;
+  shared_frames : int;
+  mutable kernel : Kernel.t option;
+  mutable kernel_lstar : int64;  (** Where the kernel *wanted* syscalls to go. *)
+  mutable kernel_idt : Hw.Idt.t option;
+  cpuid_cache : (int, int64) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable usercopy_veto : unit -> string option;
+  stats : emc_stats;
+}
+
+let gate t = t.gate
+let guard t = t.guard
+let kernel t = t.kernel
+let emc_stats t = t.stats
+let emc_total t = Gate.emc_count t.gate
+let cpuid_cache_hits t = t.cache_hits
+
+let install ?(privilege = Gate.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
+    ~device_shared_frames () =
+  let gate = Gate.create ~cpu ~code_base:(Kernel.Layout.direct_map 0x1000) ~privilege () in
+  (* Stage one: only the firmware and the monitor binary are measured. *)
+  Tdx.Td_module.measure_initial td firmware;
+  Tdx.Td_module.measure_initial td (Gate.code_bytes gate);
+  let t =
+    {
+      cpu;
+      mem;
+      td;
+      gate;
+      guard = Mmu_guard.create ~mem ~cpu;
+      monitor_first = 0;
+      monitor_frames;
+      shared_first = monitor_frames;
+      shared_frames = device_shared_frames;
+      kernel = None;
+      kernel_lstar = 0L;
+      kernel_idt = None;
+      cpuid_cache = Hashtbl.create 8;
+      cache_hits = 0;
+      usercopy_veto = (fun () -> None);
+      stats = { mmu = 0; cr = 0; msr = 0; idt = 0; smap = 0; ghci = 0 };
+    }
+  in
+  (* Claim monitor memory. *)
+  for pfn = t.monitor_first to t.monitor_first + monitor_frames - 1 do
+    match Mmu_guard.classify t.guard ~pfn Mmu_guard.Monitor with
+    | Ok () -> ()
+    | Error e -> failwith ("Monitor.install: " ^ e)
+  done;
+  (* Enable the hardware features the whole design rests on. On a platform
+     without PKS (SEV, §10) the Nested Kernel discipline relies on CR0.WP
+     plus read-only mappings instead of protection keys. *)
+  (match privilege with
+  | Gate.Pks ->
+      Hw.Cpu.set_cr_bit cpu ~reg:`Cr4 Hw.Cr.cr4_pks true;
+      Hw.Cpu.write_msr cpu Hw.Msr.ia32_pkrs Policy.normal_mode_pkrs
+  | Gate.Write_protect -> ());
+  Hw.Cpu.set_cr_bit cpu ~reg:`Cr4 Hw.Cr.cr4_cet true;
+  Hw.Cpu.set_cr_bit cpu ~reg:`Cr0 Hw.Cr.cr0_wp true;
+  Hw.Cpu.write_msr cpu Hw.Msr.ia32_s_cet Hw.Msr.s_cet_ibt_bit;
+  t
+
+let clock t = t.cpu.Hw.Cpu.clock
+let cost t c = Hw.Cycles.advance (clock t) c
+
+(* CR bits the kernel must never clear once Erebor runs. *)
+let pinned_cr_bits =
+  [
+    (`Cr0, Hw.Cr.cr0_wp);
+    (`Cr4, Hw.Cr.cr4_smep);
+    (`Cr4, Hw.Cr.cr4_smap);
+    (`Cr4, Hw.Cr.cr4_pks);
+    (`Cr4, Hw.Cr.cr4_cet);
+  ]
+
+(* MSRs only the monitor itself may program. *)
+let monitor_owned_msrs =
+  [ Hw.Msr.ia32_pkrs; Hw.Msr.ia32_s_cet; Hw.Msr.ia32_pl0_ssp; Hw.Msr.ia32_uintr_tt ]
+
+let fail msg = raise (Policy_violation msg)
+
+let privops t =
+  let g = t.gate in
+  {
+    Kernel.Privops.label = "erebor";
+    write_pte =
+      (fun ~pte_addr pte ->
+        Gate.call g (fun () ->
+            t.stats.mmu <- t.stats.mmu + 1;
+            cost t Hw.Cycles.Cost.emc_service_mmu;
+            match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
+            | Ok () -> ()
+            | Error e -> fail ("mmu: " ^ e)));
+    write_pte_batch =
+      (fun entries ->
+        (* One gate round trip covers the whole batch; each entry still
+           pays validation and execution (§9.1 batched-MMU optimization). *)
+        Gate.call g (fun () ->
+            Array.iter
+              (fun (pte_addr, pte) ->
+                t.stats.mmu <- t.stats.mmu + 1;
+                cost t Hw.Cycles.Cost.emc_service_mmu;
+                match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
+                | Ok () -> ()
+                | Error e -> fail ("mmu batch: " ^ e))
+              entries));
+    set_cr_bit =
+      (fun ~reg bit v ->
+        Gate.call g (fun () ->
+            t.stats.cr <- t.stats.cr + 1;
+            cost t Hw.Cycles.Cost.emc_service_cr;
+            let pinned =
+              List.exists (fun (r, b) -> r = reg && Int64.equal b bit) pinned_cr_bits
+            in
+            if pinned && not v then fail "cr: clearing a monitor-pinned protection bit"
+            else Hw.Cpu.set_cr_bit t.cpu ~reg bit v));
+    write_cr3 =
+      (fun ~root_pfn ->
+        Gate.call g (fun () ->
+            t.stats.cr <- t.stats.cr + 1;
+            cost t Hw.Cycles.Cost.emc_service_cr;
+            match Mmu_guard.register_root t.guard ~root_pfn with
+            | Ok () -> Hw.Cpu.write_cr3 t.cpu ~root_pfn
+            | Error e -> fail ("cr3: " ^ e)));
+    declare_root =
+      (fun ~root_pfn ->
+        Gate.call g (fun () ->
+            t.stats.mmu <- t.stats.mmu + 1;
+            cost t Hw.Cycles.Cost.emc_service_mmu;
+            match Mmu_guard.register_root t.guard ~root_pfn with
+            | Ok () -> ()
+            | Error e -> fail ("declare_root: " ^ e)));
+    write_msr =
+      (fun idx v ->
+        Gate.call g (fun () ->
+            t.stats.msr <- t.stats.msr + 1;
+            cost t Hw.Cycles.Cost.emc_service_msr;
+            if List.mem idx monitor_owned_msrs then
+              fail "msr: register is monitor-owned"
+            else if idx = Hw.Msr.ia32_lstar then begin
+              (* Interpose the syscall entry: remember where the kernel
+                 wanted it, keep control at the monitor's entry. *)
+              t.kernel_lstar <- v;
+              Hw.Cpu.write_msr t.cpu idx (Int64.of_int (Gate.entry_point t.gate))
+            end
+            else Hw.Cpu.write_msr t.cpu idx v));
+    lidt =
+      (fun idt ->
+        Gate.call g (fun () ->
+            t.stats.idt <- t.stats.idt + 1;
+            cost t Hw.Cycles.Cost.emc_service_idt;
+            (* The kernel's table is recorded; the installed table is the
+               monitor's wrapped copy (exit interposition, §6.2). *)
+            t.kernel_idt <- Some (Hw.Idt.copy idt);
+            Hw.Cpu.lidt t.cpu idt));
+    tdcall =
+      (fun leaf ->
+        Gate.call g (fun () ->
+            t.stats.ghci <- t.stats.ghci + 1;
+            cost t
+              (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
+            match leaf with
+            | Tdx.Ghci.Tdreport _ ->
+                fail "ghci: attestation digests are monitor-exclusive"
+            | Tdx.Ghci.Rtmr_extend _ ->
+                fail "ghci: measurement registers are monitor-exclusive"
+            | Tdx.Ghci.Map_gpa { pfn; shared = true }
+              when not (pfn >= t.shared_first && pfn < t.shared_first + t.shared_frames)
+              ->
+                fail "ghci: sharing outside the device region"
+            | Tdx.Ghci.Map_gpa _ | Tdx.Ghci.Vmcall _ ->
+                Tdx.Td_module.tdcall t.td t.cpu leaf));
+    verify_dynamic_code =
+      (fun ~section code ->
+        Gate.call g (fun () ->
+            t.stats.mmu <- t.stats.mmu + 1;
+            cost t (Hw.Cycles.Cost.emc_service_mmu + Bytes.length code);
+            match Scan.verify_bytes ~section code with
+            | Ok () -> Ok ()
+            | Error violations ->
+                Error
+                  (Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Scan.pp_violation) violations)));
+    copy_from_user =
+      (fun ~user_addr ~len ->
+        Gate.call g (fun () ->
+            t.stats.smap <- t.stats.smap + 1;
+            cost t Hw.Cycles.Cost.emc_service_smap;
+            cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
+            (match t.usercopy_veto () with
+            | Some reason -> fail ("usercopy: " ^ reason)
+            | None -> ());
+            Hw.Cpu.stac t.cpu;
+            Fun.protect
+              ~finally:(fun () -> Hw.Cpu.clac t.cpu)
+              (fun () -> Hw.Cpu.read_bytes t.cpu user_addr len)));
+    copy_to_user =
+      (fun ~user_addr data ->
+        Gate.call g (fun () ->
+            t.stats.smap <- t.stats.smap + 1;
+            cost t Hw.Cycles.Cost.emc_service_smap;
+            cost t
+              (Hw.Cycles.Cost.usercopy_per_page
+              * max 1 (Kernel.Layout.pages_of_bytes (Bytes.length data)));
+            (match t.usercopy_veto () with
+            | Some reason -> fail ("usercopy: " ^ reason)
+            | None -> ());
+            Hw.Cpu.stac t.cpu;
+            Fun.protect
+              ~finally:(fun () -> Hw.Cpu.clac t.cpu)
+              (fun () -> Hw.Cpu.write_bytes t.cpu user_addr data)));
+  }
+
+let boot_kernel t ~kernel_image ~reserved_frames ~cma_frames =
+  match Scan.verify_image kernel_image with
+  | Error violations ->
+      Error
+        (Fmt.str "kernel image rejected: %a"
+           (Fmt.list ~sep:Fmt.comma Scan.pp_violation)
+           violations)
+  | Ok () ->
+      if reserved_frames < t.monitor_first + t.monitor_frames + t.shared_frames then
+        Error "reserved_frames too small for monitor + device region"
+      else begin
+        (* Load the verified image into monitor-reserved memory and extend a
+           runtime measurement with it (the kernel is *verified*, not part
+           of the boot measurement). *)
+        ignore
+          (Tdx.Td_module.tdcall t.td t.cpu
+             (Tdx.Ghci.Rtmr_extend { index = 0; data = Hw.Image.serialize kernel_image }));
+        let text_frames = ref [] in
+        let next = ref (t.monitor_first + t.monitor_frames + t.shared_frames) in
+        List.iter
+          (fun s ->
+            let data = s.Hw.Image.data in
+            let pages = Kernel.Layout.pages_of_bytes (Bytes.length data) in
+            Hw.Phys_mem.write_bytes t.mem (Hw.Phys_mem.addr_of_pfn !next) data;
+            if s.Hw.Image.executable then
+              for i = 0 to pages - 1 do
+                text_frames := (!next + i) :: !text_frames
+              done;
+            next := !next + pages)
+          kernel_image.Hw.Image.sections;
+        if !next > reserved_frames then
+          failwith "boot_kernel: kernel image does not fit in reserved frames";
+        List.iter
+          (fun pfn ->
+            match Mmu_guard.classify t.guard ~pfn Mmu_guard.Kernel_text with
+            | Ok () -> ()
+            | Error e -> failwith ("boot_kernel: " ^ e))
+          !text_frames;
+        let ops = privops t in
+        let k =
+          Kernel.boot ~mem:t.mem ~cpu:t.cpu ~td:t.td ~privops:ops
+            ~reserved_frames ~cma_frames
+        in
+        Mmu_guard.set_kernel_root t.guard k.Kernel.kernel_root;
+        t.kernel <- Some k;
+        Ok k
+      end
+
+let tdreport t ~report_data =
+  match
+    Gate.call t.gate (fun () ->
+        Hw.Cycles.advance (clock t)
+          (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
+        Tdx.Td_module.tdcall t.td t.cpu (Tdx.Ghci.Tdreport { report_data }))
+  with
+  | Tdx.Td_module.Ok_report r -> r
+  | Tdx.Td_module.Ok_int _ | Tdx.Td_module.Ok_bytes _ | Tdx.Td_module.Ok_unit ->
+      failwith "tdreport: unexpected result"
+  | Tdx.Td_module.Error_leaf e -> failwith ("tdreport: " ^ e)
+
+let allow_shared_pfn t pfn = pfn >= t.shared_first && pfn < t.shared_first + t.shared_frames
+
+let cpuid t ~leaf =
+  match Hashtbl.find_opt t.cpuid_cache leaf with
+  | Some v ->
+      t.cache_hits <- t.cache_hits + 1;
+      v
+  | None -> (
+      match
+        Gate.call t.gate (fun () ->
+            Tdx.Td_module.tdcall t.td t.cpu (Tdx.Ghci.Vmcall (Tdx.Ghci.Cpuid leaf)))
+      with
+      | Tdx.Td_module.Ok_int v ->
+          Hashtbl.replace t.cpuid_cache leaf v;
+          v
+      | _ -> failwith "cpuid: host emulation failed")
+
+let set_usercopy_veto t f = t.usercopy_veto <- f
+
+let prepare_sandbox_entry t =
+  Gate.call t.gate (fun () -> Hw.Cpu.write_msr t.cpu Hw.Msr.ia32_uintr_tt 0L)
+
+let interpose_user_exit t f =
+  Hw.Cycles.advance (clock t) Hw.Cycles.Cost.monitor_exit_inspect;
+  ignore t;
+  f ()

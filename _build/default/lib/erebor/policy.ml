@@ -1,0 +1,56 @@
+let key_default = 0
+let key_monitor = 1
+let key_ptp = 2
+let key_kernel_text = 3
+
+let normal_mode_pkrs =
+  let pkrs = Hw.Pks.set_key ~pkrs:0L ~key:key_monitor Hw.Pks.no_access in
+  let pkrs = Hw.Pks.set_key ~pkrs ~key:key_ptp Hw.Pks.read_only in
+  Hw.Pks.set_key ~pkrs ~key:key_kernel_text Hw.Pks.read_only
+
+let monitor_mode_pkrs = 0L
+
+type instr_class = Cr | Msr | Smap | Idt | Ghci | Mmu
+
+type sensitive = { class_ : instr_class; mnemonic : string; description : string }
+
+let sensitive_instructions =
+  [
+    { class_ = Cr; mnemonic = "mov %r, %CR";
+      description =
+        "Write CR0/3/4 to control MMU page table and enable hardware kernel \
+         protection features." };
+    { class_ = Msr; mnemonic = "wrmsr v, %MSR";
+      description =
+        "Configure guest-controlled hardware kernel protection CPU features \
+         (e.g. PKS and CET); control system call context switch interface." };
+    { class_ = Smap; mnemonic = "stac";
+      description =
+        "Temporarily grant the kernel mode read and write permissions to \
+         user memory." };
+    { class_ = Idt; mnemonic = "lidt v";
+      description = "Control #INT/exception context switches." };
+    { class_ = Ghci; mnemonic = "tdcall";
+      description =
+        "Request TDX module to convert CVM shared and private memory for \
+         device access; VM-exit to the VMM; request attestation digests." };
+  ]
+
+let class_of_isa = function
+  | Hw.Isa.Mov_cr _ -> Some Cr
+  | Hw.Isa.Wrmsr -> Some Msr
+  | Hw.Isa.Stac -> Some Smap
+  | Hw.Isa.Lidt -> Some Idt
+  | Hw.Isa.Tdcall -> Some Ghci
+  | Hw.Isa.Nop | Hw.Isa.Endbr | Hw.Isa.Mov_imm _ | Hw.Isa.Load _ | Hw.Isa.Store _
+  | Hw.Isa.Add _ | Hw.Isa.Jmp _ | Hw.Isa.Call _ | Hw.Isa.Ret | Hw.Isa.Syscall
+  | Hw.Isa.Iret | Hw.Isa.Cpuid | Hw.Isa.Clac | Hw.Isa.Senduipi _ ->
+      None
+
+let pp_class fmt = function
+  | Cr -> Fmt.string fmt "CR"
+  | Msr -> Fmt.string fmt "MSR"
+  | Smap -> Fmt.string fmt "SMAP"
+  | Idt -> Fmt.string fmt "IDT"
+  | Ghci -> Fmt.string fmt "GHCI"
+  | Mmu -> Fmt.string fmt "MMU"

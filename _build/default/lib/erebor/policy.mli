@@ -1,0 +1,34 @@
+(** Erebor's protection-key assignments and the sensitive-instruction
+    inventory (Table 2 of the paper). *)
+
+(** {2 Protection keys (PKS)} *)
+
+val key_default : int       (** 0 — ordinary kernel memory. *)
+val key_monitor : int       (** 1 — monitor code/data/stacks: no access in normal mode. *)
+val key_ptp : int           (** 2 — page-table pages: read-only in normal mode. *)
+val key_kernel_text : int   (** 3 — kernel code: read-only in normal mode (W⊕X). *)
+
+val normal_mode_pkrs : int64
+(** The IA32_PKRS value the kernel runs under: monitor key access-disabled,
+    PTP and kernel-text keys write-disabled. *)
+
+val monitor_mode_pkrs : int64
+(** Grant-all — loaded by the EMC entry gate, revoked at exit. *)
+
+(** {2 Sensitive instructions (Table 2)} *)
+
+type instr_class = Cr | Msr | Smap | Idt | Ghci | Mmu
+
+type sensitive = {
+  class_ : instr_class;
+  mnemonic : string;
+  description : string;
+}
+
+val sensitive_instructions : sensitive list
+(** The delegation inventory, rendered by [bench/main.exe tables-qual]. *)
+
+val class_of_isa : Hw.Isa.instr -> instr_class option
+(** Which class a synthetic-ISA instruction falls into, if sensitive. *)
+
+val pp_class : Format.formatter -> instr_class -> unit

@@ -1,0 +1,404 @@
+type phase = Initializing | Data_loaded | Terminated
+
+type confined_region = { start : int; len : int; base_pfn : int }
+
+type t = {
+  id : int;
+  sb_name : string;
+  mutable phase : phase;
+  main_task : Kernel.Task.t;
+  mutable threads : Kernel.Task.t list;
+  confined_budget : int;
+  mutable confined : confined_region list;
+  mutable commons : (int * string) list; (* region start -> instance name *)
+  channel_fd : int;
+  mutable input_addr : int;
+  mutable input_len : int;
+  output : Buffer.t;
+  mutable kill_reason : string option;
+  mutable pf_count : int;
+  mutable timer_count : int;
+  mutable ve_count : int;
+}
+
+type common_instance = {
+  cname : string;
+  size : int;
+  frames : (int, int) Hashtbl.t; (* page index -> pfn *)
+}
+
+type manager = {
+  monitor : Monitor.t;
+  kern : Kernel.t;
+  mutable next_id : int;
+  sandboxes : (int, t) Hashtbl.t;
+  by_root : (int, t) Hashtbl.t;
+  commons : (string, common_instance) Hashtbl.t;
+  mutable mitigations : Mitigations.t option;
+}
+
+let id sb = sb.id
+let name sb = sb.sb_name
+let phase sb = sb.phase
+let main_task sb = sb.main_task
+let threads sb = sb.threads
+let kill_reason sb = sb.kill_reason
+let channel_fd sb = sb.channel_fd
+let confined_bytes sb = List.fold_left (fun acc r -> acc + r.len) 0 sb.confined
+let exit_stats sb = (sb.pf_count, sb.timer_count, sb.ve_count)
+
+let guard mgr = Monitor.guard mgr.monitor
+
+let page_size = Hw.Phys_mem.page_size
+
+(* Fault-frame provider: serve confined pages from the pinned contiguous
+   range, common pages from the shared instance. *)
+let frame_source mgr task region ~addr =
+  match Kernel.Task.sandbox_id task with
+  | None -> None
+  | Some sid -> (
+      match Hashtbl.find_opt mgr.sandboxes sid with
+      | None -> None
+      | Some sb -> (
+          match region.Kernel.Vma.kind with
+          | Kernel.Vma.Confined ->
+              List.find_map
+                (fun r ->
+                  if addr >= r.start && addr < r.start + r.len then
+                    Some (r.base_pfn + ((addr - r.start) / page_size))
+                  else None)
+                sb.confined
+          | Kernel.Vma.Common -> (
+              let index = (addr - region.Kernel.Vma.start) / page_size in
+              match
+                List.find_map
+                  (fun (start, cname) ->
+                    if start = region.Kernel.Vma.start then Hashtbl.find_opt mgr.commons cname
+                    else None)
+                  sb.commons
+              with
+              | None -> None
+              | Some inst -> (
+                  match Hashtbl.find_opt inst.frames index with
+                  | Some pfn -> Some pfn
+                  | None -> (
+                      match Kernel.Alloc.alloc mgr.kern.Kernel.frame_alloc with
+                      | None -> None
+                      | Some pfn ->
+                          (match
+                             Mmu_guard.classify (guard mgr) ~pfn
+                               (Mmu_guard.Common { instance = inst.cname })
+                           with
+                          | Ok () -> ()
+                          | Error e -> failwith ("frame_source: " ^ e));
+                          Hashtbl.replace inst.frames index pfn;
+                          Some pfn)))
+          | Kernel.Vma.Anon | Kernel.Vma.Stack | Kernel.Vma.File _ -> None))
+
+let usercopy_veto mgr () =
+  let root = Hw.Cr.root_pfn mgr.kern.Kernel.cpu.Hw.Cpu.cr in
+  match Hashtbl.find_opt mgr.by_root root with
+  | Some sb when sb.phase = Data_loaded ->
+      Some (Printf.sprintf "sandbox %d is sealed" sb.id)
+  | Some _ | None -> None
+
+let create_manager ~monitor ~kern =
+  let mgr =
+    {
+      monitor;
+      kern;
+      next_id = 1;
+      sandboxes = Hashtbl.create 8;
+      by_root = Hashtbl.create 8;
+      commons = Hashtbl.create 8;
+      mitigations = None;
+    }
+  in
+  Kernel.set_frame_source kern (frame_source mgr);
+  Monitor.set_usercopy_veto monitor (usercopy_veto mgr);
+  mgr
+
+let create_sandbox mgr ~name ~confined_budget =
+  if confined_budget <= 0 then Error "confined budget must be positive"
+  else begin
+    let sid = mgr.next_id in
+    mgr.next_id <- sid + 1;
+    let task = Kernel.create_task mgr.kern ~name ~kind:(Kernel.Task.Sandboxed sid) in
+    Mmu_guard.register_sandbox_root (guard mgr) ~root_pfn:task.Kernel.Task.root_pfn
+      ~sandbox:sid;
+    let channel_fd = Kernel.Task.alloc_fd task "/dev/erebor-pseudo-io-dev" in
+    let sb =
+      {
+        id = sid;
+        sb_name = name;
+        phase = Initializing;
+        main_task = task;
+        threads = [];
+        confined_budget;
+        confined = [];
+        commons = [];
+        channel_fd;
+        input_addr = 0;
+        input_len = 0;
+        output = Buffer.create 256;
+        kill_reason = None;
+        pf_count = 0;
+        timer_count = 0;
+        ve_count = 0;
+      }
+    in
+    Hashtbl.replace mgr.sandboxes sid sb;
+    Hashtbl.replace mgr.by_root task.Kernel.Task.root_pfn sb;
+    Ok sb
+  end
+
+let spawn_thread mgr sb ~name =
+  let thread = Kernel.clone_thread mgr.kern sb.main_task ~name in
+  sb.threads <- thread :: sb.threads;
+  thread
+
+let declare_confined mgr sb ~len =
+  let len = Kernel.Layout.page_align_up len in
+  if sb.phase <> Initializing then Error "confined memory must be declared before data"
+  else if confined_bytes sb + len > sb.confined_budget then
+    Error "confined budget exceeded"
+  else begin
+    let pages = len / page_size in
+    match Kernel.Alloc.alloc_contig mgr.kern.Kernel.cma pages with
+    | None -> Error "CMA region exhausted"
+    | Some base_pfn -> (
+        (* Classify before any mapping so the MMU guard enforces ownership
+           from the first install. *)
+        let classify_all () =
+          let rec go i =
+            if i = pages then Ok ()
+            else
+              match
+                Mmu_guard.classify (guard mgr) ~pfn:(base_pfn + i)
+                  (Mmu_guard.Confined { owner = sb.id })
+              with
+              | Ok () -> go (i + 1)
+              | Error e -> Error e
+          in
+          go 0
+        in
+        match classify_all () with
+        | Error e -> Error e
+        | Ok () -> (
+            match
+              Kernel.mmap mgr.kern sb.main_task ~len ~prot:Kernel.Vma.prot_rw
+                ~kind:Kernel.Vma.Confined
+            with
+            | Error e -> Error e
+            | Ok start -> (
+                sb.confined <- sb.confined @ [ { start; len; base_pfn } ];
+                (* Pin: pre-fault every page now (init-time cost). *)
+                match Kernel.populate mgr.kern sb.main_task ~start ~len with
+                | Ok () -> Ok start
+                | Error e -> Error e)))
+  end
+
+let attach_common mgr sb ~name ~size =
+  if sb.phase <> Initializing then Error "common memory must attach before data"
+  else begin
+    let inst =
+      match Hashtbl.find_opt mgr.commons name with
+      | Some inst ->
+          if inst.size <> size then invalid_arg "attach_common: size mismatch" else inst
+      | None ->
+          let inst = { cname = name; size; frames = Hashtbl.create 1024 } in
+          Hashtbl.replace mgr.commons name inst;
+          inst
+    in
+    ignore inst;
+    match
+      Kernel.mmap mgr.kern sb.main_task ~len:(Kernel.Layout.page_align_up size)
+        ~prot:Kernel.Vma.prot_rw ~kind:Kernel.Vma.Common
+    with
+    | Error e -> Error e
+    | Ok start ->
+        sb.commons <- sb.commons @ [ (start, name) ];
+        Ok start
+  end
+
+let common_instance_frames mgr ~name =
+  match Hashtbl.find_opt mgr.commons name with
+  | Some inst -> Hashtbl.length inst.frames
+  | None -> 0
+
+let read_sandbox_bytes mgr sb ~addr ~len =
+  ignore sb;
+  (* Monitor-privileged read through the direct map of the resolved frames. *)
+  let out = Bytes.create len in
+  let copied = ref 0 in
+  while !copied < len do
+    let va = addr + !copied in
+    let page = Kernel.Layout.page_align_down va in
+    let pfn =
+      match Kernel.resolve_pfn mgr.kern sb.main_task ~addr:page with
+      | Some pfn -> pfn
+      | None -> failwith "read_sandbox_bytes: unmapped"
+    in
+    let off = va - page in
+    let chunk = min (page_size - off) (len - !copied) in
+    Bytes.blit
+      (Hw.Phys_mem.read_bytes mgr.kern.Kernel.mem (Hw.Phys_mem.addr_of_pfn pfn + off) chunk)
+      0 out !copied chunk;
+    copied := !copied + chunk
+  done;
+  out
+
+let write_sandbox_bytes mgr sb addr data =
+  let len = Bytes.length data in
+  let copied = ref 0 in
+  while !copied < len do
+    let va = addr + !copied in
+    let page = Kernel.Layout.page_align_down va in
+    let pfn =
+      match Kernel.resolve_pfn mgr.kern sb.main_task ~addr:page with
+      | Some pfn -> pfn
+      | None -> failwith "write_sandbox_bytes: unmapped"
+    in
+    let off = va - page in
+    let chunk = min (page_size - off) (len - !copied) in
+    Hw.Phys_mem.write_bytes mgr.kern.Kernel.mem
+      (Hw.Phys_mem.addr_of_pfn pfn + off)
+      (Bytes.sub data !copied chunk);
+    copied := !copied + chunk
+  done
+
+let write_sandbox_bytes mgr sb ~addr data = write_sandbox_bytes mgr sb addr data
+
+let kill mgr sb reason =
+  sb.kill_reason <- Some reason;
+  sb.phase <- Terminated;
+  Kernel.exit_task mgr.kern sb.main_task ~code:137;
+  List.iter (fun th -> Kernel.exit_task mgr.kern th ~code:137) sb.threads
+
+let load_client_data mgr sb data =
+  if sb.phase <> Initializing then Error "sandbox not in initialization phase"
+  else
+    match sb.confined with
+    | [] -> Error "no confined region declared"
+    | { start; len; _ } :: _ ->
+        if Bytes.length data > len then Error "client data exceeds confined region"
+        else begin
+          Monitor.interpose_user_exit mgr.monitor (fun () -> ());
+          write_sandbox_bytes mgr sb ~addr:start data;
+          sb.input_addr <- start;
+          sb.input_len <- Bytes.length data;
+          (* Seal every attached common instance (revoke write). *)
+          List.iter
+            (fun cname -> ignore (Mmu_guard.seal_common (guard mgr) ~instance:cname))
+            (List.sort_uniq compare (List.map snd sb.commons));
+          Monitor.prepare_sandbox_entry mgr.monitor;
+          sb.phase <- Data_loaded;
+          Ok start
+        end
+
+let append_output _mgr sb data = Buffer.add_bytes sb.output data
+
+let take_output mgr sb =
+  (* Quantized release hides processing-time variation (§11). *)
+  (match mgr.mitigations with Some m -> Mitigations.release_output m | None -> ());
+  let out = Buffer.to_bytes sb.output in
+  Buffer.clear sb.output;
+  out
+
+let apply_exit_mitigations mgr =
+  match mgr.mitigations with Some m -> Mitigations.on_sandbox_exit m | None -> ()
+
+let set_mitigations mgr policy =
+  mgr.mitigations <-
+    Some (Mitigations.create ~clock:mgr.kern.Kernel.clock ~cpu:mgr.kern.Kernel.cpu policy)
+
+let mitigation_stats mgr =
+  Option.map
+    (fun m -> (Mitigations.stalls m, Mitigations.stall_cycles m, Mitigations.flushes m))
+    mgr.mitigations
+
+let handle_syscall mgr sb call =
+  apply_exit_mitigations mgr;
+  Hw.Cycles.advance mgr.kern.Kernel.clock Hw.Cycles.Cost.monitor_exit_inspect;
+  match sb.phase with
+  | Initializing -> Kernel.syscall mgr.kern sb.main_task call
+  | Terminated -> Kernel.Syscall.Rerr "sandbox terminated"
+  | Data_loaded -> (
+      match call with
+      | Kernel.Syscall.Ioctl { fd; request; arg } when fd = sb.channel_fd -> (
+          match request with
+          | 1 ->
+              (* Fetch the installed client input. *)
+              Kernel.Syscall.Rbytes
+                (read_sandbox_bytes mgr sb ~addr:sb.input_addr ~len:sb.input_len)
+          | 2 ->
+              append_output mgr sb arg;
+              Kernel.Syscall.Rok
+          | _ ->
+              kill mgr sb "ioctl: unknown channel request";
+              Kernel.Syscall.Rerr "killed")
+      | other ->
+          kill mgr sb
+            (Printf.sprintf "syscall %s after data load" (Kernel.Syscall.name other));
+          Kernel.Syscall.Rerr "killed")
+
+let handle_interrupt mgr sb f =
+  apply_exit_mitigations mgr;
+  sb.timer_count <- sb.timer_count + 1;
+  Hw.Cycles.advance mgr.kern.Kernel.clock Hw.Cycles.Cost.monitor_state_mask;
+  let cpu = mgr.kern.Kernel.cpu in
+  let saved = Hw.Cpu.snapshot_regs cpu in
+  Hw.Cpu.scrub_regs cpu;
+  Fun.protect ~finally:(fun () -> Hw.Cpu.restore_regs cpu saved) f
+
+let handle_ve mgr sb ~reason =
+  apply_exit_mitigations mgr;
+  sb.ve_count <- sb.ve_count + 1;
+  match sb.phase with
+  | Data_loaded ->
+      kill mgr sb (Printf.sprintf "#VE exit (reason %d) after data load" reason);
+      Kernel.Syscall.Rerr "killed"
+  | Initializing | Terminated -> Kernel.Syscall.Rok
+
+let cpuid mgr sb ~leaf =
+  sb.ve_count <- sb.ve_count + 1;
+  Monitor.cpuid mgr.monitor ~leaf
+
+let page_fault mgr sb ~addr ~kind =
+  sb.pf_count <- sb.pf_count + 1;
+  Kernel.handle_page_fault mgr.kern sb.main_task ~addr ~kind
+
+let timer_tick mgr sb =
+  handle_interrupt mgr sb (fun () -> Kernel.timer_interrupt mgr.kern)
+
+let terminate mgr sb =
+  if sb.phase <> Terminated then sb.phase <- Terminated;
+  (* Scrub and release confined memory (§6.3 cleanup). *)
+  List.iter
+    (fun r ->
+      let pages = r.len / page_size in
+      for i = 0 to pages - 1 do
+        Hw.Phys_mem.zero_page mgr.kern.Kernel.mem (r.base_pfn + i)
+      done;
+      (match Kernel.munmap mgr.kern sb.main_task ~addr:r.start with
+      | Ok () -> ()
+      | Error _ -> ());
+      for i = 0 to pages - 1 do
+        Mmu_guard.declassify (guard mgr) ~pfn:(r.base_pfn + i);
+        if Kernel.Alloc.is_allocated mgr.kern.Kernel.cma (r.base_pfn + i) then
+          Kernel.Alloc.free mgr.kern.Kernel.cma (r.base_pfn + i)
+      done)
+    sb.confined;
+  sb.confined <- [];
+  Buffer.clear sb.output;
+  Kernel.exit_task mgr.kern sb.main_task ~code:0;
+  List.iter (fun th -> Kernel.exit_task mgr.kern th ~code:0) sb.threads
+
+let find_by_task mgr task =
+  match Kernel.Task.sandbox_id task with
+  | None -> None
+  | Some sid -> Hashtbl.find_opt mgr.sandboxes sid
+
+let sandbox_count mgr = Hashtbl.length mgr.sandboxes
+let manager_kernel mgr = mgr.kern
+let manager_monitor mgr = mgr.monitor

@@ -1,0 +1,21 @@
+type violation = { section : string; offset : int; byte : int }
+
+let verify_bytes ~section data =
+  match Hw.Isa.scan data with
+  | [] -> Ok ()
+  | hits ->
+      Error (List.map (fun { Hw.Isa.offset; byte } -> { section; offset; byte }) hits)
+
+let verify_image img =
+  let violations =
+    List.concat_map
+      (fun s ->
+        match verify_bytes ~section:s.Hw.Image.name s.Hw.Image.data with
+        | Ok () -> []
+        | Error vs -> vs)
+      (Hw.Image.executable_sections img)
+  in
+  if violations = [] then Ok () else Error violations
+
+let pp_violation fmt { section; offset; byte } =
+  Fmt.pf fmt "%s+0x%x: sensitive byte 0x%02x" section offset byte

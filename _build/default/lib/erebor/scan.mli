@@ -1,0 +1,18 @@
+(** Stage-two boot verification (§5.1): the monitor's ELF-style loader parses
+    a kernel image and byte-scans every executable section for sensitive
+    instruction encodings. Any hit — aligned or not — refuses the boot. *)
+
+type violation = {
+  section : string;
+  offset : int;  (** Byte offset within the section. *)
+  byte : int;    (** The offending opcode byte. *)
+}
+
+val verify_image : Hw.Image.t -> (unit, violation list) result
+(** Scan all executable sections; [Ok ()] iff none contains a sensitive
+    byte sequence. *)
+
+val verify_bytes : section:string -> bytes -> (unit, violation list) result
+(** Scan one blob (dynamic code: module loading, eBPF, text_poke — §7). *)
+
+val pp_violation : Format.formatter -> violation -> unit

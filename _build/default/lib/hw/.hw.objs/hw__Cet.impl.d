@@ -1,0 +1,1 @@
+lib/hw/cet.ml: Fault Int64 List Msr Printf

@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Access Apic Array Bytes Cet Cr Cycles Fault Idt Int64 Msr Page_table Phys_mem Pte Tlb

@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Access Apic Cet Cr Cycles Fault Idt Msr Phys_mem Tlb

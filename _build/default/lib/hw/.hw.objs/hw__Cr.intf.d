@@ -1,0 +1,1 @@
+lib/hw/cr.mli:

@@ -1,0 +1,1 @@
+lib/hw/idt.ml: Array Fault Printf

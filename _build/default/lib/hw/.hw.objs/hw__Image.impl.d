@@ -1,0 +1,1 @@
+lib/hw/image.ml: Buffer Bytes Char List String

@@ -1,0 +1,1 @@
+lib/hw/isa.ml: Bytes Char Fmt List Option

@@ -1,0 +1,1 @@
+lib/hw/isa.mli: Format

@@ -1,0 +1,1 @@
+lib/hw/msr.ml: Hashtbl Int64 List Option

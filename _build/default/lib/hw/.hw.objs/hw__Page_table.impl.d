@@ -1,0 +1,1 @@
+lib/hw/page_table.ml: List Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/hw/pks.ml: Array Int64

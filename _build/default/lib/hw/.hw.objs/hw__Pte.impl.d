@@ -1,0 +1,1 @@
+lib/hw/pte.ml: Fmt Int64

@@ -1,0 +1,1 @@
+lib/hw/uintr.ml: Fault Int64 Msr

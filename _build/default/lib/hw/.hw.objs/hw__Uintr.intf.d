@@ -1,0 +1,1 @@
+lib/hw/uintr.mli: Fault Msr

@@ -1,0 +1,49 @@
+type ctx = {
+  user_mode : bool;
+  wp : bool;
+  smep : bool;
+  smap : bool;
+  pks : bool;
+  ac : bool;
+  pkrs : int64;
+}
+
+type translation = { user : bool; writable : bool; nx : bool; pkey : int }
+
+let pf ~addr ~kind ~user ?(pkey = false) () =
+  Error
+    (Fault.Page_fault
+       { Fault.addr; kind; user; present = true; pkey_violation = pkey })
+
+let check ctx ~kind ~addr tr =
+  let deny ?pkey () = pf ~addr ~kind ~user:ctx.user_mode ?pkey () in
+  match kind with
+  | Fault.Execute ->
+      if tr.nx then deny ()
+      else if ctx.user_mode then if tr.user then Ok () else deny ()
+      else if tr.user && ctx.smep then deny () (* SMEP: no kernel exec of user pages *)
+      else Ok ()
+  | Fault.Read | Fault.Write -> (
+      let write = kind = Fault.Write in
+      if ctx.user_mode then
+        if not tr.user then deny ()
+        else if write && not tr.writable then deny ()
+        else Ok ()
+      else if tr.user then
+        (* Supervisor touching a user page: SMAP unless AC is set. *)
+        if ctx.smap && not ctx.ac then deny ()
+        else if write && ctx.wp && not tr.writable then deny ()
+        else Ok ()
+      else begin
+        (* Supervisor page: PKS applies to data accesses. *)
+        let pks_ok =
+          (not ctx.pks) || Pks.permits ~pkrs:ctx.pkrs ~key:tr.pkey ~write:false
+        in
+        if not pks_ok then deny ~pkey:true ()
+        else if write then
+          if ctx.pks && ctx.wp && not (Pks.permits ~pkrs:ctx.pkrs ~key:tr.pkey ~write:true)
+          then deny ~pkey:true ()
+          else if ctx.wp && not tr.writable then deny ()
+          else Ok ()
+        else Ok ()
+      end)

@@ -1,0 +1,25 @@
+(** The access-check engine: combines paging permissions with SMEP, SMAP,
+    CR0.WP and PKS exactly as the Intel SDM orders them. Every simulated
+    memory access funnels through {!check}; this is where Erebor's isolation
+    is mechanically enforced. *)
+
+type ctx = {
+  user_mode : bool;   (** CPL = 3. *)
+  wp : bool;          (** CR0.WP. *)
+  smep : bool;        (** CR4.SMEP. *)
+  smap : bool;        (** CR4.SMAP. *)
+  pks : bool;         (** CR4.PKS. *)
+  ac : bool;          (** EFLAGS.AC (set by stac, cleared by clac). *)
+  pkrs : int64;       (** IA32_PKRS. *)
+}
+
+type translation = {
+  user : bool;        (** U/S ANDed across the walk. *)
+  writable : bool;    (** R/W ANDed across the walk. *)
+  nx : bool;          (** NX ORed across the walk. *)
+  pkey : int;         (** Leaf protection key. *)
+}
+
+val check :
+  ctx -> kind:Fault.access_kind -> addr:int -> translation -> (unit, Fault.t) result
+(** Decide one access. [addr] is only used to describe the fault. *)

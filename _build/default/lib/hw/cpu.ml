@@ -1,0 +1,169 @@
+type mode = User | Supervisor
+
+type t = {
+  id : int;
+  mem : Phys_mem.t;
+  clock : Cycles.clock;
+  mutable mode : mode;
+  regs : int64 array;
+  cr : Cr.t;
+  msr : Msr.t;
+  mutable ac : bool;
+  tlb : Tlb.t;
+  cet : Cet.t;
+  mutable idt : Idt.t;
+  apic : Apic.t;
+}
+
+let nregs = 16
+
+let create ~id ~mem ~clock ~timer_period =
+  {
+    id;
+    mem;
+    clock;
+    mode = Supervisor;
+    regs = Array.make nregs 0L;
+    cr = Cr.create ();
+    msr = Msr.create ();
+    ac = false;
+    tlb = Tlb.create ();
+    cet = Cet.create ();
+    idt = Idt.create ();
+    apic = Apic.create clock ~period:timer_period;
+  }
+
+let access_ctx t =
+  {
+    Access.user_mode = t.mode = User;
+    wp = Cr.wp t.cr;
+    smep = Cr.smep t.cr;
+    smap = Cr.smap t.cr;
+    pks = Cr.pks t.cr;
+    ac = t.ac;
+    pkrs = Msr.read t.msr Msr.ia32_pkrs;
+  }
+
+let not_present_fault t ~kind vaddr =
+  Fault.raise_fault
+    (Fault.Page_fault
+       {
+         Fault.addr = vaddr;
+         kind;
+         user = t.mode = User;
+         present = false;
+         pkey_violation = false;
+       })
+
+let translate t ~kind vaddr =
+  let entry =
+    match Tlb.lookup t.tlb vaddr with
+    | Some e -> e
+    | None -> (
+        match Page_table.walk t.mem ~root_pfn:(Cr.root_pfn t.cr) vaddr with
+        | None -> not_present_fault t ~kind vaddr
+        | Some w ->
+            (* Hardware sets accessed on the walk and dirty on write. *)
+            let updated = Pte.set_accessed w.Page_table.pte true in
+            let updated = if kind = Fault.Write then Pte.set_dirty updated true else updated in
+            if not (Int64.equal updated w.Page_table.pte) then
+              Phys_mem.write_u64 t.mem w.Page_table.pte_addr updated;
+            let e =
+              {
+                Tlb.pfn = w.Page_table.pfn;
+                user = w.Page_table.user;
+                writable = w.Page_table.writable;
+                nx = w.Page_table.nx;
+                pkey = Pte.pkey w.Page_table.pte;
+              }
+            in
+            Tlb.insert t.tlb vaddr e;
+            e)
+  in
+  let tr =
+    {
+      Access.user = entry.Tlb.user;
+      writable = entry.Tlb.writable;
+      nx = entry.Tlb.nx;
+      pkey = entry.Tlb.pkey;
+    }
+  in
+  (match Access.check (access_ctx t) ~kind ~addr:vaddr tr with
+  | Ok () -> ()
+  | Error f -> Fault.raise_fault f);
+  Phys_mem.addr_of_pfn entry.Tlb.pfn lor Phys_mem.page_offset vaddr
+
+let read_u8 t vaddr = Phys_mem.read_u8 t.mem (translate t ~kind:Fault.Read vaddr)
+let write_u8 t vaddr v = Phys_mem.write_u8 t.mem (translate t ~kind:Fault.Write vaddr) v
+let read_u64 t vaddr = Phys_mem.read_u64 t.mem (translate t ~kind:Fault.Read vaddr)
+let write_u64 t vaddr v = Phys_mem.write_u64 t.mem (translate t ~kind:Fault.Write vaddr) v
+
+let read_bytes t vaddr len =
+  if len < 0 then invalid_arg "Cpu.read_bytes: negative length";
+  let out = Bytes.create len in
+  let copied = ref 0 in
+  while !copied < len do
+    let va = vaddr + !copied in
+    let pa = translate t ~kind:Fault.Read va in
+    let chunk = min (Phys_mem.page_size - Phys_mem.page_offset va) (len - !copied) in
+    Bytes.blit (Phys_mem.read_bytes t.mem pa chunk) 0 out !copied chunk;
+    copied := !copied + chunk
+  done;
+  out
+
+let write_bytes t vaddr data =
+  let len = Bytes.length data in
+  let copied = ref 0 in
+  while !copied < len do
+    let va = vaddr + !copied in
+    let pa = translate t ~kind:Fault.Write va in
+    let chunk = min (Phys_mem.page_size - Phys_mem.page_offset va) (len - !copied) in
+    Phys_mem.write_bytes t.mem pa (Bytes.sub data !copied chunk);
+    copied := !copied + chunk
+  done
+
+let exec_check t vaddr = ignore (translate t ~kind:Fault.Execute vaddr)
+
+let require_supervisor t what =
+  if t.mode = User then
+    Fault.raise_fault (Fault.General_protection (what ^ " from user mode"))
+
+let write_msr t idx v =
+  require_supervisor t "wrmsr";
+  Msr.write t.msr idx v
+
+let read_msr t idx =
+  require_supervisor t "rdmsr";
+  Msr.read t.msr idx
+
+let write_cr3 t ~root_pfn =
+  require_supervisor t "mov cr3";
+  Cr.set_root t.cr root_pfn;
+  Tlb.flush_all t.tlb
+
+let set_cr_bit t ~reg bit v =
+  require_supervisor t "mov cr";
+  Cr.set_bit t.cr ~reg bit v
+
+let lidt t idt =
+  require_supervisor t "lidt";
+  t.idt <- idt
+
+let stac t =
+  require_supervisor t "stac";
+  t.ac <- true
+
+let clac t =
+  require_supervisor t "clac";
+  t.ac <- false
+
+let invlpg t vaddr = Tlb.flush_page t.tlb vaddr
+let flush_tlb t = Tlb.flush_all t.tlb
+
+let snapshot_regs t = Array.copy t.regs
+
+let restore_regs t saved =
+  if Array.length saved <> nregs then invalid_arg "Cpu.restore_regs: wrong size";
+  Array.blit saved 0 t.regs 0 nregs
+
+let scrub_regs t = Array.fill t.regs 0 nregs 0L

@@ -1,0 +1,70 @@
+(** A simulated logical core: privilege mode, GPRs, control registers, MSR
+    file, EFLAGS.AC, TLB, CET engine and the current IDT. All memory accesses
+    go through {!translate}, which walks the page tables living in simulated
+    physical memory and applies {!Access.check}; faults surface as
+    [Fault.Fault] exceptions, to be caught by whichever layer plays the fault
+    handler. *)
+
+type mode = User | Supervisor
+
+type t = {
+  id : int;
+  mem : Phys_mem.t;
+  clock : Cycles.clock;
+  mutable mode : mode;
+  regs : int64 array;       (** 16 GPRs. *)
+  cr : Cr.t;
+  msr : Msr.t;
+  mutable ac : bool;        (** EFLAGS.AC — stac/clac. *)
+  tlb : Tlb.t;
+  cet : Cet.t;
+  mutable idt : Idt.t;
+  apic : Apic.t;
+}
+
+val nregs : int
+
+val create : id:int -> mem:Phys_mem.t -> clock:Cycles.clock -> timer_period:int -> t
+
+val access_ctx : t -> Access.ctx
+(** The live access-check context (mode, CR bits, AC, PKRS). *)
+
+(** {2 Address translation and memory access} *)
+
+val translate : t -> kind:Fault.access_kind -> int -> int
+(** [translate t ~kind vaddr] is the physical address; raises [Fault.Fault]
+    on a missing translation or a permission violation. Fills and consults
+    the TLB; sets accessed/dirty bits on the leaf PTE. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+val exec_check : t -> int -> unit
+(** Instruction-fetch permission check for the page at the given address. *)
+
+(** {2 Privileged register state (raise #GP from user mode)} *)
+
+val write_msr : t -> int -> int64 -> unit
+val read_msr : t -> int -> int64
+val write_cr3 : t -> root_pfn:int -> unit
+(** Also flushes the TLB, as a CR3 load does. *)
+
+val set_cr_bit : t -> reg:[ `Cr0 | `Cr4 ] -> int64 -> bool -> unit
+val lidt : t -> Idt.t -> unit
+val stac : t -> unit
+val clac : t -> unit
+
+(** {2 TLB maintenance} *)
+
+val invlpg : t -> int -> unit
+val flush_tlb : t -> unit
+
+(** {2 Register file helpers (context save / masking)} *)
+
+val snapshot_regs : t -> int64 array
+val restore_regs : t -> int64 array -> unit
+val scrub_regs : t -> unit
+(** Zero all GPRs — the monitor masks sandbox state at interrupts (§6.2). *)

@@ -1,0 +1,27 @@
+type t = { mutable cr0 : int64; mutable cr3 : int64; mutable cr4 : int64 }
+
+let create () = { cr0 = 0L; cr3 = 0L; cr4 = 0L }
+
+let cr0_wp = Int64.shift_left 1L 16
+
+let cr4_smep = Int64.shift_left 1L 20
+let cr4_smap = Int64.shift_left 1L 21
+let cr4_pks = Int64.shift_left 1L 24
+let cr4_cet = Int64.shift_left 1L 23
+
+let test v bit = not (Int64.equal (Int64.logand v bit) 0L)
+
+let wp t = test t.cr0 cr0_wp
+let smep t = test t.cr4 cr4_smep
+let smap t = test t.cr4 cr4_smap
+let pks t = test t.cr4 cr4_pks
+let cet t = test t.cr4 cr4_cet
+
+let set_root t pfn = t.cr3 <- Int64.of_int (pfn lsl 12)
+let root_pfn t = Int64.to_int (Int64.shift_right_logical t.cr3 12)
+
+let set_bit t ~reg bit v =
+  let apply r = if v then Int64.logor r bit else Int64.logand r (Int64.lognot bit) in
+  match reg with
+  | `Cr0 -> t.cr0 <- apply t.cr0
+  | `Cr4 -> t.cr4 <- apply t.cr4

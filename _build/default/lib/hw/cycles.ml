@@ -1,0 +1,47 @@
+module Cost = struct
+  (* Table 3 — round-trip privilege transitions. *)
+  let syscall_roundtrip = 684
+  let emc_roundtrip = 1224
+  let tdcall_roundtrip = 5276
+  let vmcall_roundtrip = 4031
+
+  (* Table 4 — native privileged-operation execution. *)
+  let pte_write_native = 23
+  let cr_write_native = 294
+  let msr_write_native = 364
+  let lidt_native = 260
+  let stac_native = 62
+  let tdreport_native = 126806
+
+  (* Table 4 — Erebor column minus the EMC round trip. *)
+  let emc_service_mmu = 1345 - emc_roundtrip
+  let emc_service_cr = 1593 - emc_roundtrip
+  let emc_service_msr = 1613 - emc_roundtrip
+  let emc_service_idt = 1369 - emc_roundtrip
+  let emc_service_smap = 1291 - emc_roundtrip
+  let emc_service_ghci = 128081 - emc_roundtrip
+
+  (* General events; magnitudes consistent with LMBench on the paper's
+     machine (a null syscall is ~684 cycles, a minor fault a few thousand). *)
+  let page_fault_base = 1900
+  let interrupt_delivery = 1100
+  let context_switch = 1600
+  let ve_handling = 450
+  let monitor_exit_inspect = 380
+  let monitor_state_mask = 290
+  let spinlock_acquire = 40
+  let libos_service = 210
+  let usercopy_per_page = 320
+end
+
+type clock = { mutable now : int }
+
+let clock () = { now = 0 }
+let now c = c.now
+
+let advance c n =
+  if n < 0 then invalid_arg "Cycles.advance: negative duration";
+  c.now <- c.now + n
+
+let ghz = 2.1
+let to_seconds cycles = float_of_int cycles /. (ghz *. 1e9)

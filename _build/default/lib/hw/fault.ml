@@ -1,0 +1,45 @@
+type access_kind = Read | Write | Execute
+
+type page_fault_info = {
+  addr : int;
+  kind : access_kind;
+  user : bool;
+  present : bool;
+  pkey_violation : bool;
+}
+
+type t =
+  | General_protection of string
+  | Page_fault of page_fault_info
+  | Control_protection of string
+  | Virtualization_exception of int
+  | Invalid_opcode of string
+
+exception Fault of t
+
+let raise_fault f = raise (Fault f)
+
+let vector = function
+  | Invalid_opcode _ -> 6
+  | General_protection _ -> 13
+  | Page_fault _ -> 14
+  | Virtualization_exception _ -> 20
+  | Control_protection _ -> 21
+
+let pp_kind fmt = function
+  | Read -> Fmt.string fmt "read"
+  | Write -> Fmt.string fmt "write"
+  | Execute -> Fmt.string fmt "execute"
+
+let pp fmt = function
+  | General_protection why -> Fmt.pf fmt "#GP(%s)" why
+  | Page_fault { addr; kind; user; present; pkey_violation } ->
+      Fmt.pf fmt "#PF(addr=0x%x %a %s%s%s)" addr pp_kind kind
+        (if user then "user" else "supervisor")
+        (if present then " protection" else " not-present")
+        (if pkey_violation then " pkey" else "")
+  | Control_protection why -> Fmt.pf fmt "#CP(%s)" why
+  | Virtualization_exception reason -> Fmt.pf fmt "#VE(reason=%d)" reason
+  | Invalid_opcode why -> Fmt.pf fmt "#UD(%s)" why
+
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,41 @@
+let vectors = 256
+
+let vec_ud = 6
+let vec_gp = 13
+let vec_pf = 14
+let vec_ve = 20
+let vec_cp = 21
+let vec_timer = 32
+let vec_ipi = 33
+let vec_device = 34
+
+type entry = { present : bool; handler : int }
+
+type t = entry array
+
+let absent = { present = false; handler = 0 }
+
+let create () = Array.make vectors absent
+
+let check_vector v = if v < 0 || v >= vectors then invalid_arg "Idt: bad vector"
+
+let set t v ~handler =
+  check_vector v;
+  t.(v) <- { present = true; handler }
+
+let clear t v =
+  check_vector v;
+  t.(v) <- absent
+
+let get t v =
+  check_vector v;
+  t.(v)
+
+let copy t = Array.copy t
+
+let deliver t v =
+  check_vector v;
+  let e = t.(v) in
+  if not e.present then
+    Fault.raise_fault (Fault.General_protection (Printf.sprintf "IDT vector %d not present" v))
+  else e.handler

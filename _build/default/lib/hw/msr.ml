@@ -1,0 +1,21 @@
+type t = (int, int64) Hashtbl.t
+
+let ia32_lstar = 0xC0000082
+let ia32_pkrs = 0x6E1
+let ia32_s_cet = 0x6A2
+let ia32_pl0_ssp = 0x6A4
+let ia32_uintr_tt = 0x985
+let ia32_efer = 0xC0000080
+
+let s_cet_ibt_bit = 4L      (* bit 2: ENDBR_EN *)
+let s_cet_shstk_bit = 1L    (* bit 0: SH_STK_EN *)
+let uintr_tt_valid_bit = 1L
+
+let create () : t = Hashtbl.create 16
+
+let read t idx = Option.value ~default:0L (Hashtbl.find_opt t idx)
+
+let write t idx v =
+  if Int64.equal v 0L then Hashtbl.remove t idx else Hashtbl.replace t idx v
+
+let snapshot t = List.of_seq (Hashtbl.to_seq t)

@@ -1,0 +1,156 @@
+type walk_result = {
+  pte : Pte.t;
+  pte_addr : int;
+  user : bool;
+  writable : bool;
+  nx : bool;
+  huge : bool;
+  pfn : int; (* resolved for the exact vaddr (huge pages span 512 frames) *)
+}
+
+let split vaddr =
+  let idx n = (vaddr lsr (12 + (9 * n))) land 0x1ff in
+  (idx 3, idx 2, idx 1, idx 0)
+
+let page_base vaddr = vaddr land lnot (Phys_mem.page_size - 1)
+
+type writer = pte_addr:int -> Pte.t -> unit
+
+let entry_addr table_pfn index = Phys_mem.addr_of_pfn table_pfn + (8 * index)
+
+let walk mem ~root_pfn vaddr =
+  let i4, i3, i2, i1 = split vaddr in
+  let rec descend pfn indices user writable nx =
+    match indices with
+    | [] -> assert false
+    | [ leaf_idx ] ->
+        let pte_addr = entry_addr pfn leaf_idx in
+        let pte = Phys_mem.read_u64 mem pte_addr in
+        if not (Pte.present pte) then None
+        else
+          Some
+            {
+              pte;
+              pte_addr;
+              user = user && Pte.user pte;
+              writable = writable && Pte.writable pte;
+              nx = nx || Pte.nx pte;
+              huge = false;
+              pfn = Pte.pfn pte;
+            }
+    | idx :: rest ->
+        let pte_addr = entry_addr pfn idx in
+        let e = Phys_mem.read_u64 mem pte_addr in
+        if not (Pte.present e) then None
+        else if Pte.huge e && List.length rest = 1 then
+          (* 2 MiB leaf at the page-directory level. *)
+          Some
+            {
+              pte = e;
+              pte_addr;
+              user = user && Pte.user e;
+              writable = writable && Pte.writable e;
+              nx = nx || Pte.nx e;
+              huge = true;
+              pfn = Pte.pfn e + i1;
+            }
+        else
+          descend (Pte.pfn e) rest (user && Pte.user e) (writable && Pte.writable e)
+            (nx || Pte.nx e)
+  in
+  descend root_pfn [ i4; i3; i2; i1 ] true true false
+
+let leaf_addr mem ~root_pfn vaddr =
+  let i4, i3, i2, i1 = split vaddr in
+  let rec descend pfn = function
+    | [] -> assert false
+    | [ leaf_idx ] -> Some (entry_addr pfn leaf_idx)
+    | idx :: rest ->
+        let e = Phys_mem.read_u64 mem (entry_addr pfn idx) in
+        if not (Pte.present e) then None else descend (Pte.pfn e) rest
+  in
+  descend root_pfn [ i4; i3; i2; i1 ]
+
+let intermediate_flags = { Pte.default_flags with user = true }
+
+let map mem ~write_pte ~alloc_ptp ~root_pfn ~vaddr pte =
+  let i4, i3, i2, i1 = split vaddr in
+  let rec descend pfn = function
+    | [] -> assert false
+    | [ leaf_idx ] -> write_pte ~pte_addr:(entry_addr pfn leaf_idx) pte
+    | idx :: rest ->
+        let slot = entry_addr pfn idx in
+        let e = Phys_mem.read_u64 mem slot in
+        let next_pfn =
+          if Pte.present e then Pte.pfn e
+          else begin
+            let fresh = alloc_ptp () in
+            write_pte ~pte_addr:slot (Pte.make ~pfn:fresh intermediate_flags);
+            fresh
+          end
+        in
+        descend next_pfn rest
+  in
+  descend root_pfn [ i4; i3; i2; i1 ]
+
+let huge_page_size = 512 * Phys_mem.page_size
+
+let map_huge mem ~write_pte ~alloc_ptp ~root_pfn ~vaddr pte =
+  if vaddr land (huge_page_size - 1) <> 0 then
+    invalid_arg "Page_table.map_huge: vaddr must be 2MiB-aligned";
+  if Pte.pfn pte land 0x1ff <> 0 then
+    invalid_arg "Page_table.map_huge: frame must be 2MiB-aligned";
+  let i4, i3, i2, _ = split vaddr in
+  let rec descend pfn = function
+    | [] -> assert false
+    | [ pd_idx ] -> write_pte ~pte_addr:(entry_addr pfn pd_idx) (Pte.set_huge pte true)
+    | idx :: rest ->
+        let slot = entry_addr pfn idx in
+        let e = Phys_mem.read_u64 mem slot in
+        let next_pfn =
+          if Pte.present e then Pte.pfn e
+          else begin
+            let fresh = alloc_ptp () in
+            write_pte ~pte_addr:slot (Pte.make ~pfn:fresh intermediate_flags);
+            fresh
+          end
+        in
+        descend next_pfn rest
+  in
+  descend root_pfn [ i4; i3; i2 ]
+
+let prepare_leaf mem ~write_pte ~alloc_ptp ~root_pfn ~vaddr =
+  let i4, i3, i2, i1 = split vaddr in
+  let rec descend pfn = function
+    | [] -> assert false
+    | [ leaf_idx ] -> entry_addr pfn leaf_idx
+    | idx :: rest ->
+        let slot = entry_addr pfn idx in
+        let e = Phys_mem.read_u64 mem slot in
+        let next_pfn =
+          if Pte.present e then Pte.pfn e
+          else begin
+            let fresh = alloc_ptp () in
+            write_pte ~pte_addr:slot (Pte.make ~pfn:fresh intermediate_flags);
+            fresh
+          end
+        in
+        descend next_pfn rest
+  in
+  descend root_pfn [ i4; i3; i2; i1 ]
+
+let unmap mem ~write_pte ~root_pfn ~vaddr =
+  match leaf_addr mem ~root_pfn vaddr with
+  | None -> ()
+  | Some pte_addr -> write_pte ~pte_addr Pte.empty
+
+let update mem ~write_pte ~root_pfn ~vaddr f =
+  match leaf_addr mem ~root_pfn vaddr with
+  | None -> false
+  | Some pte_addr ->
+      let pte = Phys_mem.read_u64 mem pte_addr in
+      if not (Pte.present pte) then false
+      else begin
+        write_pte ~pte_addr (f pte);
+        true
+      end

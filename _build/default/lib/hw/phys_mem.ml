@@ -1,0 +1,91 @@
+let page_size = 4096
+let page_shift = 12
+
+type t = {
+  frames : int;
+  pages : (int, bytes) Hashtbl.t; (* pfn -> backing bytes, allocated on first write *)
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  { frames; pages = Hashtbl.create 4096 }
+
+let frames t = t.frames
+let size_bytes t = t.frames * page_size
+let pfn_of_addr addr = addr lsr page_shift
+let addr_of_pfn pfn = pfn lsl page_shift
+let page_offset addr = addr land (page_size - 1)
+let valid_pfn t pfn = pfn >= 0 && pfn < t.frames
+
+let check_addr t addr =
+  if addr < 0 || pfn_of_addr addr >= t.frames then
+    invalid_arg (Printf.sprintf "Phys_mem: address 0x%x out of range" addr)
+
+let backing t pfn =
+  match Hashtbl.find_opt t.pages pfn with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages pfn b;
+      b
+
+let read_u8 t addr =
+  check_addr t addr;
+  match Hashtbl.find_opt t.pages (pfn_of_addr addr) with
+  | None -> 0
+  | Some b -> Char.code (Bytes.get b (page_offset addr))
+
+let write_u8 t addr v =
+  check_addr t addr;
+  Bytes.set (backing t (pfn_of_addr addr)) (page_offset addr) (Char.chr (v land 0xff))
+
+let read_u64 t addr =
+  check_addr t addr;
+  if page_offset addr > page_size - 8 then
+    invalid_arg "Phys_mem.read_u64: crosses page boundary";
+  match Hashtbl.find_opt t.pages (pfn_of_addr addr) with
+  | None -> 0L
+  | Some b -> Bytes.get_int64_le b (page_offset addr)
+
+let write_u64 t addr v =
+  check_addr t addr;
+  if page_offset addr > page_size - 8 then
+    invalid_arg "Phys_mem.write_u64: crosses page boundary";
+  Bytes.set_int64_le (backing t (pfn_of_addr addr)) (page_offset addr) v
+
+let read_bytes t addr len =
+  if len < 0 then invalid_arg "Phys_mem.read_bytes: negative length";
+  let out = Bytes.create len in
+  let copied = ref 0 in
+  while !copied < len do
+    let a = addr + !copied in
+    check_addr t a;
+    let off = page_offset a in
+    let chunk = min (page_size - off) (len - !copied) in
+    (match Hashtbl.find_opt t.pages (pfn_of_addr a) with
+    | None -> Bytes.fill out !copied chunk '\000'
+    | Some b -> Bytes.blit b off out !copied chunk);
+    copied := !copied + chunk
+  done;
+  out
+
+let write_bytes t addr data =
+  let len = Bytes.length data in
+  let copied = ref 0 in
+  while !copied < len do
+    let a = addr + !copied in
+    check_addr t a;
+    let off = page_offset a in
+    let chunk = min (page_size - off) (len - !copied) in
+    Bytes.blit data !copied (backing t (pfn_of_addr a)) off chunk;
+    copied := !copied + chunk
+  done
+
+let zero_page t pfn =
+  if not (valid_pfn t pfn) then invalid_arg "Phys_mem.zero_page: bad pfn";
+  match Hashtbl.find_opt t.pages pfn with
+  | None -> ()
+  | Some b -> Bytes.fill b 0 page_size '\000'
+
+let page_is_backed t pfn = Hashtbl.mem t.pages pfn
+let backed_count t = Hashtbl.length t.pages

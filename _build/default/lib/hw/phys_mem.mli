@@ -1,0 +1,46 @@
+(** Simulated guest-physical memory: a sparse array of 4 KiB frames with
+    lazily-allocated backing bytes, so a multi-GiB guest costs host memory
+    only for frames that are actually touched. Reads of never-written frames
+    observe zeros, like freshly-assigned RAM. *)
+
+val page_size : int  (** 4096. *)
+val page_shift : int (** 12. *)
+
+type t
+
+val create : frames:int -> t
+(** A physical address space of [frames] 4 KiB frames. *)
+
+val frames : t -> int
+val size_bytes : t -> int
+
+val pfn_of_addr : int -> int
+val addr_of_pfn : int -> int
+val page_offset : int -> int
+
+val valid_pfn : t -> int -> bool
+
+val read_u8 : t -> int -> int
+(** [read_u8 t paddr]. Raises [Invalid_argument] for out-of-range addresses. *)
+
+val write_u8 : t -> int -> int -> unit
+
+val read_u64 : t -> int -> int64
+(** Little-endian; must not cross a page boundary (8-byte aligned callers
+    never do). *)
+
+val write_u64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> int -> int -> bytes
+(** [read_bytes t paddr len]; may cross page boundaries. *)
+
+val write_bytes : t -> int -> bytes -> unit
+
+val zero_page : t -> int -> unit
+(** [zero_page t pfn] clears a frame (sandbox teardown scrubbing). *)
+
+val page_is_backed : t -> int -> bool
+(** Whether the frame has materialized backing bytes (i.e. was written). *)
+
+val backed_count : t -> int
+(** Number of materialized frames — the simulator's own footprint metric. *)

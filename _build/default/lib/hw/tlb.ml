@@ -1,0 +1,27 @@
+type entry = { pfn : int; user : bool; writable : bool; nx : bool; pkey : int }
+
+type t = {
+  table : (int, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let vpn vaddr = vaddr lsr Phys_mem.page_shift
+
+let create () = { table = Hashtbl.create 1024; hits = 0; misses = 0 }
+
+let lookup t vaddr =
+  match Hashtbl.find_opt t.table (vpn vaddr) with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t vaddr e = Hashtbl.replace t.table (vpn vaddr) e
+let flush_page t vaddr = Hashtbl.remove t.table (vpn vaddr)
+let flush_all t = Hashtbl.reset t.table
+let hits t = t.hits
+let misses t = t.misses
+let entries t = Hashtbl.length t.table

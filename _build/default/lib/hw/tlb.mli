@@ -1,0 +1,32 @@
+(** Per-core translation lookaside buffer. Caches leaf translations with
+    their combined walk permissions; PKRS and CR4 feature bits are *not*
+    cached — like hardware, they are consulted live on every access. Stale
+    entries after a PTE change are a real hazard the OS must manage with
+    explicit flushes. *)
+
+type entry = {
+  pfn : int;
+  user : bool;
+  writable : bool;
+  nx : bool;
+  pkey : int;
+}
+
+type t
+
+val create : unit -> t
+
+val lookup : t -> int -> entry option
+(** [lookup t vaddr] by virtual page number. Counts hits/misses. *)
+
+val insert : t -> int -> entry -> unit
+
+val flush_page : t -> int -> unit
+(** invlpg. *)
+
+val flush_all : t -> unit
+(** CR3 reload. *)
+
+val hits : t -> int
+val misses : t -> int
+val entries : t -> int

@@ -1,0 +1,9 @@
+type send_result = Delivered of int | Faulted of Fault.t
+
+let senduipi ~msr ~slot =
+  let tt = Msr.read msr Msr.ia32_uintr_tt in
+  if Int64.equal (Int64.logand tt Msr.uintr_tt_valid_bit) 0L then
+    Faulted (Fault.General_protection "senduipi: UINTR target table invalid")
+  else if slot < 0 || slot > 63 then
+    Faulted (Fault.General_protection "senduipi: bad slot")
+  else Delivered slot

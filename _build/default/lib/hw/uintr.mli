@@ -1,0 +1,13 @@
+(** User interrupts (UINTR): the senduipi path a malicious sandbox could use
+    to signal attacker processes without a privilege transition (AV3). The
+    monitor defeats it by clearing IA32_UINTR_TT.valid before entering a
+    sandbox (§6.2, step 4 in Fig. 7). *)
+
+type send_result =
+  | Delivered of int  (** Target table slot that received the interrupt. *)
+  | Faulted of Fault.t
+
+val senduipi : msr:Msr.t -> slot:int -> send_result
+(** Attempt a user-interrupt send on a core whose MSR file is [msr]. Sending
+    with an invalid target table raises #GP, exactly the behaviour the
+    monitor relies on. *)

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Alloc Array Bytes Fs Hashtbl Hw Layout List Option Printf Privops Queue Sched Syscall Task Tdx Vma

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Alloc Fs Hashtbl Hw Layout Privops Queue Sched Syscall Task Tdx Vma

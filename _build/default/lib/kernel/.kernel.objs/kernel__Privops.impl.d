@@ -1,0 +1,1 @@
+lib/kernel/privops.ml: Array Bytes Fun Hw Layout Tdx

@@ -1,0 +1,1 @@
+lib/kernel/privops.mli: Hw Tdx

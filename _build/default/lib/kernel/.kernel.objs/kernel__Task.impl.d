@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Hashtbl Layout Vma

@@ -1,0 +1,1 @@
+lib/kernel/vma.ml: Hw Layout List

@@ -1,0 +1,51 @@
+type special = { read : unit -> bytes; write : bytes -> unit }
+
+type t = {
+  files : (string, bytes ref) Hashtbl.t;
+  specials : (string, special) Hashtbl.t;
+}
+
+let create () = { files = Hashtbl.create 64; specials = Hashtbl.create 8 }
+
+let write_file t path data =
+  match Hashtbl.find_opt t.files path with
+  | Some r -> r := Bytes.copy data
+  | None -> Hashtbl.replace t.files path (ref (Bytes.copy data))
+
+let append_file t path data =
+  match Hashtbl.find_opt t.files path with
+  | Some r -> r := Bytes.cat !r data
+  | None -> write_file t path data
+
+let read_file t path = Option.map (fun r -> Bytes.copy !r) (Hashtbl.find_opt t.files path)
+
+let exists t path = Hashtbl.mem t.files path || Hashtbl.mem t.specials path
+
+let remove t path =
+  if Hashtbl.mem t.files path then begin
+    Hashtbl.remove t.files path;
+    true
+  end
+  else false
+
+let list t = List.sort compare (List.of_seq (Seq.map fst (Hashtbl.to_seq t.files)))
+
+let file_size t path = Option.map (fun r -> Bytes.length !r) (Hashtbl.find_opt t.files path)
+
+let register_special t path ~read ~write = Hashtbl.replace t.specials path { read; write }
+
+let is_special t path = Hashtbl.mem t.specials path
+
+let read_path t path =
+  match Hashtbl.find_opt t.specials path with
+  | Some s -> Some (s.read ())
+  | None -> read_file t path
+
+let write_path t path data =
+  match Hashtbl.find_opt t.specials path with
+  | Some s ->
+      s.write data;
+      true
+  | None ->
+      write_file t path data;
+      true

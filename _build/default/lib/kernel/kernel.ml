@@ -1,0 +1,535 @@
+(** Re-exported submodules: the library's entry module shadows them. *)
+
+module Layout = Layout
+module Privops = Privops
+module Alloc = Alloc
+module Vma = Vma
+module Task = Task
+module Sched = Sched
+module Fs = Fs
+module Syscall = Syscall
+
+type stats = {
+  mutable page_faults : int;
+  mutable syscalls : int;
+  mutable timer_irqs : int;
+  mutable ve_exits : int;
+  mutable segfaults : int;
+}
+
+type t = {
+  mem : Hw.Phys_mem.t;
+  clock : Hw.Cycles.clock;
+  cpu : Hw.Cpu.t;
+  td : Tdx.Td_module.t;
+  privops : Privops.t;
+  frame_alloc : Alloc.t;
+  cma : Alloc.t;
+  fs : Fs.t;
+  sched : Sched.t;
+  kernel_root : int;
+  tasks : (int, Task.t) Hashtbl.t;
+  mutable next_tid : int;
+  stats : stats;
+  mutable frame_source :
+    (Task.t -> Vma.region -> addr:int -> int option) option;
+  futex_waiters : Task.t Queue.t;
+  mutable mmu_batching : bool;
+}
+
+let cost t c = Hw.Cycles.advance t.clock c
+
+let alloc_ptp t () =
+  match Alloc.alloc_zeroed t.frame_alloc t.mem with
+  | Some pfn -> pfn
+  | None -> failwith "Kernel: out of frames for page tables"
+
+(* Demand-populate the kernel direct map for one frame. Intermediate levels
+   below the shared boot-time PDPT are shared by every address space. *)
+let ensure_direct_map t ~pfn =
+  let vaddr = Layout.direct_map (Hw.Phys_mem.addr_of_pfn pfn) in
+  match Hw.Page_table.walk t.mem ~root_pfn:t.kernel_root vaddr with
+  | Some _ -> ()
+  | None ->
+      Hw.Page_table.map t.mem ~write_pte:t.privops.Privops.write_pte ~alloc_ptp:(alloc_ptp t)
+        ~root_pfn:t.kernel_root ~vaddr
+        (Hw.Pte.make ~pfn { Hw.Pte.default_flags with nx = true })
+
+(* Eagerly allocate the PML4-slot subtrees shared between all address
+   spaces, so later direct-map fills are visible through every root. *)
+let preplant_shared_slot t root vaddr =
+  let slot_index, _, _, _ = Hw.Page_table.split vaddr in
+  let slot_addr = Hw.Phys_mem.addr_of_pfn root + (8 * slot_index) in
+  let existing = Hw.Phys_mem.read_u64 t.mem slot_addr in
+  if not (Hw.Pte.present existing) then begin
+    let pdpt = alloc_ptp t () in
+    t.privops.Privops.write_pte ~pte_addr:slot_addr
+      (Hw.Pte.make ~pfn:pdpt { Hw.Pte.default_flags with user = true })
+  end
+
+let boot ~mem ~cpu ~td ~privops ~reserved_frames ~cma_frames =
+  let frames = Hw.Phys_mem.frames mem in
+  if reserved_frames + cma_frames >= frames then
+    invalid_arg "Kernel.boot: reservations exceed physical memory";
+  let general = frames - reserved_frames - cma_frames in
+  let t =
+    {
+      mem;
+      clock = cpu.Hw.Cpu.clock;
+      cpu;
+      td;
+      privops;
+      frame_alloc = Alloc.create ~first_pfn:reserved_frames ~frames:general;
+      cma = Alloc.create ~first_pfn:(reserved_frames + general) ~frames:cma_frames;
+      fs = Fs.create ();
+      sched = Sched.create ~quantum_ticks:4;
+      kernel_root = 0 (* patched below *);
+      tasks = Hashtbl.create 16;
+      next_tid = 1;
+      stats = { page_faults = 0; syscalls = 0; timer_irqs = 0; ve_exits = 0; segfaults = 0 };
+      frame_source = None;
+      futex_waiters = Queue.create ();
+      mmu_batching = false;
+    }
+  in
+  let root =
+    match Alloc.alloc_zeroed t.frame_alloc mem with
+    | Some pfn -> pfn
+    | None -> failwith "Kernel.boot: no frame for root"
+  in
+  let t = { t with kernel_root = root } in
+  privops.Privops.declare_root ~root_pfn:root;
+  preplant_shared_slot t root Layout.direct_map_base;
+  preplant_shared_slot t root Layout.kernel_text_base;
+  privops.Privops.write_cr3 ~root_pfn:root;
+  (* Stock hardening a modern guest enables; Erebor additionally forces
+     these on and removes the kernel's ability to flip them back. *)
+  privops.Privops.set_cr_bit ~reg:`Cr0 Hw.Cr.cr0_wp true;
+  privops.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smep true;
+  privops.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smap true;
+  t
+
+let copy_kernel_half t root =
+  List.iter
+    (fun base ->
+      let slot_index, _, _, _ = Hw.Page_table.split base in
+      let src = Hw.Phys_mem.read_u64 t.mem (Hw.Phys_mem.addr_of_pfn t.kernel_root + (8 * slot_index)) in
+      if Hw.Pte.present src then
+        t.privops.Privops.write_pte
+          ~pte_addr:(Hw.Phys_mem.addr_of_pfn root + (8 * slot_index))
+          src)
+    [ Layout.direct_map_base; Layout.kernel_text_base ]
+
+let create_task t ~name ~kind =
+  let root =
+    match Alloc.alloc_zeroed t.frame_alloc t.mem with
+    | Some pfn -> pfn
+    | None -> failwith "Kernel.create_task: no frame for root"
+  in
+  t.privops.Privops.declare_root ~root_pfn:root;
+  copy_kernel_half t root;
+  let task = Task.make ~tid:t.next_tid ~name ~kind ~root_pfn:root in
+  t.next_tid <- t.next_tid + 1;
+  Hashtbl.replace t.tasks task.Task.tid task;
+  Sched.enqueue t.sched task;
+  task
+
+let clone_thread t parent ~name =
+  let task = Task.make ~tid:t.next_tid ~name ~kind:parent.Task.kind ~root_pfn:parent.Task.root_pfn in
+  task.Task.vmas <- parent.Task.vmas;
+  task.Task.brk <- parent.Task.brk;
+  t.next_tid <- t.next_tid + 1;
+  Hashtbl.replace t.tasks task.Task.tid task;
+  Sched.enqueue t.sched task;
+  task
+
+let find_task t tid = Hashtbl.find_opt t.tasks tid
+
+let live_task_count t =
+  Hashtbl.fold (fun _ task acc -> if task.Task.state <> Task.Dead then acc + 1 else acc) t.tasks 0
+
+let mmap _t task ~len ~prot ~kind =
+  let len = Layout.page_align_up len in
+  if len <= 0 then Error "mmap: empty length"
+  else
+    match Vma.find_gap task.Task.vmas ~hint:0x1000_0000 ~len ~limit:Layout.user_top with
+    | None -> Error "mmap: address space exhausted"
+    | Some start -> (
+        match Vma.add task.Task.vmas { Vma.start; len; prot; kind } with
+        | Ok vmas ->
+            task.Task.vmas <- vmas;
+            Ok start
+        | Error e -> Error e)
+
+let allocator_for t kind =
+  match kind with Vma.Confined -> t.cma | Vma.Anon | Vma.Stack | Vma.File _ | Vma.Common -> t.frame_alloc
+
+let handle_page_fault t task ~addr ~kind =
+  cost t Hw.Cycles.Cost.page_fault_base;
+  t.stats.page_faults <- t.stats.page_faults + 1;
+  match Vma.find task.Task.vmas addr with
+  | None ->
+      t.stats.segfaults <- t.stats.segfaults + 1;
+      Error (Printf.sprintf "segfault: no mapping at 0x%x" addr)
+  | Some region ->
+      let allowed =
+        match kind with
+        | Hw.Fault.Read -> region.Vma.prot.Vma.read
+        | Hw.Fault.Write -> region.Vma.prot.Vma.write
+        | Hw.Fault.Execute -> region.Vma.prot.Vma.exec
+      in
+      if not allowed then begin
+        t.stats.segfaults <- t.stats.segfaults + 1;
+        Error (Printf.sprintf "segfault: protection at 0x%x" addr)
+      end
+      else begin
+        let page = Layout.page_align_down addr in
+        let provided =
+          match t.frame_source with
+          | Some f -> f task region ~addr:page
+          | None -> None
+        in
+        let pfn =
+          match provided with
+          | Some pfn -> Some pfn
+          | None -> Alloc.alloc (allocator_for t region.Vma.kind)
+        in
+        match pfn with
+        | None -> Error "out of memory"
+        | Some pfn ->
+            (* Sandbox-declared memory is deliberately absent from the
+               kernel direct map: the monitor's single-mapping rule forbids
+               a second (kernel-visible) mapping of confined frames. *)
+            (match region.Vma.kind with
+            | Vma.Confined | Vma.Common -> ()
+            | Vma.Anon | Vma.Stack | Vma.File _ -> ensure_direct_map t ~pfn);
+            let writable =
+              (* Common regions may be writable in the VMA until the monitor
+                 seals them; the PTE mirrors the VMA protection. *)
+              region.Vma.prot.Vma.write
+            in
+            let pte =
+              Hw.Pte.make ~pfn
+                { Hw.Pte.default_flags with
+                  user = Layout.is_user_addr page;
+                  writable;
+                  nx = not region.Vma.prot.Vma.exec }
+            in
+            Hw.Page_table.map t.mem ~write_pte:t.privops.Privops.write_pte
+              ~alloc_ptp:(alloc_ptp t) ~root_pfn:task.Task.root_pfn ~vaddr:page pte;
+            Ok ()
+      end
+
+(* Batched population: the demand-zero faults still occur page by page,
+   but the leaf PTE stores are submitted to the monitor in batches of 64,
+   sharing EMC round trips (§9.1's batched-MMU optimization). *)
+let populate_batched t task ~first ~last =
+  let batch = ref [] and count = ref 0 in
+  let flush () =
+    if !count > 0 then begin
+      t.privops.Privops.write_pte_batch (Array.of_list (List.rev !batch));
+      batch := [];
+      count := 0
+    end
+  in
+  let rec go page =
+    if page >= last then begin
+      flush ();
+      Ok ()
+    end
+    else
+      match Hw.Page_table.walk t.mem ~root_pfn:task.Task.root_pfn page with
+      | Some _ -> go (page + Hw.Phys_mem.page_size)
+      | None -> (
+          cost t Hw.Cycles.Cost.page_fault_base;
+          t.stats.page_faults <- t.stats.page_faults + 1;
+          match Vma.find task.Task.vmas page with
+          | None -> Error (Printf.sprintf "segfault: no mapping at 0x%x" page)
+          | Some region -> (
+              let provided =
+                match t.frame_source with
+                | Some f -> f task region ~addr:page
+                | None -> None
+              in
+              let pfn =
+                match provided with
+                | Some pfn -> Some pfn
+                | None -> Alloc.alloc (allocator_for t region.Vma.kind)
+              in
+              match pfn with
+              | None -> Error "out of memory"
+              | Some pfn ->
+                  (match region.Vma.kind with
+                  | Vma.Confined | Vma.Common -> ()
+                  | Vma.Anon | Vma.Stack | Vma.File _ -> ensure_direct_map t ~pfn);
+                  let slot =
+                    Hw.Page_table.prepare_leaf t.mem
+                      ~write_pte:t.privops.Privops.write_pte ~alloc_ptp:(alloc_ptp t)
+                      ~root_pfn:task.Task.root_pfn ~vaddr:page
+                  in
+                  let pte =
+                    Hw.Pte.make ~pfn
+                      { Hw.Pte.default_flags with
+                        user = Layout.is_user_addr page;
+                        writable = region.Vma.prot.Vma.write;
+                        nx = not region.Vma.prot.Vma.exec }
+                  in
+                  batch := (slot, pte) :: !batch;
+                  incr count;
+                  if !count >= 64 then flush ();
+                  go (page + Hw.Phys_mem.page_size)))
+  in
+  go first
+
+let populate t task ~start ~len =
+  let first = Layout.page_align_down start in
+  let last = Layout.page_align_up (start + len) in
+  if t.mmu_batching then populate_batched t task ~first ~last
+  else begin
+    let rec go page =
+      if page >= last then Ok ()
+      else
+        match Hw.Page_table.walk t.mem ~root_pfn:task.Task.root_pfn page with
+        | Some _ -> go (page + Hw.Phys_mem.page_size)
+        | None -> (
+            match handle_page_fault t task ~addr:page ~kind:Hw.Fault.Write with
+            | Ok () -> go (page + Hw.Phys_mem.page_size)
+            | Error e -> Error e)
+    in
+    go first
+  end
+
+let set_mmu_batching t enabled = t.mmu_batching <- enabled
+
+(* Dynamic kernel code (§7): loadable modules and text_poke go through the
+   monitor's verifier before becoming executable. *)
+let module_area_base = Layout.kernel_text_base + 0x1000_0000
+
+let load_module t ~name ~code =
+  match t.privops.Privops.verify_dynamic_code ~section:("module:" ^ name) code with
+  | Error e -> Error ("module rejected: " ^ e)
+  | Ok () ->
+      let pages = max 1 (Layout.pages_of_bytes (Bytes.length code)) in
+      let rec alloc_frames n acc =
+        if n = 0 then Some (List.rev acc)
+        else
+          match Alloc.alloc t.frame_alloc with
+          | Some pfn -> alloc_frames (n - 1) (pfn :: acc)
+          | None -> None
+      in
+      (match alloc_frames pages [] with
+      | None -> Error "module: out of memory"
+      | Some frames ->
+          let base =
+            module_area_base + (t.next_tid * 0x100_0000) + (Hashtbl.hash name land 0xff_f000)
+          in
+          List.iteri
+            (fun i pfn ->
+              let off = i * Hw.Phys_mem.page_size in
+              let chunk = min Hw.Phys_mem.page_size (Bytes.length code - off) in
+              if chunk > 0 then
+                Hw.Phys_mem.write_bytes t.mem (Hw.Phys_mem.addr_of_pfn pfn)
+                  (Bytes.sub code off chunk);
+              (* Map read-only + executable: W^X for dynamic code too. *)
+              Hw.Page_table.map t.mem ~write_pte:t.privops.Privops.write_pte
+                ~alloc_ptp:(alloc_ptp t) ~root_pfn:t.kernel_root ~vaddr:(base + off)
+                (Hw.Pte.make ~pfn { Hw.Pte.default_flags with writable = false }))
+            frames;
+          Ok base)
+
+let poke_text t ~vaddr ~code =
+  (* text_poke: the kernel cannot write its own (write-protected) text, so
+     the monitor validates and performs the update (§7). *)
+  match t.privops.Privops.verify_dynamic_code ~section:"text_poke" code with
+  | Error e -> Error ("poke rejected: " ^ e)
+  | Ok () -> (
+      match Hw.Page_table.walk t.mem ~root_pfn:t.kernel_root vaddr with
+      | None -> Error "poke: target not mapped"
+      | Some w ->
+          Hw.Phys_mem.write_bytes t.mem
+            (Hw.Phys_mem.addr_of_pfn w.Hw.Page_table.pfn + Hw.Phys_mem.page_offset vaddr)
+            code;
+          Ok ())
+
+let resolve_pfn t task ~addr =
+  Option.map
+    (fun w -> w.Hw.Page_table.pfn)
+    (Hw.Page_table.walk t.mem ~root_pfn:task.Task.root_pfn addr)
+
+let fork_process t parent ~name =
+  let child = create_task t ~name ~kind:parent.Task.kind in
+  child.Task.brk <- parent.Task.brk;
+  Vma.iter
+    (fun region ->
+      (match Vma.add child.Task.vmas region with
+      | Ok vmas -> child.Task.vmas <- vmas
+      | Error e -> failwith ("fork: " ^ e));
+      (* Eager copy of all present pages (no COW in this kernel). *)
+      let page = ref region.Vma.start in
+      while !page < Vma.region_end region do
+        (match Hw.Page_table.walk t.mem ~root_pfn:parent.Task.root_pfn !page with
+        | None -> ()
+        | Some w -> (
+            match Alloc.alloc (allocator_for t region.Vma.kind) with
+            | None -> failwith "fork: out of memory"
+            | Some pfn ->
+                ensure_direct_map t ~pfn;
+                let src = Hw.Phys_mem.addr_of_pfn (Hw.Pte.pfn w.Hw.Page_table.pte) in
+                Hw.Phys_mem.write_bytes t.mem (Hw.Phys_mem.addr_of_pfn pfn)
+                  (Hw.Phys_mem.read_bytes t.mem src Hw.Phys_mem.page_size);
+                cost t Hw.Cycles.Cost.page_fault_base;
+                t.stats.page_faults <- t.stats.page_faults + 1;
+                Hw.Page_table.map t.mem ~write_pte:t.privops.Privops.write_pte
+                  ~alloc_ptp:(alloc_ptp t) ~root_pfn:child.Task.root_pfn ~vaddr:!page
+                  (Hw.Pte.with_pfn w.Hw.Page_table.pte pfn)));
+        page := !page + Hw.Phys_mem.page_size
+      done)
+    parent.Task.vmas;
+  child
+
+let munmap t task ~addr =
+  match Vma.find task.Task.vmas addr with
+  | None -> Error "munmap: no region"
+  | Some region when region.Vma.start <> addr -> Error "munmap: not region start"
+  | Some region ->
+      let page = ref region.Vma.start in
+      while !page < Vma.region_end region do
+        (match Hw.Page_table.walk t.mem ~root_pfn:task.Task.root_pfn !page with
+        | None -> ()
+        | Some w ->
+            let pfn = Hw.Pte.pfn w.Hw.Page_table.pte in
+            Hw.Page_table.unmap t.mem ~write_pte:t.privops.Privops.write_pte
+              ~root_pfn:task.Task.root_pfn ~vaddr:!page;
+            (* Common frames back a shared instance other address spaces may
+               still map: only the mapping goes away, never the frame. *)
+            (match region.Vma.kind with
+            | Vma.Common -> ()
+            | Vma.Anon | Vma.Stack | Vma.File _ | Vma.Confined ->
+                let allocator = allocator_for t region.Vma.kind in
+                (try if Alloc.is_allocated allocator pfn then Alloc.free allocator pfn
+                 with Invalid_argument _ -> ( (* frame owned elsewhere *) ))));
+        page := !page + Hw.Phys_mem.page_size
+      done;
+      task.Task.vmas <- Vma.remove task.Task.vmas ~start:addr;
+      Ok ()
+
+let context_switch t ~prev ~next =
+  cost t Hw.Cycles.Cost.context_switch;
+  (match prev with
+  | Some p -> p.Task.saved_regs <- Some (Hw.Cpu.snapshot_regs t.cpu)
+  | None -> ());
+  (match next.Task.saved_regs with
+  | Some regs -> Hw.Cpu.restore_regs t.cpu regs
+  | None -> Hw.Cpu.scrub_regs t.cpu);
+  t.privops.Privops.write_cr3 ~root_pfn:next.Task.root_pfn
+
+let timer_interrupt t =
+  cost t Hw.Cycles.Cost.interrupt_delivery;
+  t.stats.timer_irqs <- t.stats.timer_irqs + 1;
+  ignore (Sched.on_timer t.sched ~switch:(fun ~prev ~next -> context_switch t ~prev ~next))
+
+let cpuid t _task ~leaf =
+  cost t Hw.Cycles.Cost.ve_handling;
+  t.stats.ve_exits <- t.stats.ve_exits + 1;
+  match t.privops.Privops.tdcall (Tdx.Ghci.Vmcall (Tdx.Ghci.Cpuid leaf)) with
+  | Tdx.Td_module.Ok_int v -> v
+  | Tdx.Td_module.Ok_bytes _ | Tdx.Td_module.Ok_report _ | Tdx.Td_module.Ok_unit -> 0L
+  | Tdx.Td_module.Error_leaf e -> failwith ("cpuid: " ^ e)
+
+let exit_task t task ~code =
+  Task.kill task ~exit_code:code;
+  Sched.remove_dead t.sched
+
+let brk _t task ~new_brk =
+  let old = task.Task.brk in
+  if new_brk <= old then Ok old
+  else begin
+    let start = Layout.page_align_up old in
+    let len = Layout.page_align_up new_brk - start in
+    if len = 0 then begin
+      task.Task.brk <- new_brk;
+      Ok new_brk
+    end
+    else
+      match Vma.add task.Task.vmas { Vma.start; len; prot = Vma.prot_rw; kind = Vma.Anon } with
+      | Ok vmas ->
+          task.Task.vmas <- vmas;
+          task.Task.brk <- new_brk;
+          Ok new_brk
+      | Error e -> Error e
+  end
+
+let syscall t task call =
+  cost t Hw.Cycles.Cost.syscall_roundtrip;
+  t.stats.syscalls <- t.stats.syscalls + 1;
+  match call with
+  | Syscall.Open { path } ->
+      if not (Fs.exists t.fs path) then Fs.write_file t.fs path Bytes.empty;
+      Syscall.Rint (Task.alloc_fd task path)
+  | Syscall.Close { fd } ->
+      if Task.close_fd task fd then Syscall.Rint 0 else Syscall.Rerr "close: bad fd"
+  | Syscall.Read { fd; user_buf; len } -> (
+      match Task.path_of_fd task fd with
+      | None -> Syscall.Rerr "read: bad fd"
+      | Some path -> (
+          match Fs.read_path t.fs path with
+          | None -> Syscall.Rerr "read: no such file"
+          | Some data ->
+              let chunk = Bytes.sub data 0 (min len (Bytes.length data)) in
+              if user_buf <> 0 then t.privops.Privops.copy_to_user ~user_addr:user_buf chunk;
+              Syscall.Rbytes chunk))
+  | Syscall.Write { fd; user_buf; len } -> (
+      match Task.path_of_fd task fd with
+      | None -> Syscall.Rerr "write: bad fd"
+      | Some path ->
+          let data = t.privops.Privops.copy_from_user ~user_addr:user_buf ~len in
+          if Fs.is_special t.fs path then ignore (Fs.write_path t.fs path data)
+          else Fs.append_file t.fs path data;
+          Syscall.Rint (Bytes.length data))
+  | Syscall.Mmap { len; prot } -> (
+      match mmap t task ~len ~prot ~kind:Vma.Anon with
+      | Ok addr -> Syscall.Raddr addr
+      | Error e -> Syscall.Rerr e)
+  | Syscall.Munmap { addr } -> (
+      match munmap t task ~addr with Ok () -> Syscall.Rok | Error e -> Syscall.Rerr e)
+  | Syscall.Brk { new_brk } -> (
+      match brk t task ~new_brk with Ok b -> Syscall.Raddr b | Error e -> Syscall.Rerr e)
+  | Syscall.Clone { name } ->
+      let child = clone_thread t task ~name in
+      Syscall.Rint child.Task.tid
+  | Syscall.Futex_wait ->
+      Sched.block_current t.sched;
+      Queue.add task t.futex_waiters;
+      ignore (Sched.yield t.sched ~switch:(fun ~prev ~next -> context_switch t ~prev ~next));
+      Syscall.Rok
+  | Syscall.Futex_wake ->
+      (match Queue.take_opt t.futex_waiters with
+      | Some waiter -> Sched.wake t.sched waiter
+      | None -> ());
+      Syscall.Rok
+  | Syscall.Ioctl { fd; request; arg } -> (
+      match Task.path_of_fd task fd with
+      | None -> Syscall.Rerr "ioctl: bad fd"
+      | Some path -> (
+          match request with
+          | 1 -> (
+              (* INPUT: read the node. *)
+              match Fs.read_path t.fs path with
+              | Some data -> Syscall.Rbytes data
+              | None -> Syscall.Rerr "ioctl: no such node")
+          | 2 ->
+              (* OUTPUT: write through the node. *)
+              ignore (Fs.write_path t.fs path arg);
+              Syscall.Rok
+          | _ -> Syscall.Rerr "ioctl: unknown request"))
+  | Syscall.Getpid -> Syscall.Rint task.Task.tid
+  | Syscall.Sched_yield ->
+      ignore (Sched.yield t.sched ~switch:(fun ~prev ~next -> context_switch t ~prev ~next));
+      Syscall.Rok
+  | Syscall.Exit { code } ->
+      exit_task t task ~code;
+      Syscall.Rok
+
+(* Exposed for Erebor: install a custom provider of fault frames (common
+   memory instances, pinned confined pools). *)
+let set_frame_source t f = t.frame_source <- Some f

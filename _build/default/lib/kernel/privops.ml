@@ -1,0 +1,86 @@
+type t = {
+  label : string;
+  write_pte : pte_addr:int -> Hw.Pte.t -> unit;
+  write_pte_batch : (int * Hw.Pte.t) array -> unit;
+  set_cr_bit : reg:[ `Cr0 | `Cr4 ] -> int64 -> bool -> unit;
+  write_cr3 : root_pfn:int -> unit;
+  declare_root : root_pfn:int -> unit;
+  write_msr : int -> int64 -> unit;
+  lidt : Hw.Idt.t -> unit;
+  tdcall : Tdx.Ghci.leaf -> Tdx.Td_module.tdcall_result;
+  verify_dynamic_code : section:string -> bytes -> (unit, string) result;
+  copy_from_user : user_addr:int -> len:int -> bytes;
+  copy_to_user : user_addr:int -> bytes -> unit;
+}
+
+let native ~cpu ~td =
+  let clock = cpu.Hw.Cpu.clock in
+  let cost c = Hw.Cycles.advance clock c in
+  {
+    label = "native";
+    write_pte =
+      (fun ~pte_addr pte ->
+        cost Hw.Cycles.Cost.pte_write_native;
+        Hw.Phys_mem.write_u64 cpu.Hw.Cpu.mem pte_addr pte;
+        (* A PTE store invalidates any cached translation through it. The
+           native kernel pairs set_pte with invlpg; we model the flush as
+           part of the operation. *)
+        Hw.Cpu.flush_tlb cpu);
+    write_pte_batch =
+      (fun entries ->
+        cost (Hw.Cycles.Cost.pte_write_native * Array.length entries);
+        Array.iter
+          (fun (pte_addr, pte) -> Hw.Phys_mem.write_u64 cpu.Hw.Cpu.mem pte_addr pte)
+          entries;
+        Hw.Cpu.flush_tlb cpu);
+    set_cr_bit =
+      (fun ~reg bit v ->
+        cost Hw.Cycles.Cost.cr_write_native;
+        Hw.Cpu.set_cr_bit cpu ~reg bit v);
+    write_cr3 =
+      (fun ~root_pfn ->
+        cost Hw.Cycles.Cost.cr_write_native;
+        Hw.Cpu.write_cr3 cpu ~root_pfn);
+    declare_root = (fun ~root_pfn -> ignore root_pfn (* nothing to do natively *));
+    write_msr =
+      (fun idx v ->
+        cost Hw.Cycles.Cost.msr_write_native;
+        Hw.Cpu.write_msr cpu idx v);
+    lidt =
+      (fun idt ->
+        cost Hw.Cycles.Cost.lidt_native;
+        Hw.Cpu.lidt cpu idt);
+    tdcall = (fun leaf -> Tdx.Td_module.tdcall td cpu leaf);
+    verify_dynamic_code = (fun ~section code -> ignore section; ignore code; Ok ());
+    copy_from_user =
+      (fun ~user_addr ~len ->
+        cost Hw.Cycles.Cost.stac_native;
+        cost (Hw.Cycles.Cost.usercopy_per_page * max 1 (Layout.pages_of_bytes len));
+        Hw.Cpu.stac cpu;
+        Fun.protect
+          ~finally:(fun () -> Hw.Cpu.clac cpu)
+          (fun () -> Hw.Cpu.read_bytes cpu user_addr len));
+    copy_to_user =
+      (fun ~user_addr data ->
+        cost Hw.Cycles.Cost.stac_native;
+        cost
+          (Hw.Cycles.Cost.usercopy_per_page
+          * max 1 (Layout.pages_of_bytes (Bytes.length data)));
+        Hw.Cpu.stac cpu;
+        Fun.protect
+          ~finally:(fun () -> Hw.Cpu.clac cpu)
+          (fun () -> Hw.Cpu.write_bytes cpu user_addr data));
+  }
+
+let count_pte_writes t =
+  let n = ref 0 in
+  let wrapped =
+    {
+      t with
+      write_pte =
+        (fun ~pte_addr pte ->
+          incr n;
+          t.write_pte ~pte_addr pte);
+    }
+  in
+  (wrapped, fun () -> !n)

@@ -1,0 +1,46 @@
+(** The privileged-operation table — the reproduction's rendering of the
+    paper's kernel instrumentation (§5.1). Every sensitive instruction the
+    kernel would execute (Table 2) goes through this record. The [native]
+    implementation executes directly at native cost; Erebor substitutes an
+    implementation that funnels each call through an EMC gate with policy
+    validation, at the calibrated EMC cost. *)
+
+type t = {
+  label : string;  (** "native" or "erebor", for diagnostics. *)
+  write_pte : pte_addr:int -> Hw.Pte.t -> unit;
+      (** MMU: store one page-table entry. *)
+  write_pte_batch : (int * Hw.Pte.t) array -> unit;
+      (** MMU: store many entries in one request — the batched-update
+          optimization the paper points at in §9.1 (after Nested Kernel).
+          Under Erebor the whole batch shares a single EMC round trip;
+          natively it is just a loop. *)
+  set_cr_bit : reg:[ `Cr0 | `Cr4 ] -> int64 -> bool -> unit;
+      (** CR: toggle a CR0/CR4 feature bit. *)
+  write_cr3 : root_pfn:int -> unit;
+      (** CR: switch address spaces (flushes the TLB). *)
+  declare_root : root_pfn:int -> unit;
+      (** MMU: announce a freshly-allocated page-table root before entries
+          are stored into it (process page-table initialization goes through
+          the monitor under Erebor). *)
+  write_msr : int -> int64 -> unit;  (** MSR: wrmsr. *)
+  lidt : Hw.Idt.t -> unit;           (** IDT: install an interrupt table. *)
+  tdcall : Tdx.Ghci.leaf -> Tdx.Td_module.tdcall_result;
+      (** GHCI: call the TDX module. *)
+  verify_dynamic_code : section:string -> bytes -> (unit, string) result;
+      (** Dynamic kernel code (modules, eBPF, text_poke payloads, §7): the
+          monitor byte-scans it before it may become executable. Natively a
+          no-op accept. *)
+  copy_from_user : user_addr:int -> len:int -> bytes;
+      (** SMAP-aware user copy (stac/…/clac). Raises [Fault.Fault] when the
+          user range is unmapped or protected. *)
+  copy_to_user : user_addr:int -> bytes -> unit;
+}
+
+val native : cpu:Hw.Cpu.t -> td:Tdx.Td_module.t -> t
+(** Direct execution on [cpu], advancing the clock by the Table 4 native
+    costs. PTE stores write physical memory through the kernel's direct map
+    privilege (no PKS in the way in a stock CVM). *)
+
+val count_pte_writes : t -> (t * (unit -> int))
+(** Wrap [t] so PTE writes are counted; returns the wrapped table and a
+    counter reader (used by statistics and tests). *)

@@ -1,0 +1,28 @@
+(** Round-robin scheduler driven by APIC timer ticks. Context switches load
+    the next task's CR3 through the privileged-operation table, so under
+    Erebor every switch pays an EMC — one of the mechanical sources of the
+    system-wide overhead in §9.3. *)
+
+type t
+
+val create : quantum_ticks:int -> t
+(** A task is preempted after [quantum_ticks] timer interrupts. *)
+
+val enqueue : t -> Task.t -> unit
+val current : t -> Task.t option
+
+val runnable_count : t -> int
+
+val on_timer : t -> switch:(prev:Task.t option -> next:Task.t -> unit) -> bool
+(** Account one tick; when the quantum expires and another runnable task
+    waits, rotate and invoke [switch]. Returns whether a switch happened. *)
+
+val yield : t -> switch:(prev:Task.t option -> next:Task.t -> unit) -> bool
+(** Voluntary rotation (sched_yield, futex wait). *)
+
+val block_current : t -> unit
+val wake : t -> Task.t -> unit
+val remove_dead : t -> unit
+(** Drop dead tasks from the queue. *)
+
+val switches : t -> int

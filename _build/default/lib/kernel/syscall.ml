@@ -1,0 +1,45 @@
+type call =
+  | Read of { fd : int; user_buf : int; len : int }
+  | Write of { fd : int; user_buf : int; len : int }
+  | Open of { path : string }
+  | Close of { fd : int }
+  | Mmap of { len : int; prot : Vma.prot }
+  | Munmap of { addr : int }
+  | Brk of { new_brk : int }
+  | Clone of { name : string }
+  | Futex_wait
+  | Futex_wake
+  | Ioctl of { fd : int; request : int; arg : bytes }
+  | Getpid
+  | Sched_yield
+  | Exit of { code : int }
+
+type result =
+  | Rint of int
+  | Raddr of int
+  | Rbytes of bytes
+  | Rok
+  | Rerr of string
+
+let name = function
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Mmap _ -> "mmap"
+  | Munmap _ -> "munmap"
+  | Brk _ -> "brk"
+  | Clone _ -> "clone"
+  | Futex_wait -> "futex_wait"
+  | Futex_wake -> "futex_wake"
+  | Ioctl _ -> "ioctl"
+  | Getpid -> "getpid"
+  | Sched_yield -> "sched_yield"
+  | Exit _ -> "exit"
+
+let pp_result fmt = function
+  | Rint n -> Fmt.pf fmt "%d" n
+  | Raddr a -> Fmt.pf fmt "0x%x" a
+  | Rbytes b -> Fmt.pf fmt "<%d bytes>" (Bytes.length b)
+  | Rok -> Fmt.string fmt "ok"
+  | Rerr e -> Fmt.pf fmt "error:%s" e

@@ -1,0 +1,29 @@
+(** The guest syscall surface — the subset of Linux the workloads and the
+    LibOS need. System calls are the primary AV2 leak channel the monitor
+    disables for sandboxes once client data arrives (§6.2). *)
+
+type call =
+  | Read of { fd : int; user_buf : int; len : int }
+  | Write of { fd : int; user_buf : int; len : int }
+  | Open of { path : string }
+  | Close of { fd : int }
+  | Mmap of { len : int; prot : Vma.prot }
+  | Munmap of { addr : int }
+  | Brk of { new_brk : int }
+  | Clone of { name : string }
+  | Futex_wait
+  | Futex_wake
+  | Ioctl of { fd : int; request : int; arg : bytes }
+  | Getpid
+  | Sched_yield
+  | Exit of { code : int }
+
+type result =
+  | Rint of int          (** fd, byte count, tid, pid... *)
+  | Raddr of int         (** mmap/brk address. *)
+  | Rbytes of bytes      (** read payload (already user-copied). *)
+  | Rok
+  | Rerr of string
+
+val name : call -> string
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/libos/libos.ml: Bytes Erebor Hashtbl Heap Hw Kernel List Memfs Option Printf Result Spinlock

@@ -1,0 +1,1 @@
+lib/libos/libos.mli: Erebor Heap Memfs Spinlock

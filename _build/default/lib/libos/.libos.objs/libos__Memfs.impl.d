@@ -1,0 +1,1 @@
+lib/libos/memfs.ml: Bytes Hashtbl Heap List Option Seq

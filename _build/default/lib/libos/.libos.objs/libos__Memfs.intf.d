@@ -1,0 +1,1 @@
+lib/libos/memfs.mli: Heap

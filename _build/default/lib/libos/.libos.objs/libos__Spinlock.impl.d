@@ -1,0 +1,1 @@
+lib/libos/spinlock.ml: Fun Hw

@@ -1,0 +1,30 @@
+type t = {
+  clock : Hw.Cycles.clock;
+  mutable locked : bool;
+  mutable acquisitions : int;
+  mutable contended : int;
+}
+
+let spin_penalty = 12 (* spins before the holder's event completes *)
+
+let create ~clock = { clock; locked = false; acquisitions = 0; contended = 0 }
+
+let acquire t =
+  t.acquisitions <- t.acquisitions + 1;
+  if t.locked then begin
+    t.contended <- t.contended + 1;
+    Hw.Cycles.advance t.clock (spin_penalty * Hw.Cycles.Cost.spinlock_acquire)
+  end;
+  Hw.Cycles.advance t.clock Hw.Cycles.Cost.spinlock_acquire;
+  t.locked <- true
+
+let release t =
+  if not t.locked then invalid_arg "Spinlock.release: not held";
+  t.locked <- false
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let acquisitions t = t.acquisitions
+let contended t = t.contended

@@ -1,0 +1,20 @@
+(** Userspace spinlocks (§6.2 service 3): futex is unavailable once the
+    sandbox is sealed, so synchronization stays in-process, following the
+    SGX SDK practice. Busy-waiting costs cycles but never exits. *)
+
+type t
+
+val create : clock:Hw.Cycles.clock -> t
+
+val acquire : t -> unit
+(** Uncontended: {!Hw.Cycles.Cost.spinlock_acquire} cycles. Contended (lock
+    already held — possible because simulated threads interleave at event
+    granularity): spins, charging an order of magnitude more. *)
+
+val release : t -> unit
+(** Raises [Invalid_argument] if not held. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+
+val acquisitions : t -> int
+val contended : t -> int

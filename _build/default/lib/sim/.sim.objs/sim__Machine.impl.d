@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Buffer Bytes Config Crypto Erebor Hw Kernel Libos Option Stats Tdx Vmm

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Config Crypto Erebor Hw Kernel Stats

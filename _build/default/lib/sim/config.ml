@@ -1,0 +1,27 @@
+type setting = Native | Libos_only | Erebor_mmu | Erebor_exit | Erebor_full
+
+let all = [ Native; Libos_only; Erebor_mmu; Erebor_exit; Erebor_full ]
+
+let name = function
+  | Native -> "native"
+  | Libos_only -> "libos-only"
+  | Erebor_mmu -> "erebor-mmu"
+  | Erebor_exit -> "erebor-exit"
+  | Erebor_full -> "erebor"
+
+let of_name s =
+  List.find_opt (fun setting -> name setting = s) all
+
+let uses_libos = function
+  | Native -> false
+  | Libos_only | Erebor_mmu | Erebor_exit | Erebor_full -> true
+
+let emc_privops = function
+  | Erebor_mmu | Erebor_full -> true
+  | Native | Libos_only | Erebor_exit -> false
+
+let interposes_exits = function
+  | Erebor_exit | Erebor_full -> true
+  | Native | Libos_only | Erebor_mmu -> false
+
+let has_monitor = function Native -> false | _ -> true

@@ -1,0 +1,29 @@
+(** The five evaluation settings of §9: Native, the LibOS-only ablation, the
+    two partial-Erebor ablations, and the full system. *)
+
+type setting =
+  | Native        (** Plain CVM, direct privileged execution. *)
+  | Libos_only    (** LibOS runtime services, no monitor. *)
+  | Erebor_mmu    (** + memory-view isolation (EMC for every privop). *)
+  | Erebor_exit   (** + exit interposition only. *)
+  | Erebor_full   (** Complete Erebor. *)
+
+val all : setting list
+val name : setting -> string
+val of_name : string -> setting option
+
+val uses_libos : setting -> bool
+(** Everything except [Native]. *)
+
+val emc_privops : setting -> bool
+(** Sensitive operations go through the monitor: [Erebor_mmu],
+    [Erebor_full]. *)
+
+val interposes_exits : setting -> bool
+(** Syscalls/interrupts pass the monitor first: [Erebor_exit],
+    [Erebor_full]. *)
+
+val has_monitor : setting -> bool
+(** A monitor is installed at all (everything except [Native];
+    [Libos_only] keeps one purely to host the sandbox bookkeeping, with
+    native privops and no interposition). *)

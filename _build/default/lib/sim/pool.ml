@@ -1,0 +1,61 @@
+type entry = { sb : Erebor.Sandbox.t; libos : Libos.t }
+
+type t = {
+  mgr : Erebor.Sandbox.manager;
+  name_prefix : string;
+  heap_bytes : int;
+  threads : int;
+  preload : (string * bytes) list;
+  mutable ready_list : entry list;
+  mutable seq : int;
+  mutable hits : int;
+  mutable colds : int;
+}
+
+let boot_one t =
+  let name = Printf.sprintf "%s-%d" t.name_prefix t.seq in
+  t.seq <- t.seq + 1;
+  match
+    Erebor.Sandbox.create_sandbox t.mgr ~name ~confined_budget:(t.heap_bytes + (16 * 4096))
+  with
+  | Error e -> Error e
+  | Ok sb -> (
+      match
+        Libos.boot ~mgr:t.mgr ~sb ~heap_bytes:t.heap_bytes ~threads:t.threads
+          ~preload:t.preload
+      with
+      | Error e -> Error e
+      | Ok libos -> Ok { sb; libos })
+
+let prewarm t n =
+  let rec go i =
+    if i = 0 then Ok ()
+    else
+      match boot_one t with
+      | Error e -> Error e
+      | Ok entry ->
+          t.ready_list <- entry :: t.ready_list;
+          go (i - 1)
+  in
+  go n
+
+let create ~mgr ~name_prefix ~heap_bytes ~threads ?(preload = []) ~size () =
+  let t =
+    { mgr; name_prefix; heap_bytes; threads; preload; ready_list = []; seq = 0;
+      hits = 0; colds = 0 }
+  in
+  match prewarm t size with Ok () -> Ok t | Error e -> Error e
+
+let acquire t =
+  match t.ready_list with
+  | entry :: rest ->
+      t.ready_list <- rest;
+      t.hits <- t.hits + 1;
+      Ok entry
+  | [] ->
+      t.colds <- t.colds + 1;
+      boot_one t
+
+let ready t = List.length t.ready_list
+let warm_hits t = t.hits
+let cold_boots t = t.colds

@@ -1,0 +1,31 @@
+(** Warm-start sandbox pool (§9.2): the paper notes the one-time 11.5–52.7%
+    initialization overhead "can be pre-initialized in real settings (i.e.,
+    by adopting warm-start techniques)". This module implements that: a pool
+    of sandboxes whose confined memory is declared, pinned and LibOS-booted
+    ahead of client arrival, so a session's time-to-first-byte excludes the
+    pinning cost. *)
+
+type entry = { sb : Erebor.Sandbox.t; libos : Libos.t }
+
+type t
+
+val create :
+  mgr:Erebor.Sandbox.manager ->
+  name_prefix:string ->
+  heap_bytes:int ->
+  threads:int ->
+  ?preload:(string * bytes) list ->
+  size:int ->
+  unit ->
+  (t, string) result
+(** Pre-warm [size] ready sandboxes (paying the init cost now). *)
+
+val acquire : t -> (entry, string) result
+(** A ready sandbox (warm hit), or a cold boot when the pool is empty. *)
+
+val prewarm : t -> int -> (unit, string) result
+(** Refill the pool by [n] entries (background work in a real deployment). *)
+
+val ready : t -> int
+val warm_hits : t -> int
+val cold_boots : t -> int

@@ -1,0 +1,52 @@
+type snapshot = {
+  cycles : int;
+  seconds : float;
+  page_faults : int;
+  timer_irqs : int;
+  ve_exits : int;
+  syscalls : int;
+  emc_total : int;
+  emc_mmu : int;
+  emc_cr : int;
+  emc_msr : int;
+  emc_smap : int;
+  emc_ghci : int;
+  context_switches : int;
+}
+
+let zero =
+  { cycles = 0; seconds = 0.0; page_faults = 0; timer_irqs = 0; ve_exits = 0;
+    syscalls = 0; emc_total = 0; emc_mmu = 0; emc_cr = 0; emc_msr = 0;
+    emc_smap = 0; emc_ghci = 0; context_switches = 0 }
+
+let diff ~before ~after =
+  {
+    cycles = after.cycles - before.cycles;
+    seconds = after.seconds -. before.seconds;
+    page_faults = after.page_faults - before.page_faults;
+    timer_irqs = after.timer_irqs - before.timer_irqs;
+    ve_exits = after.ve_exits - before.ve_exits;
+    syscalls = after.syscalls - before.syscalls;
+    emc_total = after.emc_total - before.emc_total;
+    emc_mmu = after.emc_mmu - before.emc_mmu;
+    emc_cr = after.emc_cr - before.emc_cr;
+    emc_msr = after.emc_msr - before.emc_msr;
+    emc_smap = after.emc_smap - before.emc_smap;
+    emc_ghci = after.emc_ghci - before.emc_ghci;
+    context_switches = after.context_switches - before.context_switches;
+  }
+
+let per_second s count = if s.seconds <= 0.0 then 0.0 else count /. s.seconds
+
+let pf_rate s = per_second s (float_of_int s.page_faults)
+let timer_rate s = per_second s (float_of_int s.timer_irqs)
+let ve_rate s = per_second s (float_of_int s.ve_exits)
+let exit_rate s = pf_rate s +. timer_rate s +. ve_rate s
+let emc_rate s = per_second s (float_of_int s.emc_total)
+
+let pp fmt s =
+  Fmt.pf fmt
+    "%.2fs  #PF=%.1f/s #Timer=%.1f/s #VE=%.1f/s EMC=%.1fk/s syscalls=%d ctxsw=%d"
+    s.seconds (pf_rate s) (timer_rate s) (ve_rate s)
+    (emc_rate s /. 1000.0)
+    s.syscalls s.context_switches

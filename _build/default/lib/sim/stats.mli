@@ -1,0 +1,34 @@
+(** Run statistics in the shape the paper reports (Table 6, Fig. 8–10):
+    per-second exit rates, EMC rate, and virtual execution time. *)
+
+type snapshot = {
+  cycles : int;
+  seconds : float;
+  page_faults : int;
+  timer_irqs : int;
+  ve_exits : int;
+  syscalls : int;
+  emc_total : int;
+  emc_mmu : int;
+  emc_cr : int;
+  emc_msr : int;
+  emc_smap : int;
+  emc_ghci : int;
+  context_switches : int;
+}
+
+val zero : snapshot
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+val per_second : snapshot -> float -> float
+(** [per_second s count] — rate of [count] events over the snapshot span. *)
+
+val pf_rate : snapshot -> float
+val timer_rate : snapshot -> float
+val ve_rate : snapshot -> float
+val exit_rate : snapshot -> float
+(** PF + timer + #VE combined (Table 6 "Total"). *)
+
+val emc_rate : snapshot -> float
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/tdx/ghci.ml: Bytes Fmt

@@ -1,0 +1,1 @@
+lib/tdx/quote.ml: Array Attest Bytes Char Crypto

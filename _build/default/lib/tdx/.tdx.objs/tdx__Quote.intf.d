@@ -1,0 +1,1 @@
+lib/tdx/quote.mli: Attest Crypto

@@ -1,0 +1,1 @@
+lib/tdx/sept.mli:

@@ -1,0 +1,1 @@
+lib/tdx/td_module.ml: Attest Fun Ghci Hw Sept

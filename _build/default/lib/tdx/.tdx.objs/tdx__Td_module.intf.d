@@ -1,0 +1,1 @@
+lib/tdx/td_module.mli: Attest Ghci Hw Sept

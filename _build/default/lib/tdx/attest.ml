@@ -1,0 +1,65 @@
+let report_data_size = 64
+let rtmr_count = 4
+let digest_size = Crypto.Sha256.digest_size
+
+type report = {
+  mrtd : bytes;
+  rtmrs : bytes array;
+  report_data : bytes;
+  mac : bytes;
+}
+
+type measurements = {
+  mutable mrtd_value : bytes;
+  rtmr_values : bytes array;
+}
+
+let create_measurements () =
+  {
+    mrtd_value = Bytes.make digest_size '\000';
+    rtmr_values = Array.init rtmr_count (fun _ -> Bytes.make digest_size '\000');
+  }
+
+let chain current data =
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx current;
+  Crypto.Sha256.feed ctx (Crypto.Sha256.digest_bytes data);
+  Crypto.Sha256.digest ctx
+
+let extend_mrtd m data = m.mrtd_value <- chain m.mrtd_value data
+let mrtd m = Bytes.copy m.mrtd_value
+
+let check_index index =
+  if index < 0 || index >= rtmr_count then invalid_arg "Attest: bad RTMR index"
+
+let extend_rtmr m ~index data =
+  check_index index;
+  m.rtmr_values.(index) <- chain m.rtmr_values.(index) data
+
+let rtmr m ~index =
+  check_index index;
+  Bytes.copy m.rtmr_values.(index)
+
+let pad_report_data data =
+  if Bytes.length data > report_data_size then
+    invalid_arg "Attest: report_data exceeds 64 bytes";
+  let out = Bytes.make report_data_size '\000' in
+  Bytes.blit data 0 out 0 (Bytes.length data);
+  out
+
+let serialize_body r =
+  Bytes.concat Bytes.empty
+    (Bytes.of_string "TDREPORT" :: r.mrtd :: (Array.to_list r.rtmrs @ [ r.report_data ]))
+
+let generate m ~hw_key ~report_data =
+  let body =
+    {
+      mrtd = Bytes.copy m.mrtd_value;
+      rtmrs = Array.map Bytes.copy m.rtmr_values;
+      report_data = pad_report_data report_data;
+      mac = Bytes.empty;
+    }
+  in
+  { body with mac = Crypto.Hmac.mac ~key:hw_key (serialize_body body) }
+
+let verify ~hw_key r = Crypto.Hmac.verify ~key:hw_key (serialize_body r) ~tag:r.mac

@@ -1,0 +1,64 @@
+type service = { hw_key : bytes; key : Crypto.Rsa.keypair }
+
+type quote = { body : Attest.report; signature : bytes }
+
+let create_service rng ~hw_key = { hw_key; key = Crypto.Rsa.generate rng ~bits:1024 }
+
+let attestation_key s = s.key.Crypto.Rsa.public
+
+let signed_payload report = Attest.serialize_body report
+
+let quote s report =
+  if not (Attest.verify ~hw_key:s.hw_key report) then
+    Error "quote: report MAC invalid (not produced by this platform)"
+  else
+    Ok { body = report; signature = Crypto.Rsa.sign s.key (signed_payload report) }
+
+let verify public q =
+  Crypto.Rsa.verify public (signed_payload q.body) ~signature:q.signature
+
+let le32 n =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((n lsr (8 * i)) land 0xff))
+  done;
+  b
+
+let read_le32 b off =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let serialize q =
+  let report =
+    Bytes.concat Bytes.empty
+      (q.body.Attest.mrtd
+      :: (Array.to_list q.body.Attest.rtmrs
+         @ [ q.body.Attest.report_data; q.body.Attest.mac ]))
+  in
+  Bytes.concat Bytes.empty
+    [ le32 (Bytes.length report); report; le32 (Bytes.length q.signature); q.signature ]
+
+let deserialize b =
+  let report_size = 32 + (4 * 32) + 64 + 32 in
+  if Bytes.length b < 4 then Error "quote: truncated"
+  else begin
+    let rlen = read_le32 b 0 in
+    if rlen <> report_size || Bytes.length b < 4 + rlen + 4 then Error "quote: bad report size"
+    else begin
+      let r = Bytes.sub b 4 rlen in
+      let body =
+        {
+          Attest.mrtd = Bytes.sub r 0 32;
+          rtmrs = Array.init 4 (fun i -> Bytes.sub r (32 + (32 * i)) 32);
+          report_data = Bytes.sub r 160 64;
+          mac = Bytes.sub r 224 32;
+        }
+      in
+      let slen = read_le32 b (4 + rlen) in
+      if Bytes.length b <> 4 + rlen + 4 + slen then Error "quote: bad signature size"
+      else Ok { body; signature = Bytes.sub b (4 + rlen + 4) slen }
+    end
+  end

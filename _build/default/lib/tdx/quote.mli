@@ -1,0 +1,30 @@
+(** The quoting layer: real TDX deployments convert CPU-MACed TDREPORTs into
+    asymmetrically-signed *quotes* via the Quoting Enclave, so remote
+    verifiers need only Intel's public collateral, never a shared secret.
+    This module plays that role with the in-repo RSA: the service checks a
+    report's MAC locally (it owns the hardware key, like the QE's access to
+    the MAC facility) and re-signs the report body. *)
+
+type service
+
+type quote = {
+  body : Attest.report;   (** The quoted report ([mac] not covered). *)
+  signature : bytes;      (** RSA over the serialized report body. *)
+}
+
+val create_service : Crypto.Drbg.t -> hw_key:bytes -> service
+(** Provision a quoting service: an RSA-1024 attestation key certified (in
+    spirit) by the platform vendor. *)
+
+val attestation_key : service -> Crypto.Rsa.public
+(** The public collateral a relying party pins. *)
+
+val quote : service -> Attest.report -> (quote, string) result
+(** Verify the report's MAC and sign its body; [Error _] for forged
+    reports. *)
+
+val verify : Crypto.Rsa.public -> quote -> bool
+(** Relying-party check: signature over the body. *)
+
+val serialize : quote -> bytes
+val deserialize : bytes -> (quote, string) result

@@ -1,0 +1,32 @@
+type state = Private | Shared
+
+type t = {
+  frames : int;
+  shared : (int, unit) Hashtbl.t; (* pfns currently shared; absent = private *)
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Sept.create: frames must be positive";
+  { frames; shared = Hashtbl.create 64 }
+
+let frames t = t.frames
+
+let check t pfn =
+  if pfn < 0 || pfn >= t.frames then invalid_arg "Sept: pfn out of range"
+
+let state t pfn =
+  check t pfn;
+  if Hashtbl.mem t.shared pfn then Shared else Private
+
+let is_shared t pfn = state t pfn = Shared
+
+let convert t pfn st =
+  check t pfn;
+  match st with
+  | Shared -> Hashtbl.replace t.shared pfn ()
+  | Private -> Hashtbl.remove t.shared pfn
+
+let shared_count t = Hashtbl.length t.shared
+
+let shared_pfns t =
+  List.sort compare (List.of_seq (Seq.map fst (Hashtbl.to_seq t.shared)))

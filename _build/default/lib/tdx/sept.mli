@@ -1,0 +1,27 @@
+(** The secure EPT page-state table controlled exclusively by the TDX module
+    (§2.1). Every guest-physical frame is either *private* (protected from
+    the host and from device DMA) or *shared* (accessible to the VMM and
+    devices). Conversion only happens through a tdcall. *)
+
+type state = Private | Shared
+
+type t
+
+val create : frames:int -> t
+(** All frames start private, as for a freshly-built TD. *)
+
+val frames : t -> int
+
+val state : t -> int -> state
+(** Raises [Invalid_argument] on an out-of-range pfn. *)
+
+val is_shared : t -> int -> bool
+
+val convert : t -> int -> state -> unit
+(** Flip one frame's state (TDX-module internal; guests go through
+    {!Td_module.tdcall} with a MapGPA leaf). *)
+
+val shared_count : t -> int
+
+val shared_pfns : t -> int list
+(** Ascending list of shared frames, for audit-style tests. *)

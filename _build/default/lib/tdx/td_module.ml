@@ -1,0 +1,98 @@
+type vmcall_result = V_int of int64 | V_bytes of bytes | V_unit | V_error of string
+
+type vmm_handler = Ghci.vmcall -> vmcall_result
+
+type t = {
+  sept : Sept.t;
+  measurements : Attest.measurements;
+  hw_key : bytes;
+  clock : Hw.Cycles.clock;
+  mutable vmm : vmm_handler option;
+  mutable finalized : bool;
+  mutable tdcalls : int;
+  mutable vmcalls : int;
+  mutable tdreports : int;
+  mutable map_gpas : int;
+}
+
+let create ~mem ~clock ~hw_key =
+  {
+    sept = Sept.create ~frames:(Hw.Phys_mem.frames mem);
+    measurements = Attest.create_measurements ();
+    hw_key;
+    clock;
+    vmm = None;
+    finalized = false;
+    tdcalls = 0;
+    vmcalls = 0;
+    tdreports = 0;
+    map_gpas = 0;
+  }
+
+let sept t = t.sept
+let measurements t = t.measurements
+let set_vmm t h = t.vmm <- Some h
+
+let measure_initial t data =
+  if t.finalized then invalid_arg "Td_module.measure_initial: TD build already finalized";
+  Attest.extend_mrtd t.measurements data
+
+type tdcall_result =
+  | Ok_int of int64
+  | Ok_bytes of bytes
+  | Ok_report of Attest.report
+  | Ok_unit
+  | Error_leaf of string
+
+let tdcall t cpu leaf =
+  if cpu.Hw.Cpu.mode = Hw.Cpu.User then
+    Hw.Fault.raise_fault (Hw.Fault.General_protection "tdcall from user mode");
+  t.finalized <- true;
+  t.tdcalls <- t.tdcalls + 1;
+  match leaf with
+  | Ghci.Vmcall v -> (
+      t.vmcalls <- t.vmcalls + 1;
+      Hw.Cycles.advance t.clock Hw.Cycles.Cost.tdcall_roundtrip;
+      match t.vmm with
+      | None -> Error_leaf "no VMM attached"
+      | Some handler -> (
+          (* The TDX module protects guest context across the synchronous
+             exit: the host handler runs against scrubbed registers. *)
+          let saved = Hw.Cpu.snapshot_regs cpu in
+          Hw.Cpu.scrub_regs cpu;
+          let result = handler v in
+          Hw.Cpu.restore_regs cpu saved;
+          match result with
+          | V_int v -> Ok_int v
+          | V_bytes b -> Ok_bytes b
+          | V_unit -> Ok_unit
+          | V_error e -> Error_leaf e))
+  | Ghci.Tdreport { report_data } ->
+      t.tdreports <- t.tdreports + 1;
+      Hw.Cycles.advance t.clock Hw.Cycles.Cost.tdreport_native;
+      Ok_report (Attest.generate t.measurements ~hw_key:t.hw_key ~report_data)
+  | Ghci.Map_gpa { pfn; shared } ->
+      t.map_gpas <- t.map_gpas + 1;
+      Hw.Cycles.advance t.clock Hw.Cycles.Cost.tdcall_roundtrip;
+      if pfn < 0 || pfn >= Sept.frames t.sept then Error_leaf "map_gpa: pfn out of range"
+      else begin
+        Sept.convert t.sept pfn (if shared then Sept.Shared else Sept.Private);
+        Ok_unit
+      end
+  | Ghci.Rtmr_extend { index; data } ->
+      Hw.Cycles.advance t.clock Hw.Cycles.Cost.tdcall_roundtrip;
+      (try
+         Attest.extend_rtmr t.measurements ~index data;
+         Ok_unit
+       with Invalid_argument e -> Error_leaf e)
+
+let with_async_exit t cpu f =
+  ignore t;
+  let saved = Hw.Cpu.snapshot_regs cpu in
+  Hw.Cpu.scrub_regs cpu;
+  Fun.protect ~finally:(fun () -> Hw.Cpu.restore_regs cpu saved) f
+
+let tdcall_count t = t.tdcalls
+let vmcall_count t = t.vmcalls
+let tdreport_count t = t.tdreports
+let map_gpa_count t = t.map_gpas

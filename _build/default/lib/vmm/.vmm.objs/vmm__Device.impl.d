@@ -1,0 +1,1 @@
+lib/vmm/device.ml: Bytes Hw List Printf Result Tdx

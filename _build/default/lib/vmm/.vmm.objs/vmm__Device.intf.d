@@ -1,0 +1,1 @@
+lib/vmm/device.mli: Hw Tdx

@@ -1,0 +1,1 @@
+lib/vmm/host.ml: Bytes Char Hashtbl Int64 List Option Queue String Tdx

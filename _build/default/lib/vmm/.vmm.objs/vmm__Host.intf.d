@@ -1,0 +1,1 @@
+lib/vmm/host.mli: Tdx

@@ -1,0 +1,1 @@
+lib/workloads/eval.ml: Bytes Erebor Graph Hw Ids Imageproc Kernel List Llm Lmbench Netserve Option Printf Retrieval Sim Tdx Workload

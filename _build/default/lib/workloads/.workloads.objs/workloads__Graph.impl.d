@@ -1,0 +1,1 @@
+lib/workloads/graph.ml: Array Bytes Crypto List Printf Sim String Workload

@@ -1,0 +1,1 @@
+lib/workloads/ids.ml: Array Bytes Char Crypto List Printf Sim String Workload

@@ -1,0 +1,1 @@
+lib/workloads/ids.mli: Crypto Sim Workload

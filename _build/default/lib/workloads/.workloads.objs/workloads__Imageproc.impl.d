@@ -1,0 +1,1 @@
+lib/workloads/imageproc.ml: Array Bytes Crypto List Printf Sim Stack String Workload

@@ -1,0 +1,1 @@
+lib/workloads/imageproc.mli: Crypto Sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/llm.ml: Buffer Bytes Crypto Hashtbl Lazy List Option Sim String Workload

@@ -1,0 +1,1 @@
+lib/workloads/llm.mli: Crypto Lazy Sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/netserve.ml: Bytes Hw Printf Sim

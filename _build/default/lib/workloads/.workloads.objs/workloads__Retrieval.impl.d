@@ -1,0 +1,1 @@
+lib/workloads/retrieval.ml: Array Bytes Char Crypto List Printf Sim String Workload

@@ -1,0 +1,1 @@
+lib/workloads/retrieval.mli: Crypto Sim Workload

@@ -1,0 +1,25 @@
+(** Graph-processing service (GraphChi PageRank in the paper, Table 5):
+    a real CSR PageRank over a synthetic preferential-attachment graph
+    standing in for the Twitch-gamers input (6.8M edges). *)
+
+module Csr : sig
+  type t
+
+  val of_edges : nodes:int -> (int * int) list -> t
+  (** Build compressed sparse rows; ignores out-of-range endpoints. *)
+
+  val nodes : t -> int
+  val edges : t -> int
+  val out_degree : t -> int -> int
+
+  val synthetic : rng:Crypto.Drbg.t -> nodes:int -> edges:int -> t
+  (** Preferential-attachment-flavoured random graph. *)
+
+  val pagerank : t -> iterations:int -> damping:float -> float array
+  (** Power iteration; dangling mass is redistributed uniformly. *)
+
+  val top_k : float array -> k:int -> (int * float) list
+end
+
+val profile : Workload.profile
+val spec : unit -> Sim.Machine.spec

@@ -1,0 +1,29 @@
+(** Intrusion-detection service (Unicorn in the paper, Table 5): a real
+    provenance-graph sketch analyzer — feature-hashed histograms of event
+    edges, cosine-compared against a benign baseline. *)
+
+type event = { src : string; action : string; dst : string }
+
+val synthetic_log :
+  rng:Crypto.Drbg.t -> events:int -> anomaly_rate:float -> event list
+(** Mostly benign process/file/socket activity, with an [anomaly_rate]
+    fraction of exfiltration-style edges. *)
+
+module Sketch : sig
+  type t
+
+  val create : width:int -> t
+  val add : t -> event -> unit
+  val cosine : t -> t -> float
+  (** 0 when either sketch is empty. *)
+
+  val count : t -> int
+end
+
+val score : baseline:Sketch.t -> event list -> float
+(** 1 - cosine(baseline, sketch(log)) — higher is more anomalous. *)
+
+val baseline : rng:Crypto.Drbg.t -> Sketch.t
+
+val profile : Workload.profile
+val spec : unit -> Sim.Machine.spec

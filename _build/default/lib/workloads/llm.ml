@@ -1,0 +1,105 @@
+module Model = struct
+  (* context string -> (next char -> count) *)
+  type t = { order : int; table : (string, (char, int) Hashtbl.t) Hashtbl.t }
+
+  let train ~order corpus =
+    if order < 1 then invalid_arg "Model.train: order must be >= 1";
+    let table = Hashtbl.create 4096 in
+    let len = String.length corpus in
+    (* Store every order 1..n so generation can back off smoothly. *)
+    for k = 1 to order do
+      for i = 0 to len - k - 1 do
+        let ctx = String.sub corpus i k in
+        let next = corpus.[i + k] in
+        let dist =
+          match Hashtbl.find_opt table ctx with
+          | Some d -> d
+          | None ->
+              let d = Hashtbl.create 8 in
+              Hashtbl.replace table ctx d;
+              d
+        in
+        Hashtbl.replace dist next (1 + Option.value ~default:0 (Hashtbl.find_opt dist next))
+      done
+    done;
+    { order; table }
+
+  let sample dist ~rng =
+    let total = Hashtbl.fold (fun _ c acc -> acc + c) dist 0 in
+    let target = Crypto.Drbg.int rng total in
+    let chosen = ref None and seen = ref 0 in
+    Hashtbl.iter
+      (fun c count ->
+        if !chosen = None then begin
+          seen := !seen + count;
+          if !seen > target then chosen := Some c
+        end)
+      dist;
+    Option.value ~default:' ' !chosen
+
+  let generate t ~rng ~prompt ~n =
+    let buf = Buffer.create (String.length prompt + n) in
+    Buffer.add_string buf prompt;
+    for _ = 1 to n do
+      let s = Buffer.contents buf in
+      (* Back off to shorter contexts when the full-order one is unseen. *)
+      let rec next_char order =
+        if order = 0 then 't'
+        else begin
+          let ctx_start = max 0 (String.length s - order) in
+          let ctx = String.sub s ctx_start (String.length s - ctx_start) in
+          match Hashtbl.find_opt t.table ctx with
+          | Some dist -> sample dist ~rng
+          | None -> next_char (order - 1)
+        end
+      in
+      Buffer.add_char buf (next_char t.order)
+    done;
+    String.sub (Buffer.contents buf) (String.length prompt) n
+
+  let contexts t = Hashtbl.length t.table
+end
+
+let default_corpus =
+  String.concat " "
+    (List.concat
+       (List.init 40 (fun _ ->
+            [
+              "the monitor interposes every sensitive instruction the kernel requests";
+              "client data is processed inside a sandboxed container and never leaves";
+              "confidential virtual machines protect memory from the untrusted host";
+              "the library operating system emulates runtime services in process";
+              "attestation binds the secure channel to the measured boot state";
+            ])))
+
+let default_model = lazy (Model.train ~order:4 default_corpus)
+
+let profile =
+  {
+    Workload.name = "llama.cpp";
+    nominal_seconds = 52.85;
+    nominal_confined_mb = 501;
+    common = Some ("llama2-7b", 4096);
+    threads = 8;
+    timer_hz = 900;
+    pf_per_sec = 2050.0;
+    hostio_per_sec = 1700.0;
+    hostio_bytes = 16384;
+    pte_churn_per_sec = 30_000.0;
+    sync_per_sec = 34_000.0;
+    contention = 0.55;
+    service_per_sec = 2_000.0;
+    init_cycles_per_page = 630;
+    output_bucket = 4096;
+  }
+
+let real_work (ops : Sim.Machine.ops) =
+  let prompt = Bytes.to_string (ops.Sim.Machine.recv_input ()) in
+  let model = Lazy.force default_model in
+  let completion = Model.generate model ~rng:ops.Sim.Machine.rng ~prompt ~n:200 in
+  ops.Sim.Machine.send_output (Bytes.of_string (prompt ^ completion))
+
+let spec () =
+  Workload.to_spec profile
+    ~input:(Bytes.of_string "translate to english: la memoire confinee ")
+    ~real_work

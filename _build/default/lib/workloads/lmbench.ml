@@ -1,0 +1,69 @@
+type bench = {
+  bench_name : string;
+  iterations : int;
+  prepare_pages : int;
+  op : Sim.Machine.ops -> unit;
+}
+
+let benches =
+  [
+    { bench_name = "syscall"; iterations = 20_000; prepare_pages = 4;
+      op = (fun ops -> ops.Sim.Machine.service ()) };
+    { bench_name = "read"; iterations = 10_000; prepare_pages = 4;
+      op = (fun ops -> ops.Sim.Machine.fs_io ~write:false ~len:4096) };
+    { bench_name = "write"; iterations = 10_000; prepare_pages = 4;
+      op = (fun ops -> ops.Sim.Machine.fs_io ~write:true ~len:4096) };
+    { bench_name = "signal"; iterations = 10_000; prepare_pages = 4;
+      op = (fun ops -> ops.Sim.Machine.signal ()) };
+    { bench_name = "mmap"; iterations = 1_000; prepare_pages = 4;
+      op = (fun ops -> ops.Sim.Machine.mmap_cycle ~pages:16) };
+    { bench_name = "pagefault"; iterations = 20_000; prepare_pages = 64;
+      op = (fun ops -> ops.Sim.Machine.cold_fault ()) };
+    { bench_name = "fork"; iterations = 200; prepare_pages = 16;
+      op = (fun ops -> ops.Sim.Machine.fork_exit ()) };
+  ]
+
+type result = {
+  name : string;
+  setting : Sim.Config.setting;
+  avg_cycles : float;
+  emc_per_sec : float;
+  ops_per_sec : float;
+}
+
+let spec_of bench =
+  {
+    Sim.Machine.name = "lmbench-" ^ bench.bench_name;
+    sandboxed = false;
+    timer_hz = 1000;
+    init_compute = 0;
+    confined_bytes = bench.prepare_pages * Hw.Phys_mem.page_size;
+    nominal_confined_mb = 0;
+    common = None;
+    threads = 1;
+    contention = 0.0;
+    input = Bytes.empty;
+    output_bucket = 64;
+    body =
+      (fun ops ->
+        for _ = 1 to bench.iterations do
+          bench.op ops
+        done);
+  }
+
+let run ~setting bench =
+  let r = Sim.Machine.run_fresh ~frames:32768 ~cma_frames:2048 ~setting (spec_of bench) in
+  let s = r.Sim.Machine.stats in
+  let seconds = Hw.Cycles.to_seconds r.Sim.Machine.run_cycles in
+  {
+    name = bench.bench_name;
+    setting;
+    avg_cycles = float_of_int r.Sim.Machine.run_cycles /. float_of_int bench.iterations;
+    emc_per_sec = Sim.Stats.emc_rate s;
+    ops_per_sec = (if seconds > 0.0 then float_of_int bench.iterations /. seconds else 0.0);
+  }
+
+let overhead bench =
+  let native = run ~setting:Sim.Config.Native bench in
+  let erebor = run ~setting:Sim.Config.Erebor_full bench in
+  (erebor.avg_cycles /. native.avg_cycles, native, erebor)

@@ -1,0 +1,84 @@
+type server = Ssh | Nginx
+
+let server_name = function Ssh -> "OpenSSH" | Nginx -> "Nginx"
+
+let file_sizes_kb = [ 1; 4; 16; 64; 256; 1024; 4096; 16384 ]
+
+(* Per-request fixed work (connection handling, protocol parsing) and
+   per-byte work (crypto for SSH, copies/TCP for Nginx). *)
+let request_compute = function Ssh -> 170_000 | Nginx -> 85_000
+let request_syscalls = function Ssh -> 30 | Nginx -> 12
+let cycles_per_byte = function Ssh -> 12 | Nginx -> 6
+let handshake_rounds = function Ssh -> 2 | Nginx -> 1
+
+(* Nginx serves with sendfile-style batching: larger NIC pushes, fewer
+   per-packet crossings. SSH re-enters the kernel per cipher block. *)
+let stream_chunk = function Ssh -> 256 * 1024 | Nginx -> 512 * 1024
+
+type result = {
+  server : server;
+  setting : Sim.Config.setting;
+  file_kb : int;
+  requests : int;
+  seconds : float;
+  mb_per_sec : float;
+}
+
+let body server ~file_kb ~requests (ops : Sim.Machine.ops) =
+  let file_bytes = file_kb * 1024 in
+  for _ = 1 to requests do
+    (* Accept / session setup, including protocol handshake round trips. *)
+    ops.Sim.Machine.compute (request_compute server);
+    for _ = 1 to request_syscalls server do
+      ops.Sim.Machine.service ()
+    done;
+    for _ = 1 to handshake_rounds server do
+      ops.Sim.Machine.host_io ~bytes:1024
+    done;
+    (* Stream the file: read from the FS, transform, push to the NIC. *)
+    let remaining = ref file_bytes in
+    while !remaining > 0 do
+      let chunk = min (stream_chunk server) !remaining in
+      ops.Sim.Machine.fs_io ~write:false ~len:chunk;
+      ops.Sim.Machine.compute (chunk * cycles_per_byte server);
+      ops.Sim.Machine.host_io ~bytes:chunk;
+      remaining := !remaining - chunk
+    done
+  done
+
+let spec server ~file_kb ~requests =
+  {
+    Sim.Machine.name = Printf.sprintf "%s-%dkb" (server_name server) file_kb;
+    sandboxed = false;
+    timer_hz = 1000;
+    init_compute = 0;
+    confined_bytes = 64 * 1024;
+    nominal_confined_mb = 0;
+    common = None;
+    threads = 1;
+    contention = 0.0;
+    input = Bytes.empty;
+    output_bucket = 64;
+    body = body server ~file_kb ~requests;
+  }
+
+let run ~setting server ~file_kb ~requests =
+  let r =
+    Sim.Machine.run_fresh ~frames:32768 ~cma_frames:2048 ~setting
+      (spec server ~file_kb ~requests)
+  in
+  let seconds = Hw.Cycles.to_seconds r.Sim.Machine.run_cycles in
+  let mb = float_of_int (file_kb * requests) /. 1024.0 in
+  {
+    server;
+    setting;
+    file_kb;
+    requests;
+    seconds;
+    mb_per_sec = (if seconds > 0.0 then mb /. seconds else 0.0);
+  }
+
+let relative_throughput server ~file_kb ~requests =
+  let native = run ~setting:Sim.Config.Native server ~file_kb ~requests in
+  let erebor = run ~setting:Sim.Config.Erebor_full server ~file_kb ~requests in
+  erebor.mb_per_sec /. native.mb_per_sec

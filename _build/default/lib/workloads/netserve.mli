@@ -1,0 +1,26 @@
+(** Background I/O servers (Fig. 10 of the paper): OpenSSH- and Nginx-style
+    file transfer loops running as *normal* (non-sandboxed) programs. They
+    measure the system-wide overhead of Erebor's confinement and
+    interposition on services that manage the VM and proxy traffic
+    (§9.3). *)
+
+type server = Ssh | Nginx
+
+val server_name : server -> string
+
+val file_sizes_kb : int list
+(** 1 KB … 16 MB, the x-axis of Fig. 10. *)
+
+type result = {
+  server : server;
+  setting : Sim.Config.setting;
+  file_kb : int;
+  requests : int;
+  seconds : float;        (** Virtual time for the batch. *)
+  mb_per_sec : float;
+}
+
+val run : setting:Sim.Config.setting -> server -> file_kb:int -> requests:int -> result
+
+val relative_throughput : server -> file_kb:int -> requests:int -> float
+(** erebor/native throughput ratio (1.0 = no loss), one Fig. 10 point. *)

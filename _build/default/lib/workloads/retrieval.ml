@@ -1,0 +1,121 @@
+module Hashmap = struct
+  type 'a slot = Empty | Occupied of string * 'a
+
+  type 'a t = {
+    mutable slots : 'a slot array;
+    mutable count : int;
+    mutable probes : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+      invalid_arg "Hashmap.create: capacity must be a power of two";
+    { slots = Array.make capacity Empty; count = 0; probes = 0 }
+
+  (* FNV-1a, folded into OCaml's 63-bit int. *)
+  let hash key =
+    let h = ref 0xbf29ce484222325 in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x100000001b3)
+      key;
+    !h land max_int
+
+  let put t key value =
+    let mask = Array.length t.slots - 1 in
+    if t.count >= Array.length t.slots * 7 / 10 then failwith "Hashmap.put: over load factor";
+    let rec probe i =
+      t.probes <- t.probes + 1;
+      match t.slots.(i) with
+      | Empty ->
+          t.slots.(i) <- Occupied (key, value);
+          t.count <- t.count + 1
+      | Occupied (k, _) when k = key -> t.slots.(i) <- Occupied (key, value)
+      | Occupied _ -> probe ((i + 1) land mask)
+    in
+    probe (hash key land mask)
+
+  let get t key =
+    let mask = Array.length t.slots - 1 in
+    let rec probe i steps =
+      t.probes <- t.probes + 1;
+      if steps > mask then None
+      else
+        match t.slots.(i) with
+        | Empty -> None
+        | Occupied (k, v) when k = key -> Some v
+        | Occupied _ -> probe ((i + 1) land mask) (steps + 1)
+    in
+    probe (hash key land mask) 0
+
+  let length t = t.count
+  let probes t = t.probes
+end
+
+type record = { name : string; formula : string; indication : string }
+
+let drug_key i = Printf.sprintf "DB%05d" i
+
+let indications =
+  [| "hypertension"; "analgesic"; "antibiotic"; "antiviral"; "antihistamine";
+     "anticoagulant"; "antidepressant"; "bronchodilator" |]
+
+let synthetic_db ~rng ~entries =
+  let capacity =
+    let rec pow2 n = if n * 7 / 10 > entries then n else pow2 (2 * n) in
+    pow2 64
+  in
+  let db = Hashmap.create ~capacity in
+  for i = 0 to entries - 1 do
+    let record =
+      {
+        name = Printf.sprintf "compound-%d" i;
+        formula =
+          Printf.sprintf "C%dH%dN%dO%d"
+            (1 + Crypto.Drbg.int rng 40)
+            (1 + Crypto.Drbg.int rng 60)
+            (Crypto.Drbg.int rng 8)
+            (Crypto.Drbg.int rng 12);
+        indication = indications.(Crypto.Drbg.int rng (Array.length indications));
+      }
+    in
+    Hashmap.put db (drug_key i) record
+  done;
+  db
+
+let profile =
+  {
+    Workload.name = "drugbank";
+    nominal_seconds = 12.89;
+    nominal_confined_mb = 814;
+    common = Some ("drugbank-db", 400);
+    threads = 8;
+    timer_hz = 500;
+    pf_per_sec = 500.0;
+    hostio_per_sec = 1200.0;
+    hostio_bytes = 2048;
+    pte_churn_per_sec = 88_000.0;
+    sync_per_sec = 9_000.0;
+    contention = 0.35;
+    service_per_sec = 4_000.0;
+    init_cycles_per_page = 2_820;
+    output_bucket = 4096;
+  }
+
+let real_work (ops : Sim.Machine.ops) =
+  let request = Bytes.to_string (ops.Sim.Machine.recv_input ()) in
+  (* 2.2M queries in the paper; resolve a real sample against a real DB. *)
+  let db = synthetic_db ~rng:ops.Sim.Machine.rng ~entries:5000 in
+  let lookups =
+    List.init 64 (fun i ->
+        let key = drug_key (i * 67 mod 5000) in
+        match Hashmap.get db key with
+        | Some r -> Printf.sprintf "%s %s (%s): %s" key r.name r.formula r.indication
+        | None -> key ^ ": not found")
+  in
+  ops.Sim.Machine.send_output
+    (Bytes.of_string (Printf.sprintf "query=%s\n%s" request (String.concat "\n" lookups)))
+
+let spec () =
+  Workload.to_spec profile ~input:(Bytes.of_string "indication:hypertension") ~real_work

@@ -1,0 +1,26 @@
+(** Private information retrieval service (DrugBank in the paper, Table 5):
+    an open-addressing hash map (after the artifact's c_hashmap) holding a
+    synthetic drug database in the common region, answering client queries. *)
+
+module Hashmap : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** Power-of-two capacity; raises otherwise. *)
+
+  val put : 'a t -> string -> 'a -> unit
+  (** Raises [Failure] when past ~70% load. *)
+
+  val get : 'a t -> string -> 'a option
+  val length : 'a t -> int
+  val probes : 'a t -> int
+  (** Total probe count, a genuine work measure. *)
+end
+
+type record = { name : string; formula : string; indication : string }
+
+val synthetic_db : rng:Crypto.Drbg.t -> entries:int -> record Hashmap.t
+val drug_key : int -> string
+
+val profile : Workload.profile
+val spec : unit -> Sim.Machine.spec

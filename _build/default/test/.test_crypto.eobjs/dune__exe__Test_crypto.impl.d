@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aead Alcotest Bignum Bytes Chacha20 Char Crypto Dh Drbg Fmt Gen Hkdf Hmac Lazy List Printf QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_erebor.ml: Alcotest Array Bytes Char Crypto Erebor Hw Int64 Kernel List Option QCheck QCheck_alcotest Result String Tdx Vmm

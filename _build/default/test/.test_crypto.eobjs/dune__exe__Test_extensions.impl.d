@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bytes Crypto Erebor Hw Kernel List Option Printf Result Sim Tdx Vmm

@@ -1,0 +1,1 @@
+test/test_hw.ml: Access Alcotest Apic Array Bytes Cet Char Cpu Cr Cycles Fault Fun Hashtbl Hw Idt Image Isa List Msr Page_table Phys_mem Pks Printf Pte QCheck QCheck_alcotest String Tlb Uintr

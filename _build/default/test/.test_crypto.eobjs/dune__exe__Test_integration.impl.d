@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Char Crypto Erebor Hw Kernel Libos List Option Printf QCheck QCheck_alcotest Result String Tdx Vmm

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Buffer Bytes Crypto Fun Hw Kernel List Option QCheck QCheck_alcotest Result Tdx Vmm

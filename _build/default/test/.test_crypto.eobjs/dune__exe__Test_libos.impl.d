@@ -1,0 +1,1 @@
+test/test_libos.ml: Alcotest Bytes Crypto Erebor Hw Kernel Libos List Option QCheck QCheck_alcotest Result Tdx Vmm

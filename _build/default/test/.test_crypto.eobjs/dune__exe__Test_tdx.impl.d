@@ -1,0 +1,1 @@
+test/test_tdx.ml: Alcotest Array Bytes Crypto Hw List Result Tdx Vmm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Crypto Hw Lazy List QCheck QCheck_alcotest Sim String Workloads

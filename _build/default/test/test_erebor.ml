@@ -1,0 +1,791 @@
+(* Security-claim tests (C1–C8, §8 of the paper) plus unit tests for the
+   Erebor monitor, MMU guard, gates, sandboxes and the secure channel. *)
+
+let hw_key = Crypto.Sha256.digest_string "fused hardware key"
+let firmware = Bytes.of_string "OVMF-firmware-blob"
+
+let benign_kernel_image =
+  {
+    Hw.Image.entry = 0x1000;
+    sections =
+      [
+        { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true; writable = false;
+          data =
+            Hw.Isa.assemble
+              [ Hw.Isa.Endbr; Hw.Isa.Mov_imm (Hw.Isa.R0, 1); Hw.Isa.Call 2;
+                Hw.Isa.Syscall; Hw.Isa.Cpuid; Hw.Isa.Clac; Hw.Isa.Ret ] };
+        { Hw.Image.name = ".data"; vaddr = 0x8000; executable = false; writable = true;
+          data = Bytes.make 64 'd' };
+      ];
+  }
+
+type stack = {
+  mem : Hw.Phys_mem.t;
+  cpu : Hw.Cpu.t;
+  td : Tdx.Td_module.t;
+  host : Vmm.Host.t;
+  monitor : Erebor.Monitor.t;
+  kern : Kernel.t;
+}
+
+let make_stack ?(frames = 16384) ?(cma_frames = 4096) () =
+  let mem = Hw.Phys_mem.create ~frames in
+  let clock = Hw.Cycles.clock () in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 in
+  let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+  let host = Vmm.Host.create () in
+  Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
+  let monitor =
+    Erebor.Monitor.install ~cpu ~mem ~td ~firmware ~monitor_frames:32
+      ~device_shared_frames:32 ()
+  in
+  match
+    Erebor.Monitor.boot_kernel monitor ~kernel_image:benign_kernel_image
+      ~reserved_frames:128 ~cma_frames
+  with
+  | Ok kern -> { mem; cpu; td; host; monitor; kern }
+  | Error e -> failwith e
+
+let make_manager st = Erebor.Sandbox.create_manager ~monitor:st.monitor ~kern:st.kern
+
+let expect_violation name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Policy_violation")
+  | exception Erebor.Monitor.Policy_violation _ -> ()
+
+let expect_fault name f check =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected a fault")
+  | exception Hw.Fault.Fault flt ->
+      if not (check flt) then
+        Alcotest.failf "%s: unexpected fault %s" name (Hw.Fault.to_string flt)
+
+let is_pkey_pf = function
+  | Hw.Fault.Page_fault { pkey_violation; _ } -> pkey_violation
+  | _ -> false
+
+let is_cp = function Hw.Fault.Control_protection _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_pkrs () =
+  let pkrs = Erebor.Policy.normal_mode_pkrs in
+  Alcotest.(check bool) "monitor key blocked" false
+    (Hw.Pks.permits ~pkrs ~key:Erebor.Policy.key_monitor ~write:false);
+  Alcotest.(check bool) "ptp readable" true
+    (Hw.Pks.permits ~pkrs ~key:Erebor.Policy.key_ptp ~write:false);
+  Alcotest.(check bool) "ptp not writable" false
+    (Hw.Pks.permits ~pkrs ~key:Erebor.Policy.key_ptp ~write:true);
+  Alcotest.(check bool) "text not writable" false
+    (Hw.Pks.permits ~pkrs ~key:Erebor.Policy.key_kernel_text ~write:true);
+  Alcotest.(check bool) "default open" true
+    (Hw.Pks.permits ~pkrs ~key:Erebor.Policy.key_default ~write:true);
+  Alcotest.(check bool) "monitor mode open" true
+    (Hw.Pks.permits ~pkrs:Erebor.Policy.monitor_mode_pkrs ~key:Erebor.Policy.key_monitor
+       ~write:true)
+
+let test_policy_inventory () =
+  Alcotest.(check int) "five sensitive classes (Table 2)" 5
+    (List.length Erebor.Policy.sensitive_instructions);
+  Alcotest.(check bool) "tdcall classified" true
+    (Erebor.Policy.class_of_isa Hw.Isa.Tdcall = Some Erebor.Policy.Ghci);
+  Alcotest.(check bool) "nop benign" true (Erebor.Policy.class_of_isa Hw.Isa.Nop = None)
+
+(* ------------------------------------------------------------------ *)
+(* C1: verified boot                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_boot_accepts_benign () =
+  let st = make_stack () in
+  Alcotest.(check bool) "kernel booted" true (Erebor.Monitor.kernel st.monitor <> None);
+  Alcotest.(check bool) "pks enabled" true (Hw.Cr.pks st.cpu.Hw.Cpu.cr);
+  Alcotest.(check bool) "cet enabled" true (Hw.Cr.cet st.cpu.Hw.Cpu.cr);
+  Alcotest.(check int64) "normal pkrs loaded" Erebor.Policy.normal_mode_pkrs
+    (Hw.Msr.read st.cpu.Hw.Cpu.msr Hw.Msr.ia32_pkrs)
+
+let test_boot_rejects_sensitive () =
+  (* Plant each sensitive instruction in .text; every variant must be
+     refused (C1). *)
+  List.iter
+    (fun instr ->
+      let image =
+        {
+          benign_kernel_image with
+          Hw.Image.sections =
+            [
+              { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+                writable = false;
+                data = Hw.Isa.assemble [ Hw.Isa.Endbr; instr; Hw.Isa.Ret ] };
+            ];
+        }
+      in
+      let mem = Hw.Phys_mem.create ~frames:16384 in
+      let clock = Hw.Cycles.clock () in
+      let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 in
+      let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+      let monitor =
+        Erebor.Monitor.install ~cpu ~mem ~td ~firmware ~monitor_frames:32
+          ~device_shared_frames:32 ()
+      in
+      match
+        Erebor.Monitor.boot_kernel monitor ~kernel_image:image ~reserved_frames:128
+          ~cma_frames:1024
+      with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "booted a kernel containing %a" Hw.Isa.pp_instr instr)
+    [ Hw.Isa.Mov_cr (3, Hw.Isa.R0); Hw.Isa.Wrmsr; Hw.Isa.Stac; Hw.Isa.Lidt; Hw.Isa.Tdcall ]
+
+let test_boot_data_section_not_scanned () =
+  (* Non-executable sections may contain arbitrary bytes. *)
+  let image =
+    {
+      benign_kernel_image with
+      Hw.Image.sections =
+        benign_kernel_image.Hw.Image.sections
+        @ [
+            { Hw.Image.name = ".rodata"; vaddr = 0x20000; executable = false;
+              writable = false; data = Bytes.make 16 '\xc5' (* tdcall bytes *) };
+          ];
+    }
+  in
+  Alcotest.(check bool) "data bytes tolerated" true
+    (Erebor.Scan.verify_image image = Ok ())
+
+let test_boot_measurement_deterministic () =
+  let a = make_stack () and b = make_stack () in
+  let ra = Erebor.Monitor.tdreport a.monitor ~report_data:Bytes.empty in
+  let rb = Erebor.Monitor.tdreport b.monitor ~report_data:Bytes.empty in
+  Alcotest.(check bytes) "same boot, same MRTD" ra.Tdx.Attest.mrtd rb.Tdx.Attest.mrtd
+
+let test_dynamic_code_verification () =
+  (* text_poke / module loading path: the monitor scans dynamic code too. *)
+  (match Erebor.Scan.verify_bytes ~section:"ebpf" (Hw.Isa.assemble [ Hw.Isa.Add (Hw.Isa.R0, Hw.Isa.R1) ]) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "benign dynamic code rejected");
+  match Erebor.Scan.verify_bytes ~section:"ebpf" (Hw.Isa.assemble [ Hw.Isa.Wrmsr ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "sensitive dynamic code accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Gates (C4)                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_rogue_entry () =
+  let st = make_stack () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  expect_fault "mid-gate jump" (fun () ->
+      Erebor.Gate.enter gate ~target:(Erebor.Gate.entry_point gate + 4) (fun () -> ()))
+    is_cp;
+  (* The legitimate entry works. *)
+  Alcotest.(check int) "legit entry" 42
+    (Erebor.Gate.enter gate ~target:(Erebor.Gate.entry_point gate) (fun () -> 42))
+
+let test_gate_pkrs_switching () =
+  let st = make_stack () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  let msr = st.cpu.Hw.Cpu.msr in
+  let inside = ref (-1L) in
+  Erebor.Gate.call gate (fun () -> inside := Hw.Msr.read msr Hw.Msr.ia32_pkrs);
+  Alcotest.(check int64) "granted inside" Erebor.Policy.monitor_mode_pkrs !inside;
+  Alcotest.(check int64) "revoked outside" Erebor.Policy.normal_mode_pkrs
+    (Hw.Msr.read msr Hw.Msr.ia32_pkrs)
+
+let test_gate_pkrs_restored_on_exception () =
+  let st = make_stack () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  (try Erebor.Gate.call gate (fun () -> failwith "service blew up")
+   with Failure _ -> ());
+  Alcotest.(check int64) "revoked after exception" Erebor.Policy.normal_mode_pkrs
+    (Hw.Msr.read st.cpu.Hw.Cpu.msr Hw.Msr.ia32_pkrs)
+
+let test_gate_interrupt_revokes () =
+  let st = make_stack () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  let msr = st.cpu.Hw.Cpu.msr in
+  let during_irq = ref (-1L) and after_irq = ref (-1L) in
+  Erebor.Gate.call gate (fun () ->
+      (* An IPI lands mid-EMC: the #INT gate must revoke the granted
+         permissions around the OS handler. *)
+      Erebor.Gate.interrupt_during_emc gate (fun () ->
+          during_irq := Hw.Msr.read msr Hw.Msr.ia32_pkrs);
+      after_irq := Hw.Msr.read msr Hw.Msr.ia32_pkrs);
+  Alcotest.(check int64) "revoked during irq" Erebor.Policy.normal_mode_pkrs !during_irq;
+  Alcotest.(check int64) "restored after irq" Erebor.Policy.monitor_mode_pkrs !after_irq;
+  Alcotest.(check int) "interrupt counted" 1 (Erebor.Gate.interrupted_count gate)
+
+let test_gate_emc_cost () =
+  let st = make_stack () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  let t0 = Hw.Cycles.now st.kern.Kernel.clock in
+  Erebor.Gate.call gate (fun () -> ());
+  Alcotest.(check int) "empty EMC costs 1224" Hw.Cycles.Cost.emc_roundtrip
+    (Hw.Cycles.now st.kern.Kernel.clock - t0)
+
+(* ------------------------------------------------------------------ *)
+(* C2/C3/C4: MMU + CR/MSR protection                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_cannot_write_ptp () =
+  let st = make_stack () in
+  (* Map a PTP (the kernel master root) into the direct map; the guard
+     retags it read-only with the PTP key. *)
+  Kernel.ensure_direct_map st.kern ~pfn:st.kern.Kernel.kernel_root;
+  let va = Kernel.Layout.direct_map (Hw.Phys_mem.addr_of_pfn st.kern.Kernel.kernel_root) in
+  (* Reading page tables is fine... *)
+  ignore (Hw.Cpu.read_u64 st.cpu va);
+  (* ...but a direct store from normal mode trips PKS (C2). *)
+  expect_fault "direct PTP write" (fun () -> Hw.Cpu.write_u64 st.cpu va 0xBADL) is_pkey_pf
+
+let test_kernel_cannot_map_monitor_memory () =
+  let st = make_stack () in
+  expect_violation "mapping monitor memory" (fun () ->
+      Kernel.ensure_direct_map st.kern ~pfn:1 (* monitor frame *))
+
+let test_kernel_cannot_store_outside_ptp () =
+  let st = make_stack () in
+  expect_violation "stray pte store" (fun () ->
+      st.kern.Kernel.privops.Kernel.Privops.write_pte
+        ~pte_addr:(Hw.Phys_mem.addr_of_pfn 9000) (Hw.Pte.make ~pfn:5 Hw.Pte.default_flags))
+
+let test_kernel_cannot_disable_protections () =
+  let st = make_stack () in
+  let ops = st.kern.Kernel.privops in
+  expect_violation "clear smap" (fun () ->
+      ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smap false);
+  expect_violation "clear smep" (fun () ->
+      ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smep false);
+  expect_violation "clear wp" (fun () ->
+      ops.Kernel.Privops.set_cr_bit ~reg:`Cr0 Hw.Cr.cr0_wp false);
+  expect_violation "clear pks" (fun () ->
+      ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_pks false);
+  expect_violation "write pkrs" (fun () ->
+      ops.Kernel.Privops.write_msr Hw.Msr.ia32_pkrs 0L);
+  expect_violation "write s_cet" (fun () ->
+      ops.Kernel.Privops.write_msr Hw.Msr.ia32_s_cet 0L)
+
+let test_kernel_lstar_interposed () =
+  let st = make_stack () in
+  st.kern.Kernel.privops.Kernel.Privops.write_msr Hw.Msr.ia32_lstar 0xdeadL;
+  let actual = Hw.Msr.read st.cpu.Hw.Cpu.msr Hw.Msr.ia32_lstar in
+  Alcotest.(check int64) "syscall entry points at the monitor"
+    (Int64.of_int (Erebor.Gate.entry_point (Erebor.Monitor.gate st.monitor)))
+    actual
+
+let test_ghci_policy () =
+  let st = make_stack () in
+  let ops = st.kern.Kernel.privops in
+  (* Attestation is monitor-exclusive (C5). *)
+  expect_violation "kernel tdreport" (fun () ->
+      ops.Kernel.Privops.tdcall (Tdx.Ghci.Tdreport { report_data = Bytes.empty }));
+  (* Sharing outside the device region is refused. *)
+  expect_violation "share sandbox memory" (fun () ->
+      ops.Kernel.Privops.tdcall (Tdx.Ghci.Map_gpa { pfn = 5000; shared = true }));
+  (* Sharing inside the device region is the legitimate virtio path. *)
+  (match ops.Kernel.Privops.tdcall (Tdx.Ghci.Map_gpa { pfn = 40; shared = true }) with
+  | Tdx.Td_module.Ok_unit -> ()
+  | _ -> Alcotest.fail "legitimate share failed");
+  Alcotest.(check bool) "sept updated" true (Tdx.Sept.is_shared (Tdx.Td_module.sept st.td) 40)
+
+let test_erebor_privop_costs () =
+  (* Table 4, Erebor column. *)
+  let st = make_stack () in
+  let ops = st.kern.Kernel.privops in
+  let clock = st.kern.Kernel.clock in
+  let measure f =
+    let t0 = Hw.Cycles.now clock in
+    f ();
+    Hw.Cycles.now clock - t0
+  in
+  (* A leaf store into a real PTP: use the master root's direct-map slot. *)
+  Alcotest.(check int) "MMU = 1345"
+    1345
+    (measure (fun () ->
+         ops.Kernel.Privops.write_pte
+           ~pte_addr:(Hw.Phys_mem.addr_of_pfn st.kern.Kernel.kernel_root + (8 * 100))
+           Hw.Pte.empty));
+  Alcotest.(check int) "CR = 1593" 1593
+    (measure (fun () -> ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smap true));
+  Alcotest.(check int) "MSR = 1613" 1613
+    (measure (fun () -> ops.Kernel.Privops.write_msr Hw.Msr.ia32_efer 7L));
+  Alcotest.(check int) "IDT = 1369" 1369
+    (measure (fun () -> ops.Kernel.Privops.lidt (Hw.Idt.create ())));
+  Alcotest.(check int) "GHCI tdreport = 128081" 128081
+    (measure (fun () -> ignore (Erebor.Monitor.tdreport st.monitor ~report_data:Bytes.empty)))
+
+(* ------------------------------------------------------------------ *)
+(* Sandboxes (C6, C7, C8)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_sandbox ?(budget = 64 * 4096) ?(confined = 16 * 4096) st mgr name =
+  ignore st;
+  let sb = Result.get_ok (Erebor.Sandbox.create_sandbox mgr ~name ~confined_budget:budget) in
+  let base = Result.get_ok (Erebor.Sandbox.declare_confined mgr sb ~len:confined) in
+  (sb, base)
+
+let test_sandbox_confined_basics () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, base = make_sandbox st mgr "sb1" in
+  Alcotest.(check int) "confined accounted" (16 * 4096) (Erebor.Sandbox.confined_bytes sb);
+  (* Pinned: every page resolved, frames from CMA, classified confined. *)
+  let task = Erebor.Sandbox.main_task sb in
+  for i = 0 to 15 do
+    let pfn = Option.get (Kernel.resolve_pfn st.kern task ~addr:(base + (i * 4096))) in
+    Alcotest.(check bool) "from CMA" true (Kernel.Alloc.is_allocated st.kern.Kernel.cma pfn);
+    (match Erebor.Mmu_guard.class_of (Erebor.Monitor.guard st.monitor) pfn with
+    | Erebor.Mmu_guard.Confined { owner } -> Alcotest.(check int) "owner" 1 owner
+    | _ -> Alcotest.fail "frame not classified confined")
+  done;
+  (* Budget enforced. *)
+  match Erebor.Sandbox.declare_confined mgr sb ~len:(64 * 4096) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "budget exceeded silently"
+
+let test_confined_single_mapping () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, base = make_sandbox st mgr "victim" in
+  let task = Erebor.Sandbox.main_task sb in
+  let confined_pfn = Option.get (Kernel.resolve_pfn st.kern task ~addr:base) in
+  (* A normal task (the attacker's process) maps a page... *)
+  let attacker = Kernel.create_task st.kern ~name:"attacker" ~kind:Kernel.Task.Normal in
+  let a_addr = Result.get_ok (Kernel.mmap st.kern attacker ~len:4096 ~prot:Kernel.Vma.prot_rw ~kind:Kernel.Vma.Anon) in
+  (match Kernel.handle_page_fault st.kern attacker ~addr:a_addr ~kind:Hw.Fault.Write with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* ...then the malicious kernel tries to re-point its leaf PTE at the
+     victim's confined frame (double-mapping attack, C6). *)
+  let leaf_addr =
+    Option.get
+      (Hw.Page_table.leaf_addr st.mem ~root_pfn:attacker.Kernel.Task.root_pfn a_addr)
+  in
+  expect_violation "double map confined frame" (fun () ->
+      st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr:leaf_addr
+        (Hw.Pte.make ~pfn:confined_pfn { Hw.Pte.default_flags with user = true }));
+  (* Even within the owning sandbox a second mapping is refused. *)
+  let sb_leaf2 =
+    (* leaf slot for an unmapped page in the sandbox's own space *)
+    let addr2 = base + (15 * 4096) in
+    Option.get (Hw.Page_table.leaf_addr st.mem ~root_pfn:task.Kernel.Task.root_pfn addr2)
+  in
+  expect_violation "second mapping in-sandbox" (fun () ->
+      st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr:sb_leaf2
+        (Hw.Pte.make ~pfn:confined_pfn { Hw.Pte.default_flags with user = true }))
+
+let test_sandbox_anon_mapping_refused () =
+  (* All sandbox memory must be declared: an undeclared anonymous fault is
+     refused by the MMU guard. *)
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  let task = Erebor.Sandbox.main_task sb in
+  let addr = Result.get_ok (Kernel.mmap st.kern task ~len:4096 ~prot:Kernel.Vma.prot_rw ~kind:Kernel.Vma.Anon) in
+  expect_violation "undeclared sandbox memory" (fun () ->
+      ignore (Kernel.handle_page_fault st.kern task ~addr ~kind:Hw.Fault.Write))
+
+let test_common_sharing () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb1, _ = make_sandbox st mgr "sb1" in
+  let sb2, _ = make_sandbox st mgr "sb2" in
+  let size = 8 * 4096 in
+  let a1 = Result.get_ok (Erebor.Sandbox.attach_common mgr sb1 ~name:"model" ~size) in
+  let a2 = Result.get_ok (Erebor.Sandbox.attach_common mgr sb2 ~name:"model" ~size) in
+  (* sb1 initializes the shared instance (pre-seal writes allowed). *)
+  let t1 = Erebor.Sandbox.main_task sb1 and t2 = Erebor.Sandbox.main_task sb2 in
+  (match Kernel.populate st.kern t1 ~start:a1 ~len:size with Ok () -> () | Error e -> Alcotest.fail e);
+  Erebor.Sandbox.write_sandbox_bytes mgr sb1 ~addr:a1 (Bytes.of_string "weights!");
+  (match Kernel.populate st.kern t2 ~start:a2 ~len:size with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Same backing frames: sb2 reads sb1's initialization. *)
+  Alcotest.(check string) "shared content" "weights!"
+    (Bytes.to_string (Erebor.Sandbox.read_sandbox_bytes mgr sb2 ~addr:a2 ~len:8));
+  Alcotest.(check int) "one set of frames" 8
+    (Erebor.Sandbox.common_instance_frames mgr ~name:"model");
+  let p1 = Option.get (Kernel.resolve_pfn st.kern t1 ~addr:a1) in
+  let p2 = Option.get (Kernel.resolve_pfn st.kern t2 ~addr:a2) in
+  Alcotest.(check int) "same pfn" p1 p2
+
+let test_common_sealed_after_data () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _base = make_sandbox st mgr "sb" in
+  let task = Erebor.Sandbox.main_task sb in
+  let size = 4 * 4096 in
+  let caddr = Result.get_ok (Erebor.Sandbox.attach_common mgr sb ~name:"db" ~size) in
+  (match Kernel.populate st.kern task ~start:caddr ~len:size with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Writable before data... *)
+  st.kern.Kernel.privops.Kernel.Privops.write_cr3 ~root_pfn:task.Kernel.Task.root_pfn;
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  Hw.Cpu.write_u8 st.cpu caddr 7;
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor;
+  (* ...read-only once client data is loaded (C7 / §6.1). *)
+  (match Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "secret") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  (match Hw.Cpu.read_u8 st.cpu caddr with
+  | v -> Alcotest.(check int) "still readable" 7 v
+  | exception Hw.Fault.Fault _ -> Alcotest.fail "sealed common unreadable");
+  expect_fault "write sealed common" (fun () -> Hw.Cpu.write_u8 st.cpu caddr 8) (function
+    | Hw.Fault.Page_fault _ -> true
+    | _ -> false);
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor
+
+let test_sandbox_kills_on_syscall_after_data () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "hush")));
+  (match Erebor.Sandbox.handle_syscall mgr sb (Kernel.Syscall.Open { path = "/etc/passwd" }) with
+  | Kernel.Syscall.Rerr _ -> ()
+  | _ -> Alcotest.fail "post-data syscall allowed");
+  Alcotest.(check bool) "killed" true (Erebor.Sandbox.kill_reason sb <> None);
+  Alcotest.(check bool) "task dead" true
+    ((Erebor.Sandbox.main_task sb).Kernel.Task.state = Kernel.Task.Dead);
+  (* The attempted leak never reached the kernel fs. *)
+  Alcotest.(check bool) "no file created" false (Kernel.Fs.exists st.kern.Kernel.fs "/etc/passwd")
+
+let test_sandbox_channel_ioctl () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "input-42")));
+  let fd = Erebor.Sandbox.channel_fd sb in
+  (match
+     Erebor.Sandbox.handle_syscall mgr sb
+       (Kernel.Syscall.Ioctl { fd; request = 1; arg = Bytes.empty })
+   with
+  | Kernel.Syscall.Rbytes b ->
+      Alcotest.(check string) "input delivered" "input-42" (Bytes.to_string b)
+  | r -> Alcotest.failf "input ioctl: %a" Kernel.Syscall.pp_result r);
+  (match
+     Erebor.Sandbox.handle_syscall mgr sb
+       (Kernel.Syscall.Ioctl { fd; request = 2; arg = Bytes.of_string "result!" })
+   with
+  | Kernel.Syscall.Rok -> ()
+  | r -> Alcotest.failf "output ioctl: %a" Kernel.Syscall.pp_result r);
+  Alcotest.(check string) "output collected" "result!"
+    (Bytes.to_string (Erebor.Sandbox.take_output mgr sb));
+  Alcotest.(check bool) "still alive" true (Erebor.Sandbox.kill_reason sb = None)
+
+let test_sandbox_ve_kill () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "x")));
+  (match Erebor.Sandbox.handle_ve mgr sb ~reason:48 with
+  | Kernel.Syscall.Rerr _ -> ()
+  | _ -> Alcotest.fail "#VE exit allowed");
+  Alcotest.(check bool) "killed" true (Erebor.Sandbox.kill_reason sb <> None)
+
+let test_sandbox_cpuid_cached () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "x")));
+  let vm0 = List.length (Vmm.Host.vmcall_log st.host) in
+  let v1 = Erebor.Sandbox.cpuid mgr sb ~leaf:1 in
+  let v2 = Erebor.Sandbox.cpuid mgr sb ~leaf:1 in
+  Alcotest.(check int64) "stable value" v1 v2;
+  Alcotest.(check int) "only one host exit" (vm0 + 1) (List.length (Vmm.Host.vmcall_log st.host));
+  Alcotest.(check int) "cache hit recorded" 1 (Erebor.Monitor.cpuid_cache_hits st.monitor);
+  Alcotest.(check bool) "not killed by cpuid" true (Erebor.Sandbox.kill_reason sb = None)
+
+let test_sandbox_interrupt_masks_state () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "x")));
+  st.cpu.Hw.Cpu.regs.(2) <- 0x5ec2e7L;
+  let seen = ref (-1L) in
+  Erebor.Sandbox.handle_interrupt mgr sb (fun () -> seen := st.cpu.Hw.Cpu.regs.(2));
+  Alcotest.(check int64) "OS saw masked regs" 0L !seen;
+  Alcotest.(check int64) "sandbox state restored" 0x5ec2e7L st.cpu.Hw.Cpu.regs.(2)
+
+let test_sandbox_uintr_disabled () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, _ = make_sandbox st mgr "sb" in
+  (* Give the sandbox a valid target table, as if it prepared an AV3 leak. *)
+  Hw.Msr.write st.cpu.Hw.Cpu.msr Hw.Msr.ia32_uintr_tt Hw.Msr.uintr_tt_valid_bit;
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "x")));
+  match Hw.Uintr.senduipi ~msr:st.cpu.Hw.Cpu.msr ~slot:1 with
+  | Hw.Uintr.Faulted (Hw.Fault.General_protection _) -> ()
+  | _ -> Alcotest.fail "senduipi after data load succeeded"
+
+let test_usercopy_veto_on_sealed_sandbox () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, base = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "secret")));
+  (* Kernel runs in the sandbox's address space (e.g. at an interrupt) and
+     tries a user copy to exfiltrate confined memory (AV1). *)
+  st.kern.Kernel.privops.Kernel.Privops.write_cr3
+    ~root_pfn:(Erebor.Sandbox.main_task sb).Kernel.Task.root_pfn;
+  expect_violation "usercopy from sealed sandbox" (fun () ->
+      ignore (st.kern.Kernel.privops.Kernel.Privops.copy_from_user ~user_addr:base ~len:6))
+
+let test_kernel_smap_blocks_sandbox_read () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, base = make_sandbox st mgr "sb" in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "secret")));
+  st.kern.Kernel.privops.Kernel.Privops.write_cr3
+    ~root_pfn:(Erebor.Sandbox.main_task sb).Kernel.Task.root_pfn;
+  (* Direct kernel-mode access to sandbox user pages trips SMAP (C6). *)
+  expect_fault "kernel touches sandbox page" (fun () -> Hw.Cpu.read_u8 st.cpu base) (function
+    | Hw.Fault.Page_fault { user = false; _ } -> true
+    | _ -> false)
+
+let test_sandbox_terminate_scrubs () =
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, base = make_sandbox st mgr "sb" in
+  let task = Erebor.Sandbox.main_task sb in
+  let pfn = Option.get (Kernel.resolve_pfn st.kern task ~addr:base) in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "TOPSECRET")));
+  Alcotest.(check string) "data present" "TOPSECRET"
+    (Bytes.to_string (Hw.Phys_mem.read_bytes st.mem (Hw.Phys_mem.addr_of_pfn pfn) 9));
+  Erebor.Sandbox.terminate mgr sb;
+  Alcotest.(check bytes) "frame zeroed" (Bytes.make 9 '\000')
+    (Hw.Phys_mem.read_bytes st.mem (Hw.Phys_mem.addr_of_pfn pfn) 9);
+  Alcotest.(check bool) "frame declassified" true
+    (Erebor.Mmu_guard.class_of (Erebor.Monitor.guard st.monitor) pfn = Erebor.Mmu_guard.Free);
+  Alcotest.(check bool) "frame freed" false
+    (Kernel.Alloc.is_allocated st.kern.Kernel.cma pfn)
+
+(* Fuzz the EMC MMU interface: random stores must either be applied under
+   policy or rejected — and the monitor's own memory must stay intact and
+   unmappable throughout. *)
+let prop_guard_fuzz =
+  QCheck.Test.make ~name:"random EMC stores never break the registry" ~count:15
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 40)
+              (tup3 (int_bound 16383) (int_bound 16383) bool))
+    (fun stores ->
+      let st = make_stack () in
+      let guard = Erebor.Monitor.guard st.monitor in
+      let denied_before = Erebor.Mmu_guard.denied_count guard in
+      let errors = ref 0 in
+      List.iter
+        (fun (slot_pfn, target_pfn, user) ->
+          let pte_addr = Hw.Phys_mem.addr_of_pfn slot_pfn + 8 * (target_pfn land 0x1ff) in
+          let pte = Hw.Pte.make ~pfn:target_pfn { Hw.Pte.default_flags with user } in
+          match st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr pte with
+          | () -> ()
+          | exception Erebor.Monitor.Policy_violation _ -> incr errors)
+        stores;
+      (* Every rejection was counted; monitor frames never reclassified. *)
+      Erebor.Mmu_guard.denied_count guard - denied_before = !errors
+      && List.for_all
+           (fun pfn -> Erebor.Mmu_guard.class_of guard pfn = Erebor.Mmu_guard.Monitor)
+           (List.init 32 (fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
+(* Secure channel (C5)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let handshake st =
+  let rng_c = Crypto.Drbg.create ~seed:"client rng" in
+  let rng_s = Crypto.Drbg.create ~seed:"server rng" in
+  let expected =
+    (Erebor.Monitor.tdreport st.monitor ~report_data:Bytes.empty).Tdx.Attest.mrtd
+  in
+  let client = Erebor.Channel.Client.create ~rng:rng_c ~hw_key ~expected_mrtd:expected in
+  let wire = Erebor.Channel.Wire.create () in
+  Erebor.Channel.Wire.send wire (Erebor.Channel.Client.hello client);
+  let hello = Option.get (Erebor.Channel.Wire.recv wire) in
+  match Erebor.Channel.Server.accept ~monitor:st.monitor ~rng:rng_s ~client_hello:hello with
+  | Error e -> failwith e
+  | Ok (server, server_hello) ->
+      Erebor.Channel.Wire.send wire server_hello;
+      (match Erebor.Channel.Client.finish client
+               ~server_hello:(Option.get (Erebor.Channel.Wire.recv wire)) with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      (client, server, wire)
+
+let contains_substring hay needle =
+  let h = Bytes.to_string hay in
+  let n = String.length needle and hl = String.length h in
+  let rec go i = i + n <= hl && (String.sub h i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_channel_end_to_end () =
+  let st = make_stack () in
+  let client, server, wire = handshake st in
+  let secret = "patient record 12345" in
+  let request = Erebor.Channel.Client.seal_request client (Bytes.of_string secret) in
+  Erebor.Channel.Wire.send wire request;
+  let got =
+    Result.get_ok
+      (Erebor.Channel.Server.open_request server (Option.get (Erebor.Channel.Wire.recv wire)))
+  in
+  Alcotest.(check string) "monitor decrypts request" secret (Bytes.to_string got);
+  let response = Erebor.Channel.Server.seal_response server ~bucket:256 (Bytes.of_string "diagnosis: ok") in
+  Erebor.Channel.Wire.send wire response;
+  (match
+     Erebor.Channel.Client.open_response client (Option.get (Erebor.Channel.Wire.recv wire))
+   with
+  | Ok b -> Alcotest.(check string) "client decrypts response" "diagnosis: ok" (Bytes.to_string b)
+  | Error e -> Alcotest.fail e);
+  (* The untrusted proxy saw ciphertext only. *)
+  List.iter
+    (fun msg ->
+      if contains_substring msg secret || contains_substring msg "diagnosis" then
+        Alcotest.fail "plaintext leaked onto the wire")
+    (Erebor.Channel.Wire.snoop wire)
+
+let test_channel_rejects_wrong_mrtd () =
+  let st = make_stack () in
+  let rng = Crypto.Drbg.create ~seed:"c" in
+  let client =
+    Erebor.Channel.Client.create ~rng ~hw_key
+      ~expected_mrtd:(Crypto.Sha256.digest_string "some other monitor")
+  in
+  let hello = Erebor.Channel.Client.hello client in
+  match Erebor.Channel.Server.accept ~monitor:st.monitor ~rng ~client_hello:hello with
+  | Error e -> Alcotest.fail e
+  | Ok (_, server_hello) -> (
+      match Erebor.Channel.Client.finish client ~server_hello with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "client accepted an unexpected measurement")
+
+let test_channel_rejects_impersonation () =
+  (* An attacker (the untrusted OS) cannot mint a valid report: it has no
+     access to the tdcall (sensitive) and no hardware key (C5). *)
+  let st = make_stack () in
+  let rng = Crypto.Drbg.create ~seed:"attacker" in
+  let real =
+    (Erebor.Monitor.tdreport st.monitor ~report_data:Bytes.empty).Tdx.Attest.mrtd
+  in
+  let client = Erebor.Channel.Client.create ~rng ~hw_key ~expected_mrtd:real in
+  ignore (Erebor.Channel.Client.hello client);
+  (* Forge: correct-looking report, attacker-chosen MAC key. *)
+  let atk_kp = Crypto.Dh.generate rng in
+  let fake_report =
+    let m = Tdx.Attest.create_measurements () in
+    Tdx.Attest.generate m ~hw_key:(Crypto.Sha256.digest_string "guessed key")
+      ~report_data:Bytes.empty
+  in
+  let forged_hello =
+    Bytes.cat (Crypto.Dh.public_bytes atk_kp) (Erebor.Channel.serialize_report fake_report)
+  in
+  match Erebor.Channel.Client.finish client ~server_hello:forged_hello with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "client accepted a forged report"
+
+let test_channel_replay_binding () =
+  (* A report minted for one handshake cannot authenticate another: the
+     report_data binds the DH transcript. *)
+  let st = make_stack () in
+  let _, _, _ = handshake st in
+  let rng = Crypto.Drbg.create ~seed:"second client" in
+  let expected =
+    (Erebor.Monitor.tdreport st.monitor ~report_data:Bytes.empty).Tdx.Attest.mrtd
+  in
+  let client2 = Erebor.Channel.Client.create ~rng ~hw_key ~expected_mrtd:expected in
+  ignore (Erebor.Channel.Client.hello client2);
+  (* Replay: server hello from a *different* handshake (fresh keys, report
+     bound to other transcript). *)
+  let other_rng = Crypto.Drbg.create ~seed:"other" in
+  let other_kp = Crypto.Dh.generate other_rng in
+  let other_pub = Crypto.Dh.public_bytes other_kp in
+  let stale_report = Erebor.Monitor.tdreport st.monitor ~report_data:(Bytes.of_string "stale") in
+  let replayed = Bytes.cat other_pub (Erebor.Channel.serialize_report stale_report) in
+  match Erebor.Channel.Client.finish client2 ~server_hello:replayed with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "client accepted a replayed report"
+
+let test_channel_padding_hides_size () =
+  let st = make_stack () in
+  let _, server, _ = handshake st in
+  let r1 = Erebor.Channel.Server.seal_response server ~bucket:1024 (Bytes.of_string "no") in
+  let r2 =
+    Erebor.Channel.Server.seal_response server ~bucket:1024 (Bytes.make 900 'x')
+  in
+  Alcotest.(check int) "equal wire sizes" (Bytes.length r1) (Bytes.length r2)
+
+let test_channel_tamper_rejected () =
+  let st = make_stack () in
+  let client, server, _ = handshake st in
+  let request = Erebor.Channel.Client.seal_request client (Bytes.of_string "data") in
+  Bytes.set request (Bytes.length request - 1)
+    (Char.chr (Char.code (Bytes.get request (Bytes.length request - 1)) lxor 1));
+  match Erebor.Channel.Server.open_request server request with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered request accepted"
+
+let test_pad_unpad_roundtrip () =
+  List.iter
+    (fun n ->
+      let data = Bytes.init n (fun i -> Char.chr (i mod 256)) in
+      let padded = Erebor.Channel.pad_to_bucket ~bucket:64 data in
+      Alcotest.(check int) "multiple of bucket" 0 (Bytes.length padded mod 64);
+      Alcotest.(check bytes) "roundtrip" data (Result.get_ok (Erebor.Channel.unpad padded)))
+    [ 0; 1; 55; 56; 64; 100; 1000 ]
+
+let () =
+  Alcotest.run "erebor"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "pkrs values" `Quick test_policy_pkrs;
+          Alcotest.test_case "inventory" `Quick test_policy_inventory;
+        ] );
+      ( "boot (C1)",
+        [
+          Alcotest.test_case "accepts benign" `Quick test_boot_accepts_benign;
+          Alcotest.test_case "rejects sensitive" `Quick test_boot_rejects_sensitive;
+          Alcotest.test_case "data not scanned" `Quick test_boot_data_section_not_scanned;
+          Alcotest.test_case "deterministic measurement" `Quick test_boot_measurement_deterministic;
+          Alcotest.test_case "dynamic code" `Quick test_dynamic_code_verification;
+        ] );
+      ( "gates (C4)",
+        [
+          Alcotest.test_case "rogue entry #CP" `Quick test_gate_rogue_entry;
+          Alcotest.test_case "pkrs switching" `Quick test_gate_pkrs_switching;
+          Alcotest.test_case "exception safety" `Quick test_gate_pkrs_restored_on_exception;
+          Alcotest.test_case "interrupt gate" `Quick test_gate_interrupt_revokes;
+          Alcotest.test_case "emc cost" `Quick test_gate_emc_cost;
+        ] );
+      ( "mmu/privops (C2-C4)",
+        [
+          Alcotest.test_case "ptp write-protected" `Quick test_kernel_cannot_write_ptp;
+          Alcotest.test_case "monitor unmappable" `Quick test_kernel_cannot_map_monitor_memory;
+          Alcotest.test_case "stray pte store" `Quick test_kernel_cannot_store_outside_ptp;
+          Alcotest.test_case "protections pinned" `Quick test_kernel_cannot_disable_protections;
+          Alcotest.test_case "lstar interposed" `Quick test_kernel_lstar_interposed;
+          Alcotest.test_case "ghci policy" `Quick test_ghci_policy;
+          Alcotest.test_case "erebor privop costs" `Quick test_erebor_privop_costs;
+        ] );
+      ( "sandbox (C6-C8)",
+        [
+          Alcotest.test_case "confined basics" `Quick test_sandbox_confined_basics;
+          Alcotest.test_case "single mapping" `Quick test_confined_single_mapping;
+          Alcotest.test_case "undeclared memory refused" `Quick test_sandbox_anon_mapping_refused;
+          Alcotest.test_case "common sharing" `Quick test_common_sharing;
+          Alcotest.test_case "common sealed" `Quick test_common_sealed_after_data;
+          Alcotest.test_case "syscall kill" `Quick test_sandbox_kills_on_syscall_after_data;
+          Alcotest.test_case "channel ioctl" `Quick test_sandbox_channel_ioctl;
+          Alcotest.test_case "#VE kill" `Quick test_sandbox_ve_kill;
+          Alcotest.test_case "cpuid cached" `Quick test_sandbox_cpuid_cached;
+          Alcotest.test_case "interrupt masking" `Quick test_sandbox_interrupt_masks_state;
+          Alcotest.test_case "uintr disabled" `Quick test_sandbox_uintr_disabled;
+          Alcotest.test_case "usercopy veto" `Quick test_usercopy_veto_on_sealed_sandbox;
+          Alcotest.test_case "smap blocks kernel" `Quick test_kernel_smap_blocks_sandbox_read;
+          Alcotest.test_case "terminate scrubs" `Quick test_sandbox_terminate_scrubs;
+          QCheck_alcotest.to_alcotest prop_guard_fuzz;
+        ] );
+      ( "channel (C5)",
+        [
+          Alcotest.test_case "end to end" `Quick test_channel_end_to_end;
+          Alcotest.test_case "wrong mrtd" `Quick test_channel_rejects_wrong_mrtd;
+          Alcotest.test_case "impersonation" `Quick test_channel_rejects_impersonation;
+          Alcotest.test_case "replay binding" `Quick test_channel_replay_binding;
+          Alcotest.test_case "padding" `Quick test_channel_padding_hides_size;
+          Alcotest.test_case "tamper" `Quick test_channel_tamper_rejected;
+          Alcotest.test_case "pad/unpad" `Quick test_pad_unpad_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,487 @@
+(* Tests for the paper's optional / future-work features implemented beyond
+   the base system: batched MMU updates (§9.1), side-channel mitigations
+   (§11), huge pages with forced splitting (§7), verified dynamic kernel
+   code (§7), and warm-start sandbox pools (§9.2). *)
+
+let hw_key = Crypto.Sha256.digest_string "fused hardware key"
+
+let benign_image =
+  {
+    Hw.Image.entry = 0x1000;
+    sections =
+      [
+        { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true; writable = false;
+          data = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Ret ] };
+      ];
+  }
+
+type stack = {
+  mem : Hw.Phys_mem.t;
+  cpu : Hw.Cpu.t;
+  monitor : Erebor.Monitor.t;
+  kern : Kernel.t;
+  mgr : Erebor.Sandbox.manager;
+}
+
+let make_stack ?(privilege = Erebor.Gate.Pks) ?(frames = 32768) ?(cma_frames = 8192) () =
+  let mem = Hw.Phys_mem.create ~frames in
+  let clock = Hw.Cycles.clock () in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 in
+  let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+  let host = Vmm.Host.create () in
+  Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
+  let monitor =
+    Erebor.Monitor.install ~privilege ~cpu ~mem ~td ~firmware:(Bytes.of_string "fw")
+      ~monitor_frames:32 ~device_shared_frames:32 ()
+  in
+  let kern =
+    Result.get_ok
+      (Erebor.Monitor.boot_kernel monitor ~kernel_image:benign_image
+         ~reserved_frames:128 ~cma_frames)
+  in
+  let mgr = Erebor.Sandbox.create_manager ~monitor ~kern in
+  { mem; cpu; monitor; kern; mgr }
+
+(* ------------------------------------------------------------------ *)
+(* Batched MMU updates (§9.1)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let declare_cost st ~batched ~pages =
+  Kernel.set_mmu_batching st.kern batched;
+  let sb =
+    Result.get_ok
+      (Erebor.Sandbox.create_sandbox st.mgr
+         ~name:(Printf.sprintf "b%b" batched)
+         ~confined_budget:(pages * 4096))
+  in
+  let t0 = Hw.Cycles.now st.kern.Kernel.clock in
+  let base = Result.get_ok (Erebor.Sandbox.declare_confined st.mgr sb ~len:(pages * 4096)) in
+  let cost = Hw.Cycles.now st.kern.Kernel.clock - t0 in
+  Kernel.set_mmu_batching st.kern false;
+  (cost, sb, base)
+
+let test_batching_cheaper_same_result () =
+  let st = make_stack () in
+  let pages = 256 in
+  let unbatched_cost, sb1, base1 = declare_cost st ~batched:false ~pages in
+  let batched_cost, sb2, base2 = declare_cost st ~batched:true ~pages in
+  Alcotest.(check bool) "batching saves EMC round trips" true
+    (batched_cost < unbatched_cost);
+  (* Rough shape: the unbatched path pays ~1224 cycles more per page. *)
+  Alcotest.(check bool) "saves at least half the gate cost" true
+    (unbatched_cost - batched_cost > pages * Hw.Cycles.Cost.emc_roundtrip / 2);
+  (* Both produce fully-pinned, policy-checked mappings. *)
+  List.iter
+    (fun (sb, base) ->
+      for i = 0 to pages - 1 do
+        match
+          Kernel.resolve_pfn st.kern (Erebor.Sandbox.main_task sb) ~addr:(base + (i * 4096))
+        with
+        | Some _ -> ()
+        | None -> Alcotest.fail "page missing after populate"
+      done)
+    [ (sb1, base1); (sb2, base2) ]
+
+let test_batch_policy_still_enforced () =
+  let st = make_stack () in
+  (* A batch containing a store outside any registered PTP must be refused
+     atomically at that entry. *)
+  match
+    st.kern.Kernel.privops.Kernel.Privops.write_pte_batch
+      [| (Hw.Phys_mem.addr_of_pfn 9000, Hw.Pte.make ~pfn:5 Hw.Pte.default_flags) |]
+  with
+  | () -> Alcotest.fail "stray batched store accepted"
+  | exception Erebor.Monitor.Policy_violation _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Side-channel mitigations (§11)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mitigations_rate_limit () =
+  let clock = Hw.Cycles.clock () in
+  let mem = Hw.Phys_mem.create ~frames:16 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let m =
+    Erebor.Mitigations.create ~clock ~cpu
+      { Erebor.Mitigations.exit_rate_limit = Some 10; output_quantum = None;
+        flush_on_exit = false }
+  in
+  for _ = 1 to 10 do
+    Erebor.Mitigations.on_sandbox_exit m
+  done;
+  Alcotest.(check int) "under budget: no stalls" 0 (Erebor.Mitigations.stalls m);
+  let t0 = Hw.Cycles.now clock in
+  Erebor.Mitigations.on_sandbox_exit m;
+  Alcotest.(check int) "over budget: stalled once" 1 (Erebor.Mitigations.stalls m);
+  Alcotest.(check bool) "stalled to the next window" true
+    (Hw.Cycles.now clock - t0 > 1_000_000_000)
+
+let test_mitigations_quantized_output () =
+  let clock = Hw.Cycles.clock () in
+  let mem = Hw.Phys_mem.create ~frames:16 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let m =
+    Erebor.Mitigations.create ~clock ~cpu
+      { Erebor.Mitigations.exit_rate_limit = None; output_quantum = Some 10_000;
+        flush_on_exit = false }
+  in
+  Hw.Cycles.advance clock 12_345;
+  Erebor.Mitigations.release_output m;
+  Alcotest.(check int) "release on the grid" 0 (Hw.Cycles.now clock mod 10_000);
+  let at = Hw.Cycles.now clock in
+  Erebor.Mitigations.release_output m;
+  Alcotest.(check int) "already on the grid: no wait" at (Hw.Cycles.now clock)
+
+let test_mitigations_flush_cost () =
+  let clock = Hw.Cycles.clock () in
+  let mem = Hw.Phys_mem.create ~frames:16 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let m =
+    Erebor.Mitigations.create ~clock ~cpu
+      { Erebor.Mitigations.none with Erebor.Mitigations.flush_on_exit = true }
+  in
+  let t0 = Hw.Cycles.now clock in
+  Erebor.Mitigations.on_sandbox_exit m;
+  Alcotest.(check bool) "flush costs cycles" true (Hw.Cycles.now clock > t0);
+  Alcotest.(check int) "flush counted" 1 (Erebor.Mitigations.flushes m)
+
+let test_mitigations_wired_into_sandbox () =
+  let st = make_stack () in
+  Erebor.Sandbox.set_mitigations st.mgr
+    { Erebor.Mitigations.exit_rate_limit = Some 2; output_quantum = None;
+      flush_on_exit = false };
+  let sb =
+    Result.get_ok
+      (Erebor.Sandbox.create_sandbox st.mgr ~name:"m" ~confined_budget:(16 * 4096))
+  in
+  ignore (Result.get_ok (Erebor.Sandbox.declare_confined st.mgr sb ~len:4096));
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data st.mgr sb (Bytes.of_string "x")));
+  (* Hammer exits: the third in the window must stall. *)
+  for _ = 1 to 4 do
+    Erebor.Sandbox.handle_interrupt st.mgr sb (fun () -> ())
+  done;
+  match Erebor.Sandbox.mitigation_stats st.mgr with
+  | Some (stalls, stall_cycles, _) ->
+      Alcotest.(check bool) "stalled" true (stalls >= 1 && stall_cycles > 0)
+  | None -> Alcotest.fail "mitigations not armed"
+
+(* ------------------------------------------------------------------ *)
+(* Huge pages + forced splitting (§7)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_raw_env () =
+  let mem = Hw.Phys_mem.create ~frames:4096 in
+  let clock = Hw.Cycles.clock () in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let next = ref 1 in
+  let alloc_ptp () =
+    let pfn = !next in
+    incr next;
+    pfn
+  in
+  let write_pte ~pte_addr pte = Hw.Phys_mem.write_u64 mem pte_addr pte in
+  let root = alloc_ptp () in
+  Hw.Cpu.write_cr3 cpu ~root_pfn:root;
+  (mem, cpu, alloc_ptp, write_pte, root)
+
+let test_huge_map_translate () =
+  let mem, cpu, alloc_ptp, write_pte, root = make_raw_env () in
+  let vaddr = 0x4020_0000 (* 2MiB aligned *) in
+  Hw.Page_table.map_huge mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr
+    (Hw.Pte.make ~pfn:1024 Hw.Pte.default_flags);
+  (* The walk resolves different 4K offsets to different frames. *)
+  (match Hw.Page_table.walk mem ~root_pfn:root vaddr with
+  | Some w ->
+      Alcotest.(check bool) "huge" true w.Hw.Page_table.huge;
+      Alcotest.(check int) "first frame" 1024 w.Hw.Page_table.pfn
+  | None -> Alcotest.fail "unmapped");
+  (match Hw.Page_table.walk mem ~root_pfn:root (vaddr + (7 * 4096)) with
+  | Some w -> Alcotest.(check int) "seventh frame" 1031 w.Hw.Page_table.pfn
+  | None -> Alcotest.fail "unmapped");
+  (* And the CPU reads/writes through it. *)
+  Hw.Cpu.write_u64 cpu (vaddr + (5 * 4096) + 16) 77L;
+  Alcotest.(check int64) "cpu access via huge page" 77L
+    (Hw.Phys_mem.read_u64 mem (Hw.Phys_mem.addr_of_pfn 1029 + 16));
+  Alcotest.check_raises "unaligned vaddr"
+    (Invalid_argument "Page_table.map_huge: vaddr must be 2MiB-aligned") (fun () ->
+      Hw.Page_table.map_huge mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr:0x1000
+        (Hw.Pte.make ~pfn:1024 Hw.Pte.default_flags))
+
+let test_forced_splitting () =
+  let st = make_stack ~frames:65536 () in
+  let guard = Erebor.Monitor.guard st.monitor in
+  let alloc_ptp () = Option.get (Kernel.Alloc.alloc_zeroed st.kern.Kernel.frame_alloc st.mem) in
+  (* Build a huge kernel mapping (trusted), 2 MiB worth of direct-map-ish
+     memory at an unused kernel address. *)
+  let vaddr = Kernel.Layout.kernel_text_base + 0x4000_0000 in
+  let base_frame = 16384 (* 2MiB-aligned, free *) in
+  let write_pte ~pte_addr pte =
+    match Erebor.Mmu_guard.write_pte guard ~trusted:true ~pte_addr pte with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  Hw.Page_table.map_huge st.mem ~write_pte ~alloc_ptp
+    ~root_pfn:st.kern.Kernel.kernel_root ~vaddr
+    (Hw.Pte.make ~pfn:base_frame Hw.Pte.default_flags);
+  (* Retag one 4K page inside it with the monitor key: forces a split. *)
+  (match
+     Erebor.Mmu_guard.protect_page_splitting guard
+       ~root_pfn:st.kern.Kernel.kernel_root
+       ~vaddr:(vaddr + (9 * 4096))
+       ~key:Erebor.Policy.key_monitor ~writable:false ~alloc_ptp
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* The mapping is now 4K-grained; only page 9 carries the key. *)
+  (match Hw.Page_table.walk st.mem ~root_pfn:st.kern.Kernel.kernel_root (vaddr + (9 * 4096)) with
+  | Some w ->
+      Alcotest.(check bool) "split" false w.Hw.Page_table.huge;
+      Alcotest.(check int) "keyed" Erebor.Policy.key_monitor (Hw.Pte.pkey w.Hw.Page_table.pte);
+      Alcotest.(check bool) "read-only" false (Hw.Pte.writable w.Hw.Page_table.pte);
+      Alcotest.(check int) "same frame" (base_frame + 9) w.Hw.Page_table.pfn
+  | None -> Alcotest.fail "mapping lost");
+  (match Hw.Page_table.walk st.mem ~root_pfn:st.kern.Kernel.kernel_root (vaddr + (8 * 4096)) with
+  | Some w ->
+      Alcotest.(check int) "neighbour unkeyed" 0 (Hw.Pte.pkey w.Hw.Page_table.pte);
+      Alcotest.(check bool) "neighbour writable" true (Hw.Pte.writable w.Hw.Page_table.pte);
+      Alcotest.(check int) "neighbour frame" (base_frame + 8) w.Hw.Page_table.pfn
+  | None -> Alcotest.fail "neighbour lost");
+  (* The protected page now faults on kernel writes (PKS). *)
+  (match Hw.Cpu.write_u64 st.cpu (vaddr + (9 * 4096)) 1L with
+  | () -> Alcotest.fail "write to keyed page succeeded"
+  | exception Hw.Fault.Fault (Hw.Fault.Page_fault { pkey_violation = true; _ }) -> ()
+  | exception Hw.Fault.Fault f -> Alcotest.failf "wrong fault %s" (Hw.Fault.to_string f));
+  (* Neighbour pages still writable. *)
+  Hw.Cpu.write_u64 st.cpu (vaddr + (8 * 4096)) 1L
+
+let test_untrusted_huge_policy () =
+  let st = make_stack ~frames:65536 () in
+  let ops = st.kern.Kernel.privops in
+  (* Find the PD slot for a kernel vaddr by preparing intermediates. *)
+  let vaddr = Kernel.Layout.kernel_text_base + 0x6000_0000 in
+  let alloc_ptp () = Option.get (Kernel.Alloc.alloc_zeroed st.kern.Kernel.frame_alloc st.mem) in
+  (* Build down to the PD level with individual (checked) stores. *)
+  let pt_slot =
+    Hw.Page_table.prepare_leaf st.mem
+      ~write_pte:(fun ~pte_addr pte -> ops.Kernel.Privops.write_pte ~pte_addr pte)
+      ~alloc_ptp ~root_pfn:st.kern.Kernel.kernel_root ~vaddr
+  in
+  ignore pt_slot;
+  (* The PD slot is the parent of the PT containing pt_slot; rebuild it. *)
+  let i4, i3, i2, _ = Hw.Page_table.split vaddr in
+  let l4 = st.kern.Kernel.kernel_root in
+  let entry mem pfn idx = Hw.Pte.pfn (Hw.Phys_mem.read_u64 mem (Hw.Phys_mem.addr_of_pfn pfn + (8 * idx))) in
+  let l3 = entry st.mem l4 i4 in
+  let l2 = entry st.mem l3 i3 in
+  let pd_slot = Hw.Phys_mem.addr_of_pfn l2 + (8 * i2) in
+  (* Clear the interior entry first so the huge install is not a re-point. *)
+  ops.Kernel.Privops.write_pte ~pte_addr:pd_slot Hw.Pte.empty;
+  (* A huge leaf over free, aligned frames is accepted... *)
+  ops.Kernel.Privops.write_pte ~pte_addr:pd_slot
+    (Hw.Pte.set_huge (Hw.Pte.make ~pfn:32768 Hw.Pte.default_flags) true);
+  (* ...but over classified frames it is refused. *)
+  ops.Kernel.Privops.write_pte ~pte_addr:pd_slot Hw.Pte.empty;
+  let guard = Erebor.Monitor.guard st.monitor in
+  (match Erebor.Mmu_guard.classify guard ~pfn:(34816 + 5) Erebor.Mmu_guard.Monitor with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    ops.Kernel.Privops.write_pte ~pte_addr:pd_slot
+      (Hw.Pte.set_huge (Hw.Pte.make ~pfn:34816 Hw.Pte.default_flags) true)
+  with
+  | () -> Alcotest.fail "huge leaf over monitor frame accepted"
+  | exception Erebor.Monitor.Policy_violation _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic kernel code (§7)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_module_loading () =
+  let st = make_stack () in
+  let benign = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Add (Hw.Isa.R0, Hw.Isa.R1); Hw.Isa.Ret ] in
+  (match Kernel.load_module st.kern ~name:"net_filter" ~code:benign with
+  | Ok base -> (
+      (* Mapped read-only + executable in the kernel tree. *)
+      match Hw.Page_table.walk st.mem ~root_pfn:st.kern.Kernel.kernel_root base with
+      | Some w ->
+          Alcotest.(check bool) "not writable" false (Hw.Pte.writable w.Hw.Page_table.pte);
+          Alcotest.(check bool) "executable" false (Hw.Pte.nx w.Hw.Page_table.pte);
+          Alcotest.(check bytes) "code in place" benign
+            (Hw.Phys_mem.read_bytes st.mem
+               (Hw.Phys_mem.addr_of_pfn w.Hw.Page_table.pfn)
+               (Bytes.length benign))
+      | None -> Alcotest.fail "module unmapped")
+  | Error e -> Alcotest.fail e);
+  (* A module smuggling a sensitive instruction is refused. *)
+  let evil = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Wrmsr; Hw.Isa.Ret ] in
+  match Kernel.load_module st.kern ~name:"rootkit" ~code:evil with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sensitive module accepted"
+
+let test_text_poke () =
+  let st = make_stack () in
+  let base =
+    Result.get_ok
+      (Kernel.load_module st.kern ~name:"patch_target"
+         ~code:(Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Nop; Hw.Isa.Ret ]))
+  in
+  (* Benign patch applies (via the monitor: the page is read-only). *)
+  let patch = Hw.Isa.assemble [ Hw.Isa.Cpuid ] in
+  (match Kernel.poke_text st.kern ~vaddr:(base + 4) ~code:patch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Hw.Page_table.walk st.mem ~root_pfn:st.kern.Kernel.kernel_root base with
+  | Some w ->
+      Alcotest.(check bytes) "patched" patch
+        (Hw.Phys_mem.read_bytes st.mem (Hw.Phys_mem.addr_of_pfn w.Hw.Page_table.pfn + 4) 4)
+  | None -> Alcotest.fail "unmapped");
+  (* Sensitive patch bytes are rejected. *)
+  match Kernel.poke_text st.kern ~vaddr:(base + 4) ~code:(Hw.Isa.assemble [ Hw.Isa.Tdcall ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "sensitive poke accepted"
+
+let test_native_accepts_dynamic_code () =
+  (* Without Erebor, module loading is unchecked (that's the point). *)
+  let mem = Hw.Phys_mem.create ~frames:8192 in
+  let clock = Hw.Cycles.clock () in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+  let privops = Kernel.Privops.native ~cpu ~td in
+  let kern = Kernel.boot ~mem ~cpu ~td ~privops ~reserved_frames:64 ~cma_frames:1024 in
+  match
+    Kernel.load_module kern ~name:"anything"
+      ~code:(Hw.Isa.assemble [ Hw.Isa.Wrmsr ])
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* SEV-style write-protect backend (§10, Table 7)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_wp_backend_boots () =
+  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  Alcotest.(check bool) "no PKS on this platform" false (Hw.Cr.pks st.cpu.Hw.Cpu.cr);
+  Alcotest.(check bool) "WP on in normal mode" true (Hw.Cr.wp st.cpu.Hw.Cpu.cr);
+  Alcotest.(check bool) "kernel booted" true (Erebor.Monitor.kernel st.monitor <> None)
+
+let test_wp_protects_ptps () =
+  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  Kernel.ensure_direct_map st.kern ~pfn:st.kern.Kernel.kernel_root;
+  let va = Kernel.Layout.direct_map (Hw.Phys_mem.addr_of_pfn st.kern.Kernel.kernel_root) in
+  (* Readable, like under PKS... *)
+  ignore (Hw.Cpu.read_u64 st.cpu va);
+  (* ...but kernel writes trip CR0.WP on the read-only mapping (a plain
+     protection fault, not a pkey fault — no PKS here). *)
+  (match Hw.Cpu.write_u64 st.cpu va 0xBADL with
+  | () -> Alcotest.fail "PTP writable from normal mode"
+  | exception Hw.Fault.Fault (Hw.Fault.Page_fault { pkey_violation = false; present = true; _ })
+    -> ()
+  | exception Hw.Fault.Fault f -> Alcotest.failf "wrong fault %s" (Hw.Fault.to_string f));
+  (* Inside the gate, the monitor context may write (WP is cleared). *)
+  let gate = Erebor.Monitor.gate st.monitor in
+  Erebor.Gate.call gate (fun () ->
+      let before = Hw.Phys_mem.read_u64 st.mem (Hw.Phys_mem.addr_of_pfn st.kern.Kernel.kernel_root + 8 * 300) in
+      Hw.Cpu.write_u64 st.cpu (va + (8 * 300)) before);
+  (* And WP is re-asserted afterwards. *)
+  Alcotest.(check bool) "WP restored after EMC" true (Hw.Cr.wp st.cpu.Hw.Cpu.cr)
+
+let test_wp_interrupt_gate () =
+  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  let during = ref true and after = ref false in
+  Erebor.Gate.call gate (fun () ->
+      Erebor.Gate.interrupt_during_emc gate (fun () -> during := Hw.Cr.wp st.cpu.Hw.Cpu.cr);
+      after := Hw.Cr.wp st.cpu.Hw.Cpu.cr);
+  Alcotest.(check bool) "WP re-asserted during IRQ" true !during;
+  Alcotest.(check bool) "privilege restored after IRQ" false !after
+
+let test_wp_sandbox_protection_holds () =
+  (* The sandbox story is backend-independent. *)
+  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  let sb =
+    Result.get_ok
+      (Erebor.Sandbox.create_sandbox st.mgr ~name:"wp-sb" ~confined_budget:(32 * 4096))
+  in
+  let base = Result.get_ok (Erebor.Sandbox.declare_confined st.mgr sb ~len:(8 * 4096)) in
+  ignore (Result.get_ok (Erebor.Sandbox.load_client_data st.mgr sb (Bytes.of_string "secret")));
+  (* Post-data syscall kill. *)
+  (match Erebor.Sandbox.handle_syscall st.mgr sb (Kernel.Syscall.Open { path = "/x" }) with
+  | Kernel.Syscall.Rerr _ -> ()
+  | _ -> Alcotest.fail "syscall allowed");
+  (* SMAP still blocks the kernel from sandbox memory. *)
+  st.kern.Kernel.privops.Kernel.Privops.write_cr3
+    ~root_pfn:(Erebor.Sandbox.main_task sb).Kernel.Task.root_pfn;
+  match Hw.Cpu.read_u8 st.cpu base with
+  | _ -> Alcotest.fail "kernel read sandbox memory"
+  | exception Hw.Fault.Fault (Hw.Fault.Page_fault _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start pool (§9.2)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_warm_vs_cold () =
+  let st = make_stack ~cma_frames:16384 () in
+  let clock = st.kern.Kernel.clock in
+  let pool =
+    Result.get_ok
+      (Sim.Pool.create ~mgr:st.mgr ~name_prefix:"warm" ~heap_bytes:(128 * 4096)
+         ~threads:2 ~size:2 ())
+  in
+  Alcotest.(check int) "two ready" 2 (Sim.Pool.ready pool);
+  (* Warm acquisition is (virtually) free. *)
+  let t0 = Hw.Cycles.now clock in
+  let entry = Result.get_ok (Sim.Pool.acquire pool) in
+  Alcotest.(check int) "warm hit costs nothing" t0 (Hw.Cycles.now clock);
+  Alcotest.(check int) "one left" 1 (Sim.Pool.ready pool);
+  (* The warm sandbox is immediately usable for a client session. *)
+  ignore
+    (Result.get_ok (Erebor.Sandbox.load_client_data st.mgr entry.Sim.Pool.sb (Bytes.of_string "q")));
+  ignore (Result.get_ok (Sim.Pool.acquire pool));
+  (* Pool empty: the next acquire cold-boots, paying init now. *)
+  let t1 = Hw.Cycles.now clock in
+  ignore (Result.get_ok (Sim.Pool.acquire pool));
+  Alcotest.(check bool) "cold boot pays init" true (Hw.Cycles.now clock - t1 > 100_000);
+  Alcotest.(check int) "hits" 2 (Sim.Pool.warm_hits pool);
+  Alcotest.(check int) "colds" 1 (Sim.Pool.cold_boots pool);
+  (* Refill. *)
+  (match Sim.Pool.prewarm pool 3 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "refilled" 3 (Sim.Pool.ready pool)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "batched mmu (9.1)",
+        [
+          Alcotest.test_case "cheaper, same result" `Quick test_batching_cheaper_same_result;
+          Alcotest.test_case "policy in batches" `Quick test_batch_policy_still_enforced;
+        ] );
+      ( "mitigations (11)",
+        [
+          Alcotest.test_case "rate limit" `Quick test_mitigations_rate_limit;
+          Alcotest.test_case "quantized output" `Quick test_mitigations_quantized_output;
+          Alcotest.test_case "flush cost" `Quick test_mitigations_flush_cost;
+          Alcotest.test_case "wired into sandbox" `Quick test_mitigations_wired_into_sandbox;
+        ] );
+      ( "huge pages (7)",
+        [
+          Alcotest.test_case "map/translate" `Quick test_huge_map_translate;
+          Alcotest.test_case "forced splitting" `Quick test_forced_splitting;
+          Alcotest.test_case "untrusted huge policy" `Quick test_untrusted_huge_policy;
+        ] );
+      ( "dynamic code (7)",
+        [
+          Alcotest.test_case "module loading" `Quick test_module_loading;
+          Alcotest.test_case "text_poke" `Quick test_text_poke;
+          Alcotest.test_case "native unchecked" `Quick test_native_accepts_dynamic_code;
+        ] );
+      ( "sev write-protect backend (10)",
+        [
+          Alcotest.test_case "boots without PKS" `Quick test_wp_backend_boots;
+          Alcotest.test_case "WP protects PTPs" `Quick test_wp_protects_ptps;
+          Alcotest.test_case "interrupt gate" `Quick test_wp_interrupt_gate;
+          Alcotest.test_case "sandbox protection holds" `Quick test_wp_sandbox_protection_holds;
+        ] );
+      ( "warm pool (9.2)",
+        [ Alcotest.test_case "warm vs cold" `Quick test_pool_warm_vs_cold ] );
+    ]

@@ -1,0 +1,723 @@
+(* Tests for the simulated hardware substrate. *)
+
+open Hw
+
+
+let expect_fault name f check =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected a fault")
+  | exception Fault.Fault flt ->
+      if not (check flt) then
+        Alcotest.fail (Printf.sprintf "%s: unexpected fault %s" name (Fault.to_string flt))
+
+let is_pf = function Fault.Page_fault _ -> true | _ -> false
+let is_pkey_pf = function Fault.Page_fault { pkey_violation; _ } -> pkey_violation | _ -> false
+let is_gp = function Fault.General_protection _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_phys_mem_rw () =
+  let mem = Phys_mem.create ~frames:16 in
+  Alcotest.(check int) "unwritten reads zero" 0 (Phys_mem.read_u8 mem 0x1234);
+  Alcotest.(check bool) "not backed before write" false (Phys_mem.page_is_backed mem 1);
+  Phys_mem.write_u8 mem 0x1234 0xAB;
+  Alcotest.(check int) "read back" 0xAB (Phys_mem.read_u8 mem 0x1234);
+  Alcotest.(check bool) "backed after write" true (Phys_mem.page_is_backed mem 1);
+  Alcotest.(check int) "one backed frame" 1 (Phys_mem.backed_count mem);
+  Phys_mem.write_u64 mem 0x2000 0x1122334455667788L;
+  Alcotest.(check int64) "u64 roundtrip" 0x1122334455667788L (Phys_mem.read_u64 mem 0x2000)
+
+let test_phys_mem_cross_page () =
+  let mem = Phys_mem.create ~frames:4 in
+  let data = Bytes.init 6000 (fun i -> Char.chr (i mod 251)) in
+  Phys_mem.write_bytes mem 100 data;
+  Alcotest.(check bytes) "cross-page blit" data (Phys_mem.read_bytes mem 100 6000)
+
+let test_phys_mem_bounds () =
+  let mem = Phys_mem.create ~frames:2 in
+  Alcotest.check_raises "oob read" (Invalid_argument "Phys_mem: address 0x2000 out of range")
+    (fun () -> ignore (Phys_mem.read_u8 mem 0x2000));
+  Alcotest.check_raises "u64 page straddle"
+    (Invalid_argument "Phys_mem.read_u64: crosses page boundary") (fun () ->
+      ignore (Phys_mem.read_u64 mem 0xffc))
+
+let test_phys_mem_zero () =
+  let mem = Phys_mem.create ~frames:2 in
+  Phys_mem.write_u8 mem 0x10 0xFF;
+  Phys_mem.zero_page mem 0;
+  Alcotest.(check int) "zeroed" 0 (Phys_mem.read_u8 mem 0x10)
+
+(* ------------------------------------------------------------------ *)
+(* Pte                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pte_roundtrip () =
+  let flags =
+    { Pte.present = true; writable = false; user = true; nx = true; pkey = 13;
+      accessed = false; dirty = true }
+  in
+  let pte = Pte.make ~pfn:0xABCDE flags in
+  Alcotest.(check int) "pfn" 0xABCDE (Pte.pfn pte);
+  Alcotest.(check bool) "present" true (Pte.present pte);
+  Alcotest.(check bool) "writable" false (Pte.writable pte);
+  Alcotest.(check bool) "user" true (Pte.user pte);
+  Alcotest.(check bool) "nx" true (Pte.nx pte);
+  Alcotest.(check int) "pkey" 13 (Pte.pkey pte);
+  Alcotest.(check bool) "dirty" true (Pte.dirty pte);
+  let pte2 = Pte.set_pkey (Pte.set_writable pte true) 5 in
+  Alcotest.(check bool) "set writable" true (Pte.writable pte2);
+  Alcotest.(check int) "set pkey" 5 (Pte.pkey pte2);
+  Alcotest.(check int) "pfn preserved" 0xABCDE (Pte.pfn pte2)
+
+let prop_pte_flags =
+  QCheck.Test.make ~name:"pte flags roundtrip" ~count:200
+    QCheck.(
+      tup7 bool bool bool bool (int_bound 15) bool (int_bound ((1 lsl 30) - 1)))
+    (fun (present, writable, user, nx, pkey, dirty, pfn) ->
+      let flags = { Pte.present; writable; user; nx; pkey; accessed = false; dirty } in
+      let pte = Pte.make ~pfn flags in
+      Pte.flags pte = { flags with accessed = false } && Pte.pfn pte = pfn)
+
+(* ------------------------------------------------------------------ *)
+(* Pks                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pks_encode_decode () =
+  let rights = Array.make 16 Pks.allow_all in
+  rights.(1) <- Pks.no_access;
+  rights.(15) <- Pks.read_only;
+  let pkrs = Pks.encode rights in
+  let decoded = Pks.decode pkrs in
+  Alcotest.(check bool) "key1 AD" true decoded.(1).Pks.access_disable;
+  Alcotest.(check bool) "key15 WD" true decoded.(15).Pks.write_disable;
+  Alcotest.(check bool) "key0 free" false decoded.(0).Pks.access_disable
+
+let test_pks_permits () =
+  let rights = Array.make 16 Pks.allow_all in
+  rights.(2) <- Pks.read_only;
+  rights.(3) <- Pks.no_access;
+  let pkrs = Pks.encode rights in
+  Alcotest.(check bool) "key0 write" true (Pks.permits ~pkrs ~key:0 ~write:true);
+  Alcotest.(check bool) "key2 read" true (Pks.permits ~pkrs ~key:2 ~write:false);
+  Alcotest.(check bool) "key2 write denied" false (Pks.permits ~pkrs ~key:2 ~write:true);
+  Alcotest.(check bool) "key3 read denied" false (Pks.permits ~pkrs ~key:3 ~write:false)
+
+let test_pks_set_key () =
+  let pkrs = Pks.encode (Array.make 16 Pks.allow_all) in
+  let pkrs = Pks.set_key ~pkrs ~key:7 Pks.no_access in
+  Alcotest.(check bool) "key7 denied" false (Pks.permits ~pkrs ~key:7 ~write:false);
+  Alcotest.(check bool) "key6 untouched" true (Pks.permits ~pkrs ~key:6 ~write:true);
+  let pkrs = Pks.set_key ~pkrs ~key:7 Pks.allow_all in
+  Alcotest.(check bool) "key7 restored" true (Pks.permits ~pkrs ~key:7 ~write:true)
+
+(* ------------------------------------------------------------------ *)
+(* Page_table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_env ?(frames = 512) () =
+  let mem = Phys_mem.create ~frames in
+  let next = ref 1 in
+  let alloc_ptp () =
+    let pfn = !next in
+    incr next;
+    pfn
+  in
+  let write_pte ~pte_addr pte = Phys_mem.write_u64 mem pte_addr pte in
+  (mem, alloc_ptp, write_pte)
+
+let test_pt_map_walk () =
+  let mem, alloc_ptp, write_pte = make_env () in
+  let root = alloc_ptp () in
+  let vaddr = 0x7f_1234_5000 in
+  let pte = Pte.make ~pfn:100 { Pte.default_flags with user = true } in
+  Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr pte;
+  (match Page_table.walk mem ~root_pfn:root vaddr with
+  | None -> Alcotest.fail "mapping missing"
+  | Some w ->
+      Alcotest.(check int) "leaf pfn" 100 (Pte.pfn w.Page_table.pte);
+      Alcotest.(check bool) "combined user" true w.Page_table.user;
+      Alcotest.(check bool) "combined writable" true w.Page_table.writable);
+  Alcotest.(check bool) "unmapped sibling absent" true
+    (Page_table.walk mem ~root_pfn:root (vaddr + 0x1000) = None)
+
+let test_pt_unmap () =
+  let mem, alloc_ptp, write_pte = make_env () in
+  let root = alloc_ptp () in
+  let vaddr = 0x1000_0000 in
+  Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr
+    (Pte.make ~pfn:7 Pte.default_flags);
+  Page_table.unmap mem ~write_pte ~root_pfn:root ~vaddr;
+  Alcotest.(check bool) "gone" true (Page_table.walk mem ~root_pfn:root vaddr = None);
+  (* Unmapping an address with no intermediate tables is a no-op. *)
+  Page_table.unmap mem ~write_pte ~root_pfn:root ~vaddr:0x7fff_0000_0000
+
+let test_pt_update () =
+  let mem, alloc_ptp, write_pte = make_env () in
+  let root = alloc_ptp () in
+  let vaddr = 0x2000 in
+  Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr
+    (Pte.make ~pfn:9 Pte.default_flags);
+  let changed =
+    Page_table.update mem ~write_pte ~root_pfn:root ~vaddr (fun pte ->
+        Pte.set_writable pte false)
+  in
+  Alcotest.(check bool) "updated" true changed;
+  (match Page_table.walk mem ~root_pfn:root vaddr with
+  | Some w -> Alcotest.(check bool) "now read-only" false (Pte.writable w.Page_table.pte)
+  | None -> Alcotest.fail "lost mapping");
+  Alcotest.(check bool) "update of unmapped returns false" false
+    (Page_table.update mem ~write_pte ~root_pfn:root ~vaddr:0xdead000 Fun.id)
+
+let test_pt_distinct_vaddrs () =
+  let mem, alloc_ptp, write_pte = make_env ~frames:2048 () in
+  let root = alloc_ptp () in
+  (* Addresses chosen to differ at every level of the tree. *)
+  let cases =
+    [ (0x0000_0000_1000, 11); (0x0000_0020_0000, 22); (0x0000_4000_0000, 33);
+      (0x0080_0000_0000, 44); (0x7fff_ffff_f000, 55) ]
+  in
+  List.iter
+    (fun (vaddr, pfn) ->
+      Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr
+        (Pte.make ~pfn Pte.default_flags))
+    cases;
+  List.iter
+    (fun (vaddr, pfn) ->
+      match Page_table.walk mem ~root_pfn:root vaddr with
+      | Some w -> Alcotest.(check int) "pfn" pfn (Pte.pfn w.Page_table.pte)
+      | None -> Alcotest.fail "missing mapping")
+    cases
+
+(* Random map/unmap sequences agree with a model map. *)
+let prop_pt_model =
+  QCheck.Test.make ~name:"page table agrees with model" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60) (pair (int_bound 15) (int_bound 200)))
+    (fun ops ->
+      let mem, alloc_ptp, write_pte = make_env ~frames:4096 () in
+      let root = alloc_ptp () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, pfn) ->
+          let vaddr = 0x1_0000_0000 + (slot * 0x1000) in
+          if pfn < 20 then begin
+            (* unmap *)
+            Hw.Page_table.unmap mem ~write_pte ~root_pfn:root ~vaddr;
+            Hashtbl.remove model vaddr
+          end
+          else begin
+            let pfn = pfn + 1000 in
+            Hw.Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr
+              (Hw.Pte.make ~pfn Hw.Pte.default_flags);
+            Hashtbl.replace model vaddr pfn
+          end)
+        ops;
+      List.for_all
+        (fun slot ->
+          let vaddr = 0x1_0000_0000 + (slot * 0x1000) in
+          match (Hw.Page_table.walk mem ~root_pfn:root vaddr, Hashtbl.find_opt model vaddr) with
+          | Some w, Some pfn -> w.Hw.Page_table.pfn = pfn
+          | None, None -> true
+          | _ -> false)
+        (List.init 16 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Access checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let base_ctx =
+  { Access.user_mode = false; wp = true; smep = true; smap = true; pks = true;
+    ac = false; pkrs = 0L }
+
+let user_page = { Access.user = true; writable = true; nx = false; pkey = 0 }
+let kernel_page = { Access.user = false; writable = true; nx = false; pkey = 0 }
+
+let check_ok name ctx kind tr =
+  match Access.check ctx ~kind ~addr:0x1000 tr with
+  | Ok () -> ()
+  | Error f -> Alcotest.fail (Printf.sprintf "%s: unexpected %s" name (Fault.to_string f))
+
+let check_denied name ctx kind tr pred =
+  match Access.check ctx ~kind ~addr:0x1000 tr with
+  | Ok () -> Alcotest.fail (name ^ ": expected denial")
+  | Error f ->
+      if not (pred f) then
+        Alcotest.fail (Printf.sprintf "%s: wrong fault %s" name (Fault.to_string f))
+
+let test_access_user_mode () =
+  let ctx = { base_ctx with Access.user_mode = true } in
+  check_ok "user reads user page" ctx Fault.Read user_page;
+  check_ok "user writes user page" ctx Fault.Write user_page;
+  check_denied "user reads kernel page" ctx Fault.Read kernel_page is_pf;
+  check_denied "user writes ro page" ctx Fault.Write { user_page with Access.writable = false } is_pf;
+  check_denied "user executes nx" ctx Fault.Execute { user_page with Access.nx = true } is_pf;
+  check_ok "user executes user page" ctx Fault.Execute user_page
+
+let test_access_smep_smap () =
+  check_denied "smap blocks kernel read of user page" base_ctx Fault.Read user_page is_pf;
+  check_denied "smap blocks kernel write of user page" base_ctx Fault.Write user_page is_pf;
+  check_ok "stac bypasses smap" { base_ctx with Access.ac = true } Fault.Read user_page;
+  check_denied "smep blocks kernel exec of user page" base_ctx Fault.Execute user_page is_pf;
+  check_ok "kernel exec of kernel page" base_ctx Fault.Execute kernel_page;
+  let no_smap = { base_ctx with Access.smap = false } in
+  check_ok "no smap: kernel reads user page" no_smap Fault.Read user_page
+
+let test_access_wp () =
+  let ro = { kernel_page with Access.writable = false } in
+  check_denied "wp blocks kernel write to ro" base_ctx Fault.Write ro is_pf;
+  check_ok "wp off allows kernel write to ro" { base_ctx with Access.wp = false } Fault.Write ro
+
+let test_access_pks () =
+  let protected_page = { kernel_page with Access.pkey = 3 } in
+  let pkrs_block = Pks.set_key ~pkrs:0L ~key:3 Pks.no_access in
+  let pkrs_ro = Pks.set_key ~pkrs:0L ~key:3 Pks.read_only in
+  check_denied "AD blocks read" { base_ctx with Access.pkrs = pkrs_block } Fault.Read
+    protected_page is_pkey_pf;
+  check_denied "WD blocks write" { base_ctx with Access.pkrs = pkrs_ro } Fault.Write
+    protected_page is_pkey_pf;
+  check_ok "WD allows read" { base_ctx with Access.pkrs = pkrs_ro } Fault.Read protected_page;
+  check_ok "pks disabled ignores keys"
+    { base_ctx with Access.pks = false; pkrs = pkrs_block }
+    Fault.Read protected_page;
+  (* PKS never applies to instruction fetch. *)
+  check_ok "fetch ignores pkey" { base_ctx with Access.pkrs = pkrs_block } Fault.Execute
+    protected_page
+
+(* ------------------------------------------------------------------ *)
+(* Cpu end-to-end translation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_cpu ?(frames = 2048) () =
+  let mem = Phys_mem.create ~frames in
+  let clock = Cycles.clock () in
+  let cpu = Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let next = ref 1 in
+  let alloc_ptp () =
+    let pfn = !next in
+    incr next;
+    pfn
+  in
+  let write_pte ~pte_addr pte = Phys_mem.write_u64 mem pte_addr pte in
+  let root = alloc_ptp () in
+  Cpu.write_cr3 cpu ~root_pfn:root;
+  let map vaddr pfn flags =
+    Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr (Pte.make ~pfn flags)
+  in
+  (cpu, mem, map, root)
+
+let test_cpu_translate_rw () =
+  let cpu, _mem, map, _ = make_cpu () in
+  map 0x40_0000 200 Pte.default_flags;
+  Cpu.write_u64 cpu 0x40_0008 0xfeedL;
+  Alcotest.(check int64) "va rw roundtrip" 0xfeedL (Cpu.read_u64 cpu 0x40_0008);
+  expect_fault "unmapped" (fun () -> Cpu.read_u8 cpu 0xdead_0000) (function
+    | Fault.Page_fault { present; _ } -> not present
+    | _ -> false)
+
+let test_cpu_dirty_accessed () =
+  let cpu, mem, map, root = make_cpu () in
+  map 0x50_0000 201 Pte.default_flags;
+  ignore (Cpu.read_u8 cpu 0x50_0000);
+  (match Page_table.walk mem ~root_pfn:root 0x50_0000 with
+  | Some w ->
+      Alcotest.(check bool) "accessed set" true (Pte.accessed w.Page_table.pte);
+      Alcotest.(check bool) "dirty clear after read" false (Pte.dirty w.Page_table.pte)
+  | None -> Alcotest.fail "lost mapping");
+  Cpu.flush_tlb cpu;
+  Cpu.write_u8 cpu 0x50_0000 1;
+  match Page_table.walk mem ~root_pfn:root 0x50_0000 with
+  | Some w -> Alcotest.(check bool) "dirty after write" true (Pte.dirty w.Page_table.pte)
+  | None -> Alcotest.fail "lost mapping"
+
+let test_cpu_user_kernel () =
+  let cpu, _mem, map, _ = make_cpu () in
+  Cpu.set_cr_bit cpu ~reg:`Cr4 Cr.cr4_smap true;
+  Cpu.set_cr_bit cpu ~reg:`Cr4 Cr.cr4_smep true;
+  Cpu.set_cr_bit cpu ~reg:`Cr0 Cr.cr0_wp true;
+  map 0x1000 300 { Pte.default_flags with user = true };
+  map 0x10_0000 301 Pte.default_flags;
+  (* Supervisor cannot touch user page under SMAP... *)
+  expect_fault "smap" (fun () -> Cpu.read_u8 cpu 0x1000) is_pf;
+  (* ...unless AC is set via stac. *)
+  Cpu.stac cpu;
+  ignore (Cpu.read_u8 cpu 0x1000);
+  Cpu.clac cpu;
+  expect_fault "smap again" (fun () -> Cpu.read_u8 cpu 0x1000) is_pf;
+  (* User cannot touch kernel page. *)
+  cpu.Cpu.mode <- Cpu.User;
+  expect_fault "user to kernel" (fun () -> Cpu.read_u8 cpu 0x10_0000) is_pf;
+  ignore (Cpu.read_u8 cpu 0x1000)
+
+let test_cpu_privileged_from_user () =
+  let cpu, _mem, _map, _ = make_cpu () in
+  cpu.Cpu.mode <- Cpu.User;
+  expect_fault "wrmsr" (fun () -> Cpu.write_msr cpu Msr.ia32_lstar 1L) is_gp;
+  expect_fault "rdmsr" (fun () -> Cpu.read_msr cpu Msr.ia32_lstar) is_gp;
+  expect_fault "mov cr3" (fun () -> Cpu.write_cr3 cpu ~root_pfn:5) is_gp;
+  expect_fault "mov cr4" (fun () -> Cpu.set_cr_bit cpu ~reg:`Cr4 Cr.cr4_pks true) is_gp;
+  expect_fault "stac" (fun () -> Cpu.stac cpu) is_gp;
+  expect_fault "lidt" (fun () -> Cpu.lidt cpu (Idt.create ())) is_gp
+
+let test_cpu_pks_enforcement () =
+  let cpu, _mem, map, _ = make_cpu () in
+  Cpu.set_cr_bit cpu ~reg:`Cr4 Cr.cr4_pks true;
+  Cpu.set_cr_bit cpu ~reg:`Cr0 Cr.cr0_wp true;
+  map 0x20_0000 310 { Pte.default_flags with pkey = 5 };
+  (* Key 5 open: access works. *)
+  Cpu.write_u8 cpu 0x20_0000 7;
+  (* Close key 5 for writes. *)
+  Cpu.write_msr cpu Msr.ia32_pkrs (Pks.set_key ~pkrs:0L ~key:5 Pks.read_only);
+  ignore (Cpu.read_u8 cpu 0x20_0000);
+  expect_fault "pks wd" (fun () -> Cpu.write_u8 cpu 0x20_0000 8) is_pkey_pf;
+  (* Close entirely. *)
+  Cpu.write_msr cpu Msr.ia32_pkrs (Pks.set_key ~pkrs:0L ~key:5 Pks.no_access);
+  expect_fault "pks ad" (fun () -> ignore (Cpu.read_u8 cpu 0x20_0000)) is_pkey_pf
+
+let test_cpu_tlb_behaviour () =
+  let cpu, _mem, map, _ = make_cpu () in
+  map 0x30_0000 320 Pte.default_flags;
+  ignore (Cpu.read_u8 cpu 0x30_0000);
+  let misses0 = Tlb.misses cpu.Cpu.tlb in
+  ignore (Cpu.read_u8 cpu 0x30_0000);
+  Alcotest.(check int) "second access hits TLB" misses0 (Tlb.misses cpu.Cpu.tlb);
+  Cpu.invlpg cpu 0x30_0000;
+  ignore (Cpu.read_u8 cpu 0x30_0000);
+  Alcotest.(check int) "invlpg forces a walk" (misses0 + 1) (Tlb.misses cpu.Cpu.tlb)
+
+let test_cpu_scrub_regs () =
+  let cpu, _mem, _map, _ = make_cpu () in
+  cpu.Cpu.regs.(3) <- 42L;
+  let saved = Cpu.snapshot_regs cpu in
+  Cpu.scrub_regs cpu;
+  Alcotest.(check int64) "scrubbed" 0L cpu.Cpu.regs.(3);
+  Cpu.restore_regs cpu saved;
+  Alcotest.(check int64) "restored" 42L cpu.Cpu.regs.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Cet                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ibt_on = Msr.s_cet_ibt_bit
+let sst_on = Msr.s_cet_shstk_bit
+
+let test_cet_ibt () =
+  let endbr_at addr = addr = 0x100 in
+  (match Cet.check_branch ~s_cet:ibt_on ~endbr_at ~target:0x100 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "endbr target rejected");
+  (match Cet.check_branch ~s_cet:ibt_on ~endbr_at ~target:0x104 with
+  | Error (Fault.Control_protection _) -> ()
+  | _ -> Alcotest.fail "missing endbr accepted");
+  match Cet.check_branch ~s_cet:0L ~endbr_at ~target:0x104 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "IBT disabled should not check"
+
+let test_cet_shadow_stack () =
+  let engine = Cet.create () in
+  let stack = Cet.create_stack ~base:0x9000 in
+  (match Cet.activate engine stack with Ok () -> () | Error _ -> Alcotest.fail "activate");
+  Cet.on_call ~s_cet:sst_on engine ~ret_addr:0x500;
+  Cet.on_call ~s_cet:sst_on engine ~ret_addr:0x600;
+  Alcotest.(check int) "depth" 2 (Cet.depth stack);
+  (match Cet.on_ret ~s_cet:sst_on engine ~ret_addr:0x600 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "good return rejected");
+  (match Cet.on_ret ~s_cet:sst_on engine ~ret_addr:0xBAD with
+  | Error (Fault.Control_protection _) -> ()
+  | _ -> Alcotest.fail "tampered return accepted");
+  (* Stack still holds the 0x500 frame; drain it and underflow. *)
+  (match Cet.on_ret ~s_cet:sst_on engine ~ret_addr:0x500 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "drain");
+  match Cet.on_ret ~s_cet:sst_on engine ~ret_addr:0x1 with
+  | Error (Fault.Control_protection _) -> ()
+  | _ -> Alcotest.fail "underflow accepted"
+
+let test_cet_token_exclusivity () =
+  let a = Cet.create () and b = Cet.create () in
+  let stack = Cet.create_stack ~base:0x9000 in
+  (match Cet.activate a stack with Ok () -> () | Error _ -> Alcotest.fail "first activate");
+  (match Cet.activate b stack with
+  | Error (Fault.Control_protection _) -> ()
+  | _ -> Alcotest.fail "token double-claim accepted");
+  Cet.deactivate a;
+  match Cet.activate b stack with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "activate after release"
+
+(* ------------------------------------------------------------------ *)
+(* Isa                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let benign_program =
+  [ Isa.Endbr; Isa.Mov_imm (Isa.R0, 1234); Isa.Add (Isa.R0, Isa.R1);
+    Isa.Load (Isa.R2, Isa.R0); Isa.Store (Isa.R0, Isa.R2); Isa.Call 4;
+    Isa.Jmp (-2); Isa.Syscall; Isa.Cpuid; Isa.Clac; Isa.Ret ]
+
+
+let test_isa_roundtrip () =
+  match Isa.disassemble (Isa.assemble benign_program) with
+  | Some got -> Alcotest.(check int) "count" (List.length benign_program) (List.length got)
+  | None -> Alcotest.fail "disassemble failed"
+
+let test_isa_scan_clean () =
+  Alcotest.(check int) "benign program scans clean" 0
+    (List.length (Isa.scan (Isa.assemble benign_program)))
+
+let test_isa_scan_catches_sensitive () =
+  List.iter
+    (fun instr ->
+      let code = Isa.assemble [ Isa.Nop; instr; Isa.Nop ] in
+      match Isa.scan code with
+      | [] -> Alcotest.failf "scan missed %a" Isa.pp_instr instr
+      | { Isa.offset; _ } :: _ -> Alcotest.(check int) "offset" 4 offset)
+    [ Isa.Mov_cr (0, Isa.R1); Isa.Wrmsr; Isa.Stac; Isa.Lidt; Isa.Tdcall ]
+
+let test_isa_scan_unaligned () =
+  (* A sensitive byte hidden inside data must still be flagged: the scanner
+     is byte-level, not instruction-level. *)
+  let code = Bytes.cat (Isa.assemble [ Isa.Nop ]) (Bytes.of_string "\xc5AB\x00") in
+  Alcotest.(check bool) "unaligned tdcall byte caught" true (List.length (Isa.scan code) > 0)
+
+let test_isa_imm_range () =
+  Alcotest.check_raises "imm too large" (Invalid_argument "Isa: immediate out of 14-bit range")
+    (fun () -> ignore (Isa.encode (Isa.Mov_imm (Isa.R0, 10000))));
+  match Isa.decode (Isa.encode (Isa.Mov_imm (Isa.R3, -4000))) 0 with
+  | Some (Isa.Mov_imm (Isa.R3, -4000)) -> ()
+  | _ -> Alcotest.fail "negative immediate roundtrip"
+
+let prop_isa_benign_scan_clean =
+  (* Any program assembled from benign instructions scans clean. *)
+  let benign_gen =
+    QCheck.Gen.(
+      oneof
+        [ return Isa.Nop; return Isa.Endbr; return Isa.Ret; return Isa.Syscall;
+          return Isa.Cpuid; return Isa.Clac; return Isa.Iret;
+          map (fun v -> Isa.Mov_imm (Isa.R1, v)) (int_range (-8000) 8000);
+          map (fun v -> Isa.Jmp v) (int_range (-8000) 8000) ])
+  in
+  QCheck.Test.make ~name:"benign assembly scans clean" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (1 -- 50) benign_gen))
+    (fun prog -> Isa.scan (Isa.assemble prog) = [])
+
+(* ------------------------------------------------------------------ *)
+(* Image                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_image =
+  {
+    Image.entry = 0x1000;
+    sections =
+      [
+        { Image.name = ".text"; vaddr = 0x1000; executable = true; writable = false;
+          data = Isa.assemble benign_program };
+        { Image.name = ".data"; vaddr = 0x4000; executable = false; writable = true;
+          data = Bytes.of_string "hello data" };
+      ];
+  }
+
+let test_image_roundtrip () =
+  match Image.parse (Image.serialize sample_image) with
+  | Error e -> Alcotest.fail e
+  | Ok img ->
+      Alcotest.(check int) "entry" 0x1000 img.Image.entry;
+      Alcotest.(check int) "sections" 2 (List.length img.Image.sections);
+      Alcotest.(check int) "one exec section" 1 (List.length (Image.executable_sections img));
+      (match Image.find_section img ".data" with
+      | Some s -> Alcotest.(check string) "data" "hello data" (Bytes.to_string s.Image.data)
+      | None -> Alcotest.fail "missing .data")
+
+let test_image_rejects () =
+  let good = Image.serialize sample_image in
+  let bad_magic = Bytes.copy good in
+  Bytes.set bad_magic 0 'X';
+  (match Image.parse bad_magic with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  (match Image.parse (Bytes.sub good 0 (Bytes.length good - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated accepted");
+  let overlapping =
+    { sample_image with
+      Image.sections =
+        [ { Image.name = "a"; vaddr = 0x1000; executable = false; writable = true;
+            data = Bytes.make 100 'x' };
+          { Image.name = "b"; vaddr = 0x1010; executable = false; writable = true;
+            data = Bytes.make 100 'y' } ] }
+  in
+  match Image.parse (Image.serialize overlapping) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overlapping sections accepted"
+
+(* Mutated images must parse to Ok or Error, never crash. *)
+let prop_image_fuzz =
+  QCheck.Test.make ~name:"image parser total on mutations" ~count:200
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (pos, value) ->
+      let good = Hw.Image.serialize sample_image in
+      let mutated = Bytes.copy good in
+      let pos = pos mod Bytes.length mutated in
+      Bytes.set mutated pos (Char.chr value);
+      match Hw.Image.parse mutated with Ok _ | Error _ -> true)
+
+let prop_image_roundtrip =
+  let section_gen =
+    QCheck.Gen.(
+      map3
+        (fun name len exec ->
+          (* vaddr assigned later to guarantee non-overlap *)
+          (String.map (fun c -> Char.chr (0x41 + (Char.code c mod 26))) name, len, exec))
+        (string_size (1 -- 8)) (int_range 0 200) bool)
+  in
+  QCheck.Test.make ~name:"image serialize/parse roundtrip" ~count:50
+    (QCheck.make QCheck.Gen.(list_size (0 -- 6) section_gen))
+    (fun specs ->
+      let _, sections =
+        List.fold_left
+          (fun (va, acc) (name, len, exec) ->
+            ( va + len + 0x1000,
+              { Image.name; vaddr = va; executable = exec; writable = not exec;
+                data = Bytes.make len 'z' }
+              :: acc ))
+          (0x1000, []) specs
+      in
+      let img = { Image.entry = 0x1000; sections = List.rev sections } in
+      match Image.parse (Image.serialize img) with
+      | Ok got -> got = img
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Apic / Uintr / Idt                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_apic_fires () =
+  let clock = Cycles.clock () in
+  let apic = Apic.create clock ~period:1000 in
+  Alcotest.(check bool) "not pending initially" false (Apic.pending apic);
+  Cycles.advance clock 999;
+  Alcotest.(check bool) "not yet" false (Apic.pending apic);
+  Cycles.advance clock 1;
+  Alcotest.(check bool) "pending at deadline" true (Apic.pending apic);
+  Apic.acknowledge apic;
+  Alcotest.(check int) "fired once" 1 (Apic.fired_count apic);
+  Alcotest.(check bool) "re-armed" false (Apic.pending apic);
+  (* A long sleep coalesces into one pending interrupt. *)
+  Cycles.advance clock 10_000;
+  Alcotest.(check bool) "pending after sleep" true (Apic.pending apic);
+  Apic.acknowledge apic;
+  Alcotest.(check bool) "coalesced" false (Apic.pending apic);
+  Alcotest.(check int) "fired twice total" 2 (Apic.fired_count apic)
+
+let test_uintr_gating () =
+  let msr = Msr.create () in
+  (match Uintr.senduipi ~msr ~slot:3 with
+  | Uintr.Faulted (Fault.General_protection _) -> ()
+  | _ -> Alcotest.fail "send with invalid TT accepted");
+  Msr.write msr Msr.ia32_uintr_tt Msr.uintr_tt_valid_bit;
+  (match Uintr.senduipi ~msr ~slot:3 with
+  | Uintr.Delivered 3 -> ()
+  | _ -> Alcotest.fail "valid send failed");
+  match Uintr.senduipi ~msr ~slot:99 with
+  | Uintr.Faulted _ -> ()
+  | _ -> Alcotest.fail "bad slot accepted"
+
+let test_idt_dispatch () =
+  let idt = Idt.create () in
+  Idt.set idt Idt.vec_pf ~handler:0xAA00;
+  Alcotest.(check int) "deliver" 0xAA00 (Idt.deliver idt Idt.vec_pf);
+  expect_fault "absent vector" (fun () -> Idt.deliver idt Idt.vec_timer) is_gp;
+  let snapshot = Idt.copy idt in
+  Idt.clear idt Idt.vec_pf;
+  expect_fault "cleared" (fun () -> Idt.deliver idt Idt.vec_pf) is_gp;
+  Alcotest.(check int) "copy unaffected" 0xAA00 (Idt.deliver snapshot Idt.vec_pf)
+
+let test_cycles_clock () =
+  let clock = Cycles.clock () in
+  Cycles.advance clock 500;
+  Alcotest.(check int) "advance" 500 (Cycles.now clock);
+  Alcotest.check_raises "negative" (Invalid_argument "Cycles.advance: negative duration")
+    (fun () -> Cycles.advance clock (-1));
+  (* Table 3/4 calibration identities. *)
+  Alcotest.(check int) "mmu total" 1345 Cycles.Cost.(emc_roundtrip + emc_service_mmu);
+  Alcotest.(check int) "cr total" 1593 Cycles.Cost.(emc_roundtrip + emc_service_cr);
+  Alcotest.(check int) "msr total" 1613 Cycles.Cost.(emc_roundtrip + emc_service_msr);
+  Alcotest.(check int) "idt total" 1369 Cycles.Cost.(emc_roundtrip + emc_service_idt);
+  Alcotest.(check int) "smap total" 1291 Cycles.Cost.(emc_roundtrip + emc_service_smap);
+  Alcotest.(check int) "ghci total" 128081 Cycles.Cost.(emc_roundtrip + emc_service_ghci)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "phys_mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_phys_mem_rw;
+          Alcotest.test_case "cross page" `Quick test_phys_mem_cross_page;
+          Alcotest.test_case "bounds" `Quick test_phys_mem_bounds;
+          Alcotest.test_case "zero page" `Quick test_phys_mem_zero;
+        ] );
+      ( "pte",
+        [ Alcotest.test_case "roundtrip" `Quick test_pte_roundtrip; qt prop_pte_flags ] );
+      ( "pks",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_pks_encode_decode;
+          Alcotest.test_case "permits" `Quick test_pks_permits;
+          Alcotest.test_case "set key" `Quick test_pks_set_key;
+        ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "map/walk" `Quick test_pt_map_walk;
+          Alcotest.test_case "unmap" `Quick test_pt_unmap;
+          Alcotest.test_case "update" `Quick test_pt_update;
+          Alcotest.test_case "distinct vaddrs" `Quick test_pt_distinct_vaddrs;
+          qt prop_pt_model;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "user mode" `Quick test_access_user_mode;
+          Alcotest.test_case "smep/smap" `Quick test_access_smep_smap;
+          Alcotest.test_case "wp" `Quick test_access_wp;
+          Alcotest.test_case "pks" `Quick test_access_pks;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "translate rw" `Quick test_cpu_translate_rw;
+          Alcotest.test_case "dirty/accessed" `Quick test_cpu_dirty_accessed;
+          Alcotest.test_case "user/kernel separation" `Quick test_cpu_user_kernel;
+          Alcotest.test_case "privileged from user" `Quick test_cpu_privileged_from_user;
+          Alcotest.test_case "pks enforcement" `Quick test_cpu_pks_enforcement;
+          Alcotest.test_case "tlb behaviour" `Quick test_cpu_tlb_behaviour;
+          Alcotest.test_case "scrub regs" `Quick test_cpu_scrub_regs;
+        ] );
+      ( "cet",
+        [
+          Alcotest.test_case "ibt" `Quick test_cet_ibt;
+          Alcotest.test_case "shadow stack" `Quick test_cet_shadow_stack;
+          Alcotest.test_case "token exclusivity" `Quick test_cet_token_exclusivity;
+        ] );
+      ( "isa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_isa_roundtrip;
+          Alcotest.test_case "scan clean" `Quick test_isa_scan_clean;
+          Alcotest.test_case "scan sensitive" `Quick test_isa_scan_catches_sensitive;
+          Alcotest.test_case "scan unaligned" `Quick test_isa_scan_unaligned;
+          Alcotest.test_case "imm range" `Quick test_isa_imm_range;
+          qt prop_isa_benign_scan_clean;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_image_rejects;
+          qt prop_image_roundtrip;
+          qt prop_image_fuzz;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "apic" `Quick test_apic_fires;
+          Alcotest.test_case "uintr" `Quick test_uintr_gating;
+          Alcotest.test_case "idt" `Quick test_idt_dispatch;
+          Alcotest.test_case "cycles" `Quick test_cycles_clock;
+        ] );
+    ]

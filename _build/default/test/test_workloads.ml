@@ -1,0 +1,296 @@
+(* Tests for the workload algorithms (the real compute kernels) and the
+   profile-driven spec builder. *)
+
+let rng () = Crypto.Drbg.create ~seed:"workload tests"
+
+(* ------------------------------------------------------------------ *)
+(* LLM                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_llm_train_generate () =
+  let model = Workloads.Llm.Model.train ~order:3 "abcabcabcabcabcabc" in
+  Alcotest.(check bool) "has contexts" true (Workloads.Llm.Model.contexts model > 0);
+  let text = Workloads.Llm.Model.generate model ~rng:(rng ()) ~prompt:"abc" ~n:12 in
+  Alcotest.(check int) "length" 12 (String.length text);
+  (* A purely periodic corpus generates the same period. *)
+  String.iter (fun c -> if not (String.contains "abc" c) then Alcotest.fail "off-alphabet") text
+
+let test_llm_deterministic_given_rng () =
+  let model = Lazy.force Workloads.Llm.default_model in
+  let a = Workloads.Llm.Model.generate model ~rng:(Crypto.Drbg.create ~seed:"x") ~prompt:"the " ~n:50 in
+  let b = Workloads.Llm.Model.generate model ~rng:(Crypto.Drbg.create ~seed:"x") ~prompt:"the " ~n:50 in
+  Alcotest.(check string) "deterministic" a b
+
+let test_llm_rejects_bad_order () =
+  Alcotest.check_raises "order 0" (Invalid_argument "Model.train: order must be >= 1")
+    (fun () -> ignore (Workloads.Llm.Model.train ~order:0 "xyz"))
+
+(* ------------------------------------------------------------------ *)
+(* Retrieval hashmap                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_hashmap_basic () =
+  let h = Workloads.Retrieval.Hashmap.create ~capacity:64 in
+  Workloads.Retrieval.Hashmap.put h "a" 1;
+  Workloads.Retrieval.Hashmap.put h "b" 2;
+  Workloads.Retrieval.Hashmap.put h "a" 3;
+  Alcotest.(check (option int)) "get a" (Some 3) (Workloads.Retrieval.Hashmap.get h "a");
+  Alcotest.(check (option int)) "get b" (Some 2) (Workloads.Retrieval.Hashmap.get h "b");
+  Alcotest.(check (option int)) "miss" None (Workloads.Retrieval.Hashmap.get h "c");
+  Alcotest.(check int) "length counts keys" 2 (Workloads.Retrieval.Hashmap.length h);
+  Alcotest.(check bool) "probes counted" true (Workloads.Retrieval.Hashmap.probes h > 0)
+
+let test_hashmap_rejects () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Hashmap.create: capacity must be a power of two") (fun () ->
+      ignore (Workloads.Retrieval.Hashmap.create ~capacity:100))
+
+let prop_hashmap_model =
+  QCheck.Test.make ~name:"hashmap agrees with assoc list" ~count:100
+    QCheck.(list (pair (string_of_size QCheck.Gen.(1 -- 8)) small_int))
+    (fun kvs ->
+      let kvs = List.filteri (fun i _ -> i < 40) kvs in
+      let h = Workloads.Retrieval.Hashmap.create ~capacity:256 in
+      List.iter (fun (k, v) -> Workloads.Retrieval.Hashmap.put h k v) kvs;
+      List.for_all
+        (fun (k, _) ->
+          (* last binding wins, as in the map *)
+          let expected = List.assoc k (List.rev kvs) in
+          Workloads.Retrieval.Hashmap.get h k = Some expected)
+        kvs)
+
+let test_synthetic_db () =
+  let db = Workloads.Retrieval.synthetic_db ~rng:(rng ()) ~entries:500 in
+  Alcotest.(check int) "all inserted" 500 (Workloads.Retrieval.Hashmap.length db);
+  match Workloads.Retrieval.Hashmap.get db (Workloads.Retrieval.drug_key 123) with
+  | Some r -> Alcotest.(check string) "name" "compound-123" r.Workloads.Retrieval.name
+  | None -> Alcotest.fail "missing record"
+
+(* ------------------------------------------------------------------ *)
+(* Graph / PageRank                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_csr_structure () =
+  let g = Workloads.Graph.Csr.of_edges ~nodes:4 [ (0, 1); (0, 2); (1, 2); (3, 0); (9, 1) ] in
+  Alcotest.(check int) "nodes" 4 (Workloads.Graph.Csr.nodes g);
+  Alcotest.(check int) "edges (oob dropped)" 4 (Workloads.Graph.Csr.edges g);
+  Alcotest.(check int) "deg 0" 2 (Workloads.Graph.Csr.out_degree g 0);
+  Alcotest.(check int) "deg 2 (sink)" 0 (Workloads.Graph.Csr.out_degree g 2)
+
+let test_pagerank_properties () =
+  let g = Workloads.Graph.Csr.synthetic ~rng:(rng ()) ~nodes:300 ~edges:3000 in
+  let rank = Workloads.Graph.Csr.pagerank g ~iterations:20 ~damping:0.85 in
+  let sum = Array.fold_left ( +. ) 0.0 rank in
+  Alcotest.(check (float 0.01)) "ranks sum to 1" 1.0 sum;
+  Array.iter (fun r -> if r < 0.0 then Alcotest.fail "negative rank") rank;
+  let top = Workloads.Graph.Csr.top_k rank ~k:5 in
+  Alcotest.(check int) "top-5" 5 (List.length top);
+  (match top with
+  | (_, first) :: (_, second) :: _ ->
+      Alcotest.(check bool) "sorted descending" true (first >= second)
+  | _ -> Alcotest.fail "top_k");
+  (* The synthetic generator biases toward low ids: node 0 should rank in
+     the upper half. *)
+  let sorted = Array.copy rank in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "low ids favoured" true
+    (rank.(0) >= sorted.(Array.length sorted / 2))
+
+let test_pagerank_empty () =
+  Alcotest.(check int) "empty graph" 0
+    (Array.length
+       (Workloads.Graph.Csr.pagerank
+          (Workloads.Graph.Csr.of_edges ~nodes:0 [])
+          ~iterations:3 ~damping:0.85))
+
+(* ------------------------------------------------------------------ *)
+(* IDS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ids_scores () =
+  let r = rng () in
+  let baseline = Workloads.Ids.baseline ~rng:r in
+  let clean = Workloads.Ids.synthetic_log ~rng:r ~events:4000 ~anomaly_rate:0.0 in
+  let attacked = Workloads.Ids.synthetic_log ~rng:r ~events:4000 ~anomaly_rate:0.3 in
+  let clean_score = Workloads.Ids.score ~baseline clean in
+  let attack_score = Workloads.Ids.score ~baseline attacked in
+  Alcotest.(check bool) "clean close to baseline" true (clean_score < 0.05);
+  Alcotest.(check bool) "attack diverges" true (attack_score > 2.0 *. clean_score);
+  Alcotest.(check bool) "scores in [0,1]" true
+    (clean_score >= 0.0 && clean_score <= 1.0 && attack_score >= 0.0 && attack_score <= 1.0)
+
+let test_sketch_cosine () =
+  let a = Workloads.Ids.Sketch.create ~width:64 in
+  let b = Workloads.Ids.Sketch.create ~width:64 in
+  let e = { Workloads.Ids.src = "x"; action = "y"; dst = "z" } in
+  Alcotest.(check (float 0.001)) "empty cosine" 0.0 (Workloads.Ids.Sketch.cosine a b);
+  Workloads.Ids.Sketch.add a e;
+  Workloads.Ids.Sketch.add b e;
+  Alcotest.(check (float 0.001)) "identical" 1.0 (Workloads.Ids.Sketch.cosine a b);
+  Alcotest.(check int) "count" 1 (Workloads.Ids.Sketch.count a)
+
+(* ------------------------------------------------------------------ *)
+(* Image processing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_image_pipeline () =
+  let r = rng () in
+  let img = Workloads.Imageproc.Image.synthetic ~rng:r ~width:64 ~height:64 ~blobs:3 in
+  Alcotest.(check int) "pixels" (64 * 64) (Array.length img.Workloads.Imageproc.Image.pixels);
+  let edges = Workloads.Imageproc.Image.sobel img in
+  let binary = Workloads.Imageproc.Image.threshold edges ~level:100 in
+  Array.iter
+    (fun v -> if v <> 0 && v <> 1 then Alcotest.fail "not binary")
+    binary.Workloads.Imageproc.Image.pixels;
+  let n = Workloads.Imageproc.Image.segments binary in
+  Alcotest.(check bool) "found some segments" true (n >= 1);
+  (* A blank image has no segments. *)
+  let blank =
+    { Workloads.Imageproc.Image.width = 8; height = 8; pixels = Array.make 64 0 }
+  in
+  Alcotest.(check int) "blank" 0 (Workloads.Imageproc.Image.segments blank)
+
+let test_segments_counts_blobs () =
+  (* Two clearly separated squares -> two components. *)
+  let width = 32 and height = 32 in
+  let pixels = Array.make (width * height) 0 in
+  List.iter
+    (fun (x0, y0) ->
+      for y = y0 to y0 + 4 do
+        for x = x0 to x0 + 4 do
+          pixels.((y * width) + x) <- 1
+        done
+      done)
+    [ (2, 2); (20, 20) ];
+  Alcotest.(check int) "two components" 2
+    (Workloads.Imageproc.Image.segments { Workloads.Imageproc.Image.width; height; pixels })
+
+(* ------------------------------------------------------------------ *)
+(* Profiles / spec builder                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_profiles_match_table5 () =
+  (* Table 5/6 anchor values. *)
+  let check name (p : Workloads.Workload.profile) seconds confined common =
+    Alcotest.(check string) (name ^ " name") name p.Workloads.Workload.name;
+    Alcotest.(check (float 0.001)) (name ^ " time") seconds p.Workloads.Workload.nominal_seconds;
+    Alcotest.(check int) (name ^ " confined") confined p.Workloads.Workload.nominal_confined_mb;
+    Alcotest.(check bool)
+      (name ^ " common")
+      true
+      (match (p.Workloads.Workload.common, common) with
+      | Some (_, mb), Some mb' -> mb = mb'
+      | None, None -> true
+      | _ -> false)
+  in
+  check "llama.cpp" Workloads.Llm.profile 52.85 501 (Some 4096);
+  check "yolo" Workloads.Imageproc.profile 19.60 757 (Some 132);
+  check "drugbank" Workloads.Retrieval.profile 12.89 814 (Some 400);
+  check "graphchi" Workloads.Graph.profile 34.31 1340 None;
+  check "unicorn" Workloads.Ids.profile 38.94 1254 None
+
+let test_spec_scaling () =
+  let spec = Workloads.Llm.spec () in
+  Alcotest.(check int) "confined scaled by mem_scale"
+    (501 * 1024 * 1024 / Workloads.Workload.mem_scale)
+    spec.Sim.Machine.confined_bytes;
+  Alcotest.(check int) "nominal preserved" 501 spec.Sim.Machine.nominal_confined_mb;
+  Alcotest.(check bool) "sandboxed" true spec.Sim.Machine.sandboxed;
+  Alcotest.(check int) "threads" 8 spec.Sim.Machine.threads
+
+(* ------------------------------------------------------------------ *)
+(* LMBench / netserve structure                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lmbench_list () =
+  let names = List.map (fun b -> b.Workloads.Lmbench.bench_name) Workloads.Lmbench.benches in
+  Alcotest.(check (list string)) "fig 8 benches"
+    [ "syscall"; "read"; "write"; "signal"; "mmap"; "pagefault"; "fork" ]
+    names
+
+let test_lmbench_syscall_overhead () =
+  let ratio, native, erebor =
+    Workloads.Lmbench.overhead (List.hd Workloads.Lmbench.benches)
+  in
+  Alcotest.(check (float 0.1)) "native null syscall"
+    (float_of_int Hw.Cycles.Cost.syscall_roundtrip)
+    native.Workloads.Lmbench.avg_cycles;
+  Alcotest.(check bool) "erebor dearer" true (ratio > 1.0);
+  Alcotest.(check bool) "but bounded" true (ratio < 4.0);
+  Alcotest.(check bool) "ops/sec positive" true (erebor.Workloads.Lmbench.ops_per_sec > 0.0)
+
+let test_lmbench_pagefault_worst () =
+  (* Fig 8: pagefault is the worst benchmark. *)
+  let ratios =
+    List.map
+      (fun b ->
+        let ratio, _, _ = Workloads.Lmbench.overhead b in
+        (b.Workloads.Lmbench.bench_name, ratio))
+      Workloads.Lmbench.benches
+  in
+  let pf = List.assoc "pagefault" ratios in
+  List.iter
+    (fun (name, r) ->
+      if name <> "pagefault" && name <> "mmap" then
+        Alcotest.(check bool) (name ^ " below pagefault") true (r <= pf))
+    ratios
+
+let test_netserve_shape () =
+  (* Small files hurt more; everything stays below parity. *)
+  let small =
+    Workloads.Netserve.relative_throughput Workloads.Netserve.Ssh ~file_kb:1 ~requests:20
+  in
+  let large =
+    Workloads.Netserve.relative_throughput Workloads.Netserve.Ssh ~file_kb:4096 ~requests:2
+  in
+  Alcotest.(check bool) "below native" true (small < 1.0 && large < 1.0);
+  Alcotest.(check bool) "small files hurt more" true (small < large);
+  Alcotest.(check bool) "large files near native" true (large > 0.93)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "llm",
+        [
+          Alcotest.test_case "train/generate" `Quick test_llm_train_generate;
+          Alcotest.test_case "deterministic" `Quick test_llm_deterministic_given_rng;
+          Alcotest.test_case "bad order" `Quick test_llm_rejects_bad_order;
+        ] );
+      ( "retrieval",
+        [
+          Alcotest.test_case "hashmap basics" `Quick test_hashmap_basic;
+          Alcotest.test_case "hashmap rejects" `Quick test_hashmap_rejects;
+          Alcotest.test_case "synthetic db" `Quick test_synthetic_db;
+          qt prop_hashmap_model;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "csr structure" `Quick test_csr_structure;
+          Alcotest.test_case "pagerank properties" `Quick test_pagerank_properties;
+          Alcotest.test_case "empty graph" `Quick test_pagerank_empty;
+        ] );
+      ( "ids",
+        [
+          Alcotest.test_case "scores" `Quick test_ids_scores;
+          Alcotest.test_case "sketch cosine" `Quick test_sketch_cosine;
+        ] );
+      ( "imageproc",
+        [
+          Alcotest.test_case "pipeline" `Quick test_image_pipeline;
+          Alcotest.test_case "segment count" `Quick test_segments_counts_blobs;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "table 5 anchors" `Quick test_profiles_match_table5;
+          Alcotest.test_case "spec scaling" `Quick test_spec_scaling;
+        ] );
+      ( "benches",
+        [
+          Alcotest.test_case "lmbench list" `Quick test_lmbench_list;
+          Alcotest.test_case "syscall overhead" `Quick test_lmbench_syscall_overhead;
+          Alcotest.test_case "pagefault worst" `Slow test_lmbench_pagefault_worst;
+          Alcotest.test_case "netserve shape" `Slow test_netserve_shape;
+        ] );
+    ]
