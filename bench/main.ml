@@ -349,6 +349,32 @@ let run_bechamel () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* EMC latency histogram (observability subsystem)                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_emchist () =
+  header "EMC latency histograms: drugbank under full Erebor (log2 buckets, cycles)";
+  let obs = Obs.Emitter.create () in
+  let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+  let m = Sim.Machine.create ~obs ~setting:Sim.Config.Erebor_full () in
+  let spec_fn = List.assoc "drugbank" Workloads.Eval.all_programs in
+  ignore (Sim.Machine.run m (spec_fn ()));
+  let report kind =
+    if Obs.Histogram.count hist kind > 0 then
+      Fmt.pr "%a@." Obs.Histogram.pp (hist, kind)
+  in
+  List.iter report
+    [
+      Obs.Trace.Emc_entry;
+      Obs.Trace.emc_mmu;
+      Obs.Trace.emc_cr;
+      Obs.Trace.emc_msr;
+      Obs.Trace.emc_idt;
+      Obs.Trace.emc_smap;
+      Obs.Trace.emc_ghci;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -361,7 +387,8 @@ let all () =
   print_fig10 ();
   print_memshare ();
   print_ablations ();
-  print_tables_qual ()
+  print_tables_qual ();
+  print_emchist ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -375,10 +402,11 @@ let () =
   | "memshare" -> print_memshare ()
   | "ablations" -> print_ablations ()
   | "tables-qual" -> print_tables_qual ()
+  | "emchist" -> print_emchist ()
   | "bechamel" -> run_bechamel ()
   | other ->
       Printf.eprintf
         "unknown experiment %S\n\
-         usage: main.exe [all|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|bechamel]\n"
+         usage: main.exe [all|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|emchist|bechamel]\n"
         other;
       exit 1

@@ -64,12 +64,89 @@ let run_cmd =
       & info [ "s"; "setting" ] ~docv:"SETTING"
           ~doc:"Evaluation setting: native, libos-only, erebor-mmu, erebor-exit, erebor.")
   in
-  let run (name, spec_fn) setting =
-    print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every trace event (boot included) and write a \
+             Chrome-trace JSON file loadable in chrome://tracing / Perfetto.")
+  in
+  let run (name, spec_fn) setting trace =
+    match trace with
+    | None -> print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
+    | Some path ->
+        let obs = Obs.Emitter.create () in
+        let recorder = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+        let m = Sim.Machine.create ~obs ~setting () in
+        let r = Sim.Machine.run m (spec_fn ()) in
+        let oc = open_out path in
+        output_string oc (Obs.Chrome.to_chrome_json recorder);
+        close_out oc;
+        print_run name setting r;
+        Printf.printf "trace    : %d events -> %s\n" (Obs.Chrome.length recorder) path
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one setting and print its results")
-    Term.(const run $ workload $ setting)
+    Term.(const run $ workload $ setting $ trace)
+
+let profile_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to profile.")
+  in
+  let setting =
+    Arg.(
+      value
+      & opt setting_conv Sim.Config.Erebor_full
+      & info [ "s"; "setting" ] ~docv:"SETTING" ~doc:"Evaluation setting.")
+  in
+  let profile (name, spec_fn) setting =
+    let obs = Obs.Emitter.create () in
+    let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
+    let m = Sim.Machine.create ~obs ~setting () in
+    let r = Sim.Machine.run m (spec_fn ()) in
+    let total = Hw.Cycles.now (Sim.Machine.clock m) in
+    Printf.printf "profile  : %s under %s (%d virtual cycles total)\n" name
+      (Sim.Config.name setting) total;
+    Printf.printf "  %-16s %10s %14s\n" "kind" "count" "cycles";
+    (* Cycle attribution: measured kinds carry their cycles as the event
+       argument; fixed-cost kinds are count x calibrated cost. EMC service
+       cycles are nested inside their gate round trips. *)
+    let attributed kind n =
+      match kind with
+      | Obs.Trace.Emc_entry | Obs.Trace.Emc _ | Obs.Trace.Tdcall | Obs.Trace.Vmcall ->
+          Some (Obs.Counter.arg_sum counters kind)
+      | Obs.Trace.Syscall -> Some (n * Hw.Cycles.Cost.syscall_roundtrip)
+      | Obs.Trace.Page_fault -> Some (n * Hw.Cycles.Cost.page_fault_base)
+      | Obs.Trace.Timer_irq -> Some (n * Hw.Cycles.Cost.interrupt_delivery)
+      | Obs.Trace.Ve_exit -> Some (n * Hw.Cycles.Cost.ve_handling)
+      | Obs.Trace.Context_switch -> Some (n * Hw.Cycles.Cost.context_switch)
+      | _ -> None
+    in
+    List.iter
+      (fun kind ->
+        let n = Obs.Counter.count counters kind in
+        match kind with
+        | Obs.Trace.Span_begin _ | Obs.Trace.Span_end _ -> ()
+        | _ when n = 0 -> ()
+        | _ -> (
+            match attributed kind n with
+            | Some cycles ->
+                Printf.printf "  %-16s %10d %14d\n" (Obs.Trace.name kind) n cycles
+            | None -> Printf.printf "  %-16s %10d %14s\n" (Obs.Trace.name kind) n "-"))
+      Obs.Trace.all;
+    match r.Sim.Machine.killed with
+    | Some reason -> Printf.printf "KILLED   : %s\n" reason
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one workload and print per-event-kind counts and cycle attribution")
+    Term.(const profile $ workload $ setting)
 
 let compare_cmd =
   let workload =
@@ -113,7 +190,7 @@ let selfcheck_cmd =
     let hw_key = Crypto.Sha256.digest_string "selfcheck key" in
     let mem = Hw.Phys_mem.create ~frames:32768 in
     let clock = Hw.Cycles.clock () in
-    let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 in
+    let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 () in
     let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
     let host = Vmm.Host.create () in
     Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
@@ -208,6 +285,6 @@ let main =
   Cmd.group
     (Cmd.info "erebor-sim" ~version:"1.0.0"
        ~doc:"Run the paper's workloads on the simulated Erebor CVM")
-    [ run_cmd; compare_cmd; list_cmd; selfcheck_cmd ]
+    [ run_cmd; profile_cmd; compare_cmd; list_cmd; selfcheck_cmd ]
 
 let () = exit (Cmd.eval main)

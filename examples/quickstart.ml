@@ -25,7 +25,7 @@ let () =
   (* 1. The confidential VM: memory, a core, the TDX module, the host. *)
   let mem = Hw.Phys_mem.create ~frames:16384 in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);

@@ -158,9 +158,20 @@ module Client = struct
 end
 
 module Server = struct
-  type t = { rng : Crypto.Drbg.t; c2s : bytes; s2c : bytes }
+  type t = {
+    rng : Crypto.Drbg.t;
+    c2s : bytes;
+    s2c : bytes;
+    emit : Obs.Trace.kind -> arg:int -> unit;
+        (* Channel traffic events ride the monitor's emitter; arg is the
+           wire-payload size in bytes. *)
+  }
 
   let accept ~monitor ~rng ~client_hello =
+    let emit kind ~arg =
+      Obs.Emitter.emit (Monitor.obs monitor) kind ~ts:(Monitor.now monitor) ~arg
+    in
+    emit Obs.Trace.Channel_recv ~arg:(Bytes.length client_hello);
     if Bytes.length client_hello <> 192 then Error "client hello: bad size"
     else begin
       let keypair = Crypto.Dh.generate rng in
@@ -173,10 +184,12 @@ module Server = struct
           let report = Monitor.tdreport monitor ~report_data:binding in
           let c2s, s2c = derive_keys ~secret in
           let hello = Bytes.cat server_pub (serialize_report report) in
-          Ok ({ rng; c2s; s2c }, hello)
+          emit Obs.Trace.Channel_send ~arg:(Bytes.length hello);
+          Ok ({ rng; c2s; s2c; emit }, hello)
     end
 
   let open_request t wire_bytes =
+    t.emit Obs.Trace.Channel_recv ~arg:(Bytes.length wire_bytes);
     match decode_sealed wire_bytes with
     | Error e -> Error e
     | Ok sealed -> (
@@ -185,7 +198,11 @@ module Server = struct
         | Some data -> Ok data)
 
   let seal_response t ~bucket data =
-    encode_sealed
-      (Crypto.Aead.seal ~key:t.s2c ~nonce:(fresh_nonce t.rng) ~ad:(Bytes.of_string "s2c")
-         (pad_to_bucket ~bucket data))
+    let out =
+      encode_sealed
+        (Crypto.Aead.seal ~key:t.s2c ~nonce:(fresh_nonce t.rng) ~ad:(Bytes.of_string "s2c")
+           (pad_to_bucket ~bucket data))
+    in
+    t.emit Obs.Trace.Channel_send ~arg:(Bytes.length out);
+    out
 end

@@ -80,6 +80,7 @@ let enter t ~target f =
     (match Hw.Cet.check_branch ~s_cet ~endbr_at:(endbr_at t) ~target with
     | Ok () -> ()
     | Error fault -> Hw.Fault.raise_fault fault);
+    let t0 = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
     Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
     t.emc_count <- t.emc_count + 1;
     let caller_grant = read_grant t in
@@ -88,7 +89,11 @@ let enter t ~target f =
     Fun.protect
       ~finally:(fun () ->
         t.depth <- 0;
-        load_grant t caller_grant)
+        load_grant t caller_grant;
+        (* One event per outermost monitor-context entry: ts is the entry
+           time, arg the full round-trip latency in cycles. *)
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(Hw.Cycles.now t.cpu.Hw.Cpu.clock - t0))
       f
   end
 

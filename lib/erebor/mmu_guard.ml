@@ -71,8 +71,12 @@ let denied_count t = t.denied
 let ptp_count t =
   Hashtbl.fold (fun _ c acc -> match c with Ptp _ -> acc + 1 | _ -> acc) t.classes 0
 
+(* Every policy denial, whatever the path, funnels through here: one stat
+   bump and one [Mmu_deny] event, so security tests can assert exact denial
+   counts from the run result. *)
 let deny_incr t msg =
   t.denied <- t.denied + 1;
+  Hw.Cpu.emit t.cpu Obs.Trace.Mmu_deny ~arg:t.denied;
   Error msg
 
 let record_common_mapping t instance pte_addr =
@@ -136,10 +140,7 @@ let write_pte t ~trusted ~pte_addr pte =
   let container = Hw.Phys_mem.pfn_of_addr pte_addr in
   match class_of t container with
   | Ptp { level; root } ->
-      let deny msg =
-        t.denied <- t.denied + 1;
-        Error msg
-      in
+      let deny msg = deny_incr t msg in
       if level = 2 && Hw.Pte.present pte && Hw.Pte.huge pte then begin
         (* A 2 MiB leaf install. Sandboxes must declare memory at 4 KiB
            granularity, and classified frames never hide inside a huge
@@ -218,8 +219,7 @@ let write_pte t ~trusted ~pte_addr pte =
           | Error e -> deny e
       end
   | Free | Monitor | Kernel_text | Confined _ | Common _ ->
-      t.denied <- t.denied + 1;
-      Error "PTE store outside a registered page-table page"
+      deny_incr t "PTE store outside a registered page-table page"
 
 let seal_common t ~instance =
   Hashtbl.replace t.sealed instance ();

@@ -1,12 +1,12 @@
 exception Policy_violation of string
 
 type emc_stats = {
-  mutable mmu : int;
-  mutable cr : int;
-  mutable msr : int;
-  mutable idt : int;
-  mutable smap : int;
-  mutable ghci : int;
+  mmu : int;
+  cr : int;
+  msr : int;
+  idt : int;
+  smap : int;
+  ghci : int;
 }
 
 type t = {
@@ -25,13 +25,28 @@ type t = {
   cpuid_cache : (int, int64) Hashtbl.t;
   mutable cache_hits : int;
   mutable usercopy_veto : unit -> string option;
-  stats : emc_stats;
+  counters : Obs.Counter.t;
+      (* Monitor-local counter sink on the CPU's emitter: the per-kind EMC
+         statistics are *derived* from the event stream, never mutated
+         directly. *)
 }
 
 let gate t = t.gate
 let guard t = t.guard
 let kernel t = t.kernel
-let emc_stats t = t.stats
+let obs t = t.cpu.Hw.Cpu.obs
+
+let emc_stats t =
+  let c k = Obs.Counter.count t.counters k in
+  {
+    mmu = c Obs.Trace.emc_mmu;
+    cr = c Obs.Trace.emc_cr;
+    msr = c Obs.Trace.emc_msr;
+    idt = c Obs.Trace.emc_idt;
+    smap = c Obs.Trace.emc_smap;
+    ghci = c Obs.Trace.emc_ghci;
+  }
+
 let emc_total t = Gate.emc_count t.gate
 let cpuid_cache_hits t = t.cache_hits
 
@@ -58,7 +73,7 @@ let install ?(privilege = Gate.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
       cpuid_cache = Hashtbl.create 8;
       cache_hits = 0;
       usercopy_veto = (fun () -> None);
-      stats = { mmu = 0; cr = 0; msr = 0; idt = 0; smap = 0; ghci = 0 };
+      counters = Obs.Counter.attach cpu.Hw.Cpu.obs (Obs.Counter.create ());
     }
   in
   (* Claim monitor memory. *)
@@ -82,6 +97,7 @@ let install ?(privilege = Gate.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
 
 let clock t = t.cpu.Hw.Cpu.clock
 let cost t c = Hw.Cycles.advance (clock t) c
+let now t = Hw.Cycles.now (clock t)
 
 (* CR bits the kernel must never clear once Erebor runs. *)
 let pinned_cr_bits =
@@ -99,6 +115,18 @@ let monitor_owned_msrs =
 
 let fail msg = raise (Policy_violation msg)
 
+(* Run one EMC service routine, publishing an [Emc kind] event whose
+   timestamp is the service start and whose argument is the cycles the
+   service charged (clock delta). Emitted even when policy rejects the
+   request, so counts match the pre-refactor per-kind statistics. *)
+let serviced t kind f =
+  let t0 = Hw.Cycles.now (clock t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Emitter.emit t.cpu.Hw.Cpu.obs kind ~ts:t0
+        ~arg:(Hw.Cycles.now (clock t) - t0))
+    f
+
 let privops t =
   let g = t.gate in
   {
@@ -106,11 +134,11 @@ let privops t =
     write_pte =
       (fun ~pte_addr pte ->
         Gate.call g (fun () ->
-            t.stats.mmu <- t.stats.mmu + 1;
-            cost t Hw.Cycles.Cost.emc_service_mmu;
-            match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
-            | Ok () -> ()
-            | Error e -> fail ("mmu: " ^ e)));
+            serviced t Obs.Trace.emc_mmu (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_mmu;
+                match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
+                | Ok () -> ()
+                | Error e -> fail ("mmu: " ^ e))));
     write_pte_batch =
       (fun entries ->
         (* One gate round trip covers the whole batch; each entry still
@@ -118,42 +146,42 @@ let privops t =
         Gate.call g (fun () ->
             Array.iter
               (fun (pte_addr, pte) ->
-                t.stats.mmu <- t.stats.mmu + 1;
-                cost t Hw.Cycles.Cost.emc_service_mmu;
-                match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
-                | Ok () -> ()
-                | Error e -> fail ("mmu batch: " ^ e))
+                serviced t Obs.Trace.emc_mmu (fun () ->
+                    cost t Hw.Cycles.Cost.emc_service_mmu;
+                    match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
+                    | Ok () -> ()
+                    | Error e -> fail ("mmu batch: " ^ e)))
               entries));
     set_cr_bit =
       (fun ~reg bit v ->
         Gate.call g (fun () ->
-            t.stats.cr <- t.stats.cr + 1;
-            cost t Hw.Cycles.Cost.emc_service_cr;
-            let pinned =
-              List.exists (fun (r, b) -> r = reg && Int64.equal b bit) pinned_cr_bits
-            in
-            if pinned && not v then fail "cr: clearing a monitor-pinned protection bit"
-            else Hw.Cpu.set_cr_bit t.cpu ~reg bit v));
+            serviced t Obs.Trace.emc_cr (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_cr;
+                let pinned =
+                  List.exists (fun (r, b) -> r = reg && Int64.equal b bit) pinned_cr_bits
+                in
+                if pinned && not v then fail "cr: clearing a monitor-pinned protection bit"
+                else Hw.Cpu.set_cr_bit t.cpu ~reg bit v)));
     write_cr3 =
       (fun ~root_pfn ->
         Gate.call g (fun () ->
-            t.stats.cr <- t.stats.cr + 1;
-            cost t Hw.Cycles.Cost.emc_service_cr;
-            match Mmu_guard.register_root t.guard ~root_pfn with
-            | Ok () -> Hw.Cpu.write_cr3 t.cpu ~root_pfn
-            | Error e -> fail ("cr3: " ^ e)));
+            serviced t Obs.Trace.emc_cr (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_cr;
+                match Mmu_guard.register_root t.guard ~root_pfn with
+                | Ok () -> Hw.Cpu.write_cr3 t.cpu ~root_pfn
+                | Error e -> fail ("cr3: " ^ e))));
     declare_root =
       (fun ~root_pfn ->
         Gate.call g (fun () ->
-            t.stats.mmu <- t.stats.mmu + 1;
-            cost t Hw.Cycles.Cost.emc_service_mmu;
-            match Mmu_guard.register_root t.guard ~root_pfn with
-            | Ok () -> ()
-            | Error e -> fail ("declare_root: " ^ e)));
+            serviced t Obs.Trace.emc_mmu (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_mmu;
+                match Mmu_guard.register_root t.guard ~root_pfn with
+                | Ok () -> ()
+                | Error e -> fail ("declare_root: " ^ e))));
     write_msr =
       (fun idx v ->
         Gate.call g (fun () ->
-            t.stats.msr <- t.stats.msr + 1;
+            serviced t Obs.Trace.emc_msr (fun () ->
             cost t Hw.Cycles.Cost.emc_service_msr;
             if List.mem idx monitor_owned_msrs then
               fail "msr: register is monitor-owned"
@@ -163,75 +191,78 @@ let privops t =
               t.kernel_lstar <- v;
               Hw.Cpu.write_msr t.cpu idx (Int64.of_int (Gate.entry_point t.gate))
             end
-            else Hw.Cpu.write_msr t.cpu idx v));
+            else Hw.Cpu.write_msr t.cpu idx v)));
     lidt =
       (fun idt ->
         Gate.call g (fun () ->
-            t.stats.idt <- t.stats.idt + 1;
-            cost t Hw.Cycles.Cost.emc_service_idt;
-            (* The kernel's table is recorded; the installed table is the
-               monitor's wrapped copy (exit interposition, §6.2). *)
-            t.kernel_idt <- Some (Hw.Idt.copy idt);
-            Hw.Cpu.lidt t.cpu idt));
+            serviced t Obs.Trace.emc_idt (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_idt;
+                (* The kernel's table is recorded; the installed table is the
+                   monitor's wrapped copy (exit interposition, §6.2). *)
+                t.kernel_idt <- Some (Hw.Idt.copy idt);
+                Hw.Cpu.lidt t.cpu idt)));
     tdcall =
       (fun leaf ->
         Gate.call g (fun () ->
-            t.stats.ghci <- t.stats.ghci + 1;
-            cost t
-              (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
-            match leaf with
-            | Tdx.Ghci.Tdreport _ ->
-                fail "ghci: attestation digests are monitor-exclusive"
-            | Tdx.Ghci.Rtmr_extend _ ->
-                fail "ghci: measurement registers are monitor-exclusive"
-            | Tdx.Ghci.Map_gpa { pfn; shared = true }
-              when not (pfn >= t.shared_first && pfn < t.shared_first + t.shared_frames)
-              ->
-                fail "ghci: sharing outside the device region"
-            | Tdx.Ghci.Map_gpa _ | Tdx.Ghci.Vmcall _ ->
-                Tdx.Td_module.tdcall t.td t.cpu leaf));
+            serviced t Obs.Trace.emc_ghci (fun () ->
+                cost t
+                  (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
+                match leaf with
+                | Tdx.Ghci.Tdreport _ ->
+                    fail "ghci: attestation digests are monitor-exclusive"
+                | Tdx.Ghci.Rtmr_extend _ ->
+                    fail "ghci: measurement registers are monitor-exclusive"
+                | Tdx.Ghci.Map_gpa { pfn; shared = true }
+                  when not (pfn >= t.shared_first && pfn < t.shared_first + t.shared_frames)
+                  ->
+                    fail "ghci: sharing outside the device region"
+                | Tdx.Ghci.Map_gpa _ | Tdx.Ghci.Vmcall _ ->
+                    Tdx.Td_module.tdcall t.td t.cpu leaf)));
     verify_dynamic_code =
       (fun ~section code ->
         Gate.call g (fun () ->
-            t.stats.mmu <- t.stats.mmu + 1;
-            cost t (Hw.Cycles.Cost.emc_service_mmu + Bytes.length code);
-            match Scan.verify_bytes ~section code with
-            | Ok () -> Ok ()
-            | Error violations ->
-                Error
-                  (Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Scan.pp_violation) violations)));
+            serviced t Obs.Trace.emc_mmu (fun () ->
+                cost t (Hw.Cycles.Cost.emc_service_mmu + Bytes.length code);
+                match Scan.verify_bytes ~section code with
+                | Ok () -> Ok ()
+                | Error violations ->
+                    Error
+                      (Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Scan.pp_violation) violations))));
     copy_from_user =
       (fun ~user_addr ~len ->
         Gate.call g (fun () ->
-            t.stats.smap <- t.stats.smap + 1;
-            cost t Hw.Cycles.Cost.emc_service_smap;
-            cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
-            (match t.usercopy_veto () with
-            | Some reason -> fail ("usercopy: " ^ reason)
-            | None -> ());
-            Hw.Cpu.stac t.cpu;
-            Fun.protect
-              ~finally:(fun () -> Hw.Cpu.clac t.cpu)
-              (fun () -> Hw.Cpu.read_bytes t.cpu user_addr len)));
+            serviced t Obs.Trace.emc_smap (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_smap;
+                cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
+                (match t.usercopy_veto () with
+                | Some reason -> fail ("usercopy: " ^ reason)
+                | None -> ());
+                Hw.Cpu.stac t.cpu;
+                Fun.protect
+                  ~finally:(fun () -> Hw.Cpu.clac t.cpu)
+                  (fun () -> Hw.Cpu.read_bytes t.cpu user_addr len))));
     copy_to_user =
       (fun ~user_addr data ->
         Gate.call g (fun () ->
-            t.stats.smap <- t.stats.smap + 1;
-            cost t Hw.Cycles.Cost.emc_service_smap;
-            cost t
-              (Hw.Cycles.Cost.usercopy_per_page
-              * max 1 (Kernel.Layout.pages_of_bytes (Bytes.length data)));
-            (match t.usercopy_veto () with
-            | Some reason -> fail ("usercopy: " ^ reason)
-            | None -> ());
-            Hw.Cpu.stac t.cpu;
-            Fun.protect
-              ~finally:(fun () -> Hw.Cpu.clac t.cpu)
-              (fun () -> Hw.Cpu.write_bytes t.cpu user_addr data)));
+            serviced t Obs.Trace.emc_smap (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_smap;
+                cost t
+                  (Hw.Cycles.Cost.usercopy_per_page
+                  * max 1 (Kernel.Layout.pages_of_bytes (Bytes.length data)));
+                (match t.usercopy_veto () with
+                | Some reason -> fail ("usercopy: " ^ reason)
+                | None -> ());
+                Hw.Cpu.stac t.cpu;
+                Fun.protect
+                  ~finally:(fun () -> Hw.Cpu.clac t.cpu)
+                  (fun () -> Hw.Cpu.write_bytes t.cpu user_addr data))));
   }
 
 let boot_kernel t ~kernel_image ~reserved_frames ~cma_frames =
-  match Scan.verify_image kernel_image with
+  match
+    Obs.with_span (obs t) ~now:(fun () -> now t) Obs.Trace.Scan (fun () ->
+        Scan.verify_image kernel_image)
+  with
   | Error violations ->
       Error
         (Fmt.str "kernel image rejected: %a"

@@ -69,17 +69,25 @@ val interpose_user_exit : t -> (unit -> 'a) -> 'a
 (** Wrap a non-sandbox user exit (syscall/interrupt) with the monitor's
     interposition cost — the system-wide overhead measured in §9.3. *)
 
-(** {2 Statistics} *)
+(** {2 Statistics and observability} *)
 
 type emc_stats = {
-  mutable mmu : int;
-  mutable cr : int;
-  mutable msr : int;
-  mutable idt : int;
-  mutable smap : int;
-  mutable ghci : int;
+  mmu : int;
+  cr : int;
+  msr : int;
+  idt : int;
+  smap : int;
+  ghci : int;
 }
+(** Per-kind EMC service counts, derived on demand from the monitor's
+    counter sink on the event bus — there is no mutable statistics record. *)
 
 val emc_stats : t -> emc_stats
 val emc_total : t -> int
 val cpuid_cache_hits : t -> int
+
+val obs : t -> Obs.Emitter.t
+(** The machine-wide event emitter (the one carried by the CPU). *)
+
+val now : t -> int
+(** Current virtual cycle count — timestamp source for trace events. *)

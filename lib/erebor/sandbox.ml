@@ -49,6 +49,9 @@ let exit_stats sb = (sb.pf_count, sb.timer_count, sb.ve_count)
 
 let guard mgr = Monitor.guard mgr.monitor
 
+(* Sandbox lifecycle events carry the sandbox id as argument. *)
+let emit mgr kind ~arg = Hw.Cpu.emit mgr.kern.Kernel.cpu kind ~arg
+
 let page_size = Hw.Phys_mem.page_size
 
 (* Fault-frame provider: serve confined pages from the pinned contiguous
@@ -149,6 +152,7 @@ let create_sandbox mgr ~name ~confined_budget =
     in
     Hashtbl.replace mgr.sandboxes sid sb;
     Hashtbl.replace mgr.by_root task.Kernel.Task.root_pfn sb;
+    emit mgr Obs.Trace.Sandbox_create ~arg:sid;
     Ok sb
   end
 
@@ -272,6 +276,7 @@ let write_sandbox_bytes mgr sb ~addr data = write_sandbox_bytes mgr sb addr data
 let kill mgr sb reason =
   sb.kill_reason <- Some reason;
   sb.phase <- Terminated;
+  emit mgr Obs.Trace.Sandbox_kill ~arg:sb.id;
   Kernel.exit_task mgr.kern sb.main_task ~code:137;
   List.iter (fun th -> Kernel.exit_task mgr.kern th ~code:137) sb.threads
 
@@ -293,6 +298,7 @@ let load_client_data mgr sb data =
             (List.sort_uniq compare (List.map snd sb.commons));
           Monitor.prepare_sandbox_entry mgr.monitor;
           sb.phase <- Data_loaded;
+          emit mgr Obs.Trace.Sandbox_seal ~arg:sb.id;
           Ok start
         end
 
@@ -329,9 +335,11 @@ let handle_syscall mgr sb call =
           match request with
           | 1 ->
               (* Fetch the installed client input. *)
+              emit mgr Obs.Trace.Channel_recv ~arg:sb.input_len;
               Kernel.Syscall.Rbytes
                 (read_sandbox_bytes mgr sb ~addr:sb.input_addr ~len:sb.input_len)
           | 2 ->
+              emit mgr Obs.Trace.Channel_send ~arg:(Bytes.length arg);
               append_output mgr sb arg;
               Kernel.Syscall.Rok
           | _ ->
@@ -373,6 +381,7 @@ let timer_tick mgr sb =
 
 let terminate mgr sb =
   if sb.phase <> Terminated then sb.phase <- Terminated;
+  emit mgr Obs.Trace.Sandbox_exit ~arg:sb.id;
   (* Scrub and release confined memory (§6.3 cleanup). *)
   List.iter
     (fun r ->

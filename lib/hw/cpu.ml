@@ -13,11 +13,12 @@ type t = {
   cet : Cet.t;
   mutable idt : Idt.t;
   apic : Apic.t;
+  obs : Obs.Emitter.t;
 }
 
 let nregs = 16
 
-let create ~id ~mem ~clock ~timer_period =
+let create ?obs ~id ~mem ~clock ~timer_period () =
   {
     id;
     mem;
@@ -31,7 +32,10 @@ let create ~id ~mem ~clock ~timer_period =
     cet = Cet.create ();
     idt = Idt.create ();
     apic = Apic.create clock ~period:timer_period;
+    obs = (match obs with Some e -> e | None -> Obs.Emitter.create ());
   }
+
+let emit t kind ~arg = Obs.Emitter.emit t.obs kind ~ts:(Cycles.now t.clock) ~arg
 
 let access_ctx t =
   {
@@ -45,15 +49,18 @@ let access_ctx t =
   }
 
 let not_present_fault t ~kind vaddr =
-  Fault.raise_fault
-    (Fault.Page_fault
-       {
-         Fault.addr = vaddr;
-         kind;
-         user = t.mode = User;
-         present = false;
-         pkey_violation = false;
-       })
+  let f =
+    Fault.Page_fault
+      {
+        Fault.addr = vaddr;
+        kind;
+        user = t.mode = User;
+        present = false;
+        pkey_violation = false;
+      }
+  in
+  emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
+  Fault.raise_fault f
 
 let translate t ~kind vaddr =
   let entry =
@@ -78,6 +85,7 @@ let translate t ~kind vaddr =
               }
             in
             Tlb.insert t.tlb vaddr e;
+            emit t Obs.Trace.Tlb_fill ~arg:vaddr;
             e)
   in
   let tr =
@@ -90,7 +98,9 @@ let translate t ~kind vaddr =
   in
   (match Access.check (access_ctx t) ~kind ~addr:vaddr tr with
   | Ok () -> ()
-  | Error f -> Fault.raise_fault f);
+  | Error f ->
+      emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
+      Fault.raise_fault f);
   Phys_mem.addr_of_pfn entry.Tlb.pfn lor Phys_mem.page_offset vaddr
 
 let read_u8 t vaddr = Phys_mem.read_u8 t.mem (translate t ~kind:Fault.Read vaddr)

@@ -20,11 +20,21 @@ type t = {
   cet : Cet.t;
   mutable idt : Idt.t;
   apic : Apic.t;
+  obs : Obs.Emitter.t;
+      (** The core's event bus. Every layer that holds (or is passed) this
+          CPU publishes its privilege-relevant events here — one emitter per
+          simulated machine, fresh unless injected at {!create}. *)
 }
 
 val nregs : int
 
-val create : id:int -> mem:Phys_mem.t -> clock:Cycles.clock -> timer_period:int -> t
+val create :
+  ?obs:Obs.Emitter.t ->
+  id:int -> mem:Phys_mem.t -> clock:Cycles.clock -> timer_period:int -> unit -> t
+
+val emit : t -> Obs.Trace.kind -> arg:int -> unit
+(** Emit on the core's bus, stamped with the current virtual cycle. Never
+    advances the clock. *)
 
 val access_ctx : t -> Access.ctx
 (** The live access-check context (mode, CR bits, AC, PKRS). *)

@@ -39,6 +39,10 @@ type t = {
 
 let cost t c = Hw.Cycles.advance t.clock c
 
+(* All kernel-side trace events go out on the CPU's emitter; emission never
+   advances the virtual clock. *)
+let emit t kind ~arg = Hw.Cpu.emit t.cpu kind ~arg
+
 let alloc_ptp t () =
   match Alloc.alloc_zeroed t.frame_alloc t.mem with
   | Some pfn -> pfn
@@ -82,7 +86,11 @@ let boot ~mem ~cpu ~td ~privops ~reserved_frames ~cma_frames =
       frame_alloc = Alloc.create ~first_pfn:reserved_frames ~frames:general;
       cma = Alloc.create ~first_pfn:(reserved_frames + general) ~frames:cma_frames;
       fs = Fs.create ();
-      sched = Sched.create ~quantum_ticks:4;
+      sched =
+        Sched.create
+          ~on_switch:(fun next ->
+            Hw.Cpu.emit cpu Obs.Trace.Context_switch ~arg:next.Task.tid)
+          ~quantum_ticks:4 ();
       kernel_root = 0 (* patched below *);
       tasks = Hashtbl.create 16;
       next_tid = 1;
@@ -167,9 +175,11 @@ let allocator_for t kind =
 let handle_page_fault t task ~addr ~kind =
   cost t Hw.Cycles.Cost.page_fault_base;
   t.stats.page_faults <- t.stats.page_faults + 1;
+  emit t Obs.Trace.Page_fault ~arg:addr;
   match Vma.find task.Task.vmas addr with
   | None ->
       t.stats.segfaults <- t.stats.segfaults + 1;
+      emit t Obs.Trace.Segfault ~arg:addr;
       Error (Printf.sprintf "segfault: no mapping at 0x%x" addr)
   | Some region ->
       let allowed =
@@ -180,6 +190,7 @@ let handle_page_fault t task ~addr ~kind =
       in
       if not allowed then begin
         t.stats.segfaults <- t.stats.segfaults + 1;
+        emit t Obs.Trace.Segfault ~arg:addr;
         Error (Printf.sprintf "segfault: protection at 0x%x" addr)
       end
       else begin
@@ -243,6 +254,7 @@ let populate_batched t task ~first ~last =
       | None -> (
           cost t Hw.Cycles.Cost.page_fault_base;
           t.stats.page_faults <- t.stats.page_faults + 1;
+          emit t Obs.Trace.Page_fault ~arg:page;
           match Vma.find task.Task.vmas page with
           | None -> Error (Printf.sprintf "segfault: no mapping at 0x%x" page)
           | Some region -> (
@@ -379,6 +391,7 @@ let fork_process t parent ~name =
                   (Hw.Phys_mem.read_bytes t.mem src Hw.Phys_mem.page_size);
                 cost t Hw.Cycles.Cost.page_fault_base;
                 t.stats.page_faults <- t.stats.page_faults + 1;
+                emit t Obs.Trace.Page_fault ~arg:!page;
                 Hw.Page_table.map t.mem ~write_pte:t.privops.Privops.write_pte
                   ~alloc_ptp:(alloc_ptp t) ~root_pfn:child.Task.root_pfn ~vaddr:!page
                   (Hw.Pte.with_pfn w.Hw.Page_table.pte pfn)));
@@ -426,11 +439,17 @@ let context_switch t ~prev ~next =
 let timer_interrupt t =
   cost t Hw.Cycles.Cost.interrupt_delivery;
   t.stats.timer_irqs <- t.stats.timer_irqs + 1;
+  emit t Obs.Trace.Timer_irq ~arg:0;
   ignore (Sched.on_timer t.sched ~switch:(fun ~prev ~next -> context_switch t ~prev ~next))
+
+let note_ve_exit t =
+  t.stats.ve_exits <- t.stats.ve_exits + 1;
+  emit t Obs.Trace.Ve_exit ~arg:0
 
 let cpuid t _task ~leaf =
   cost t Hw.Cycles.Cost.ve_handling;
   t.stats.ve_exits <- t.stats.ve_exits + 1;
+  emit t Obs.Trace.Ve_exit ~arg:leaf;
   match t.privops.Privops.tdcall (Tdx.Ghci.Vmcall (Tdx.Ghci.Cpuid leaf)) with
   | Tdx.Td_module.Ok_int v -> v
   | Tdx.Td_module.Ok_bytes _ | Tdx.Td_module.Ok_report _ | Tdx.Td_module.Ok_unit -> 0L
@@ -462,6 +481,7 @@ let brk _t task ~new_brk =
 let syscall t task call =
   cost t Hw.Cycles.Cost.syscall_roundtrip;
   t.stats.syscalls <- t.stats.syscalls + 1;
+  emit t Obs.Trace.Syscall ~arg:(Syscall.code call);
   match call with
   | Syscall.Open { path } ->
       if not (Fs.exists t.fs path) then Fs.write_file t.fs path Bytes.empty;

@@ -107,6 +107,10 @@ val timer_interrupt : t -> unit
 (** Deliver one APIC timer tick: interrupt cost, scheduler tick, possible
     context switch (CR3 write through privops). *)
 
+val note_ve_exit : t -> unit
+(** Account one #VE exit that was serviced outside {!cpuid} (host I/O paths
+    driven by the machine harness). Bumps the stat and emits [Ve_exit]. *)
+
 val exit_task : t -> Task.t -> code:int -> unit
 
 val brk : t -> Task.t -> new_brk:int -> (int, string) result

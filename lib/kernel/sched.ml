@@ -4,12 +4,13 @@ type t = {
   mutable current : Task.t option;
   mutable ticks_left : int;
   mutable switches : int;
+  on_switch : Task.t -> unit;
 }
 
-let create ~quantum_ticks =
+let create ?(on_switch = fun _ -> ()) ~quantum_ticks () =
   if quantum_ticks <= 0 then invalid_arg "Sched.create: quantum must be positive";
   { quantum_ticks; queue = Queue.create (); current = None; ticks_left = quantum_ticks;
-    switches = 0 }
+    switches = 0; on_switch }
 
 let enqueue t task =
   match t.current with
@@ -47,6 +48,7 @@ let rotate t ~switch =
       t.ticks_left <- t.quantum_ticks;
       t.switches <- t.switches + 1;
       switch ~prev ~next;
+      t.on_switch next;
       true
 
 let on_timer t ~switch =

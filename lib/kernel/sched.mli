@@ -5,8 +5,10 @@
 
 type t
 
-val create : quantum_ticks:int -> t
-(** A task is preempted after [quantum_ticks] timer interrupts. *)
+val create : ?on_switch:(Task.t -> unit) -> quantum_ticks:int -> unit -> t
+(** A task is preempted after [quantum_ticks] timer interrupts. [on_switch]
+    runs after every completed rotation with the incoming task — the
+    kernel's hook for publishing [Context_switch] trace events. *)
 
 val enqueue : t -> Task.t -> unit
 val current : t -> Task.t option

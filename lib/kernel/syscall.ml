@@ -37,6 +37,22 @@ let name = function
   | Sched_yield -> "sched_yield"
   | Exit _ -> "exit"
 
+let code = function
+  | Read _ -> 0
+  | Write _ -> 1
+  | Open _ -> 2
+  | Close _ -> 3
+  | Mmap _ -> 9
+  | Munmap _ -> 11
+  | Brk _ -> 12
+  | Clone _ -> 56
+  | Futex_wait -> 202
+  | Futex_wake -> 203
+  | Ioctl _ -> 16
+  | Getpid -> 39
+  | Sched_yield -> 24
+  | Exit _ -> 60
+
 let pp_result fmt = function
   | Rint n -> Fmt.pf fmt "%d" n
   | Raddr a -> Fmt.pf fmt "0x%x" a

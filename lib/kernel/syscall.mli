@@ -26,4 +26,8 @@ type result =
   | Rerr of string
 
 val name : call -> string
+
+val code : call -> int
+(** Linux syscall number (x86-64 ABI) — the argument carried by [Syscall]
+    trace events. *)
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,94 @@
+(* Full-stream recorder + Chrome-trace / JSONL exporters. The recorder keeps
+   every event in growable parallel arrays (events are small and a run emits
+   at most a few hundred thousand), so the same recording backs the golden
+   determinism tests and the --trace export. *)
+
+type t = {
+  mutable kinds : Trace.kind array;
+  mutable tss : int array;
+  mutable args : int array;
+  mutable len : int;
+}
+
+let create () =
+  { kinds = Array.make 1024 Trace.Emc_entry;
+    tss = Array.make 1024 0;
+    args = Array.make 1024 0;
+    len = 0 }
+
+let grow t =
+  let cap = Array.length t.kinds in
+  let ncap = cap * 2 in
+  let nk = Array.make ncap Trace.Emc_entry in
+  let nt = Array.make ncap 0 in
+  let na = Array.make ncap 0 in
+  Array.blit t.kinds 0 nk 0 cap;
+  Array.blit t.tss 0 nt 0 cap;
+  Array.blit t.args 0 na 0 cap;
+  t.kinds <- nk;
+  t.tss <- nt;
+  t.args <- na
+
+let sink t kind ~ts ~arg =
+  if t.len = Array.length t.kinds then grow t;
+  t.kinds.(t.len) <- kind;
+  t.tss.(t.len) <- ts;
+  t.args.(t.len) <- arg;
+  t.len <- t.len + 1
+
+let attach emitter t =
+  Emitter.attach emitter (sink t);
+  t
+
+let length t = t.len
+
+let events t =
+  List.init t.len (fun i ->
+      { Trace.kind = t.kinds.(i); ts = t.tss.(i); arg = t.args.(i) })
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f { Trace.kind = t.kinds.(i); ts = t.tss.(i); arg = t.args.(i) }
+  done
+
+(* Chrome trace-event format (the JSON object form, loadable in
+   chrome://tracing and Perfetto). Spans map to "B"/"E" duration events;
+   everything else is an instant ("i"). Timestamps are virtual cycles —
+   microseconds in the viewer, which only rescales the axis. *)
+
+let event_json buf e =
+  let kind = e.Trace.kind in
+  (match kind with
+  | Trace.Span_begin p ->
+      Printf.bprintf buf
+        {|{"name":"%s","cat":"span","ph":"B","ts":%d,"pid":0,"tid":0}|}
+        (Trace.phase_name p) e.Trace.ts
+  | Trace.Span_end p ->
+      Printf.bprintf buf
+        {|{"name":"%s","cat":"span","ph":"E","ts":%d,"pid":0,"tid":0}|}
+        (Trace.phase_name p) e.Trace.ts
+  | _ ->
+      Printf.bprintf buf
+        {|{"name":"%s","cat":"event","ph":"i","ts":%d,"pid":0,"tid":0,"s":"t","args":{"v":%d}}|}
+        (Trace.name kind) e.Trace.ts e.Trace.arg)
+
+let to_chrome_json t =
+  let buf = Buffer.create (256 + (t.len * 96)) in
+  Buffer.add_string buf {|{"displayTimeUnit":"ns","traceEvents":[|};
+  let first = ref true in
+  iter t (fun e ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      event_json buf e);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let to_jsonl t =
+  let buf = Buffer.create (t.len * 64) in
+  iter t (fun e ->
+      Printf.bprintf buf {|{"ts":%d,"kind":"%s","arg":%d}|} e.Trace.ts
+        (Trace.name e.Trace.kind) e.Trace.arg;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let clear t = t.len <- 0

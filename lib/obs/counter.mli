@@ -1,0 +1,21 @@
+(** The counter sink: per-kind event counts and argument sums.
+
+    This is the single source of truth for every statistic the simulator
+    reports — [Sim.Stats.snapshot] is derived from one of these, replacing
+    the per-layer ad-hoc counters it used to stitch together. *)
+
+type t
+
+val create : unit -> t
+
+val attach : Emitter.t -> t -> t
+(** Subscribe to the emitter; returns [t] for chaining. *)
+
+val count : t -> Trace.kind -> int
+val arg_sum : t -> Trace.kind -> int
+(** Sum of the event arguments for a kind — for kinds whose arg is a cycle
+    measurement ([Emc_entry], [Emc _], [Tdcall]) this is total attributed
+    cycles; for channel kinds it is total payload bytes. *)
+
+val total : t -> int
+val reset : t -> unit

@@ -1,0 +1,15 @@
+type sink = Trace.kind -> ts:int -> arg:int -> unit
+
+type t = { mutable sinks : sink array }
+
+let create () = { sinks = [||] }
+
+let attach t sink = t.sinks <- Array.append t.sinks [| sink |]
+
+let sink_count t = Array.length t.sinks
+
+let emit t kind ~ts ~arg =
+  let sinks = t.sinks in
+  for i = 0 to Array.length sinks - 1 do
+    (Array.unsafe_get sinks i) kind ~ts ~arg
+  done

@@ -1,0 +1,16 @@
+(** The event bus: fans each emitted event out to every attached sink.
+
+    Sinks are plain callbacks stored in an array; [emit] with no sinks is a
+    bounds check and a loop over zero elements, so instrumented code paths
+    stay cheap when nobody is listening. Emission NEVER advances the virtual
+    clock — observability is free in simulated time, which is what keeps the
+    calibrated tables byte-identical with tracing on or off. *)
+
+type sink = Trace.kind -> ts:int -> arg:int -> unit
+
+type t
+
+val create : unit -> t
+val attach : t -> sink -> unit
+val sink_count : t -> int
+val emit : t -> Trace.kind -> ts:int -> arg:int -> unit

@@ -1,0 +1,78 @@
+(* Per-kind log2-bucketed histogram of event arguments. Bucket [b] holds
+   values [v] with [bits v = b] where [bits 0 = 0]; i.e. bucket 0 is {0},
+   bucket 1 is {1}, bucket 2 is {2,3}, bucket 3 is {4..7}, ... Useful for
+   kinds whose arg is a latency (EMC round trips, tdcalls). *)
+
+let n_buckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+let bucket_lo b = if b <= 1 then b else 1 lsl (b - 1)
+let bucket_hi b = if b = 0 then 0 else (1 lsl b) - 1
+
+type t = {
+  buckets : int array array; (* kind index -> bucket -> count *)
+  counts : int array;
+  sums : int array;
+  maxs : int array;
+}
+
+let create () =
+  {
+    buckets = Array.init Trace.n_kinds (fun _ -> Array.make n_buckets 0);
+    counts = Array.make Trace.n_kinds 0;
+    sums = Array.make Trace.n_kinds 0;
+    maxs = Array.make Trace.n_kinds 0;
+  }
+
+let sink t kind ~ts:_ ~arg =
+  let i = Trace.index kind in
+  let b = bucket_of arg in
+  t.buckets.(i).(b) <- t.buckets.(i).(b) + 1;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sums.(i) <- t.sums.(i) + arg;
+  if arg > t.maxs.(i) then t.maxs.(i) <- arg
+
+let attach emitter t =
+  Emitter.attach emitter (sink t);
+  t
+
+let count t kind = t.counts.(Trace.index kind)
+let sum t kind = t.sums.(Trace.index kind)
+let max_value t kind = t.maxs.(Trace.index kind)
+
+let mean t kind =
+  let i = Trace.index kind in
+  if t.counts.(i) = 0 then 0.0
+  else float_of_int t.sums.(i) /. float_of_int t.counts.(i)
+
+let buckets t kind =
+  let row = t.buckets.(Trace.index kind) in
+  let out = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    if row.(b) > 0 then out := (bucket_lo b, bucket_hi b, row.(b)) :: !out
+  done;
+  !out
+
+let bucket_count t kind ~value =
+  t.buckets.(Trace.index kind).(bucket_of value)
+
+let pp fmt (t, kind) =
+  let bs = buckets t kind in
+  let widest = List.fold_left (fun acc (_, _, c) -> max acc c) 1 bs in
+  Fmt.pf fmt "%s: n=%d mean=%.0f max=%d@."
+    (Trace.name kind) (count t kind) (mean t kind) (max_value t kind);
+  List.iter
+    (fun (lo, hi, c) ->
+      let bar = String.make (max 1 (c * 40 / widest)) '#' in
+      Fmt.pf fmt "  [%8d, %8d] %8d %s@." lo hi c bar)
+    bs

@@ -1,0 +1,26 @@
+(** Latency-histogram sink: per event kind, a log2-bucketed distribution of
+    the event argument. Bucket [b] covers [[2^(b-1), 2^b - 1]] (bucket 0 is
+    exactly 0, bucket 1 exactly 1), so EMC/tdcall round-trip latencies land
+    in a handful of readable rows. *)
+
+type t
+
+val create : unit -> t
+val attach : Emitter.t -> t -> t
+
+val bucket_of : int -> int
+(** The bucket index a value lands in (number of significant bits). *)
+
+val count : t -> Trace.kind -> int
+val sum : t -> Trace.kind -> int
+val max_value : t -> Trace.kind -> int
+val mean : t -> Trace.kind -> float
+
+val buckets : t -> Trace.kind -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val bucket_count : t -> Trace.kind -> value:int -> int
+(** Count in the bucket that [value] would land in. *)
+
+val pp : Format.formatter -> t * Trace.kind -> unit
+(** ASCII histogram for one kind. *)

@@ -1,0 +1,20 @@
+(** The unified observability subsystem: a typed, allocation-light event bus
+    ({!Emitter}) over the {!Trace} taxonomy, with pluggable sinks — counters
+    ({!Counter}), a bounded post-mortem ring ({!Ring}), latency histograms
+    ({!Histogram}) and a Chrome-trace/JSONL recorder ({!Chrome}).
+
+    Emission never advances the virtual clock: observability is free in
+    simulated time, so calibrated results are identical with or without
+    sinks attached. The stack emits through the per-machine emitter held by
+    [Hw.Cpu.t]; every component that owns (or is passed) the CPU shares it. *)
+
+module Trace = Trace
+module Emitter = Emitter
+module Counter = Counter
+module Ring = Ring
+module Histogram = Histogram
+module Chrome = Chrome
+
+val with_span : Emitter.t -> now:(unit -> int) -> Trace.phase -> (unit -> 'a) -> 'a
+(** [with_span emitter ~now phase f] emits [Span_begin phase], runs [f], and
+    emits [Span_end phase] even when [f] raises. *)

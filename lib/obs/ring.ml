@@ -1,0 +1,51 @@
+(* Bounded post-mortem buffer: three parallel int/kind arrays, head index,
+   wraparound. The oldest events are overwritten; [dropped] counts them. *)
+
+type t = {
+  capacity : int;
+  kinds : Trace.kind array;
+  tss : int array;
+  args : int array;
+  mutable next : int;
+  mutable stored : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    capacity;
+    kinds = Array.make capacity Trace.Emc_entry;
+    tss = Array.make capacity 0;
+    args = Array.make capacity 0;
+    next = 0;
+    stored = 0;
+    dropped = 0;
+  }
+
+let sink t kind ~ts ~arg =
+  t.kinds.(t.next) <- kind;
+  t.tss.(t.next) <- ts;
+  t.args.(t.next) <- arg;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.stored < t.capacity then t.stored <- t.stored + 1
+  else t.dropped <- t.dropped + 1
+
+let attach emitter t =
+  Emitter.attach emitter (sink t);
+  t
+
+let capacity t = t.capacity
+let length t = t.stored
+let dropped t = t.dropped
+
+let to_list t =
+  let first = (t.next - t.stored + t.capacity) mod t.capacity in
+  List.init t.stored (fun i ->
+      let j = (first + i) mod t.capacity in
+      { Trace.kind = t.kinds.(j); ts = t.tss.(j); arg = t.args.(j) })
+
+let clear t =
+  t.next <- 0;
+  t.stored <- 0;
+  t.dropped <- 0

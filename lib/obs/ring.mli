@@ -1,0 +1,21 @@
+(** Bounded ring-buffer sink for post-mortem inspection: keeps the most
+    recent [capacity] events, counting what it had to overwrite. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val attach : Emitter.t -> t -> t
+
+val capacity : t -> int
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val dropped : t -> int
+(** Events overwritten since creation/[clear]. *)
+
+val to_list : t -> Trace.event list
+(** Oldest first. *)
+
+val clear : t -> unit

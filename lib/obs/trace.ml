@@ -1,0 +1,143 @@
+(* The event taxonomy: every privilege-relevant occurrence in the simulated
+   stack, from hardware faults up to sandbox lifecycle transitions. The type
+   is deliberately flat and integer-indexable so sinks can use plain arrays
+   and emission never allocates on the hot path (see the preallocated
+   constants below). *)
+
+type emc_kind = Mmu | Cr | Msr | Idt | Smap | Ghci
+
+type phase = Boot | Scan | Attest | Run
+
+type kind =
+  | Emc_entry            (* one gate round trip; arg = measured cycles *)
+  | Emc of emc_kind      (* one privop service; arg = service cycles charged *)
+  | Syscall              (* arg = syscall code *)
+  | Page_fault           (* arg = faulting address *)
+  | Segfault             (* arg = faulting address *)
+  | Timer_irq
+  | Ve_exit
+  | Context_switch       (* arg = next task's tid *)
+  | Tdcall               (* arg = measured cycles *)
+  | Vmcall               (* arg = measured cycles *)
+  | Tlb_fill             (* arg = virtual address *)
+  | Fault_raised         (* arg = hardware vector *)
+  | Mmu_deny
+  | Channel_send         (* arg = payload bytes *)
+  | Channel_recv         (* arg = payload bytes *)
+  | Sandbox_create       (* arg = sandbox id *)
+  | Sandbox_seal         (* arg = sandbox id *)
+  | Sandbox_kill         (* arg = sandbox id *)
+  | Sandbox_exit         (* arg = sandbox id *)
+  | Span_begin of phase
+  | Span_end of phase
+
+type event = { kind : kind; ts : int; arg : int }
+
+let n_kinds = 32
+
+let index = function
+  | Emc_entry -> 0
+  | Emc Mmu -> 1
+  | Emc Cr -> 2
+  | Emc Msr -> 3
+  | Emc Idt -> 4
+  | Emc Smap -> 5
+  | Emc Ghci -> 6
+  | Syscall -> 7
+  | Page_fault -> 8
+  | Segfault -> 9
+  | Timer_irq -> 10
+  | Ve_exit -> 11
+  | Context_switch -> 12
+  | Tdcall -> 13
+  | Vmcall -> 14
+  | Tlb_fill -> 15
+  | Fault_raised -> 16
+  | Mmu_deny -> 17
+  | Channel_send -> 18
+  | Channel_recv -> 19
+  | Sandbox_create -> 20
+  | Sandbox_seal -> 21
+  | Sandbox_kill -> 22
+  | Sandbox_exit -> 23
+  | Span_begin Boot -> 24
+  | Span_begin Scan -> 25
+  | Span_begin Attest -> 26
+  | Span_begin Run -> 27
+  | Span_end Boot -> 28
+  | Span_end Scan -> 29
+  | Span_end Attest -> 30
+  | Span_end Run -> 31
+
+let phase_name = function
+  | Boot -> "boot"
+  | Scan -> "scan"
+  | Attest -> "attest"
+  | Run -> "run"
+
+let name = function
+  | Emc_entry -> "emc"
+  | Emc Mmu -> "emc.mmu"
+  | Emc Cr -> "emc.cr"
+  | Emc Msr -> "emc.msr"
+  | Emc Idt -> "emc.idt"
+  | Emc Smap -> "emc.smap"
+  | Emc Ghci -> "emc.ghci"
+  | Syscall -> "syscall"
+  | Page_fault -> "page_fault"
+  | Segfault -> "segfault"
+  | Timer_irq -> "timer_irq"
+  | Ve_exit -> "ve_exit"
+  | Context_switch -> "context_switch"
+  | Tdcall -> "tdcall"
+  | Vmcall -> "vmcall"
+  | Tlb_fill -> "tlb_fill"
+  | Fault_raised -> "fault"
+  | Mmu_deny -> "mmu_deny"
+  | Channel_send -> "channel.send"
+  | Channel_recv -> "channel.recv"
+  | Sandbox_create -> "sandbox.create"
+  | Sandbox_seal -> "sandbox.seal"
+  | Sandbox_kill -> "sandbox.kill"
+  | Sandbox_exit -> "sandbox.exit"
+  | Span_begin p -> phase_name p
+  | Span_end p -> phase_name p
+
+(* Preallocated constants: [Emc _] and [Span_*] carry a payload, so naming
+   them once here keeps every emission site allocation-free. *)
+let emc_mmu = Emc Mmu
+let emc_cr = Emc Cr
+let emc_msr = Emc Msr
+let emc_idt = Emc Idt
+let emc_smap = Emc Smap
+let emc_ghci = Emc Ghci
+
+let span_begin = function
+  | Boot -> Span_begin Boot
+  | Scan -> Span_begin Scan
+  | Attest -> Span_begin Attest
+  | Run -> Span_begin Run
+
+let span_end = function
+  | Boot -> Span_end Boot
+  | Scan -> Span_end Scan
+  | Attest -> Span_end Attest
+  | Run -> Span_end Run
+
+let all_phases = [ Boot; Scan; Attest; Run ]
+
+let all =
+  [
+    Emc_entry; emc_mmu; emc_cr; emc_msr; emc_idt; emc_smap; emc_ghci;
+    Syscall; Page_fault; Segfault; Timer_irq; Ve_exit; Context_switch;
+    Tdcall; Vmcall; Tlb_fill; Fault_raised; Mmu_deny;
+    Channel_send; Channel_recv;
+    Sandbox_create; Sandbox_seal; Sandbox_kill; Sandbox_exit;
+  ]
+  @ List.map span_begin all_phases
+  @ List.map span_end all_phases
+
+let pp_kind fmt k = Fmt.string fmt (name k)
+
+let pp_event fmt e =
+  Fmt.pf fmt "%d %s %d" e.ts (name e.kind) e.arg

@@ -1,0 +1,68 @@
+(** The event taxonomy of the observability subsystem.
+
+    Every privilege-relevant occurrence in the simulated stack — EMCs by
+    kind, syscalls, page faults, timer IRQs, #VE exits, context switches,
+    tdcalls/vmcalls, TLB refills, hardware faults, MMU-guard denials,
+    channel traffic and sandbox lifecycle — is one {!kind}. Kinds map to a
+    dense integer range [0, n_kinds) via {!index}, so sinks can be plain
+    arrays and emission never allocates. *)
+
+type emc_kind = Mmu | Cr | Msr | Idt | Smap | Ghci
+
+type phase = Boot | Scan | Attest | Run
+(** Span phases: machine assembly, kernel-image byte scan, attested channel
+    handshake, workload body. *)
+
+type kind =
+  | Emc_entry            (** One gate round trip; arg = measured cycles. *)
+  | Emc of emc_kind      (** One privop service; arg = service cycles charged. *)
+  | Syscall              (** arg = syscall code. *)
+  | Page_fault           (** arg = faulting address. *)
+  | Segfault             (** arg = faulting address. *)
+  | Timer_irq
+  | Ve_exit
+  | Context_switch       (** arg = next task's tid. *)
+  | Tdcall               (** arg = measured cycles. *)
+  | Vmcall               (** arg = measured cycles. *)
+  | Tlb_fill             (** arg = virtual address. *)
+  | Fault_raised         (** arg = hardware vector. *)
+  | Mmu_deny
+  | Channel_send         (** arg = payload bytes. *)
+  | Channel_recv         (** arg = payload bytes. *)
+  | Sandbox_create       (** arg = sandbox id. *)
+  | Sandbox_seal         (** arg = sandbox id. *)
+  | Sandbox_kill         (** arg = sandbox id. *)
+  | Sandbox_exit         (** arg = sandbox id. *)
+  | Span_begin of phase
+  | Span_end of phase
+
+type event = { kind : kind; ts : int; arg : int }
+(** [ts] is the virtual-cycle timestamp at emission. *)
+
+val n_kinds : int
+val index : kind -> int
+(** Dense, stable index in [0, n_kinds). *)
+
+val name : kind -> string
+(** Stable wire name ("emc.mmu", "page_fault", ...; spans use the phase
+    name). *)
+
+val phase_name : phase -> string
+
+(** {2 Preallocated constants (allocation-free emission)} *)
+
+val emc_mmu : kind
+val emc_cr : kind
+val emc_msr : kind
+val emc_idt : kind
+val emc_smap : kind
+val emc_ghci : kind
+val span_begin : phase -> kind
+val span_end : phase -> kind
+
+val all_phases : phase list
+val all : kind list
+(** Every kind, in {!index} order. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -41,20 +41,31 @@ type t = {
   proxy_buf : int;
   proxy_fd : int;
   scratch_slots : int array; (* leaf PTE addresses for packet-buffer churn *)
+  counters : Obs.Counter.t;
+      (* Machine-wide counter sink, attached before any component boots:
+         {!snapshot} is derived entirely from this event stream. *)
 }
 
 let setting t = t.setting
 let kern t = t.kern
 let manager t = t.mgr
 let clock t = t.clock
+let obs t = t.cpu.Hw.Cpu.obs
+let counters t = t.counters
 
 let page_size = Hw.Phys_mem.page_size
 
-let create ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256)
+let create ?obs ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256)
     ~setting () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period in
+  let obs = match obs with Some e -> e | None -> Obs.Emitter.create () in
+  (* Attach the machine's counter sink before anything boots so every event
+     from assembly onward is counted. *)
+  let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  Obs.with_span obs ~now:(fun () -> Hw.Cycles.now clock) Obs.Trace.Boot
+  @@ fun () ->
+  let cpu = Hw.Cpu.create ~obs ~id:0 ~mem ~clock ~timer_period () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
@@ -117,32 +128,31 @@ let create ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256)
   let proxy_fd = Kernel.Task.alloc_fd proxy "/dev/net-sink" in
   {
     setting; mem; clock; cpu; td; host; kern; monitor; mgr; proxy; proxy_buf;
-    proxy_fd; scratch_slots;
+    proxy_fd; scratch_slots; counters;
   }
 
+(* Every field below is a per-kind count from the machine's counter sink;
+   the modules' own mirrors (kernel stats, gate count, guard denials) are
+   kept only for cross-checking, never read here. *)
 let snapshot t =
   let now = Hw.Cycles.now t.clock in
-  let ks = t.kern.Kernel.stats in
-  let e =
-    match t.monitor with
-    | Some m -> Erebor.Monitor.emc_stats m
-    | None ->
-        { Erebor.Monitor.mmu = 0; cr = 0; msr = 0; idt = 0; smap = 0; ghci = 0 }
-  in
+  let c k = Obs.Counter.count t.counters k in
   {
     Stats.cycles = now;
     seconds = Hw.Cycles.to_seconds now;
-    page_faults = ks.Kernel.page_faults;
-    timer_irqs = ks.Kernel.timer_irqs;
-    ve_exits = ks.Kernel.ve_exits;
-    syscalls = ks.Kernel.syscalls;
-    emc_total = (match t.monitor with Some m -> Erebor.Monitor.emc_total m | None -> 0);
-    emc_mmu = e.Erebor.Monitor.mmu;
-    emc_cr = e.Erebor.Monitor.cr;
-    emc_msr = e.Erebor.Monitor.msr;
-    emc_smap = e.Erebor.Monitor.smap;
-    emc_ghci = e.Erebor.Monitor.ghci;
-    context_switches = Kernel.Sched.switches t.kern.Kernel.sched;
+    page_faults = c Obs.Trace.Page_fault;
+    timer_irqs = c Obs.Trace.Timer_irq;
+    ve_exits = c Obs.Trace.Ve_exit;
+    syscalls = c Obs.Trace.Syscall;
+    emc_total = c Obs.Trace.Emc_entry;
+    emc_mmu = c Obs.Trace.emc_mmu;
+    emc_cr = c Obs.Trace.emc_cr;
+    emc_msr = c Obs.Trace.emc_msr;
+    emc_idt = c Obs.Trace.emc_idt;
+    emc_smap = c Obs.Trace.emc_smap;
+    emc_ghci = c Obs.Trace.emc_ghci;
+    context_switches = c Obs.Trace.Context_switch;
+    mmu_denies = c Obs.Trace.Mmu_deny;
   }
 
 type ops = {
@@ -337,7 +347,7 @@ let host_io s ~bytes =
   (* Kick the device: a synchronous VM exit (#VE is an exception). *)
   interpose_exception s;
   Hw.Cycles.advance m.clock Hw.Cycles.Cost.ve_handling;
-  m.kern.Kernel.stats.Kernel.ve_exits <- m.kern.Kernel.stats.Kernel.ve_exits + 1;
+  Kernel.note_ve_exit m.kern;
   (match ops.Kernel.Privops.tdcall (Tdx.Ghci.Vmcall Tdx.Ghci.Hlt) with
   | Tdx.Td_module.Ok_unit | Tdx.Td_module.Ok_int _ | Tdx.Td_module.Ok_bytes _ -> ()
   | Tdx.Td_module.Ok_report _ -> ()
@@ -570,6 +580,10 @@ let init_sandboxed m spec =
   let channel =
     match m.setting with
     | Config.Erebor_full ->
+        Obs.with_span m.cpu.Hw.Cpu.obs
+          ~now:(fun () -> Hw.Cycles.now m.clock)
+          Obs.Trace.Attest
+        @@ fun () ->
         let monitor = Option.get m.monitor in
         let rng_c = Crypto.Drbg.create ~seed:("client:" ^ spec.name) in
         let rng_s = Crypto.Drbg.create ~seed:("monitor:" ^ spec.name) in
@@ -637,7 +651,10 @@ let run m spec =
   let t1 = Hw.Cycles.now m.clock in
   let before = snapshot m in
   let rng = Crypto.Drbg.create ~seed:("workload:" ^ spec.name) in
-  spec.body (make_ops s rng);
+  Obs.with_span m.cpu.Hw.Cpu.obs
+    ~now:(fun () -> Hw.Cycles.now m.clock)
+    Obs.Trace.Run
+    (fun () -> spec.body (make_ops s rng));
   let after = snapshot m in
   let t2 = Hw.Cycles.now m.clock in
   (* Collect and return results. *)

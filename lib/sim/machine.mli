@@ -10,13 +10,23 @@
 type t
 
 val create :
+  ?obs:Obs.Emitter.t ->
   ?frames:int -> ?cma_frames:int -> ?reserved_frames:int -> setting:Config.setting ->
   unit -> t
+(** [?obs] supplies the machine's event emitter — attach sinks (recorders,
+    histograms) to it before [create] to observe boot as well. A fresh
+    emitter is made otherwise. *)
 
 val setting : t -> Config.setting
 val kern : t -> Kernel.t
 val manager : t -> Erebor.Sandbox.manager option
 val clock : t -> Hw.Cycles.clock
+
+val obs : t -> Obs.Emitter.t
+(** The machine's event emitter (the one carried by its CPU). *)
+
+val counters : t -> Obs.Counter.t
+(** The machine-wide counter sink {!snapshot} is derived from. *)
 
 val snapshot : t -> Stats.snapshot
 

@@ -9,15 +9,18 @@ type snapshot = {
   emc_mmu : int;
   emc_cr : int;
   emc_msr : int;
+  emc_idt : int;
   emc_smap : int;
   emc_ghci : int;
   context_switches : int;
+  mmu_denies : int;
 }
 
 let zero =
   { cycles = 0; seconds = 0.0; page_faults = 0; timer_irqs = 0; ve_exits = 0;
     syscalls = 0; emc_total = 0; emc_mmu = 0; emc_cr = 0; emc_msr = 0;
-    emc_smap = 0; emc_ghci = 0; context_switches = 0 }
+    emc_idt = 0; emc_smap = 0; emc_ghci = 0; context_switches = 0;
+    mmu_denies = 0 }
 
 let diff ~before ~after =
   {
@@ -31,9 +34,11 @@ let diff ~before ~after =
     emc_mmu = after.emc_mmu - before.emc_mmu;
     emc_cr = after.emc_cr - before.emc_cr;
     emc_msr = after.emc_msr - before.emc_msr;
+    emc_idt = after.emc_idt - before.emc_idt;
     emc_smap = after.emc_smap - before.emc_smap;
     emc_ghci = after.emc_ghci - before.emc_ghci;
     context_switches = after.context_switches - before.context_switches;
+    mmu_denies = after.mmu_denies - before.mmu_denies;
   }
 
 let per_second s count = if s.seconds <= 0.0 then 0.0 else count /. s.seconds
@@ -46,7 +51,7 @@ let emc_rate s = per_second s (float_of_int s.emc_total)
 
 let pp fmt s =
   Fmt.pf fmt
-    "%.2fs  #PF=%.1f/s #Timer=%.1f/s #VE=%.1f/s EMC=%.1fk/s syscalls=%d ctxsw=%d"
+    "%.2fs  #PF=%.1f/s #Timer=%.1f/s #VE=%.1f/s EMC=%.1fk/s syscalls=%d ctxsw=%d denies=%d"
     s.seconds (pf_rate s) (timer_rate s) (ve_rate s)
     (emc_rate s /. 1000.0)
-    s.syscalls s.context_switches
+    s.syscalls s.context_switches s.mmu_denies

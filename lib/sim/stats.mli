@@ -12,9 +12,13 @@ type snapshot = {
   emc_mmu : int;
   emc_cr : int;
   emc_msr : int;
+  emc_idt : int;
   emc_smap : int;
   emc_ghci : int;
   context_switches : int;
+  mmu_denies : int;
+      (** MMU-guard policy denials — lets security tests assert exact
+          counts (C2–C4). *)
 }
 
 val zero : snapshot

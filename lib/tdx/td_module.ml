@@ -44,11 +44,7 @@ type tdcall_result =
   | Ok_unit
   | Error_leaf of string
 
-let tdcall t cpu leaf =
-  if cpu.Hw.Cpu.mode = Hw.Cpu.User then
-    Hw.Fault.raise_fault (Hw.Fault.General_protection "tdcall from user mode");
-  t.finalized <- true;
-  t.tdcalls <- t.tdcalls + 1;
+let do_tdcall t cpu leaf =
   match leaf with
   | Ghci.Vmcall v -> (
       t.vmcalls <- t.vmcalls + 1;
@@ -85,6 +81,20 @@ let tdcall t cpu leaf =
          Attest.extend_rtmr t.measurements ~index data;
          Ok_unit
        with Invalid_argument e -> Error_leaf e)
+
+let tdcall t cpu leaf =
+  if cpu.Hw.Cpu.mode = Hw.Cpu.User then
+    Hw.Fault.raise_fault (Hw.Fault.General_protection "tdcall from user mode");
+  t.finalized <- true;
+  t.tdcalls <- t.tdcalls + 1;
+  let t0 = Hw.Cycles.now t.clock in
+  let result = do_tdcall t cpu leaf in
+  let spent = Hw.Cycles.now t.clock - t0 in
+  Obs.Emitter.emit cpu.Hw.Cpu.obs Obs.Trace.Tdcall ~ts:t0 ~arg:spent;
+  (match leaf with
+  | Ghci.Vmcall _ -> Obs.Emitter.emit cpu.Hw.Cpu.obs Obs.Trace.Vmcall ~ts:t0 ~arg:spent
+  | Ghci.Tdreport _ | Ghci.Map_gpa _ | Ghci.Rtmr_extend _ -> ());
+  result
 
 let with_async_exit t cpu f =
   ignore t;

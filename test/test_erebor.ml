@@ -31,7 +31,7 @@ type stack = {
 let make_stack ?(frames = 16384) ?(cma_frames = 4096) () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
@@ -123,7 +123,7 @@ let test_boot_rejects_sensitive () =
       in
       let mem = Hw.Phys_mem.create ~frames:16384 in
       let clock = Hw.Cycles.clock () in
-      let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 in
+      let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 () in
       let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
       let monitor =
         Erebor.Monitor.install ~cpu ~mem ~td ~firmware ~monitor_frames:32

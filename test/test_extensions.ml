@@ -26,7 +26,7 @@ type stack = {
 let make_stack ?(privilege = Erebor.Gate.Pks) ?(frames = 32768) ?(cma_frames = 8192) () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
@@ -100,7 +100,7 @@ let test_batch_policy_still_enforced () =
 let test_mitigations_rate_limit () =
   let clock = Hw.Cycles.clock () in
   let mem = Hw.Phys_mem.create ~frames:16 in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let m =
     Erebor.Mitigations.create ~clock ~cpu
       { Erebor.Mitigations.exit_rate_limit = Some 10; output_quantum = None;
@@ -119,7 +119,7 @@ let test_mitigations_rate_limit () =
 let test_mitigations_quantized_output () =
   let clock = Hw.Cycles.clock () in
   let mem = Hw.Phys_mem.create ~frames:16 in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let m =
     Erebor.Mitigations.create ~clock ~cpu
       { Erebor.Mitigations.exit_rate_limit = None; output_quantum = Some 10_000;
@@ -135,7 +135,7 @@ let test_mitigations_quantized_output () =
 let test_mitigations_flush_cost () =
   let clock = Hw.Cycles.clock () in
   let mem = Hw.Phys_mem.create ~frames:16 in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let m =
     Erebor.Mitigations.create ~clock ~cpu
       { Erebor.Mitigations.none with Erebor.Mitigations.flush_on_exit = true }
@@ -172,7 +172,7 @@ let test_mitigations_wired_into_sandbox () =
 let make_raw_env () =
   let mem = Hw.Phys_mem.create ~frames:4096 in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let next = ref 1 in
   let alloc_ptp () =
     let pfn = !next in
@@ -344,7 +344,7 @@ let test_native_accepts_dynamic_code () =
   (* Without Erebor, module loading is unchecked (that's the point). *)
   let mem = Hw.Phys_mem.create ~frames:8192 in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let privops = Kernel.Privops.native ~cpu ~td in
   let kern = Kernel.boot ~mem ~cpu ~td ~privops ~reserved_frames:64 ~cma_frames:1024 in

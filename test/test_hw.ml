@@ -291,7 +291,7 @@ let test_access_pks () =
 let make_cpu ?(frames = 2048) () =
   let mem = Phys_mem.create ~frames in
   let clock = Cycles.clock () in
-  let cpu = Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let next = ref 1 in
   let alloc_ptp () =
     let pfn = !next in

@@ -4,7 +4,7 @@
 let make_kernel ?(frames = 8192) ?(cma_frames = 1024) () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:100_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:100_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key:(Crypto.Sha256.digest_string "k") in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);

@@ -15,7 +15,7 @@ let kernel_image =
 let make_env () =
   let mem = Hw.Phys_mem.create ~frames:32768 in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);

@@ -1,0 +1,355 @@
+(* Tests for the lib/obs event subsystem: sinks in isolation, counter-sink
+   equivalence against the legacy per-layer mirrors on every setting,
+   MMU-guard denial accounting, and golden-trace determinism. *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let small_spec ?(sandboxed = true) ?(body = fun _ -> ()) ?(common = None) () =
+  {
+    Sim.Machine.name = "obs-test";
+    sandboxed;
+    timer_hz = 1000;
+    init_compute = 0;
+    confined_bytes = 32 * 4096;
+    nominal_confined_mb = 1;
+    common;
+    threads = 2;
+    contention = 0.2;
+    input = Bytes.of_string "obs test input";
+    output_bucket = 256;
+    body;
+  }
+
+(* Exercises most event sources: compute (timer IRQs + context switches),
+   demand faults, host I/O (#VE + proxy), services, cpuid, sync, PTE churn
+   and the channel echo. *)
+let rich_body (ops : Sim.Machine.ops) =
+  ops.Sim.Machine.compute 10_000_000;
+  ops.Sim.Machine.cold_fault ();
+  ops.Sim.Machine.host_io ~bytes:4096;
+  ops.Sim.Machine.service ();
+  ops.Sim.Machine.cpuid ();
+  ops.Sim.Machine.sync_op ~contended:false;
+  ops.Sim.Machine.pte_churn ~n:3;
+  let input = ops.Sim.Machine.recv_input () in
+  ops.Sim.Machine.send_output (Bytes.cat (Bytes.of_string "echo:") input)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks in isolation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_emitter_fanout () =
+  let obs = Obs.Emitter.create () in
+  let a = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let b = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  Alcotest.(check int) "two sinks" 2 (Obs.Emitter.sink_count obs);
+  Obs.Emitter.emit obs Obs.Trace.Syscall ~ts:1 ~arg:0;
+  Obs.Emitter.emit obs Obs.Trace.Syscall ~ts:2 ~arg:1;
+  Obs.Emitter.emit obs Obs.Trace.Page_fault ~ts:3 ~arg:0x1000;
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "syscalls" 2 (Obs.Counter.count c Obs.Trace.Syscall);
+      Alcotest.(check int) "faults" 1 (Obs.Counter.count c Obs.Trace.Page_fault);
+      Alcotest.(check int) "total" 3 (Obs.Counter.total c);
+      Alcotest.(check int) "arg sum" 1 (Obs.Counter.arg_sum c Obs.Trace.Syscall))
+    [ a; b ];
+  Obs.Counter.reset a;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.total a);
+  Alcotest.(check int) "other sink untouched" 3 (Obs.Counter.total b)
+
+let test_ring_wraparound () =
+  let obs = Obs.Emitter.create () in
+  let ring = Obs.Ring.attach obs (Obs.Ring.create ~capacity:8) in
+  for i = 0 to 19 do
+    Obs.Emitter.emit obs Obs.Trace.Syscall ~ts:(100 + i) ~arg:i
+  done;
+  Alcotest.(check int) "capacity" 8 (Obs.Ring.capacity ring);
+  Alcotest.(check int) "length" 8 (Obs.Ring.length ring);
+  Alcotest.(check int) "dropped" 12 (Obs.Ring.dropped ring);
+  Alcotest.(check (list int)) "last 8, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Obs.Trace.arg) (Obs.Ring.to_list ring));
+  Obs.Ring.clear ring;
+  Alcotest.(check int) "cleared" 0 (Obs.Ring.length ring);
+  Alcotest.(check int) "dropped reset" 0 (Obs.Ring.dropped ring);
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+let test_histogram_bucketing () =
+  (* bucket b covers [2^(b-1), 2^b - 1]; bucket 0 is exactly 0. *)
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b
+        (Obs.Histogram.bucket_of v))
+    [ (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1024, 11) ];
+  let obs = Obs.Emitter.create () in
+  let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+  let values = [ 0; 1; 1; 2; 3; 4; 100; 128_081 ] in
+  List.iteri
+    (fun i v -> Obs.Emitter.emit obs Obs.Trace.Emc_entry ~ts:i ~arg:v)
+    values;
+  Alcotest.(check int) "count" (List.length values)
+    (Obs.Histogram.count hist Obs.Trace.Emc_entry);
+  Alcotest.(check int) "sum"
+    (List.fold_left ( + ) 0 values)
+    (Obs.Histogram.sum hist Obs.Trace.Emc_entry);
+  Alcotest.(check int) "max" 128_081
+    (Obs.Histogram.max_value hist Obs.Trace.Emc_entry);
+  Alcotest.(check int) "bucket [1,1] holds both ones" 2
+    (Obs.Histogram.bucket_count hist Obs.Trace.Emc_entry ~value:1);
+  Alcotest.(check int) "bucket [2,3]" 2
+    (Obs.Histogram.bucket_count hist Obs.Trace.Emc_entry ~value:3);
+  let buckets = Obs.Histogram.buckets hist Obs.Trace.Emc_entry in
+  Alcotest.(check int) "bucket counts total" (List.length values)
+    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets);
+  List.iter
+    (fun (lo, hi, n) ->
+      Alcotest.(check bool) "bucket bounds ordered" true (lo <= hi && n > 0))
+    buckets;
+  Alcotest.(check int) "other kind empty" 0
+    (Obs.Histogram.count hist Obs.Trace.Syscall)
+
+let test_with_span () =
+  let obs = Obs.Emitter.create () in
+  let rec_ = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+  let clock = ref 10 in
+  let result =
+    Obs.with_span obs
+      ~now:(fun () -> !clock)
+      Obs.Trace.Run
+      (fun () ->
+        clock := 25;
+        42)
+  in
+  Alcotest.(check int) "body result" 42 result;
+  match Obs.Chrome.events rec_ with
+  | [ b; e ] ->
+      Alcotest.(check bool) "begin" true
+        (b.Obs.Trace.kind = Obs.Trace.Span_begin Obs.Trace.Run
+        && b.Obs.Trace.ts = 10);
+      Alcotest.(check bool) "end" true
+        (e.Obs.Trace.kind = Obs.Trace.Span_end Obs.Trace.Run
+        && e.Obs.Trace.ts = 25)
+  | evs -> Alcotest.failf "expected 2 span events, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Counter-sink equivalence with the legacy per-layer mirrors          *)
+(* ------------------------------------------------------------------ *)
+
+(* The machine snapshot is derived exclusively from the counter sink on the
+   event bus; the refactor kept the original per-layer counters (kernel
+   stats record, scheduler switch count, gate/guard counts) as mirrors.
+   They must agree exactly, on every setting, over a body that exercises
+   every event source. *)
+let test_counter_equivalence () =
+  List.iter
+    (fun setting ->
+      let name field = Sim.Config.name setting ^ " " ^ field in
+      let m =
+        Sim.Machine.create ~frames:32768 ~cma_frames:4096 ~setting ()
+      in
+      let r = Sim.Machine.run m (small_spec ~body:rich_body ()) in
+      Alcotest.(check bool) (name "not killed") true (r.Sim.Machine.killed = None);
+      let snap = Sim.Machine.snapshot m in
+      let kern = Sim.Machine.kern m in
+      let st = kern.Kernel.stats in
+      Alcotest.(check int) (name "page faults") st.Kernel.page_faults
+        snap.Sim.Stats.page_faults;
+      Alcotest.(check int) (name "syscalls") st.Kernel.syscalls
+        snap.Sim.Stats.syscalls;
+      Alcotest.(check int) (name "timer irqs") st.Kernel.timer_irqs
+        snap.Sim.Stats.timer_irqs;
+      Alcotest.(check int) (name "ve exits") st.Kernel.ve_exits
+        snap.Sim.Stats.ve_exits;
+      Alcotest.(check int) (name "context switches")
+        (Kernel.Sched.switches kern.Kernel.sched)
+        snap.Sim.Stats.context_switches;
+      (match Sim.Machine.manager m with
+      | Some mgr ->
+          let mon = Erebor.Sandbox.manager_monitor mgr in
+          let es = Erebor.Monitor.emc_stats mon in
+          Alcotest.(check int) (name "emc total")
+            (Erebor.Monitor.emc_total mon)
+            snap.Sim.Stats.emc_total;
+          Alcotest.(check int) (name "emc mmu") es.Erebor.Monitor.mmu
+            snap.Sim.Stats.emc_mmu;
+          Alcotest.(check int) (name "emc cr") es.Erebor.Monitor.cr
+            snap.Sim.Stats.emc_cr;
+          Alcotest.(check int) (name "emc msr") es.Erebor.Monitor.msr
+            snap.Sim.Stats.emc_msr;
+          Alcotest.(check int) (name "emc idt") es.Erebor.Monitor.idt
+            snap.Sim.Stats.emc_idt;
+          Alcotest.(check int) (name "emc smap") es.Erebor.Monitor.smap
+            snap.Sim.Stats.emc_smap;
+          Alcotest.(check int) (name "emc ghci") es.Erebor.Monitor.ghci
+            snap.Sim.Stats.emc_ghci;
+          Alcotest.(check int) (name "mmu denies")
+            (Erebor.Mmu_guard.denied_count (Erebor.Monitor.guard mon))
+            snap.Sim.Stats.mmu_denies
+      | None ->
+          Alcotest.(check int) (name "no monitor: emc total") 0
+            snap.Sim.Stats.emc_total;
+          Alcotest.(check int) (name "no monitor: denies") 0
+            snap.Sim.Stats.mmu_denies);
+      (* The counter sink exposed by the machine is the snapshot's source. *)
+      let c = Sim.Machine.counters m in
+      Alcotest.(check int) (name "counter is source")
+        (Obs.Counter.count c Obs.Trace.Page_fault)
+        snap.Sim.Stats.page_faults)
+    Sim.Config.all
+
+(* Satellite: the new emc_idt snapshot field really counts lidt services
+   (machine boot under Erebor programs the IDT through the monitor). *)
+let test_emc_idt_counted () =
+  let m =
+    Sim.Machine.create ~frames:32768 ~cma_frames:4096
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+  let kern = Sim.Machine.kern m in
+  for _ = 1 to 3 do
+    kern.Kernel.privops.Kernel.Privops.lidt (Hw.Idt.create ())
+  done;
+  let snap = Sim.Machine.snapshot m in
+  let mon =
+    Erebor.Sandbox.manager_monitor (Option.get (Sim.Machine.manager m))
+  in
+  let es = Erebor.Monitor.emc_stats mon in
+  Alcotest.(check int) "idt mirrors monitor" es.Erebor.Monitor.idt
+    snap.Sim.Stats.emc_idt;
+  Alcotest.(check int) "idt services counted" 3 snap.Sim.Stats.emc_idt;
+  (* And it participates in diff/pp. *)
+  let d = Sim.Stats.diff ~before:Sim.Stats.zero ~after:snap in
+  Alcotest.(check int) "diff keeps idt" snap.Sim.Stats.emc_idt
+    d.Sim.Stats.emc_idt;
+  let rendered = Fmt.str "%a" Sim.Stats.pp snap in
+  Alcotest.(check bool) "pp reports denies" true
+    (contains ~sub:"denies=" rendered)
+
+(* Satellite: MMU-guard denial counts surface in the snapshot, so security
+   tests can assert exact counts. A benign run must show zero; every
+   policy-violating PTE store afterwards must count exactly once. *)
+let test_denial_counts () =
+  let m =
+    Sim.Machine.create ~frames:32768 ~cma_frames:4096
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+  let snap0 = Sim.Machine.snapshot m in
+  Alcotest.(check int) "benign run: zero denials" 0 snap0.Sim.Stats.mmu_denies;
+  let kern = Sim.Machine.kern m in
+  let denied = ref 0 in
+  for i = 0 to 4 do
+    (* Frames far above anything the kernel registered as page tables:
+       stores there must be rejected by the guard. *)
+    let pte_addr = Hw.Phys_mem.addr_of_pfn (20_000 + i) + 8 in
+    let pte = Hw.Pte.make ~pfn:(100 + i) Hw.Pte.default_flags in
+    match kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr pte with
+    | () -> ()
+    | exception Erebor.Monitor.Policy_violation _ -> incr denied
+  done;
+  Alcotest.(check int) "all stores denied" 5 !denied;
+  let snap1 = Sim.Machine.snapshot m in
+  Alcotest.(check int) "denials surfaced exactly" 5 snap1.Sim.Stats.mmu_denies;
+  let mon =
+    Erebor.Sandbox.manager_monitor (Option.get (Sim.Machine.manager m))
+  in
+  Alcotest.(check int) "matches guard mirror"
+    (Erebor.Mmu_guard.denied_count (Erebor.Monitor.guard mon))
+    snap1.Sim.Stats.mmu_denies
+
+(* ------------------------------------------------------------------ *)
+(* Golden-trace determinism and Chrome export                          *)
+(* ------------------------------------------------------------------ *)
+
+let traced_run () =
+  let obs = Obs.Emitter.create () in
+  let rec_ = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+  let m =
+    Sim.Machine.create ~obs ~frames:32768 ~cma_frames:4096
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+  (m, rec_)
+
+let test_golden_trace_determinism () =
+  let _, r1 = traced_run () in
+  let _, r2 = traced_run () in
+  Alcotest.(check bool) "non-empty" true (Obs.Chrome.length r1 > 0);
+  Alcotest.(check int) "same length" (Obs.Chrome.length r1)
+    (Obs.Chrome.length r2);
+  Alcotest.(check bool) "byte-identical event stream" true
+    (Obs.Chrome.events r1 = Obs.Chrome.events r2);
+  Alcotest.(check bool) "identical chrome JSON" true
+    (String.equal (Obs.Chrome.to_chrome_json r1) (Obs.Chrome.to_chrome_json r2))
+
+let test_trace_counts_match_snapshot () =
+  let m, rec_ = traced_run () in
+  let snap = Sim.Machine.snapshot m in
+  let count k =
+    let n = ref 0 in
+    Obs.Chrome.iter rec_ (fun e -> if e.Obs.Trace.kind = k then incr n);
+    !n
+  in
+  List.iter
+    (fun (label, k, expected) ->
+      Alcotest.(check int) label expected (count k))
+    [
+      ("page faults", Obs.Trace.Page_fault, snap.Sim.Stats.page_faults);
+      ("syscalls", Obs.Trace.Syscall, snap.Sim.Stats.syscalls);
+      ("timer irqs", Obs.Trace.Timer_irq, snap.Sim.Stats.timer_irqs);
+      ("ve exits", Obs.Trace.Ve_exit, snap.Sim.Stats.ve_exits);
+      ("ctx switches", Obs.Trace.Context_switch, snap.Sim.Stats.context_switches);
+      ("emc entries", Obs.Trace.Emc_entry, snap.Sim.Stats.emc_total);
+      ("emc mmu", Obs.Trace.emc_mmu, snap.Sim.Stats.emc_mmu);
+      ("emc ghci", Obs.Trace.emc_ghci, snap.Sim.Stats.emc_ghci);
+      ("denies", Obs.Trace.Mmu_deny, snap.Sim.Stats.mmu_denies);
+    ];
+  (* Boot / attest / run spans all appear, balanced. *)
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (Obs.Trace.phase_name phase ^ " span balanced")
+        true
+        (count (Obs.Trace.span_begin phase) = count (Obs.Trace.span_end phase)
+        && count (Obs.Trace.span_begin phase) > 0))
+    [ Obs.Trace.Boot; Obs.Trace.Attest; Obs.Trace.Run ];
+  let json = Obs.Chrome.to_chrome_json rec_ in
+  Alcotest.(check bool) "chrome JSON object" true
+    (String.length json > 2 && json.[0] = '{');
+  Alcotest.(check bool) "has traceEvents" true
+    (contains ~sub:"\"traceEvents\"" json);
+  let jsonl = Obs.Chrome.to_jsonl rec_ in
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  Alcotest.(check int) "one JSONL line per event" (Obs.Chrome.length rec_)
+    (List.length lines)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sinks",
+        [
+          Alcotest.test_case "emitter fanout" `Quick test_emitter_fanout;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "with_span" `Quick test_with_span;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "counter sink mirrors legacy stats" `Quick
+            test_counter_equivalence;
+          Alcotest.test_case "emc_idt counted" `Quick test_emc_idt_counted;
+          Alcotest.test_case "denial counts exact" `Quick test_denial_counts;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "golden-trace determinism" `Quick
+            test_golden_trace_determinism;
+          Alcotest.test_case "trace counts match snapshot" `Quick
+            test_trace_counts_match_snapshot;
+        ] );
+    ]

@@ -3,7 +3,7 @@
 let make_td () =
   let mem = Hw.Phys_mem.create ~frames:256 in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key:(Crypto.Sha256.digest_string "hwkey") in
   (mem, clock, cpu, td)
 
