@@ -6,7 +6,16 @@
    Usage:
      bench/main.exe                 # everything (same as "all")
      bench/main.exe table3|table4|fig8|fig9|table6|fig10|memshare|tables-qual
-     bench/main.exe bechamel        # wall-clock microbenchmarks            *)
+     bench/main.exe smoke           # table3+table4 only (the @ci quick gate)
+     bench/main.exe bechamel        # wall-clock microbenchmarks
+   Flags (anywhere on the line):
+     --jobs N    domain-pool width for machine fan-out
+                 (default: Domain.recommended_domain_count)
+     --scale F   multiply simulated workload durations by F (default 1.0)  *)
+
+(* Parsed flags; set once in the driver before any experiment runs. *)
+let jobs_arg : int option ref = ref None
+let scale_arg = ref 1.0
 
 let line width = print_endline (String.make width '-')
 
@@ -53,7 +62,7 @@ let print_fig8 () =
     (fun (r : Workloads.Eval.lmbench_row) ->
       Printf.printf "%-10s %12.0f %12.0f %7.2fx %9.2fM\n" r.bench r.native_avg
         r.erebor_avg r.ratio (r.emc_per_sec /. 1e6))
-    (Workloads.Eval.fig8 ());
+    (Workloads.Eval.fig8 ?jobs:!jobs_arg ());
   Printf.printf "(paper: pagefault is the worst case at 3.8x Native)\n"
 
 (* ------------------------------------------------------------------ *)
@@ -66,7 +75,7 @@ let fig9_rows () =
   match !fig9_cache with
   | Some rows -> rows
   | None ->
-      let rows = Workloads.Eval.fig9 () in
+      let rows = Workloads.Eval.fig9 ?jobs:!jobs_arg () in
       fig9_cache := Some rows;
       rows
 
@@ -127,7 +136,7 @@ let print_table6 () =
 
 let print_fig10 () =
   header "Figure 10: relative throughput of background servers (Erebor / Native)";
-  let rows = Workloads.Eval.fig10 () in
+  let rows = Workloads.Eval.fig10 ?jobs:!jobs_arg () in
   List.iter
     (fun server ->
       let mine = List.filter (fun (r : Workloads.Eval.netserve_row) -> r.server = server) rows in
@@ -162,7 +171,7 @@ let print_memshare () =
     (fun (r : Workloads.Eval.memshare_row) ->
       Printf.printf "%-10d %16d %18d %8.1f%%\n" r.sandboxes r.shared_frames
         r.replicated_frames r.saving_pct)
-    (Workloads.Eval.memshare ());
+    (Workloads.Eval.memshare ?jobs:!jobs_arg ());
   Printf.printf
     "(paper: 8 llama.cpp containers drop from ~36GB replicated to ~8GB shared;\n\
     \ memory consumption cut by up to 89.1%%)\n"
@@ -375,24 +384,178 @@ let print_emchist () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_sim.json — machine-readable run record for regression diffing *)
+(* ------------------------------------------------------------------ *)
+
+(* Peak resident set in KiB, from the kernel's high-water mark. *)
+let peak_rss_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec scan () =
+      match input_line ic with
+      | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+            close_in ic;
+            let digits =
+              String.to_seq line
+              |> Seq.filter (fun c -> c >= '0' && c <= '9')
+              |> String.of_seq
+            in
+            int_of_string_opt digits
+          end
+          else scan ()
+      | exception End_of_file ->
+          close_in ic;
+          None
+    in
+    scan ()
+  with Sys_error _ -> None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path ~timings ~total_wall_s =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"erebor-bench-sim/1\",\n";
+  add "  \"jobs\": %d,\n"
+    (match !jobs_arg with Some j -> j | None -> Sim.Runner.default_jobs ());
+  add "  \"scale\": %.6f,\n" !scale_arg;
+  add "  \"total_wall_s\": %.6f,\n" total_wall_s;
+  (match peak_rss_kb () with
+  | Some kb -> add "  \"peak_rss_kb\": %d,\n" kb
+  | None -> add "  \"peak_rss_kb\": null,\n");
+  let gc = Gc.quick_stat () in
+  add "  \"gc\": { \"minor_words\": %.0f, \"major_words\": %.0f, \"major_collections\": %d },\n"
+    gc.Gc.minor_words gc.Gc.major_words gc.Gc.major_collections;
+  add "  \"targets\": [\n";
+  List.iteri
+    (fun i (name, wall) ->
+      add "    { \"name\": \"%s\", \"wall_s\": %.6f }%s\n" (json_escape name) wall
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  add "  ],\n";
+  (* Calibration anchors: the simulated-cycle numbers of Tables 3 and 4.
+     These must not move under perf work — byte-stable across runs. *)
+  add "  \"table3\": [\n";
+  let t3 = Workloads.Eval.table3 () in
+  List.iteri
+    (fun i (r : Workloads.Eval.transition_row) ->
+      add "    { \"transition\": \"%s\", \"cycles\": %d, \"paper_cycles\": %d }%s\n"
+        (json_escape r.transition) r.cycles r.paper_cycles
+        (if i = List.length t3 - 1 then "" else ","))
+    t3;
+  add "  ],\n";
+  add "  \"table4\": [\n";
+  let t4 = Workloads.Eval.table4 () in
+  List.iteri
+    (fun i (r : Workloads.Eval.privop_row) ->
+      add
+        "    { \"op\": \"%s\", \"native_cycles\": %d, \"erebor_cycles\": %d }%s\n"
+        (json_escape r.op) r.native_cycles r.erebor_cycles
+        (if i = List.length t4 - 1 then "" else ","))
+    t4;
+  add "  ],\n";
+  add "  \"fig9\": [\n";
+  let rows = fig9_rows () in
+  List.iteri
+    (fun i (r : Workloads.Eval.program_row) ->
+      add
+        "    { \"program\": \"%s\", \"setting\": \"%s\", \"overhead_pct\": %.4f, \
+         \"pf_rate\": %.2f, \"timer_rate\": %.2f, \"ve_rate\": %.2f, \"emc_rate\": %.2f }%s\n"
+        (json_escape r.program)
+        (json_escape (Sim.Config.name r.setting))
+        r.overhead_pct r.pf_rate r.timer_rate r.ve_rate r.emc_rate
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ]\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let all () =
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    timings := (name, Unix.gettimeofday () -. t0) :: !timings
+  in
+  let t_start = Unix.gettimeofday () in
+  timed "table3" print_table3;
+  timed "table4" print_table4;
+  timed "fig8" print_fig8;
+  timed "fig9" print_fig9;
+  timed "table6" print_table6;
+  timed "fig10" print_fig10;
+  timed "memshare" print_memshare;
+  timed "ablations" print_ablations;
+  timed "tables-qual" print_tables_qual;
+  timed "emchist" print_emchist;
+  let total_wall_s = Unix.gettimeofday () -. t_start in
+  write_bench_json ~path:"BENCH_sim.json" ~timings:(List.rev !timings) ~total_wall_s
+
+(* The @ci quick gate: just the calibration tables, no workload machines. *)
+let smoke () =
   print_table3 ();
-  print_table4 ();
-  print_fig8 ();
-  print_fig9 ();
-  print_table6 ();
-  print_fig10 ();
-  print_memshare ();
-  print_ablations ();
-  print_tables_qual ();
-  print_emchist ()
+  print_table4 ()
+
+let usage =
+  "usage: main.exe \
+   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|emchist|bechamel]\n\
+  \       [--jobs N] [--scale F]\n"
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let target = ref None in
+  let bad msg =
+    Printf.eprintf "%s\n%s" msg usage;
+    exit 1
+  in
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--jobs" | "-j" ->
+        incr i;
+        if !i >= argc then bad "--jobs needs an argument";
+        (match int_of_string_opt Sys.argv.(!i) with
+        | Some n when n >= 1 -> jobs_arg := Some n
+        | _ -> bad "--jobs: positive integer expected")
+    | "--scale" ->
+        incr i;
+        if !i >= argc then bad "--scale needs an argument";
+        (match float_of_string_opt Sys.argv.(!i) with
+        | Some f when f > 0.0 ->
+            scale_arg := f;
+            Workloads.Workload.set_scale f
+        | _ -> bad "--scale: positive number expected")
+    | s when String.length s > 0 && s.[0] = '-' ->
+        bad (Printf.sprintf "unknown flag %S" s)
+    | s -> (
+        match !target with
+        | None -> target := Some s
+        | Some prev -> bad (Printf.sprintf "multiple targets (%S and %S)" prev s)));
+    incr i
+  done;
+  match Option.value !target ~default:"all" with
   | "all" -> all ()
+  | "smoke" -> smoke ()
   | "table3" -> print_table3 ()
   | "table4" -> print_table4 ()
   | "fig8" -> print_fig8 ()
@@ -404,9 +567,4 @@ let () =
   | "tables-qual" -> print_tables_qual ()
   | "emchist" -> print_emchist ()
   | "bechamel" -> run_bechamel ()
-  | other ->
-      Printf.eprintf
-        "unknown experiment %S\n\
-         usage: main.exe [all|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|emchist|bechamel]\n"
-        other;
-      exit 1
+  | other -> bad (Printf.sprintf "unknown experiment %S" other)

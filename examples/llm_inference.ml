@@ -38,6 +38,6 @@ let () =
     (100.0 *. ((float_of_int erebor /. float_of_int native) -. 1.0));
 
   (* The inference itself is a real (if tiny) language model: *)
-  let model = Lazy.force Workloads.Llm.default_model in
+  let model = Workloads.Llm.default_model in
   Printf.printf "\n(the stand-in model knows %d n-gram contexts)\n"
     (Workloads.Llm.Model.contexts model)

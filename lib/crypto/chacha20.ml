@@ -13,17 +13,8 @@ let quarter_round st a b c d =
   st.(c) <- Int32.add st.(c) st.(d);
   st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 7
 
-let le32 b off =
-  let byte i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
-  Int32.logor (byte 0)
-    (Int32.logor (Int32.shift_left (byte 1) 8)
-       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
-
-let store_le32 b off v =
-  for i = 0 to 3 do
-    Bytes.set b (off + i)
-      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * i)) 0xffl)))
-  done
+let le32 b off = Bytes.get_int32_le b off
+let store_le32 b off v = Bytes.set_int32_le b off v
 
 let init_state ~key ~nonce ~counter =
   if Bytes.length key <> key_size then invalid_arg "Chacha20: key must be 32 bytes";
@@ -43,9 +34,8 @@ let init_state ~key ~nonce ~counter =
   done;
   st
 
-let block ~key ~nonce ~counter =
-  let st = init_state ~key ~nonce ~counter in
-  let work = Array.copy st in
+(* 20 rounds over [work], leaving the raw (pre-feed-forward) state there. *)
+let rounds work =
   for _ = 1 to 10 do
     quarter_round work 0 4 8 12;
     quarter_round work 1 5 9 13;
@@ -55,7 +45,12 @@ let block ~key ~nonce ~counter =
     quarter_round work 1 6 11 12;
     quarter_round work 2 7 8 13;
     quarter_round work 3 4 9 14
-  done;
+  done
+
+let block ~key ~nonce ~counter =
+  let st = init_state ~key ~nonce ~counter in
+  let work = Array.copy st in
+  rounds work;
   let out = Bytes.create 64 in
   for i = 0 to 15 do
     store_le32 out (4 * i) (Int32.add work.(i) st.(i))
@@ -63,16 +58,32 @@ let block ~key ~nonce ~counter =
   out
 
 let xor ~key ~nonce ?(counter = 1l) data =
-  let out = Bytes.copy data in
   let len = Bytes.length data in
+  let out = Bytes.copy data in
+  let st = init_state ~key ~nonce ~counter in
+  let work = Array.make 16 0l in
   let blocks = (len + 63) / 64 in
   for b = 0 to blocks - 1 do
-    let ks = block ~key ~nonce ~counter:(Int32.add counter (Int32.of_int b)) in
+    st.(12) <- Int32.add counter (Int32.of_int b);
+    Array.blit st 0 work 0 16;
+    rounds work;
     let base = b * 64 in
-    let n = min 64 (len - base) in
-    for i = 0 to n - 1 do
-      Bytes.set out (base + i)
-        (Char.chr (Char.code (Bytes.get data (base + i)) lxor Char.code (Bytes.get ks i)))
-    done
+    let n = len - base in
+    if n >= 64 then
+      (* Full block: xor the keystream in 16 aligned 32-bit words. *)
+      for i = 0 to 15 do
+        let ks = Int32.add work.(i) st.(i) in
+        let off = base + (4 * i) in
+        store_le32 out off (Int32.logxor (le32 out off) ks)
+      done
+    else
+      for i = 0 to n - 1 do
+        let word = Int32.add work.(i lsr 2) st.(i lsr 2) in
+        let ks_byte =
+          Int32.to_int (Int32.shift_right_logical word (8 * (i land 3))) land 0xff
+        in
+        Bytes.set out (base + i)
+          (Char.chr (Char.code (Bytes.get out (base + i)) lxor ks_byte))
+      done
   done;
   out

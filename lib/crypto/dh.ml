@@ -12,7 +12,8 @@ let group_prime =
 
 let generator = Bignum.of_int 2
 
-let ctx = lazy (Bignum.Mont.create group_prime)
+(* Eager for domain safety: Lazy.force from two domains races. *)
+let ctx = Bignum.Mont.create group_prime
 
 let public_width = 192 (* 1536 bits *)
 
@@ -22,7 +23,7 @@ let generate drbg =
   let raw = Drbg.bytes drbg 32 in
   Bytes.set raw 0 (Char.chr (Char.code (Bytes.get raw 0) lor 0x80));
   let secret = Bignum.of_bytes raw in
-  let public = Bignum.Mont.modpow (Lazy.force ctx) generator secret in
+  let public = Bignum.Mont.modpow ctx generator secret in
   { secret; public }
 
 let public_bytes kp = Bignum.to_bytes ~len:public_width kp.public
@@ -33,7 +34,7 @@ let shared_secret kp ~peer_public =
      || Bignum.compare peer group_prime >= 0
   then None
   else begin
-    let shared = Bignum.Mont.modpow (Lazy.force ctx) peer kp.secret in
+    let shared = Bignum.Mont.modpow ctx peer kp.secret in
     let raw = Bignum.to_bytes ~len:public_width shared in
     Some (Hkdf.extract ~salt:(Bytes.of_string "erebor-dh") ~ikm:raw)
   end

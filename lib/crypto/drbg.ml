@@ -31,11 +31,18 @@ let bytes t n =
   done;
   out
 
+(* Same byte stream as [bytes t 8], folded directly off the pool so the
+   per-draw 8-byte buffer (and its copy) never exists. *)
+let next_byte t =
+  if t.pool_off >= Bytes.length t.pool then refill t;
+  let c = Char.code (Bytes.unsafe_get t.pool t.pool_off) in
+  t.pool_off <- t.pool_off + 1;
+  c
+
 let int64 t =
-  let b = bytes t 8 in
   let v = ref 0L in
-  for i = 0 to 7 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b i)))
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (next_byte t))
   done;
   Int64.shift_right_logical !v 1
 

@@ -44,14 +44,7 @@ let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (
 let compress state b off =
   let w = Array.make 64 0l in
   for i = 0 to 15 do
-    let base = off + (i * 4) in
-    let byte j = Int32.of_int (Char.code (Bytes.get b (base + j))) in
-    w.(i) <-
-      Int32.logor
-        (Int32.shift_left (byte 0) 24)
-        (Int32.logor
-           (Int32.shift_left (byte 1) 16)
-           (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+    w.(i) <- Bytes.get_int32_be b (off + (i * 4))
   done;
   for i = 16 to 63 do
     let s0 =
@@ -171,12 +164,7 @@ let digest ctx =
   assert (!remaining = 0 && ctx.buf_len = 0);
   let out = Bytes.create digest_size in
   for i = 0 to 7 do
-    let word = ctx.state.(i) in
-    for j = 0 to 3 do
-      let shift = 8 * (3 - j) in
-      Bytes.set out ((i * 4) + j)
-        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xffl)))
-    done
+    Bytes.set_int32_be out (i * 4) ctx.state.(i)
   done;
   out
 

@@ -27,7 +27,7 @@ type t = {
   privilege : privilege;
   shadow : Hw.Cet.shadow_stack;
   mutable depth : int;          (* nested monitor-context calls *)
-  mutable saved_grants : int64 list; (* secure-stack slots for the #INT gate *)
+  mutable saved_grants : int list; (* secure-stack slots for the #INT gate *)
   mutable emc_count : int;
   mutable interrupted : int;
 }
@@ -52,49 +52,60 @@ let code_bytes t = Bytes.copy t.code
 
 let endbr_at t addr = addr = t.code_base
 
-let read_pkrs t = Hw.Msr.read t.cpu.Hw.Cpu.msr Hw.Msr.ia32_pkrs
-let load_pkrs t v = Hw.Msr.write t.cpu.Hw.Cpu.msr Hw.Msr.ia32_pkrs v
-
 (* Read/grant/revoke the privilege state the backend uses. The saved value
-   is opaque to callers: a PKRS image or a CR0.WP bit. *)
+   is opaque to callers: a PKRS image or a CR0.WP bit. Grants travel as
+   unboxed ints — [enter] runs once per EMC and must not allocate. *)
 let read_grant t =
   match t.privilege with
-  | Pks -> read_pkrs t
-  | Write_protect -> if Hw.Cr.wp t.cpu.Hw.Cpu.cr then 1L else 0L
+  | Pks -> Hw.Msr.pkrs_bits t.cpu.Hw.Cpu.msr
+  | Write_protect -> if Hw.Cr.wp t.cpu.Hw.Cpu.cr then 1 else 0
 
 let load_grant t v =
   match t.privilege with
-  | Pks -> load_pkrs t v
-  | Write_protect -> Hw.Cr.set_bit t.cpu.Hw.Cpu.cr ~reg:`Cr0 Hw.Cr.cr0_wp (Int64.equal v 1L)
+  | Pks -> Hw.Msr.write_pkrs_bits t.cpu.Hw.Cpu.msr v
+  | Write_protect -> Hw.Cr.set_bit t.cpu.Hw.Cpu.cr ~reg:`Cr0 Hw.Cr.cr0_wp (v = 1)
 
 let granted_value t =
-  match t.privilege with Pks -> Policy.monitor_mode_pkrs | Write_protect -> 0L
+  match t.privilege with
+  | Pks -> Int64.to_int Policy.monitor_mode_pkrs
+  | Write_protect -> 0
 
 let revoked_value t =
-  match t.privilege with Pks -> Policy.normal_mode_pkrs | Write_protect -> 1L
+  match t.privilege with
+  | Pks -> Int64.to_int Policy.normal_mode_pkrs
+  | Write_protect -> 1
 
 let enter t ~target f =
   if t.depth > 0 then f () (* already in monitor context *)
   else begin
-    let s_cet = Hw.Msr.read t.cpu.Hw.Cpu.msr Hw.Msr.ia32_s_cet in
-    (match Hw.Cet.check_branch ~s_cet ~endbr_at:(endbr_at t) ~target with
-    | Ok () -> ()
-    | Error fault -> Hw.Fault.raise_fault fault);
+    (* Inline IBT check (Hw.Cet.check_branch without the closure/result
+       allocations): the gate entry is the only valid endbr64 target. *)
+    (if Hw.Msr.s_cet_bits t.cpu.Hw.Cpu.msr land 4 <> 0 && target <> t.code_base
+     then
+       Hw.Fault.raise_fault
+         (Hw.Fault.Control_protection
+            (Printf.sprintf "indirect branch to 0x%x: no endbr64" target)));
     let t0 = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
     Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
     t.emc_count <- t.emc_count + 1;
     let caller_grant = read_grant t in
     load_grant t (granted_value t);
     t.depth <- 1;
-    Fun.protect
-      ~finally:(fun () ->
-        t.depth <- 0;
-        load_grant t caller_grant;
-        (* One event per outermost monitor-context entry: ts is the entry
-           time, arg the full round-trip latency in cycles. *)
-        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
-          ~arg:(Hw.Cycles.now t.cpu.Hw.Cpu.clock - t0))
-      f
+    let finish () =
+      t.depth <- 0;
+      load_grant t caller_grant;
+      (* One event per outermost monitor-context entry: ts is the entry
+         time, arg the full round-trip latency in cycles. *)
+      Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+        ~arg:(Hw.Cycles.now t.cpu.Hw.Cpu.clock - t0)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
   end
 
 let call t f = enter t ~target:t.code_base f
@@ -108,14 +119,20 @@ let interrupt_during_emc t f =
     let granted = read_grant t in
     t.saved_grants <- granted :: t.saved_grants;
     load_grant t (revoked_value t);
-    Fun.protect
-      ~finally:(fun () ->
-        match t.saved_grants with
-        | saved :: rest ->
-            t.saved_grants <- rest;
-            load_grant t saved
-        | [] -> assert false)
-      f
+    let finish () =
+      match t.saved_grants with
+      | saved :: rest ->
+          t.saved_grants <- rest;
+          load_grant t saved
+      | [] -> assert false
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
   end
 
 let in_emc t = t.depth > 0

@@ -121,11 +121,17 @@ let fail msg = raise (Policy_violation msg)
    request, so counts match the pre-refactor per-kind statistics. *)
 let serviced t kind f =
   let t0 = Hw.Cycles.now (clock t) in
-  Fun.protect
-    ~finally:(fun () ->
-      Obs.Emitter.emit t.cpu.Hw.Cpu.obs kind ~ts:t0
-        ~arg:(Hw.Cycles.now (clock t) - t0))
-    f
+  let finish () =
+    Obs.Emitter.emit t.cpu.Hw.Cpu.obs kind ~ts:t0
+      ~arg:(Hw.Cycles.now (clock t) - t0)
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
 
 let privops t =
   let g = t.gate in
@@ -238,9 +244,30 @@ let privops t =
                 | Some reason -> fail ("usercopy: " ^ reason)
                 | None -> ());
                 Hw.Cpu.stac t.cpu;
-                Fun.protect
-                  ~finally:(fun () -> Hw.Cpu.clac t.cpu)
-                  (fun () -> Hw.Cpu.read_bytes t.cpu user_addr len))));
+                (match Hw.Cpu.read_bytes t.cpu user_addr len with
+                 | v ->
+                     Hw.Cpu.clac t.cpu;
+                     v
+                 | exception e ->
+                     Hw.Cpu.clac t.cpu;
+                     raise e))));
+    copy_from_user_into =
+      (fun ~user_addr ~buf ~off ~len ->
+        Gate.call g (fun () ->
+            serviced t Obs.Trace.emc_smap (fun () ->
+                cost t Hw.Cycles.Cost.emc_service_smap;
+                cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
+                (match t.usercopy_veto () with
+                | Some reason -> fail ("usercopy: " ^ reason)
+                | None -> ());
+                Hw.Cpu.stac t.cpu;
+                (match Hw.Cpu.read_into t.cpu user_addr buf ~off ~len with
+                 | v ->
+                     Hw.Cpu.clac t.cpu;
+                     v
+                 | exception e ->
+                     Hw.Cpu.clac t.cpu;
+                     raise e))));
     copy_to_user =
       (fun ~user_addr data ->
         Gate.call g (fun () ->
@@ -253,9 +280,13 @@ let privops t =
                 | Some reason -> fail ("usercopy: " ^ reason)
                 | None -> ());
                 Hw.Cpu.stac t.cpu;
-                Fun.protect
-                  ~finally:(fun () -> Hw.Cpu.clac t.cpu)
-                  (fun () -> Hw.Cpu.write_bytes t.cpu user_addr data))));
+                (match Hw.Cpu.write_bytes t.cpu user_addr data with
+                 | v ->
+                     Hw.Cpu.clac t.cpu;
+                     v
+                 | exception e ->
+                     Hw.Cpu.clac t.cpu;
+                     raise e))));
   }
 
 let boot_kernel t ~kernel_image ~reserved_frames ~cma_frames =

@@ -245,9 +245,9 @@ let read_sandbox_bytes mgr sb ~addr ~len =
     in
     let off = va - page in
     let chunk = min (page_size - off) (len - !copied) in
-    Bytes.blit
-      (Hw.Phys_mem.read_bytes mgr.kern.Kernel.mem (Hw.Phys_mem.addr_of_pfn pfn + off) chunk)
-      0 out !copied chunk;
+    Hw.Phys_mem.blit_to mgr.kern.Kernel.mem
+      (Hw.Phys_mem.addr_of_pfn pfn + off)
+      out ~off:!copied ~len:chunk;
     copied := !copied + chunk
   done;
   out
@@ -265,9 +265,9 @@ let write_sandbox_bytes mgr sb addr data =
     in
     let off = va - page in
     let chunk = min (page_size - off) (len - !copied) in
-    Hw.Phys_mem.write_bytes mgr.kern.Kernel.mem
+    Hw.Phys_mem.blit_from mgr.kern.Kernel.mem
       (Hw.Phys_mem.addr_of_pfn pfn + off)
-      (Bytes.sub data !copied chunk);
+      data ~off:!copied ~len:chunk;
     copied := !copied + chunk
   done
 

@@ -15,35 +15,42 @@ let pf ~addr ~kind ~user ?(pkey = false) () =
     (Fault.Page_fault
        { Fault.addr; kind; user; present = true; pkey_violation = pkey })
 
-let check ctx ~kind ~addr tr =
+(* The hot-path entry point: permission bits passed unboxed so {!Cpu} can
+   check a TLB hit without building a [translation] record. The [Ok ()]
+   path allocates nothing. *)
+let check_bits ctx ~kind ~addr ~user ~writable ~nx ~pkey =
   let deny ?pkey () = pf ~addr ~kind ~user:ctx.user_mode ?pkey () in
   match kind with
   | Fault.Execute ->
-      if tr.nx then deny ()
-      else if ctx.user_mode then if tr.user then Ok () else deny ()
-      else if tr.user && ctx.smep then deny () (* SMEP: no kernel exec of user pages *)
+      if nx then deny ()
+      else if ctx.user_mode then if user then Ok () else deny ()
+      else if user && ctx.smep then deny () (* SMEP: no kernel exec of user pages *)
       else Ok ()
   | Fault.Read | Fault.Write -> (
       let write = kind = Fault.Write in
       if ctx.user_mode then
-        if not tr.user then deny ()
-        else if write && not tr.writable then deny ()
+        if not user then deny ()
+        else if write && not writable then deny ()
         else Ok ()
-      else if tr.user then
+      else if user then
         (* Supervisor touching a user page: SMAP unless AC is set. *)
         if ctx.smap && not ctx.ac then deny ()
-        else if write && ctx.wp && not tr.writable then deny ()
+        else if write && ctx.wp && not writable then deny ()
         else Ok ()
       else begin
         (* Supervisor page: PKS applies to data accesses. *)
         let pks_ok =
-          (not ctx.pks) || Pks.permits ~pkrs:ctx.pkrs ~key:tr.pkey ~write:false
+          (not ctx.pks) || Pks.permits ~pkrs:ctx.pkrs ~key:pkey ~write:false
         in
         if not pks_ok then deny ~pkey:true ()
         else if write then
-          if ctx.pks && ctx.wp && not (Pks.permits ~pkrs:ctx.pkrs ~key:tr.pkey ~write:true)
+          if ctx.pks && ctx.wp && not (Pks.permits ~pkrs:ctx.pkrs ~key:pkey ~write:true)
           then deny ~pkey:true ()
-          else if ctx.wp && not tr.writable then deny ()
+          else if ctx.wp && not writable then deny ()
           else Ok ()
         else Ok ()
       end)
+
+let check ctx ~kind ~addr tr =
+  check_bits ctx ~kind ~addr ~user:tr.user ~writable:tr.writable ~nx:tr.nx
+    ~pkey:tr.pkey

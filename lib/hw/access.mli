@@ -23,3 +23,12 @@ type translation = {
 val check :
   ctx -> kind:Fault.access_kind -> addr:int -> translation -> (unit, Fault.t) result
 (** Decide one access. [addr] is only used to describe the fault. *)
+
+val check_bits :
+  ctx ->
+  kind:Fault.access_kind ->
+  addr:int ->
+  user:bool -> writable:bool -> nx:bool -> pkey:int ->
+  (unit, Fault.t) result
+(** Same decision with the translation bits passed unboxed — the form the
+    CPU's TLB-hit path uses so a permitted access allocates nothing. *)

@@ -14,39 +14,100 @@ type t = {
   mutable idt : Idt.t;
   apic : Apic.t;
   obs : Obs.Emitter.t;
+  (* Cached access-check context: rebuilt only when one of its inputs
+     changed (mode, EFLAGS.AC, any CR write, any MSR write), so the TLB-hit
+     path does one record read instead of one record build per access. *)
+  mutable actx : Access.ctx;
+  mutable actx_mode : mode;
+  mutable actx_ac : bool;
+  mutable actx_cr_gen : int;
+  mutable actx_msr_gen : int;
+  (* Last-translation memo, one slot per access kind: a repeat access to
+     the same page under an unchanged TLB epoch and context skips even the
+     TLB probe and permission check (sequential scans, usercopy loops). *)
+  mutable memo_epoch : int;
+  mutable memo_r_vpn : int;
+  mutable memo_r_base : int;
+  mutable memo_w_vpn : int;
+  mutable memo_w_base : int;
+  mutable memo_x_vpn : int;
+  mutable memo_x_base : int;
 }
 
 let nregs = 16
 
 let create ?obs ~id ~mem ~clock ~timer_period () =
+  let cr = Cr.create () in
+  let msr = Msr.create () in
   {
     id;
     mem;
     clock;
     mode = Supervisor;
     regs = Array.make nregs 0L;
-    cr = Cr.create ();
-    msr = Msr.create ();
+    cr;
+    msr;
     ac = false;
     tlb = Tlb.create ();
     cet = Cet.create ();
     idt = Idt.create ();
     apic = Apic.create clock ~period:timer_period;
     obs = (match obs with Some e -> e | None -> Obs.Emitter.create ());
+    actx =
+      {
+        Access.user_mode = false;
+        wp = false;
+        smep = false;
+        smap = false;
+        pks = false;
+        ac = false;
+        pkrs = 0L;
+      };
+    actx_mode = Supervisor;
+    actx_ac = false;
+    actx_cr_gen = Cr.gen cr;
+    actx_msr_gen = Msr.gen msr;
+    memo_epoch = -1;
+    memo_r_vpn = -1;
+    memo_r_base = 0;
+    memo_w_vpn = -1;
+    memo_w_base = 0;
+    memo_x_vpn = -1;
+    memo_x_base = 0;
   }
 
 let emit t kind ~arg = Obs.Emitter.emit t.obs kind ~ts:(Cycles.now t.clock) ~arg
 
+let clear_memo t =
+  t.memo_r_vpn <- -1;
+  t.memo_w_vpn <- -1;
+  t.memo_x_vpn <- -1
+
+let rebuild_ctx t =
+  t.actx <-
+    {
+      Access.user_mode = t.mode = User;
+      wp = Cr.wp t.cr;
+      smep = Cr.smep t.cr;
+      smap = Cr.smap t.cr;
+      pks = Cr.pks t.cr;
+      ac = t.ac;
+      pkrs = Msr.read t.msr Msr.ia32_pkrs;
+    };
+  t.actx_mode <- t.mode;
+  t.actx_ac <- t.ac;
+  t.actx_cr_gen <- Cr.gen t.cr;
+  t.actx_msr_gen <- Msr.gen t.msr;
+  clear_memo t
+
 let access_ctx t =
-  {
-    Access.user_mode = t.mode = User;
-    wp = Cr.wp t.cr;
-    smep = Cr.smep t.cr;
-    smap = Cr.smap t.cr;
-    pks = Cr.pks t.cr;
-    ac = t.ac;
-    pkrs = Msr.read t.msr Msr.ia32_pkrs;
-  }
+  if
+    not
+      (t.actx_mode == t.mode && t.actx_ac = t.ac
+      && t.actx_cr_gen = Cr.gen t.cr
+      && t.actx_msr_gen = Msr.gen t.msr)
+  then rebuild_ctx t;
+  t.actx
 
 let not_present_fault t ~kind vaddr =
   let f =
@@ -62,75 +123,116 @@ let not_present_fault t ~kind vaddr =
   emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
   Fault.raise_fault f
 
+(* TLB miss: walk, set accessed/dirty as hardware does, fill. *)
+let tlb_fill t ~kind vaddr =
+  match Page_table.walk t.mem ~root_pfn:(Cr.root_pfn t.cr) vaddr with
+  | None -> not_present_fault t ~kind vaddr
+  | Some w ->
+      let updated = Pte.set_accessed w.Page_table.pte true in
+      let updated = if kind = Fault.Write then Pte.set_dirty updated true else updated in
+      if not (Int64.equal updated w.Page_table.pte) then
+        Phys_mem.write_u64 t.mem w.Page_table.pte_addr updated;
+      let packed =
+        Tlb.pack ~pfn:w.Page_table.pfn ~user:w.Page_table.user
+          ~writable:w.Page_table.writable ~nx:w.Page_table.nx
+          ~pkey:(Pte.pkey w.Page_table.pte)
+      in
+      Tlb.insert t.tlb vaddr packed;
+      emit t Obs.Trace.Tlb_fill ~arg:vaddr;
+      packed
+
 let translate t ~kind vaddr =
-  let entry =
-    match Tlb.lookup t.tlb vaddr with
-    | Some e -> e
-    | None -> (
-        match Page_table.walk t.mem ~root_pfn:(Cr.root_pfn t.cr) vaddr with
-        | None -> not_present_fault t ~kind vaddr
-        | Some w ->
-            (* Hardware sets accessed on the walk and dirty on write. *)
-            let updated = Pte.set_accessed w.Page_table.pte true in
-            let updated = if kind = Fault.Write then Pte.set_dirty updated true else updated in
-            if not (Int64.equal updated w.Page_table.pte) then
-              Phys_mem.write_u64 t.mem w.Page_table.pte_addr updated;
-            let e =
-              {
-                Tlb.pfn = w.Page_table.pfn;
-                user = w.Page_table.user;
-                writable = w.Page_table.writable;
-                nx = w.Page_table.nx;
-                pkey = Pte.pkey w.Page_table.pte;
-              }
-            in
-            Tlb.insert t.tlb vaddr e;
-            emit t Obs.Trace.Tlb_fill ~arg:vaddr;
-            e)
+  let ctx = access_ctx t in
+  let ep = Tlb.epoch t.tlb in
+  if ep <> t.memo_epoch then begin
+    t.memo_epoch <- ep;
+    clear_memo t
+  end;
+  let vpn = vaddr lsr Phys_mem.page_shift in
+  let off = vaddr land (Phys_mem.page_size - 1) in
+  let memo_vpn =
+    match kind with
+    | Fault.Read -> t.memo_r_vpn
+    | Fault.Write -> t.memo_w_vpn
+    | Fault.Execute -> t.memo_x_vpn
   in
-  let tr =
-    {
-      Access.user = entry.Tlb.user;
-      writable = entry.Tlb.writable;
-      nx = entry.Tlb.nx;
-      pkey = entry.Tlb.pkey;
-    }
-  in
-  (match Access.check (access_ctx t) ~kind ~addr:vaddr tr with
-  | Ok () -> ()
-  | Error f ->
-      emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
-      Fault.raise_fault f);
-  Phys_mem.addr_of_pfn entry.Tlb.pfn lor Phys_mem.page_offset vaddr
+  if memo_vpn = vpn then
+    (match kind with
+    | Fault.Read -> t.memo_r_base
+    | Fault.Write -> t.memo_w_base
+    | Fault.Execute -> t.memo_x_base)
+    lor off
+  else begin
+    let packed = Tlb.find t.tlb vpn in
+    let packed = if packed >= 0 then packed else tlb_fill t ~kind vaddr in
+    (match
+       Access.check_bits ctx ~kind ~addr:vaddr ~user:(Tlb.packed_user packed)
+         ~writable:(Tlb.packed_writable packed) ~nx:(Tlb.packed_nx packed)
+         ~pkey:(Tlb.packed_pkey packed)
+     with
+    | Ok () -> ()
+    | Error f ->
+        emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
+        Fault.raise_fault f);
+    let base = Tlb.packed_page_base packed in
+    (* A fill bumped the TLB epoch; restamp before memoizing. *)
+    let ep = Tlb.epoch t.tlb in
+    if ep <> t.memo_epoch then begin
+      t.memo_epoch <- ep;
+      clear_memo t
+    end;
+    (match kind with
+    | Fault.Read ->
+        t.memo_r_vpn <- vpn;
+        t.memo_r_base <- base
+    | Fault.Write ->
+        t.memo_w_vpn <- vpn;
+        t.memo_w_base <- base
+    | Fault.Execute ->
+        t.memo_x_vpn <- vpn;
+        t.memo_x_base <- base);
+    base lor off
+  end
 
 let read_u8 t vaddr = Phys_mem.read_u8 t.mem (translate t ~kind:Fault.Read vaddr)
 let write_u8 t vaddr v = Phys_mem.write_u8 t.mem (translate t ~kind:Fault.Write vaddr) v
 let read_u64 t vaddr = Phys_mem.read_u64 t.mem (translate t ~kind:Fault.Read vaddr)
 let write_u64 t vaddr v = Phys_mem.write_u64 t.mem (translate t ~kind:Fault.Write vaddr) v
 
-let read_bytes t vaddr len =
-  if len < 0 then invalid_arg "Cpu.read_bytes: negative length";
-  let out = Bytes.create len in
+(* Bulk accesses: one translation and one direct blit per touched page —
+   no intermediate buffers. *)
+
+let read_into t vaddr buf ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length buf then
+    invalid_arg "Cpu.read_into: slice out of range";
   let copied = ref 0 in
   while !copied < len do
     let va = vaddr + !copied in
     let pa = translate t ~kind:Fault.Read va in
     let chunk = min (Phys_mem.page_size - Phys_mem.page_offset va) (len - !copied) in
-    Bytes.blit (Phys_mem.read_bytes t.mem pa chunk) 0 out !copied chunk;
+    Phys_mem.blit_to t.mem pa buf ~off:(off + !copied) ~len:chunk;
     copied := !copied + chunk
-  done;
-  out
+  done
 
-let write_bytes t vaddr data =
-  let len = Bytes.length data in
+let write_from t vaddr buf ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length buf then
+    invalid_arg "Cpu.write_from: slice out of range";
   let copied = ref 0 in
   while !copied < len do
     let va = vaddr + !copied in
     let pa = translate t ~kind:Fault.Write va in
     let chunk = min (Phys_mem.page_size - Phys_mem.page_offset va) (len - !copied) in
-    Phys_mem.write_bytes t.mem pa (Bytes.sub data !copied chunk);
+    Phys_mem.blit_from t.mem pa buf ~off:(off + !copied) ~len:chunk;
     copied := !copied + chunk
   done
+
+let read_bytes t vaddr len =
+  if len < 0 then invalid_arg "Cpu.read_bytes: negative length";
+  let out = Bytes.create len in
+  read_into t vaddr out ~off:0 ~len;
+  out
+
+let write_bytes t vaddr data = write_from t vaddr data ~off:0 ~len:(Bytes.length data)
 
 let exec_check t vaddr = ignore (translate t ~kind:Fault.Execute vaddr)
 

@@ -24,6 +24,22 @@ type t = {
       (** The core's event bus. Every layer that holds (or is passed) this
           CPU publishes its privilege-relevant events here — one emitter per
           simulated machine, fresh unless injected at {!create}. *)
+  mutable actx : Access.ctx;
+      (** Cached access-check context; use {!access_ctx}, which revalidates
+          it against the mode/AC/CR/MSR state before returning it. *)
+  mutable actx_mode : mode;
+  mutable actx_ac : bool;
+  mutable actx_cr_gen : int;
+  mutable actx_msr_gen : int;
+  mutable memo_epoch : int;
+      (** Last-translation memo (one slot per access kind), valid only for
+          the TLB epoch and context it was taken under. *)
+  mutable memo_r_vpn : int;
+  mutable memo_r_base : int;
+  mutable memo_w_vpn : int;
+  mutable memo_w_base : int;
+  mutable memo_x_vpn : int;
+  mutable memo_x_base : int;
 }
 
 val nregs : int
@@ -37,7 +53,8 @@ val emit : t -> Obs.Trace.kind -> arg:int -> unit
     advances the clock. *)
 
 val access_ctx : t -> Access.ctx
-(** The live access-check context (mode, CR bits, AC, PKRS). *)
+(** The live access-check context (mode, CR bits, AC, PKRS). Cached: only
+    rebuilt when mode, EFLAGS.AC, a CR or an MSR actually changed. *)
 
 (** {2 Address translation and memory access} *)
 
@@ -52,6 +69,14 @@ val read_u64 : t -> int -> int64
 val write_u64 : t -> int -> int64 -> unit
 val read_bytes : t -> int -> int -> bytes
 val write_bytes : t -> int -> bytes -> unit
+
+val read_into : t -> int -> bytes -> off:int -> len:int -> unit
+(** [read_into t vaddr buf ~off ~len]: one translation and one blit per
+    touched page, straight into [buf] — no intermediate allocation.
+    [read_bytes] is this plus the result buffer. *)
+
+val write_from : t -> int -> bytes -> off:int -> len:int -> unit
+
 val exec_check : t -> int -> unit
 (** Instruction-fetch permission check for the page at the given address. *)
 

@@ -1,6 +1,11 @@
-type t = { mutable cr0 : int64; mutable cr3 : int64; mutable cr4 : int64 }
+type t = {
+  mutable cr0 : int64;
+  mutable cr3 : int64;
+  mutable cr4 : int64;
+  mutable gen : int; (* bumped on every mutation; backs Cpu's cached ctx *)
+}
 
-let create () = { cr0 = 0L; cr3 = 0L; cr4 = 0L }
+let create () = { cr0 = 0L; cr3 = 0L; cr4 = 0L; gen = 0 }
 
 let cr0_wp = Int64.shift_left 1L 16
 
@@ -17,11 +22,17 @@ let smap t = test t.cr4 cr4_smap
 let pks t = test t.cr4 cr4_pks
 let cet t = test t.cr4 cr4_cet
 
-let set_root t pfn = t.cr3 <- Int64.of_int (pfn lsl 12)
+let gen t = t.gen
+
+let set_root t pfn =
+  t.cr3 <- Int64.of_int (pfn lsl 12);
+  t.gen <- t.gen + 1
+
 let root_pfn t = Int64.to_int (Int64.shift_right_logical t.cr3 12)
 
 let set_bit t ~reg bit v =
   let apply r = if v then Int64.logor r bit else Int64.logand r (Int64.lognot bit) in
-  match reg with
+  (match reg with
   | `Cr0 -> t.cr0 <- apply t.cr0
-  | `Cr4 -> t.cr4 <- apply t.cr4
+  | `Cr4 -> t.cr4 <- apply t.cr4);
+  t.gen <- t.gen + 1

@@ -1,9 +1,18 @@
 (** Control registers CR0/CR3/CR4 with the protection bits Erebor manages
     (Table 2 of the paper: mov %r, %CR is a sensitive instruction). *)
 
-type t = { mutable cr0 : int64; mutable cr3 : int64; mutable cr4 : int64 }
+type t = {
+  mutable cr0 : int64;
+  mutable cr3 : int64;
+  mutable cr4 : int64;
+  mutable gen : int;
+}
 
 val create : unit -> t
+
+val gen : t -> int
+(** Mutation counter: any CR write bumps it. {!Cpu} compares it to decide
+    whether its cached access-check context is still valid. *)
 
 (** {2 CR0} *)
 

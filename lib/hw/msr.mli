@@ -25,5 +25,19 @@ val read : t -> int -> int64
 
 val write : t -> int -> int64 -> unit
 
+val pkrs_bits : t -> int
+(** IA32_PKRS as an unboxed int — the EMC gate's fast slot. *)
+
+val s_cet_bits : t -> int
+(** IA32_S_CET as an unboxed int. *)
+
+val write_pkrs_bits : t -> int -> unit
+(** Allocation-free [write t ia32_pkrs]; bumps {!gen} like any write. *)
+
+val gen : t -> int
+(** Mutation counter: any MSR write bumps it. {!Cpu} compares it to decide
+    whether its cached access-check context (which folds in IA32_PKRS) is
+    still valid. *)
+
 val snapshot : t -> (int * int64) list
 (** Non-zero MSRs, for context save and tests. *)

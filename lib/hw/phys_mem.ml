@@ -1,14 +1,21 @@
 let page_size = 4096
 let page_shift = 12
 
+(* Shared sentinel for never-written frames: a zero-length bytes. It is
+   immutable (nothing ever writes through it) so sharing one across every
+   machine — and every domain — is safe. A frame is backed iff its slot
+   holds a bytes of length [page_size]. *)
+let unbacked = Bytes.create 0
+
 type t = {
   frames : int;
-  pages : (int, bytes) Hashtbl.t; (* pfn -> backing bytes, allocated on first write *)
+  pages : bytes array; (* pfn -> backing page, [unbacked] until first write *)
+  mutable backed : int;
 }
 
 let create ~frames =
   if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
-  { frames; pages = Hashtbl.create 4096 }
+  { frames; pages = Array.make frames unbacked; backed = 0 }
 
 let frames t = t.frames
 let size_bytes t = t.frames * page_size
@@ -22,18 +29,19 @@ let check_addr t addr =
     invalid_arg (Printf.sprintf "Phys_mem: address 0x%x out of range" addr)
 
 let backing t pfn =
-  match Hashtbl.find_opt t.pages pfn with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make page_size '\000' in
-      Hashtbl.replace t.pages pfn b;
-      b
+  let b = Array.unsafe_get t.pages pfn in
+  if Bytes.length b <> 0 then b
+  else begin
+    let b = Bytes.make page_size '\000' in
+    Array.unsafe_set t.pages pfn b;
+    t.backed <- t.backed + 1;
+    b
+  end
 
 let read_u8 t addr =
   check_addr t addr;
-  match Hashtbl.find_opt t.pages (pfn_of_addr addr) with
-  | None -> 0
-  | Some b -> Char.code (Bytes.get b (page_offset addr))
+  let b = Array.unsafe_get t.pages (pfn_of_addr addr) in
+  if Bytes.length b = 0 then 0 else Char.code (Bytes.unsafe_get b (page_offset addr))
 
 let write_u8 t addr v =
   check_addr t addr;
@@ -43,9 +51,8 @@ let read_u64 t addr =
   check_addr t addr;
   if page_offset addr > page_size - 8 then
     invalid_arg "Phys_mem.read_u64: crosses page boundary";
-  match Hashtbl.find_opt t.pages (pfn_of_addr addr) with
-  | None -> 0L
-  | Some b -> Bytes.get_int64_le b (page_offset addr)
+  let b = Array.unsafe_get t.pages (pfn_of_addr addr) in
+  if Bytes.length b = 0 then 0L else Bytes.get_int64_le b (page_offset addr)
 
 let write_u64 t addr v =
   check_addr t addr;
@@ -53,39 +60,70 @@ let write_u64 t addr v =
     invalid_arg "Phys_mem.write_u64: crosses page boundary";
   Bytes.set_int64_le (backing t (pfn_of_addr addr)) (page_offset addr) v
 
-let read_bytes t addr len =
-  if len < 0 then invalid_arg "Phys_mem.read_bytes: negative length";
-  let out = Bytes.create len in
-  let copied = ref 0 in
-  while !copied < len do
-    let a = addr + !copied in
-    check_addr t a;
-    let off = page_offset a in
-    let chunk = min (page_size - off) (len - !copied) in
-    (match Hashtbl.find_opt t.pages (pfn_of_addr a) with
-    | None -> Bytes.fill out !copied chunk '\000'
-    | Some b -> Bytes.blit b off out !copied chunk);
-    copied := !copied + chunk
-  done;
-  out
+(* Bulk transfers: one blit per touched frame, no intermediate buffers. *)
 
-let write_bytes t addr data =
-  let len = Bytes.length data in
+let blit_to t addr dst ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length dst then
+    invalid_arg "Phys_mem.blit_to: slice out of range";
   let copied = ref 0 in
   while !copied < len do
     let a = addr + !copied in
     check_addr t a;
-    let off = page_offset a in
-    let chunk = min (page_size - off) (len - !copied) in
-    Bytes.blit data !copied (backing t (pfn_of_addr a)) off chunk;
+    let poff = page_offset a in
+    let chunk = min (page_size - poff) (len - !copied) in
+    let b = Array.unsafe_get t.pages (pfn_of_addr a) in
+    if Bytes.length b = 0 then Bytes.fill dst (off + !copied) chunk '\000'
+    else Bytes.blit b poff dst (off + !copied) chunk;
     copied := !copied + chunk
   done
 
+let blit_from t addr src ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Phys_mem.blit_from: slice out of range";
+  let copied = ref 0 in
+  while !copied < len do
+    let a = addr + !copied in
+    check_addr t a;
+    let poff = page_offset a in
+    let chunk = min (page_size - poff) (len - !copied) in
+    Bytes.blit src (off + !copied) (backing t (pfn_of_addr a)) poff chunk;
+    copied := !copied + chunk
+  done
+
+let copy t ~src ~dst ~len =
+  if len < 0 then invalid_arg "Phys_mem.copy: negative length";
+  let copied = ref 0 in
+  while !copied < len do
+    let sa = src + !copied and da = dst + !copied in
+    check_addr t sa;
+    check_addr t da;
+    let chunk =
+      min
+        (min (page_size - page_offset sa) (page_size - page_offset da))
+        (len - !copied)
+    in
+    let sb = Array.unsafe_get t.pages (pfn_of_addr sa) in
+    if Bytes.length sb = 0 then begin
+      (* Zero source: only materialize the destination if it already is. *)
+      let db = Array.unsafe_get t.pages (pfn_of_addr da) in
+      if Bytes.length db <> 0 then Bytes.fill db (page_offset da) chunk '\000'
+    end
+    else Bytes.blit sb (page_offset sa) (backing t (pfn_of_addr da)) (page_offset da) chunk;
+    copied := !copied + chunk
+  done
+
+let read_bytes t addr len =
+  if len < 0 then invalid_arg "Phys_mem.read_bytes: negative length";
+  let out = Bytes.create len in
+  blit_to t addr out ~off:0 ~len;
+  out
+
+let write_bytes t addr data = blit_from t addr data ~off:0 ~len:(Bytes.length data)
+
 let zero_page t pfn =
   if not (valid_pfn t pfn) then invalid_arg "Phys_mem.zero_page: bad pfn";
-  match Hashtbl.find_opt t.pages pfn with
-  | None -> ()
-  | Some b -> Bytes.fill b 0 page_size '\000'
+  let b = Array.unsafe_get t.pages pfn in
+  if Bytes.length b <> 0 then Bytes.fill b 0 page_size '\000'
 
-let page_is_backed t pfn = Hashtbl.mem t.pages pfn
-let backed_count t = Hashtbl.length t.pages
+let page_is_backed t pfn = Bytes.length (Array.get t.pages pfn) <> 0
+let backed_count t = t.backed

@@ -1,7 +1,10 @@
-(** Simulated guest-physical memory: a sparse array of 4 KiB frames with
+(** Simulated guest-physical memory: a flat array of 4 KiB frames with
     lazily-allocated backing bytes, so a multi-GiB guest costs host memory
-    only for frames that are actually touched. Reads of never-written frames
-    observe zeros, like freshly-assigned RAM. *)
+    only for frames that are actually touched (plus one word of frame index
+    per frame). Reads of never-written frames observe zeros, like
+    freshly-assigned RAM. Frame lookup is a single array access — O(1) with
+    no hashing — and bulk transfers blit page-by-page with no intermediate
+    allocation. *)
 
 val page_size : int  (** 4096. *)
 val page_shift : int (** 12. *)
@@ -31,8 +34,23 @@ val read_u64 : t -> int -> int64
 
 val write_u64 : t -> int -> int64 -> unit
 
+val blit_to : t -> int -> bytes -> off:int -> len:int -> unit
+(** [blit_to t paddr dst ~off ~len] copies physical memory into [dst] at
+    [off]; may cross page boundaries. Unbacked frames read as zeros. One
+    blit per touched frame, no intermediate allocation. *)
+
+val blit_from : t -> int -> bytes -> off:int -> len:int -> unit
+(** [blit_from t paddr src ~off ~len] copies [len] bytes of [src] starting
+    at [off] into physical memory at [paddr]. *)
+
+val copy : t -> src:int -> dst:int -> len:int -> unit
+(** Physical-to-physical copy with no staging buffer (page duplication in
+    fork, module loads). Copying from an unbacked frame zeros the
+    destination range without materializing the source. *)
+
 val read_bytes : t -> int -> int -> bytes
-(** [read_bytes t paddr len]; may cross page boundaries. *)
+(** [read_bytes t paddr len]; may cross page boundaries. Allocates only the
+    result buffer ([blit_to] underneath). *)
 
 val write_bytes : t -> int -> bytes -> unit
 

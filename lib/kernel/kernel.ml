@@ -340,8 +340,8 @@ let load_module t ~name ~code =
               let off = i * Hw.Phys_mem.page_size in
               let chunk = min Hw.Phys_mem.page_size (Bytes.length code - off) in
               if chunk > 0 then
-                Hw.Phys_mem.write_bytes t.mem (Hw.Phys_mem.addr_of_pfn pfn)
-                  (Bytes.sub code off chunk);
+                Hw.Phys_mem.blit_from t.mem (Hw.Phys_mem.addr_of_pfn pfn) code ~off
+                  ~len:chunk;
               (* Map read-only + executable: W^X for dynamic code too. *)
               Hw.Page_table.map t.mem ~write_pte:t.privops.Privops.write_pte
                 ~alloc_ptp:(alloc_ptp t) ~root_pfn:t.kernel_root ~vaddr:(base + off)
@@ -387,8 +387,8 @@ let fork_process t parent ~name =
             | Some pfn ->
                 ensure_direct_map t ~pfn;
                 let src = Hw.Phys_mem.addr_of_pfn (Hw.Pte.pfn w.Hw.Page_table.pte) in
-                Hw.Phys_mem.write_bytes t.mem (Hw.Phys_mem.addr_of_pfn pfn)
-                  (Hw.Phys_mem.read_bytes t.mem src Hw.Phys_mem.page_size);
+                Hw.Phys_mem.copy t.mem ~src ~dst:(Hw.Phys_mem.addr_of_pfn pfn)
+                  ~len:Hw.Phys_mem.page_size;
                 cost t Hw.Cycles.Cost.page_fault_base;
                 t.stats.page_faults <- t.stats.page_faults + 1;
                 emit t Obs.Trace.Page_fault ~arg:!page;

@@ -10,6 +10,7 @@ type t = {
   tdcall : Tdx.Ghci.leaf -> Tdx.Td_module.tdcall_result;
   verify_dynamic_code : section:string -> bytes -> (unit, string) result;
   copy_from_user : user_addr:int -> len:int -> bytes;
+  copy_from_user_into : user_addr:int -> buf:bytes -> off:int -> len:int -> unit;
   copy_to_user : user_addr:int -> bytes -> unit;
 }
 
@@ -57,9 +58,25 @@ let native ~cpu ~td =
         cost Hw.Cycles.Cost.stac_native;
         cost (Hw.Cycles.Cost.usercopy_per_page * max 1 (Layout.pages_of_bytes len));
         Hw.Cpu.stac cpu;
-        Fun.protect
-          ~finally:(fun () -> Hw.Cpu.clac cpu)
-          (fun () -> Hw.Cpu.read_bytes cpu user_addr len));
+        match Hw.Cpu.read_bytes cpu user_addr len with
+        | v ->
+            Hw.Cpu.clac cpu;
+            v
+        | exception e ->
+            Hw.Cpu.clac cpu;
+            raise e);
+    copy_from_user_into =
+      (fun ~user_addr ~buf ~off ~len ->
+        cost Hw.Cycles.Cost.stac_native;
+        cost (Hw.Cycles.Cost.usercopy_per_page * max 1 (Layout.pages_of_bytes len));
+        Hw.Cpu.stac cpu;
+        match Hw.Cpu.read_into cpu user_addr buf ~off ~len with
+        | v ->
+            Hw.Cpu.clac cpu;
+            v
+        | exception e ->
+            Hw.Cpu.clac cpu;
+            raise e);
     copy_to_user =
       (fun ~user_addr data ->
         cost Hw.Cycles.Cost.stac_native;
@@ -67,9 +84,13 @@ let native ~cpu ~td =
           (Hw.Cycles.Cost.usercopy_per_page
           * max 1 (Layout.pages_of_bytes (Bytes.length data)));
         Hw.Cpu.stac cpu;
-        Fun.protect
-          ~finally:(fun () -> Hw.Cpu.clac cpu)
-          (fun () -> Hw.Cpu.write_bytes cpu user_addr data));
+        match Hw.Cpu.write_bytes cpu user_addr data with
+        | v ->
+            Hw.Cpu.clac cpu;
+            v
+        | exception e ->
+            Hw.Cpu.clac cpu;
+            raise e);
   }
 
 let count_pte_writes t =

@@ -33,6 +33,12 @@ type t = {
   copy_from_user : user_addr:int -> len:int -> bytes;
       (** SMAP-aware user copy (stac/…/clac). Raises [Fault.Fault] when the
           user range is unmapped or protected. *)
+  copy_from_user_into : user_addr:int -> buf:bytes -> off:int -> len:int -> unit;
+      (** Same checks, costs and events as [copy_from_user], but lands in a
+          caller-owned buffer: the hot path for callers that drain packets
+          into a reusable scratch page. [copy_from_user] is this plus a
+          fresh buffer — and a 4 KiB buffer is a major-heap allocation, so
+          loops must prefer this form. *)
   copy_to_user : user_addr:int -> bytes -> unit;
 }
 

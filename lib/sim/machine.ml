@@ -41,6 +41,7 @@ type t = {
   proxy_buf : int;
   proxy_fd : int;
   scratch_slots : int array; (* leaf PTE addresses for packet-buffer churn *)
+  copy_scratch : bytes; (* reusable landing page for proxy packet drains *)
   counters : Obs.Counter.t;
       (* Machine-wide counter sink, attached before any component boots:
          {!snapshot} is derived entirely from this event stream. *)
@@ -128,7 +129,7 @@ let create ?obs ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256
   let proxy_fd = Kernel.Task.alloc_fd proxy "/dev/net-sink" in
   {
     setting; mem; clock; cpu; td; host; kern; monitor; mgr; proxy; proxy_buf;
-    proxy_fd; scratch_slots; counters;
+    proxy_fd; scratch_slots; copy_scratch = Bytes.create page_size; counters;
   }
 
 (* Every field below is a per-kind count from the machine's counter sink;
@@ -337,9 +338,8 @@ let host_io s ~bytes =
   for i = 0 to packets - 1 do
     interpose_syscall s;
     ignore (Kernel.syscall m.kern m.proxy Kernel.Syscall.Getpid);
-    ignore
-      (ops.Kernel.Privops.copy_from_user ~user_addr:m.proxy_buf
-         ~len:(min bytes page_size));
+    ops.Kernel.Privops.copy_from_user_into ~user_addr:m.proxy_buf
+      ~buf:m.copy_scratch ~off:0 ~len:(min bytes page_size);
     let slot = m.scratch_slots.(i) in
     ops.Kernel.Privops.write_pte ~pte_addr:slot (Hw.Phys_mem.read_u64 m.mem slot)
   done;

@@ -1,0 +1,42 @@
+(* Domain pool for fanning independent simulations across cores.
+
+   Each simulated machine is self-contained (its own Phys_mem, Cpu, Obs
+   emitter), so tasks share no mutable state; the only coordination is the
+   work-stealing index below. Results land at the same index as their input,
+   so [map ~jobs:n f a] equals [Array.map f a] element-for-element no matter
+   how the scheduler interleaves — parallel runs stay deterministic. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Task_error of exn
+
+let map ?jobs f arr =
+  let n = Array.length arr in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              ignore (Atomic.compare_and_set error None (Some e));
+              continue := false
+      done
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get error with Some e -> raise (Task_error e) | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?jobs f l = Array.to_list (map ?jobs f (Array.of_list l))

@@ -1,0 +1,20 @@
+(** Domain pool for running independent simulated machines in parallel.
+
+    Tasks must be self-contained (every simulated machine owns its physical
+    memory, CPU and event bus, so whole-machine runs qualify). Output order
+    always matches input order, and [map ~jobs] is element-for-element equal
+    to [Array.map] — parallelism never changes results, only wall-clock. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [--jobs] default. *)
+
+exception Task_error of exn
+(** A task raised; carries the first failure (remaining tasks are cut short,
+    the pool is still joined before this propagates). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] applies [f] to every element using at most [jobs]
+    domains (including the calling one). [jobs <= 1] degrades to a plain
+    sequential [Array.map] with no domain machinery. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

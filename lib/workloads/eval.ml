@@ -111,8 +111,8 @@ type lmbench_row = {
   emc_per_sec : float;
 }
 
-let fig8 () =
-  List.map
+let fig8 ?jobs () =
+  Sim.Runner.map_list ?jobs
     (fun b ->
       let ratio, native, erebor = Lmbench.overhead b in
       {
@@ -148,42 +148,54 @@ let all_programs =
     ("unicorn", Ids.spec);
   ]
 
-let fig9 () =
-  List.concat_map
-    (fun (program, spec_fn) ->
-      let runs =
-        List.map
-          (fun setting -> (setting, Sim.Machine.run_fresh ~setting (spec_fn ())))
-          Sim.Config.all
-      in
-      let native =
-        match List.assoc_opt Sim.Config.Native runs with
-        | Some r -> r
-        | None -> assert false
-      in
-      List.map
-        (fun (setting, (r : Sim.Machine.run_result)) ->
-          let pct now base = 100.0 *. ((float_of_int now /. float_of_int base) -. 1.0) in
-          let spec = spec_fn () in
-          {
-            program;
-            setting;
-            overhead_pct = pct r.Sim.Machine.run_cycles native.Sim.Machine.run_cycles;
-            init_overhead_pct = pct r.Sim.Machine.init_cycles native.Sim.Machine.init_cycles;
-            time_seconds =
-              Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
-              *. float_of_int Workload.time_scale;
-            pf_rate = Sim.Stats.pf_rate r.Sim.Machine.stats;
-            timer_rate = Sim.Stats.timer_rate r.Sim.Machine.stats;
-            ve_rate = Sim.Stats.ve_rate r.Sim.Machine.stats;
-            emc_rate = Sim.Stats.emc_rate r.Sim.Machine.stats;
-            confined_mb = spec.Sim.Machine.nominal_confined_mb;
-            common_mb =
-              (match spec.Sim.Machine.common with Some (_, _, mb) -> mb | None -> 0);
-            output_bytes = Bytes.length r.Sim.Machine.output;
-          })
-        runs)
-    all_programs
+let fig9 ?jobs () =
+  (* Every (program, setting) machine is independent: flatten to one task
+     list, fan it across the domain pool, then regroup. Row order matches
+     the sequential driver exactly (programs outer, settings inner). *)
+  let tasks =
+    List.concat_map
+      (fun (program, spec_fn) ->
+        List.map (fun setting -> (program, spec_fn, setting)) Sim.Config.all)
+      all_programs
+  in
+  let results =
+    Sim.Runner.map_list ?jobs
+      (fun (_, spec_fn, setting) -> Sim.Machine.run_fresh ~setting (spec_fn ()))
+      tasks
+  in
+  let runs =
+    List.map2 (fun (program, spec_fn, setting) r -> (program, spec_fn, setting, r)) tasks results
+  in
+  let native_of program =
+    match
+      List.find_opt (fun (p, _, s, _) -> p = program && s = Sim.Config.Native) runs
+    with
+    | Some (_, _, _, r) -> r
+    | None -> assert false
+  in
+  List.map
+    (fun (program, spec_fn, setting, (r : Sim.Machine.run_result)) ->
+      let native = native_of program in
+      let pct now base = 100.0 *. ((float_of_int now /. float_of_int base) -. 1.0) in
+      let spec = spec_fn () in
+      {
+        program;
+        setting;
+        overhead_pct = pct r.Sim.Machine.run_cycles native.Sim.Machine.run_cycles;
+        init_overhead_pct = pct r.Sim.Machine.init_cycles native.Sim.Machine.init_cycles;
+        time_seconds =
+          Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
+          *. float_of_int Workload.time_scale;
+        pf_rate = Sim.Stats.pf_rate r.Sim.Machine.stats;
+        timer_rate = Sim.Stats.timer_rate r.Sim.Machine.stats;
+        ve_rate = Sim.Stats.ve_rate r.Sim.Machine.stats;
+        emc_rate = Sim.Stats.emc_rate r.Sim.Machine.stats;
+        confined_mb = spec.Sim.Machine.nominal_confined_mb;
+        common_mb =
+          (match spec.Sim.Machine.common with Some (_, _, mb) -> mb | None -> 0);
+        output_bytes = Bytes.length r.Sim.Machine.output;
+      })
+    runs
 
 let table6 rows = List.filter (fun r -> r.setting = Sim.Config.Erebor_full) rows
 
@@ -207,27 +219,27 @@ type netserve_row = {
   relative : float;
 }
 
-let fig10 () =
-  List.concat_map
-    (fun server ->
-      List.map
-        (fun file_kb ->
-          let requests = max 2 (min 100 (2048 / file_kb)) in
-          let native =
-            Netserve.run ~setting:Sim.Config.Native server ~file_kb ~requests
-          in
-          let erebor =
-            Netserve.run ~setting:Sim.Config.Erebor_full server ~file_kb ~requests
-          in
-          {
-            server = Netserve.server_name server;
-            file_kb;
-            native_mbps = native.Netserve.mb_per_sec;
-            erebor_mbps = erebor.Netserve.mb_per_sec;
-            relative = erebor.Netserve.mb_per_sec /. native.Netserve.mb_per_sec;
-          })
-        Netserve.file_sizes_kb)
-    [ Netserve.Ssh; Netserve.Nginx ]
+let fig10 ?jobs () =
+  let tasks =
+    List.concat_map
+      (fun server -> List.map (fun file_kb -> (server, file_kb)) Netserve.file_sizes_kb)
+      [ Netserve.Ssh; Netserve.Nginx ]
+  in
+  Sim.Runner.map_list ?jobs
+    (fun (server, file_kb) ->
+      let requests = max 2 (min 100 (2048 / file_kb)) in
+      let native = Netserve.run ~setting:Sim.Config.Native server ~file_kb ~requests in
+      let erebor =
+        Netserve.run ~setting:Sim.Config.Erebor_full server ~file_kb ~requests
+      in
+      {
+        server = Netserve.server_name server;
+        file_kb;
+        native_mbps = native.Netserve.mb_per_sec;
+        erebor_mbps = erebor.Netserve.mb_per_sec;
+        relative = erebor.Netserve.mb_per_sec /. native.Netserve.mb_per_sec;
+      })
+    tasks
 
 type memshare_row = {
   sandboxes : int;
@@ -236,9 +248,13 @@ type memshare_row = {
   saving_pct : float;
 }
 
-let memshare ?(max_sandboxes = 8) () =
-  (* One machine, a growing fleet over a single model instance
-     (llama.cpp's deployment story in §9.2). *)
+(* Grow a fleet to [upto] sandboxes over a single model instance on a fresh
+   machine (llama.cpp's deployment story in §9.2), producing one accounting
+   row per fleet size. Frame counts are fully determined by the fleet size,
+   so running the loop to [n] on a fresh machine reproduces row [n] of the
+   cumulative run exactly — which is what lets the parallel mode below fan
+   one fleet size per domain without changing any number. *)
+let memshare_rows_upto upto =
   let m = Sim.Machine.create ~setting:Sim.Config.Erebor_full () in
   let mgr = Option.get (Sim.Machine.manager m) in
   let kern = Sim.Machine.kern m in
@@ -248,7 +264,7 @@ let memshare ?(max_sandboxes = 8) () =
   let page = Hw.Phys_mem.page_size in
   let confined_frames = confined_bytes / page in
   let rows = ref [] in
-  for n = 1 to max_sandboxes do
+  for n = 1 to upto do
     let sb =
       match
         Erebor.Sandbox.create_sandbox mgr ~name:(Printf.sprintf "llama-%d" n)
@@ -280,3 +296,18 @@ let memshare ?(max_sandboxes = 8) () =
       :: !rows
   done;
   List.rev !rows
+
+let memshare ?jobs ?(max_sandboxes = 8) () =
+  let parallel =
+    match jobs with Some j -> j > 1 | None -> Sim.Runner.default_jobs () > 1
+  in
+  if not parallel then memshare_rows_upto max_sandboxes
+  else
+    (* One fleet size per task, each on its own machine; keep only the
+       final row of each cumulative run. *)
+    Sim.Runner.map_list ?jobs
+      (fun n ->
+        match List.rev (memshare_rows_upto n) with
+        | last :: _ -> last
+        | [] -> assert false)
+      (List.init max_sandboxes (fun i -> i + 1))

@@ -37,7 +37,7 @@ type lmbench_row = {
   emc_per_sec : float;
 }
 
-val fig8 : unit -> lmbench_row list
+val fig8 : ?jobs:int -> unit -> lmbench_row list
 
 (** {2 Fig. 9 + Table 6 — real-world programs} *)
 
@@ -58,8 +58,10 @@ type program_row = {
 
 val all_programs : (string * (unit -> Sim.Machine.spec)) list
 
-val fig9 : unit -> program_row list
-(** Every program under every setting (25 fresh machines). *)
+val fig9 : ?jobs:int -> unit -> program_row list
+(** Every program under every setting (25 fresh machines), fanned across
+    [jobs] domains (default {!Sim.Runner.default_jobs}). Row values and
+    order are independent of [jobs]. *)
 
 val table6 : program_row list -> program_row list
 (** Filter a fig9 result down to the full-Erebor rows (Table 6's view). *)
@@ -76,7 +78,7 @@ type netserve_row = {
   relative : float;
 }
 
-val fig10 : unit -> netserve_row list
+val fig10 : ?jobs:int -> unit -> netserve_row list
 
 (** {2 §9.2 memory saving — common-memory sharing} *)
 
@@ -87,6 +89,8 @@ type memshare_row = {
   saving_pct : float;
 }
 
-val memshare : ?max_sandboxes:int -> unit -> memshare_row list
+val memshare : ?jobs:int -> ?max_sandboxes:int -> unit -> memshare_row list
 (** Grow a fleet of sandboxes over one shared model instance and account
-    real backing frames against the no-sharing replica count. *)
+    real backing frames against the no-sharing replica count. With more
+    than one job, each fleet size runs on its own fresh machine in its own
+    domain; rows are identical either way. *)

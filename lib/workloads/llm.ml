@@ -72,7 +72,9 @@ let default_corpus =
               "attestation binds the secure channel to the measured boot state";
             ])))
 
-let default_model = lazy (Model.train ~order:4 default_corpus)
+(* Eager: trained once at program start, so spawned domains share an
+   immutable model instead of racing on a lazy thunk. *)
+let default_model = Model.train ~order:4 default_corpus
 
 let profile =
   {
@@ -95,7 +97,7 @@ let profile =
 
 let real_work (ops : Sim.Machine.ops) =
   let prompt = Bytes.to_string (ops.Sim.Machine.recv_input ()) in
-  let model = Lazy.force default_model in
+  let model = default_model in
   let completion = Model.generate model ~rng:ops.Sim.Machine.rng ~prompt ~n:200 in
   ops.Sim.Machine.send_output (Bytes.of_string (prompt ^ completion))
 

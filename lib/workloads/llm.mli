@@ -16,7 +16,7 @@ module Model : sig
 end
 
 val default_corpus : string
-val default_model : Model.t Lazy.t
+val default_model : Model.t
 
 val profile : Workload.profile
 (** llama.cpp per Table 5/6: ~5 GB common model, 256 MB+ confined KV cache,

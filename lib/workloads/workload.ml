@@ -24,6 +24,15 @@ type profile = {
 let mb = 1024 * 1024
 let page_size = Hw.Phys_mem.page_size
 
+(* Duration multiplier (the bench --scale knob). Set once before any machine
+   runs — and before any domains spawn — then only read, so the plain ref is
+   domain-safe. *)
+let scale = ref 1.0
+
+let set_scale f =
+  if f <= 0.0 then invalid_arg "Workload.set_scale: scale must be positive";
+  scale := f
+
 (* Fractional event accumulator: emits whole events as the fraction
    accumulates across steps. *)
 let accumulator rate_per_step =
@@ -40,7 +49,7 @@ let to_spec p ~input ~real_work =
   let confined_pages = max 1 (confined_bytes / page_size) in
   let body (ops : Sim.Machine.ops) =
     real_work ops;
-    let sim_seconds = p.nominal_seconds /. float_of_int time_scale in
+    let sim_seconds = p.nominal_seconds *. !scale /. float_of_int time_scale in
     let steps = int_of_float (sim_seconds *. float_of_int steps_per_second) in
     let per_step rate = rate /. float_of_int steps_per_second in
     let pf = accumulator (per_step p.pf_per_sec) in

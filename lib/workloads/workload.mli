@@ -14,6 +14,12 @@ val time_scale : int  (** 8. *)
 val cycles_per_second : int
 (** 2.1e9 — the nominal core frequency. *)
 
+val set_scale : float -> unit
+(** Multiply every profile's simulated duration by this factor (default 1.0;
+    the bench harness's [--scale]). Overheads are scale-free; this only
+    trades fidelity of the rate estimates against wall-clock. Set it before
+    running machines — in particular before spawning worker domains. *)
+
 type profile = {
   name : string;
   nominal_seconds : float;      (** Table 6 "Time". *)

@@ -374,6 +374,34 @@ let test_confined_single_mapping () =
       st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr:sb_leaf2
         (Hw.Pte.make ~pfn:confined_pfn { Hw.Pte.default_flags with user = true }))
 
+let test_mmu_guard_downgrade_flushes_tlb () =
+  (* TLB staleness audit, Erebor side: an accepted Mmu_guard PTE store must
+     flush the TLB, so a downgrade takes effect on the very next access —
+     no window where a cached writable translation outlives the policy
+     decision. *)
+  let st = make_stack () in
+  let mgr = make_manager st in
+  let sb, base = make_sandbox st mgr "sb" in
+  let task = Erebor.Sandbox.main_task sb in
+  st.kern.Kernel.privops.Kernel.Privops.write_cr3 ~root_pfn:task.Kernel.Task.root_pfn;
+  (* Warm the TLB with a successful user write to a confined page. *)
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  Hw.Cpu.write_u8 st.cpu base 7;
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor;
+  (* Kernel downgrades the leaf to read-only through the monitored table. *)
+  let pte_addr =
+    Option.get (Hw.Page_table.leaf_addr st.mem ~root_pfn:task.Kernel.Task.root_pfn base)
+  in
+  let ro = Hw.Pte.set_writable (Hw.Phys_mem.read_u64 st.mem pte_addr) false in
+  st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr ro;
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  (match Hw.Cpu.read_u8 st.cpu base with
+  | v -> Alcotest.(check int) "still readable" 7 v
+  | exception Hw.Fault.Fault _ -> Alcotest.fail "downgraded page unreadable");
+  expect_fault "write after guard downgrade" (fun () -> Hw.Cpu.write_u8 st.cpu base 8)
+    (function Hw.Fault.Page_fault _ -> true | _ -> false);
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor
+
 let test_sandbox_anon_mapping_refused () =
   (* All sandbox memory must be declared: an undeclared anonymous fault is
      refused by the MMU guard. *)
@@ -764,6 +792,7 @@ let () =
         [
           Alcotest.test_case "confined basics" `Quick test_sandbox_confined_basics;
           Alcotest.test_case "single mapping" `Quick test_confined_single_mapping;
+          Alcotest.test_case "downgrade flushes tlb" `Quick test_mmu_guard_downgrade_flushes_tlb;
           Alcotest.test_case "undeclared memory refused" `Quick test_sandbox_anon_mapping_refused;
           Alcotest.test_case "common sharing" `Quick test_common_sharing;
           Alcotest.test_case "common sealed" `Quick test_common_sealed_after_data;

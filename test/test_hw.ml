@@ -49,6 +49,26 @@ let test_phys_mem_zero () =
   Phys_mem.zero_page mem 0;
   Alcotest.(check int) "zeroed" 0 (Phys_mem.read_u8 mem 0x10)
 
+let test_phys_mem_blit () =
+  let mem = Phys_mem.create ~frames:4 in
+  let data = Bytes.init 5000 (fun i -> Char.chr ((i * 7) mod 256)) in
+  (* blit_from at an offset, cross-page destination. *)
+  Phys_mem.blit_from mem 0x800 data ~off:100 ~len:3000;
+  let back = Bytes.make 3200 '\xff' in
+  Phys_mem.blit_to mem 0x800 back ~off:100 ~len:3000;
+  Alcotest.(check bytes) "blit roundtrip (offset window)"
+    (Bytes.sub data 100 3000) (Bytes.sub back 100 3000);
+  Alcotest.(check char) "bytes outside the window untouched" '\xff' (Bytes.get back 50);
+  (* copy across a page boundary, then verify via read_bytes. *)
+  Phys_mem.copy mem ~src:0x800 ~dst:0x2800 ~len:3000;
+  Alcotest.(check bytes) "copy" (Bytes.sub data 100 3000) (Phys_mem.read_bytes mem 0x2800 3000);
+  (* Zero-length operations are no-ops, not errors. *)
+  Phys_mem.blit_from mem 0x0 data ~off:0 ~len:0;
+  Phys_mem.blit_to mem 0x0 back ~off:0 ~len:0;
+  Alcotest.check_raises "oob blit"
+    (Invalid_argument "Phys_mem: address 0x4000 out of range") (fun () ->
+      Phys_mem.blit_from mem 0x3c00 data ~off:0 ~len:2000)
+
 (* ------------------------------------------------------------------ *)
 (* Pte                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -385,6 +405,51 @@ let test_cpu_tlb_behaviour () =
   ignore (Cpu.read_u8 cpu 0x30_0000);
   Alcotest.(check int) "invlpg forces a walk" (misses0 + 1) (Tlb.misses cpu.Cpu.tlb)
 
+let test_cpu_tlb_staleness_semantics () =
+  (* The TLB legally serves a cached translation until somebody flushes:
+     this is the hazard the privop tables must close (their PTE stores pair
+     with a flush — see test_kernel/test_erebor). Pin both halves here. *)
+  let cpu, mem, map, root = make_cpu () in
+  Cpu.set_cr_bit cpu ~reg:`Cr0 Cr.cr0_wp true;
+  let vaddr = 0x60_0000 in
+  map vaddr 330 Pte.default_flags;
+  Cpu.write_u8 cpu vaddr 1;
+  (* Downgrade the leaf to read-only behind the TLB's back. *)
+  let pte_addr = Option.get (Page_table.leaf_addr mem ~root_pfn:root vaddr) in
+  let ro = Pte.set_writable (Phys_mem.read_u64 mem pte_addr) false in
+  Phys_mem.write_u64 mem pte_addr ro;
+  (* Stale entry still honoured... *)
+  Cpu.write_u8 cpu vaddr 2;
+  (* ...until the flush, after which the downgrade bites. *)
+  Cpu.flush_tlb cpu;
+  ignore (Cpu.read_u8 cpu vaddr);
+  expect_fault "write after downgrade+flush" (fun () -> Cpu.write_u8 cpu vaddr 3) is_pf
+
+let test_cpu_hot_path_no_alloc () =
+  (* The TLB-hit translate/access path must not allocate: read_u8/write_u8
+     and read_into are the per-byte/per-packet hot loops of the whole
+     simulator. Warm the TLB and the permission-context memo first. *)
+  let cpu, _mem, map, _ = make_cpu () in
+  map 0x70_0000 340 Pte.default_flags;
+  let buf = Bytes.create 4096 in
+  Cpu.write_u8 cpu 0x70_0000 7;
+  ignore (Cpu.read_u8 cpu 0x70_0000);
+  Cpu.read_into cpu 0x70_0000 buf ~off:0 ~len:4096;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Cpu.read_u8 cpu 0x70_0000);
+    Cpu.write_u8 cpu 0x70_0010 5
+  done;
+  for _ = 1 to 100 do
+    Cpu.read_into cpu 0x70_0000 buf ~off:0 ~len:4096
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* Allow a few words of slack for the measurement itself; 20 200 accesses
+     must stay far below one word per operation. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hot path allocates (%.0f words)" allocated)
+    true (allocated < 256.0)
+
 let test_cpu_scrub_regs () =
   let cpu, _mem, _map, _ = make_cpu () in
   cpu.Cpu.regs.(3) <- 42L;
@@ -657,6 +722,7 @@ let () =
           Alcotest.test_case "cross page" `Quick test_phys_mem_cross_page;
           Alcotest.test_case "bounds" `Quick test_phys_mem_bounds;
           Alcotest.test_case "zero page" `Quick test_phys_mem_zero;
+          Alcotest.test_case "blit windows" `Quick test_phys_mem_blit;
         ] );
       ( "pte",
         [ Alcotest.test_case "roundtrip" `Quick test_pte_roundtrip; qt prop_pte_flags ] );
@@ -689,6 +755,8 @@ let () =
           Alcotest.test_case "privileged from user" `Quick test_cpu_privileged_from_user;
           Alcotest.test_case "pks enforcement" `Quick test_cpu_pks_enforcement;
           Alcotest.test_case "tlb behaviour" `Quick test_cpu_tlb_behaviour;
+          Alcotest.test_case "tlb staleness semantics" `Quick test_cpu_tlb_staleness_semantics;
+          Alcotest.test_case "hot path allocation-free" `Quick test_cpu_hot_path_no_alloc;
           Alcotest.test_case "scrub regs" `Quick test_cpu_scrub_regs;
         ] );
       ( "cet",

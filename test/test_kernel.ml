@@ -223,6 +223,72 @@ let test_munmap_frees () =
   | Ok () -> Alcotest.fail "double munmap succeeded"
 
 (* ------------------------------------------------------------------ *)
+(* TLB staleness audit: every PTE downgrade route must flush           *)
+(* ------------------------------------------------------------------ *)
+
+(* The Cpu's TLB happily serves stale translations until flushed (see
+   test_hw "tlb staleness semantics"). These tests pin that every privops
+   route that downgrades or removes a mapping carries its own flush, so a
+   user access can never slip through a revoked PTE. *)
+
+let expect_user_fault name cpu f =
+  cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  (match f () with
+  | _ -> cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor; Alcotest.fail (name ^ ": expected a fault")
+  | exception Hw.Fault.Fault _ -> cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor)
+
+let map_user_page k cpu task =
+  let addr = Result.get_ok (Kernel.mmap k task ~len:0x2000 ~prot:Kernel.Vma.prot_rw ~kind:Kernel.Vma.Anon) in
+  (match Kernel.populate k task ~start:addr ~len:0x2000 with Ok () -> () | Error e -> Alcotest.fail e);
+  enter_task k task;
+  (* Warm the TLB with a successful user write. *)
+  cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  Hw.Cpu.write_u8 cpu addr 1;
+  Hw.Cpu.write_u8 cpu (addr + 0x1000) 1;
+  cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor;
+  addr
+
+let downgrade_pte k task addr =
+  let pte_addr =
+    Option.get (Hw.Page_table.leaf_addr k.Kernel.mem ~root_pfn:task.Kernel.Task.root_pfn addr)
+  in
+  let ro = Hw.Pte.set_writable (Hw.Phys_mem.read_u64 k.Kernel.mem pte_addr) false in
+  (pte_addr, ro)
+
+let test_write_pte_flushes_tlb () =
+  let k, cpu, _ = make_kernel () in
+  let task = Kernel.create_task k ~name:"t" ~kind:Kernel.Task.Normal in
+  let addr = map_user_page k cpu task in
+  let pte_addr, ro = downgrade_pte k task addr in
+  k.Kernel.privops.Kernel.Privops.write_pte ~pte_addr ro;
+  (* No stale window: the very next user write must fault. *)
+  expect_user_fault "write after write_pte downgrade" cpu (fun () ->
+      Hw.Cpu.write_u8 cpu addr 2);
+  (* Reads still fine — only the write permission was revoked. *)
+  cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  ignore (Hw.Cpu.read_u8 cpu addr);
+  cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor
+
+let test_write_pte_batch_flushes_tlb () =
+  let k, cpu, _ = make_kernel () in
+  let task = Kernel.create_task k ~name:"t" ~kind:Kernel.Task.Normal in
+  let addr = map_user_page k cpu task in
+  let d0 = downgrade_pte k task addr in
+  let d1 = downgrade_pte k task (addr + 0x1000) in
+  k.Kernel.privops.Kernel.Privops.write_pte_batch [| d0; d1 |];
+  expect_user_fault "write after batch downgrade (page 0)" cpu (fun () ->
+      Hw.Cpu.write_u8 cpu addr 2);
+  expect_user_fault "write after batch downgrade (page 1)" cpu (fun () ->
+      Hw.Cpu.write_u8 cpu (addr + 0x1000) 2)
+
+let test_munmap_flushes_tlb () =
+  let k, cpu, _ = make_kernel () in
+  let task = Kernel.create_task k ~name:"t" ~kind:Kernel.Task.Normal in
+  let addr = map_user_page k cpu task in
+  (match Kernel.munmap k task ~addr with Ok () -> () | Error e -> Alcotest.fail e);
+  expect_user_fault "read after munmap" cpu (fun () -> Hw.Cpu.read_u8 cpu addr)
+
+(* ------------------------------------------------------------------ *)
 (* Syscalls                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -419,6 +485,9 @@ let () =
           Alcotest.test_case "populate pins" `Quick test_populate_pins;
           Alcotest.test_case "clone/fork" `Quick test_clone_shares_fork_copies;
           Alcotest.test_case "munmap frees" `Quick test_munmap_frees;
+          Alcotest.test_case "write_pte flushes tlb" `Quick test_write_pte_flushes_tlb;
+          Alcotest.test_case "write_pte_batch flushes tlb" `Quick test_write_pte_batch_flushes_tlb;
+          Alcotest.test_case "munmap flushes tlb" `Quick test_munmap_flushes_tlb;
         ] );
       ( "syscalls",
         [

@@ -189,6 +189,70 @@ let test_stats_diff () =
   Alcotest.(check (float 0.01)) "pf rate" 2.0 (Sim.Stats.pf_rate d);
   Alcotest.(check (float 0.01)) "zero-span rate" 0.0 (Sim.Stats.pf_rate Sim.Stats.zero)
 
+(* ------------------------------------------------------------------ *)
+(* Runner: domain-pool fan-out                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_map_order () =
+  let input = Array.init 50 Fun.id in
+  let seq = Sim.Runner.map ~jobs:1 (fun i -> i * i) input in
+  let par = Sim.Runner.map ~jobs:4 (fun i -> i * i) input in
+  Alcotest.(check (array int)) "results land at input index" seq par;
+  Alcotest.(check (list int)) "map_list" [ 1; 4; 9 ]
+    (Sim.Runner.map_list ~jobs:3 (fun i -> i * i) [ 1; 2; 3 ]);
+  Alcotest.(check (array int)) "empty input" [||] (Sim.Runner.map ~jobs:4 Fun.id [||])
+
+let test_runner_error_propagates () =
+  match
+    Sim.Runner.map ~jobs:4
+      (fun i -> if i = 7 then failwith "boom" else i)
+      (Array.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Task_error"
+  | exception Sim.Runner.Task_error (Failure msg) ->
+      Alcotest.(check string) "original exception carried" "boom" msg
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel evaluation == sequential                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The --jobs fan-out must be invisible in the results: every machine owns
+   its state, so stats, outputs and the golden event trace are identical
+   whether the settings run on one domain or eight. *)
+let test_parallel_matches_sequential () =
+  let run setting =
+    let obs = Obs.Emitter.create () in
+    let rec_ = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+    let m = Sim.Machine.create ~obs ~frames:32768 ~cma_frames:4096 ~setting () in
+    let r = Sim.Machine.run m (small_spec ~body:echo_body ()) in
+    (r.Sim.Machine.stats, Bytes.to_string r.Sim.Machine.output, Obs.Chrome.to_chrome_json rec_)
+  in
+  let settings = Array.of_list Sim.Config.all in
+  let seq = Array.map run settings in
+  let par = Sim.Runner.map ~jobs:8 run settings in
+  Array.iteri
+    (fun i setting ->
+      let name = Sim.Config.name setting in
+      let s_stats, s_out, s_trace = seq.(i) in
+      let p_stats, p_out, p_trace = par.(i) in
+      Alcotest.(check bool) (name ^ ": stats identical") true (s_stats = p_stats);
+      Alcotest.(check string) (name ^ ": output identical") s_out p_out;
+      Alcotest.(check bool) (name ^ ": golden trace identical") true
+        (String.equal s_trace p_trace))
+    settings
+
+let test_memshare_parallel_rows () =
+  let seq = Workloads.Eval.memshare ~jobs:1 ~max_sandboxes:3 () in
+  let par = Workloads.Eval.memshare ~jobs:4 ~max_sandboxes:3 () in
+  Alcotest.(check int) "row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (s : Workloads.Eval.memshare_row) (p : Workloads.Eval.memshare_row) ->
+      Alcotest.(check int) "sandboxes" s.Workloads.Eval.sandboxes p.Workloads.Eval.sandboxes;
+      Alcotest.(check int) "shared" s.Workloads.Eval.shared_frames p.Workloads.Eval.shared_frames;
+      Alcotest.(check int) "replicated" s.Workloads.Eval.replicated_frames
+        p.Workloads.Eval.replicated_frames)
+    seq par
+
 let () =
   Alcotest.run "sim"
     [
@@ -206,4 +270,11 @@ let () =
           Alcotest.test_case "common shared" `Quick test_common_shared_across_runs;
         ] );
       ("stats", [ Alcotest.test_case "diff/rates" `Quick test_stats_diff ]);
+      ( "runner",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_runner_map_order;
+          Alcotest.test_case "errors propagate" `Quick test_runner_error_propagates;
+          Alcotest.test_case "parallel == sequential" `Slow test_parallel_matches_sequential;
+          Alcotest.test_case "memshare rows jobs-independent" `Slow test_memshare_parallel_rows;
+        ] );
     ]

@@ -16,7 +16,7 @@ let test_llm_train_generate () =
   String.iter (fun c -> if not (String.contains "abc" c) then Alcotest.fail "off-alphabet") text
 
 let test_llm_deterministic_given_rng () =
-  let model = Lazy.force Workloads.Llm.default_model in
+  let model = Workloads.Llm.default_model in
   let a = Workloads.Llm.Model.generate model ~rng:(Crypto.Drbg.create ~seed:"x") ~prompt:"the " ~n:50 in
   let b = Workloads.Llm.Model.generate model ~rng:(Crypto.Drbg.create ~seed:"x") ~prompt:"the " ~n:50 in
   Alcotest.(check string) "deterministic" a b
