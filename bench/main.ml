@@ -7,11 +7,15 @@
      bench/main.exe                 # everything (same as "all")
      bench/main.exe table3|table4|fig8|fig9|table6|fig10|memshare|tables-qual
      bench/main.exe smoke           # table3+table4 only (the @ci quick gate)
+     bench/main.exe attrib          # per-domain/per-phase cycle attribution
+     bench/main.exe check           # regression gate vs committed BENCH_sim.json
      bench/main.exe bechamel        # wall-clock microbenchmarks
    Flags (anywhere on the line):
-     --jobs N    domain-pool width for machine fan-out
-                 (default: Domain.recommended_domain_count)
-     --scale F   multiply simulated workload durations by F (default 1.0)  *)
+     --jobs N         domain-pool width for machine fan-out
+                      (default: Domain.recommended_domain_count)
+     --scale F        multiply simulated workload durations by F (default 1.0)
+     --baseline PATH  baseline file for "check" (default BENCH_sim.json)
+     --full           "check" also compares every Fig. 9 row  *)
 
 (* Parsed flags; set once in the driver before any experiment runs. *)
 let jobs_arg : int option ref = ref None
@@ -384,6 +388,66 @@ let print_emchist () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Cycle attribution (observability subsystem)                         *)
+(* ------------------------------------------------------------------ *)
+
+let print_attrib () =
+  header
+    "Cycle attribution: domain x phase decomposition (every Fig. 9 program x setting)";
+  let rows = Workloads.Eval.attrib ?jobs:!jobs_arg () in
+  List.iter
+    (fun (r : Workloads.Eval.attrib_row) ->
+      let total = float_of_int r.total_cycles in
+      Printf.printf "\n%s @ %s  (%d cycles)\n" r.aprogram
+        (Sim.Config.name r.asetting) r.total_cycles;
+      let attributed = ref 0 in
+      List.iter
+        (fun (domain, phase, cycles) ->
+          attributed := !attributed + cycles;
+          Printf.printf "  %-8s %-10s %14d  %6.2f%%\n" domain phase cycles
+            (100.0 *. float_of_int cycles /. total))
+        r.contexts;
+      Printf.printf "  %-8s %-10s %14d  %6.2f%%\n" "-" "(outside)"
+        r.unattributed_cycles
+        (100.0 *. float_of_int r.unattributed_cycles /. total);
+      if !attributed + r.unattributed_cycles <> r.total_cycles then begin
+        Printf.printf "  CONSERVATION VIOLATED: %d attributed + %d outside <> %d total\n"
+          !attributed r.unattributed_cycles r.total_cycles;
+        exit 1
+      end)
+    rows;
+  Printf.printf
+    "\n(every row's contexts + (outside) sum exactly to its total — checked)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate against the committed BENCH_sim.json                *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_arg = ref "BENCH_sim.json"
+let full_arg = ref false
+
+let run_check () =
+  header (Printf.sprintf "Regression gate: current build vs %s" !baseline_arg);
+  match
+    Workloads.Bench_gate.check_file ~fig9:!full_arg ?jobs:!jobs_arg
+      ~path:!baseline_arg ()
+  with
+  | Error e ->
+      Printf.eprintf "bench check: %s\n" e;
+      exit 1
+  | Ok verdict ->
+      let fails = Workloads.Bench_gate.failures verdict in
+      if fails = [] then
+        Printf.printf "PASS: %d checks (anchors exact, wall/GC within tolerance)\n"
+          (List.length verdict)
+      else begin
+        Format.printf "%a" Workloads.Bench_gate.pp_verdict fails;
+        Printf.printf "FAIL: %d of %d checks failed against %s\n"
+          (List.length fails) (List.length verdict) !baseline_arg;
+        exit 1
+      end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_sim.json — machine-readable run record for regression diffing *)
 (* ------------------------------------------------------------------ *)
 
@@ -518,8 +582,8 @@ let smoke () =
 
 let usage =
   "usage: main.exe \
-   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|emchist|bechamel]\n\
-  \       [--jobs N] [--scale F]\n"
+   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|emchist|attrib|check|bechamel]\n\
+  \       [--jobs N] [--scale F] [--baseline PATH] [--full]\n"
 
 let () =
   let target = ref None in
@@ -545,6 +609,11 @@ let () =
             scale_arg := f;
             Workloads.Workload.set_scale f
         | _ -> bad "--scale: positive number expected")
+    | "--baseline" ->
+        incr i;
+        if !i >= argc then bad "--baseline needs an argument";
+        baseline_arg := Sys.argv.(!i)
+    | "--full" -> full_arg := true
     | s when String.length s > 0 && s.[0] = '-' ->
         bad (Printf.sprintf "unknown flag %S" s)
     | s -> (
@@ -566,5 +635,7 @@ let () =
   | "ablations" -> print_ablations ()
   | "tables-qual" -> print_tables_qual ()
   | "emchist" -> print_emchist ()
+  | "attrib" -> print_attrib ()
+  | "check" -> run_check ()
   | "bechamel" -> run_bechamel ()
   | other -> bad (Printf.sprintf "unknown experiment %S" other)

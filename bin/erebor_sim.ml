@@ -73,23 +73,66 @@ let run_cmd =
             "Record every trace event (boot included) and write a \
              Chrome-trace JSON file loadable in chrome://tracing / Perfetto.")
   in
-  let run (name, spec_fn) setting trace =
-    match trace with
-    | None -> print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
-    | Some path ->
-        let obs = Obs.Emitter.create () in
-        let recorder = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
-        let m = Sim.Machine.create ~obs ~setting () in
-        let r = Sim.Machine.run m (spec_fn ()) in
-        let oc = open_out path in
-        output_string oc (Obs.Chrome.to_chrome_json recorder);
-        close_out oc;
-        print_run name setting r;
-        Printf.printf "trace    : %d events -> %s\n" (Obs.Chrome.length recorder) path
+  let debug =
+    Arg.(
+      value & flag
+      & info [ "debug" ]
+          ~doc:
+            "Keep a ring buffer of the most recent trace events and dump it \
+             to stderr post mortem when the run dies on an unexpected fault \
+             or the sandbox is killed.")
+  in
+  let run (name, spec_fn) setting trace debug =
+    if trace = None && not debug then
+      print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
+    else begin
+      let obs = Obs.Emitter.create () in
+      let recorder =
+        if trace = None then None
+        else Some (Obs.Chrome.attach obs (Obs.Chrome.create ()))
+      in
+      let ring =
+        if debug then Some (Obs.Ring.attach obs (Obs.Ring.create ~capacity:512))
+        else None
+      in
+      let m = Sim.Machine.create ~obs ~setting () in
+      let dump_ring reason =
+        match ring with
+        | None -> ()
+        | Some ring ->
+            Printf.eprintf "post-mortem (%s): last %d trace events (%d older dropped):\n"
+              reason (Obs.Ring.length ring) (Obs.Ring.dropped ring);
+            List.iter
+              (fun e -> Format.eprintf "  %a@." Obs.Trace.pp_event e)
+              (Obs.Ring.to_list ring)
+      in
+      let write_trace () =
+        match (trace, recorder) with
+        | Some path, Some recorder ->
+            let oc = open_out path in
+            output_string oc (Obs.Chrome.to_chrome_json recorder);
+            close_out oc;
+            Printf.printf "trace    : %d events -> %s\n"
+              (Obs.Chrome.length recorder) path
+        | _ -> ()
+      in
+      match Sim.Machine.run m (spec_fn ()) with
+      | r ->
+          print_run name setting r;
+          write_trace ();
+          (match r.Sim.Machine.killed with
+          | Some reason when debug -> dump_ring ("sandbox killed: " ^ reason)
+          | _ -> ())
+      | exception e ->
+          dump_ring (Printexc.to_string e);
+          write_trace ();
+          Printf.eprintf "run aborted: %s\n" (Printexc.to_string e);
+          exit 2
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one setting and print its results")
-    Term.(const run $ workload $ setting $ trace)
+    Term.(const run $ workload $ setting $ trace $ debug)
 
 let profile_cmd =
   let workload =
@@ -104,12 +147,33 @@ let profile_cmd =
       & opt setting_conv Sim.Config.Erebor_full
       & info [ "s"; "setting" ] ~docv:"SETTING" ~doc:"Evaluation setting.")
   in
-  let profile (name, spec_fn) setting =
+  let flame =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Write the cycle-attribution context tree as a collapsed-stack \
+             file (flamegraph.pl / speedscope / inferno input).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write counters, latency histograms and cycle attribution as \
+             Prometheus text exposition (or JSON when FILE ends in .json).")
+  in
+  let profile (name, spec_fn) setting flame metrics =
     let obs = Obs.Emitter.create () in
     let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
+    let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+    let attrib = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
     let m = Sim.Machine.create ~obs ~setting () in
     let r = Sim.Machine.run m (spec_fn ()) in
     let total = Hw.Cycles.now (Sim.Machine.clock m) in
+    Obs.Attrib.close attrib ~now:total;
     Printf.printf "profile  : %s under %s (%d virtual cycles total)\n" name
       (Sim.Config.name setting) total;
     Printf.printf "  %-16s %10s %14s\n" "kind" "count" "cycles";
@@ -139,14 +203,55 @@ let profile_cmd =
                 Printf.printf "  %-16s %10d %14d\n" (Obs.Trace.name kind) n cycles
             | None -> Printf.printf "  %-16s %10d %14s\n" (Obs.Trace.name kind) n "-"))
       Obs.Trace.all;
+    (* Exact span-based decomposition: every virtual cycle lands in exactly
+       one domain x phase context (or "outside" for pre/post-span glue). *)
+    Printf.printf "attribution (domain x phase, sums exactly to total):\n";
+    Printf.printf "  %-8s %-10s %14s %8s\n" "domain" "phase" "cycles" "share";
+    List.iter
+      (fun (d, p, cycles) ->
+        Printf.printf "  %-8s %-10s %14d %7.2f%%\n" (Obs.Trace.domain_name d)
+          (Obs.Trace.phase_name p) cycles
+          (100.0 *. float_of_int cycles /. float_of_int total))
+      (Obs.Attrib.breakdown attrib);
+    Printf.printf "  %-8s %-10s %14d %7.2f%%\n" "-" "(outside)"
+      (Obs.Attrib.unattributed attrib)
+      (100.0
+      *. float_of_int (Obs.Attrib.unattributed attrib)
+      /. float_of_int total);
+    (match flame with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Flame.collapsed attrib);
+        close_out oc;
+        Printf.printf "flame    : collapsed stacks -> %s\n" path);
+    (match metrics with
+    | None -> ()
+    | Some path ->
+        let reg = Obs.Metrics.create () in
+        Obs.Metrics.add reg ~label:name ~counter:counters ~histogram:hist
+          ~attrib ();
+        let rendered =
+          if Filename.check_suffix path ".json" then Obs.Metrics.to_json reg
+          else Obs.Metrics.to_prometheus reg
+        in
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Printf.printf "metrics  : %s -> %s\n"
+          (if Filename.check_suffix path ".json" then "JSON" else "Prometheus")
+          path);
     match r.Sim.Machine.killed with
     | Some reason -> Printf.printf "KILLED   : %s\n" reason
     | None -> ()
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Run one workload and print per-event-kind counts and cycle attribution")
-    Term.(const profile $ workload $ setting)
+       ~doc:
+         "Run one workload and print per-event-kind counts plus the exact \
+          domain x phase cycle decomposition; optionally export a flamegraph \
+          and Prometheus/JSON metrics")
+    Term.(const profile $ workload $ setting $ flame $ metrics)
 
 let compare_cmd =
   let workload =

@@ -167,6 +167,14 @@ module Server = struct
            wire-payload size in bytes. *)
   }
 
+  (* Attribution span markers around the crypto work. The channel's own
+     computation is host-real (no virtual cost of its own), but the spans
+     scope the decrypt/seal cycle charges the machine layer adds and make
+     handshake crypto visible in traces — e.g. the tdreport EMC inside
+     [accept] shows up nested under [crypto]. *)
+  let crypto_begin = Obs.Trace.span_begin Obs.Trace.Channel_crypto
+  let crypto_end = Obs.Trace.span_end Obs.Trace.Channel_crypto
+
   let accept ~monitor ~rng ~client_hello =
     let emit kind ~arg =
       Obs.Emitter.emit (Monitor.obs monitor) kind ~ts:(Monitor.now monitor) ~arg
@@ -174,35 +182,49 @@ module Server = struct
     emit Obs.Trace.Channel_recv ~arg:(Bytes.length client_hello);
     if Bytes.length client_hello <> 192 then Error "client hello: bad size"
     else begin
-      let keypair = Crypto.Dh.generate rng in
-      let server_pub = Crypto.Dh.public_bytes keypair in
-      match Crypto.Dh.shared_secret keypair ~peer_public:client_hello with
-      | None -> Error "handshake: degenerate client public value"
-      | Some secret ->
-          let binding = transcript_hash ~client_pub:client_hello ~server_pub in
-          (* Only the monitor can execute this tdcall (C5). *)
-          let report = Monitor.tdreport monitor ~report_data:binding in
-          let c2s, s2c = derive_keys ~secret in
-          let hello = Bytes.cat server_pub (serialize_report report) in
-          emit Obs.Trace.Channel_send ~arg:(Bytes.length hello);
-          Ok ({ rng; c2s; s2c; emit }, hello)
+      emit crypto_begin ~arg:0;
+      let result =
+        let keypair = Crypto.Dh.generate rng in
+        let server_pub = Crypto.Dh.public_bytes keypair in
+        match Crypto.Dh.shared_secret keypair ~peer_public:client_hello with
+        | None -> Error "handshake: degenerate client public value"
+        | Some secret ->
+            let binding = transcript_hash ~client_pub:client_hello ~server_pub in
+            (* Only the monitor can execute this tdcall (C5). *)
+            let report = Monitor.tdreport monitor ~report_data:binding in
+            let c2s, s2c = derive_keys ~secret in
+            let hello = Bytes.cat server_pub (serialize_report report) in
+            Ok ({ rng; c2s; s2c; emit }, hello)
+      in
+      emit crypto_end ~arg:0;
+      (match result with
+      | Ok (_, hello) -> emit Obs.Trace.Channel_send ~arg:(Bytes.length hello)
+      | Error _ -> ());
+      result
     end
 
   let open_request t wire_bytes =
     t.emit Obs.Trace.Channel_recv ~arg:(Bytes.length wire_bytes);
-    match decode_sealed wire_bytes with
-    | Error e -> Error e
-    | Ok sealed -> (
-        match Crypto.Aead.open_ ~key:t.c2s ~ad:(Bytes.of_string "c2s") sealed with
-        | None -> Error "request authentication failed"
-        | Some data -> Ok data)
+    t.emit crypto_begin ~arg:0;
+    let result =
+      match decode_sealed wire_bytes with
+      | Error e -> Error e
+      | Ok sealed -> (
+          match Crypto.Aead.open_ ~key:t.c2s ~ad:(Bytes.of_string "c2s") sealed with
+          | None -> Error "request authentication failed"
+          | Some data -> Ok data)
+    in
+    t.emit crypto_end ~arg:0;
+    result
 
   let seal_response t ~bucket data =
+    t.emit crypto_begin ~arg:0;
     let out =
       encode_sealed
         (Crypto.Aead.seal ~key:t.s2c ~nonce:(fresh_nonce t.rng) ~ad:(Bytes.of_string "s2c")
            (pad_to_bucket ~bucket data))
     in
+    t.emit crypto_end ~arg:0;
     t.emit Obs.Trace.Channel_send ~arg:(Bytes.length out);
     out
 end

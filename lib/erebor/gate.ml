@@ -75,6 +75,9 @@ let revoked_value t =
   | Pks -> Int64.to_int Policy.normal_mode_pkrs
   | Write_protect -> 1
 
+let gate_span_begin = Obs.Trace.span_begin Obs.Trace.Emc_gate
+let gate_span_end = Obs.Trace.span_end Obs.Trace.Emc_gate
+
 let enter t ~target f =
   if t.depth > 0 then f () (* already in monitor context *)
   else begin
@@ -86,6 +89,9 @@ let enter t ~target f =
          (Hw.Fault.Control_protection
             (Printf.sprintf "indirect branch to 0x%x: no endbr64" target)));
     let t0 = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+    (* The gate span covers the whole round trip; service-body spans nest
+       inside it, so attribution splits gate overhead from service work. *)
+    Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_begin ~ts:t0 ~arg:0;
     Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
     t.emc_count <- t.emc_count + 1;
     let caller_grant = read_grant t in
@@ -94,10 +100,12 @@ let enter t ~target f =
     let finish () =
       t.depth <- 0;
       load_grant t caller_grant;
+      let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+      Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
       (* One event per outermost monitor-context entry: ts is the entry
          time, arg the full round-trip latency in cycles. *)
       Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
-        ~arg:(Hw.Cycles.now t.cpu.Hw.Cpu.clock - t0)
+        ~arg:(now - t0)
     in
     match f () with
     | v ->

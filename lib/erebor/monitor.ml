@@ -115,15 +115,39 @@ let monitor_owned_msrs =
 
 let fail msg = raise (Policy_violation msg)
 
-(* Run one EMC service routine, publishing an [Emc kind] event whose
-   timestamp is the service start and whose argument is the cycles the
-   service charged (clock delta). Emitted even when policy rejects the
-   request, so counts match the pre-refactor per-kind statistics. *)
-let serviced t kind f =
-  let t0 = Hw.Cycles.now (clock t) in
+(* Open an attribution span around [f]; the begin/end pair is emitted at
+   the current clock (never advancing it), so the Attrib sink can charge
+   the enclosed cycles to [phase]. *)
+let spanned t phase f =
+  let obs = t.cpu.Hw.Cpu.obs in
+  Obs.Emitter.emit obs (Obs.Trace.span_begin phase) ~ts:(now t) ~arg:0;
   let finish () =
-    Obs.Emitter.emit t.cpu.Hw.Cpu.obs kind ~ts:t0
-      ~arg:(Hw.Cycles.now (clock t) - t0)
+    Obs.Emitter.emit obs (Obs.Trace.span_end phase) ~ts:(now t) ~arg:0
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+(* Run one EMC service routine for privop kind [ek]: the body executes
+   inside the matching [Svc_*] attribution span, and an [Emc ek] event is
+   published whose timestamp is the service start and whose argument is the
+   cycles the service charged (clock delta). Emitted even when policy
+   rejects the request, so counts match the pre-refactor per-kind
+   statistics. *)
+let serviced t ek f =
+  let obs = t.cpu.Hw.Cpu.obs in
+  let t0 = Hw.Cycles.now (clock t) in
+  Obs.Emitter.emit obs (Obs.Trace.span_begin (Obs.Trace.gate_phase ek)) ~ts:t0
+    ~arg:0;
+  let finish () =
+    let now = Hw.Cycles.now (clock t) in
+    Obs.Emitter.emit obs (Obs.Trace.span_end (Obs.Trace.gate_phase ek)) ~ts:now
+      ~arg:0;
+    Obs.Emitter.emit obs (Obs.Trace.emc_event ek) ~ts:t0 ~arg:(now - t0)
   in
   match f () with
   | v ->
@@ -140,7 +164,7 @@ let privops t =
     write_pte =
       (fun ~pte_addr pte ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_mmu (fun () ->
+            serviced t Obs.Trace.Mmu (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_mmu;
                 match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
                 | Ok () -> ()
@@ -152,7 +176,7 @@ let privops t =
         Gate.call g (fun () ->
             Array.iter
               (fun (pte_addr, pte) ->
-                serviced t Obs.Trace.emc_mmu (fun () ->
+                serviced t Obs.Trace.Mmu (fun () ->
                     cost t Hw.Cycles.Cost.emc_service_mmu;
                     match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
                     | Ok () -> ()
@@ -161,7 +185,7 @@ let privops t =
     set_cr_bit =
       (fun ~reg bit v ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_cr (fun () ->
+            serviced t Obs.Trace.Cr (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_cr;
                 let pinned =
                   List.exists (fun (r, b) -> r = reg && Int64.equal b bit) pinned_cr_bits
@@ -171,7 +195,7 @@ let privops t =
     write_cr3 =
       (fun ~root_pfn ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_cr (fun () ->
+            serviced t Obs.Trace.Cr (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_cr;
                 match Mmu_guard.register_root t.guard ~root_pfn with
                 | Ok () -> Hw.Cpu.write_cr3 t.cpu ~root_pfn
@@ -179,7 +203,7 @@ let privops t =
     declare_root =
       (fun ~root_pfn ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_mmu (fun () ->
+            serviced t Obs.Trace.Mmu (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_mmu;
                 match Mmu_guard.register_root t.guard ~root_pfn with
                 | Ok () -> ()
@@ -187,7 +211,7 @@ let privops t =
     write_msr =
       (fun idx v ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_msr (fun () ->
+            serviced t Obs.Trace.Msr (fun () ->
             cost t Hw.Cycles.Cost.emc_service_msr;
             if List.mem idx monitor_owned_msrs then
               fail "msr: register is monitor-owned"
@@ -201,7 +225,7 @@ let privops t =
     lidt =
       (fun idt ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_idt (fun () ->
+            serviced t Obs.Trace.Idt (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_idt;
                 (* The kernel's table is recorded; the installed table is the
                    monitor's wrapped copy (exit interposition, §6.2). *)
@@ -210,7 +234,7 @@ let privops t =
     tdcall =
       (fun leaf ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_ghci (fun () ->
+            serviced t Obs.Trace.Ghci (fun () ->
                 cost t
                   (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
                 match leaf with
@@ -227,7 +251,7 @@ let privops t =
     verify_dynamic_code =
       (fun ~section code ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_mmu (fun () ->
+            serviced t Obs.Trace.Mmu (fun () ->
                 cost t (Hw.Cycles.Cost.emc_service_mmu + Bytes.length code);
                 match Scan.verify_bytes ~section code with
                 | Ok () -> Ok ()
@@ -237,7 +261,7 @@ let privops t =
     copy_from_user =
       (fun ~user_addr ~len ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_smap (fun () ->
+            serviced t Obs.Trace.Smap (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_smap;
                 cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
                 (match t.usercopy_veto () with
@@ -254,7 +278,7 @@ let privops t =
     copy_from_user_into =
       (fun ~user_addr ~buf ~off ~len ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_smap (fun () ->
+            serviced t Obs.Trace.Smap (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_smap;
                 cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
                 (match t.usercopy_veto () with
@@ -271,7 +295,7 @@ let privops t =
     copy_to_user =
       (fun ~user_addr data ->
         Gate.call g (fun () ->
-            serviced t Obs.Trace.emc_smap (fun () ->
+            serviced t Obs.Trace.Smap (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_smap;
                 cost t
                   (Hw.Cycles.Cost.usercopy_per_page
@@ -343,9 +367,10 @@ let boot_kernel t ~kernel_image ~reserved_frames ~cma_frames =
 let tdreport t ~report_data =
   match
     Gate.call t.gate (fun () ->
-        Hw.Cycles.advance (clock t)
-          (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
-        Tdx.Td_module.tdcall t.td t.cpu (Tdx.Ghci.Tdreport { report_data }))
+        spanned t Obs.Trace.Svc_ghci (fun () ->
+            Hw.Cycles.advance (clock t)
+              (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
+            Tdx.Td_module.tdcall t.td t.cpu (Tdx.Ghci.Tdreport { report_data })))
   with
   | Tdx.Td_module.Ok_report r -> r
   | Tdx.Td_module.Ok_int _ | Tdx.Td_module.Ok_bytes _ | Tdx.Td_module.Ok_unit ->
@@ -375,6 +400,6 @@ let prepare_sandbox_entry t =
   Gate.call t.gate (fun () -> Hw.Cpu.write_msr t.cpu Hw.Msr.ia32_uintr_tt 0L)
 
 let interpose_user_exit t f =
-  Hw.Cycles.advance (clock t) Hw.Cycles.Cost.monitor_exit_inspect;
-  ignore t;
+  spanned t Obs.Trace.Exit_interpose (fun () ->
+      Hw.Cycles.advance (clock t) Hw.Cycles.Cost.monitor_exit_inspect);
   f ()

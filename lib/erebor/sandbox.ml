@@ -52,6 +52,13 @@ let guard mgr = Monitor.guard mgr.monitor
 (* Sandbox lifecycle events carry the sandbox id as argument. *)
 let emit mgr kind ~arg = Hw.Cpu.emit mgr.kern.Kernel.cpu kind ~arg
 
+(* Attribute a monitor-interposition cycle charge: the [Exit_interpose]
+   span boundaries are emitted at the current clock around the advance. *)
+let interpose_charge mgr cycles =
+  emit mgr (Obs.Trace.span_begin Obs.Trace.Exit_interpose) ~arg:0;
+  Hw.Cycles.advance mgr.kern.Kernel.clock cycles;
+  emit mgr (Obs.Trace.span_end Obs.Trace.Exit_interpose) ~arg:0
+
 let page_size = Hw.Phys_mem.page_size
 
 (* Fault-frame provider: serve confined pages from the pinned contiguous
@@ -325,7 +332,7 @@ let mitigation_stats mgr =
 
 let handle_syscall mgr sb call =
   apply_exit_mitigations mgr;
-  Hw.Cycles.advance mgr.kern.Kernel.clock Hw.Cycles.Cost.monitor_exit_inspect;
+  interpose_charge mgr Hw.Cycles.Cost.monitor_exit_inspect;
   match sb.phase with
   | Initializing -> Kernel.syscall mgr.kern sb.main_task call
   | Terminated -> Kernel.Syscall.Rerr "sandbox terminated"
@@ -353,7 +360,7 @@ let handle_syscall mgr sb call =
 let handle_interrupt mgr sb f =
   apply_exit_mitigations mgr;
   sb.timer_count <- sb.timer_count + 1;
-  Hw.Cycles.advance mgr.kern.Kernel.clock Hw.Cycles.Cost.monitor_state_mask;
+  interpose_charge mgr Hw.Cycles.Cost.monitor_state_mask;
   let cpu = mgr.kern.Kernel.cpu in
   let saved = Hw.Cpu.snapshot_regs cpu in
   Hw.Cpu.scrub_regs cpu;

@@ -43,6 +43,19 @@ let cost t c = Hw.Cycles.advance t.clock c
    advances the virtual clock. *)
 let emit t kind ~arg = Hw.Cpu.emit t.cpu kind ~arg
 
+(* Attribution span around one handler body: the boundary events carry the
+   current clock value, so the Attrib sink charges the enclosed cycles to
+   [phase] (privops called inside nest their own monitor-side spans). *)
+let span t phase f =
+  emit t (Obs.Trace.span_begin phase) ~arg:0;
+  match f () with
+  | v ->
+      emit t (Obs.Trace.span_end phase) ~arg:0;
+      v
+  | exception e ->
+      emit t (Obs.Trace.span_end phase) ~arg:0;
+      raise e
+
 let alloc_ptp t () =
   match Alloc.alloc_zeroed t.frame_alloc t.mem with
   | Some pfn -> pfn
@@ -173,6 +186,7 @@ let allocator_for t kind =
   match kind with Vma.Confined -> t.cma | Vma.Anon | Vma.Stack | Vma.File _ | Vma.Common -> t.frame_alloc
 
 let handle_page_fault t task ~addr ~kind =
+  span t Obs.Trace.Pf_handler @@ fun () ->
   cost t Hw.Cycles.Cost.page_fault_base;
   t.stats.page_faults <- t.stats.page_faults + 1;
   emit t Obs.Trace.Page_fault ~arg:addr;
@@ -296,7 +310,8 @@ let populate_batched t task ~first ~last =
 let populate t task ~start ~len =
   let first = Layout.page_align_down start in
   let last = Layout.page_align_up (start + len) in
-  if t.mmu_batching then populate_batched t task ~first ~last
+  if t.mmu_batching then
+    span t Obs.Trace.Pf_handler (fun () -> populate_batched t task ~first ~last)
   else begin
     let rec go page =
       if page >= last then Ok ()
@@ -427,6 +442,7 @@ let munmap t task ~addr =
       Ok ()
 
 let context_switch t ~prev ~next =
+  span t Obs.Trace.Scheduler @@ fun () ->
   cost t Hw.Cycles.Cost.context_switch;
   (match prev with
   | Some p -> p.Task.saved_regs <- Some (Hw.Cpu.snapshot_regs t.cpu)
@@ -437,6 +453,7 @@ let context_switch t ~prev ~next =
   t.privops.Privops.write_cr3 ~root_pfn:next.Task.root_pfn
 
 let timer_interrupt t =
+  span t Obs.Trace.Timer_handler @@ fun () ->
   cost t Hw.Cycles.Cost.interrupt_delivery;
   t.stats.timer_irqs <- t.stats.timer_irqs + 1;
   emit t Obs.Trace.Timer_irq ~arg:0;
@@ -447,6 +464,7 @@ let note_ve_exit t =
   emit t Obs.Trace.Ve_exit ~arg:0
 
 let cpuid t _task ~leaf =
+  span t Obs.Trace.Ve_handler @@ fun () ->
   cost t Hw.Cycles.Cost.ve_handling;
   t.stats.ve_exits <- t.stats.ve_exits + 1;
   emit t Obs.Trace.Ve_exit ~arg:leaf;
@@ -479,6 +497,7 @@ let brk _t task ~new_brk =
   end
 
 let syscall t task call =
+  span t Obs.Trace.Syscall_dispatch @@ fun () ->
   cost t Hw.Cycles.Cost.syscall_roundtrip;
   t.stats.syscalls <- t.stats.syscalls + 1;
   emit t Obs.Trace.Syscall ~arg:(Syscall.code call);

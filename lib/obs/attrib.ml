@@ -1,0 +1,152 @@
+(* Cycle-attribution sink.
+
+   Maintains the open-span stack and charges every advance of the virtual
+   clock — observed as the timestamp delta between consecutive span
+   boundary events — to the innermost open (domain x phase) context. The
+   result is a calling-context tree over phases whose self-cycles sum
+   exactly to the total virtual cycles once {!close} is called: the hard
+   conservation invariant the profiler's reports rely on.
+
+   Only [Span_begin]/[Span_end] move the needle. Other kinds are ignored
+   on purpose: several of them (EMC completion events in particular) carry
+   *past* timestamps — the gate emits at entry time after the service body
+   ran — so the general event stream is not monotonic, but span boundaries
+   are emitted at the current clock and arrive in stream order.
+
+   Two structural rules keep the tree small and the reports readable:
+   - A begin for the same phase as the innermost open node re-enters that
+     node instead of nesting (the simulator's layers often both open e.g.
+     [Pf_handler] for one logical fault); the matching end pops back out.
+   - Cycles observed while no span is open accrue to the root node and are
+     reported as unattributed (pre-boot glue, post-run teardown). *)
+
+type node = {
+  phase : int; (* Trace.phase_index, or -1 at the root *)
+  mutable self : int; (* cycles charged directly to this context *)
+  kids : node option array; (* length n_phases, filled lazily *)
+}
+
+type t = {
+  root : node;
+  mutable stack : node array; (* stack.(0) = root; stack.(depth) = innermost *)
+  mutable depth : int;
+  mutable last_ts : int;
+}
+
+let fresh_node phase = { phase; self = 0; kids = Array.make Trace.n_phases None }
+
+let create () =
+  let root = fresh_node (-1) in
+  { root; stack = Array.make 16 root; depth = 0; last_ts = 0 }
+
+(* Charge the elapsed virtual time to the innermost open context. *)
+let charge t ts =
+  let top = t.stack.(t.depth) in
+  top.self <- top.self + (ts - t.last_ts);
+  t.last_ts <- ts
+
+let push t node =
+  let d = t.depth + 1 in
+  if d >= Array.length t.stack then begin
+    let bigger = Array.make (2 * Array.length t.stack) t.root in
+    Array.blit t.stack 0 bigger 0 (Array.length t.stack);
+    t.stack <- bigger
+  end;
+  t.stack.(d) <- node;
+  t.depth <- d
+
+let sink t kind ~ts ~arg:_ =
+  match kind with
+  | Trace.Span_begin p ->
+      charge t ts;
+      let top = t.stack.(t.depth) in
+      let i = Trace.phase_index p in
+      let node =
+        if top.phase = i then top
+        else
+          match top.kids.(i) with
+          | Some n -> n
+          | None ->
+              let n = fresh_node i in
+              top.kids.(i) <- Some n;
+              n
+      in
+      push t node
+  | Trace.Span_end _ ->
+      charge t ts;
+      (* Tolerate a stray end: never pop below the root. *)
+      if t.depth > 0 then t.depth <- t.depth - 1
+  | _ -> ()
+
+let attach emitter t =
+  Emitter.attach emitter (sink t);
+  t
+
+let close t ~now = charge t now
+let open_depth t = t.depth
+let unattributed t = t.root.self
+
+let rec node_total n =
+  Array.fold_left
+    (fun acc k -> match k with None -> acc | Some c -> acc + node_total c)
+    n.self n.kids
+
+let total t = node_total t.root
+
+let phase_cycles t phase =
+  let i = Trace.phase_index phase in
+  let rec go acc n =
+    let acc = if n.phase = i then acc + n.self else acc in
+    Array.fold_left
+      (fun acc k -> match k with None -> acc | Some c -> go acc c)
+      acc n.kids
+  in
+  go 0 t.root
+
+let breakdown t =
+  let per_phase = Array.make Trace.n_phases 0 in
+  let rec go n =
+    if n.phase >= 0 then per_phase.(n.phase) <- per_phase.(n.phase) + n.self;
+    Array.iter (function None -> () | Some c -> go c) n.kids
+  in
+  go t.root;
+  let out = ref [] in
+  for i = Trace.n_phases - 1 downto 0 do
+    if per_phase.(i) > 0 then begin
+      let p = Trace.phase_of_index i in
+      out := (Trace.phase_domain p, p, per_phase.(i)) :: !out
+    end
+  done;
+  !out
+
+let domain_cycles t domain =
+  List.fold_left
+    (fun acc (d, _, c) -> if d = domain then acc + c else acc)
+    0 (breakdown t)
+
+(* Immutable snapshot of the context tree, children in phase-index order.
+   [vphase = None] only at the root. *)
+type view = {
+  vphase : Trace.phase option;
+  vself : int;
+  vtotal : int;
+  vkids : view list;
+}
+
+let view t =
+  let rec go n =
+    let vkids = ref [] in
+    for i = Trace.n_phases - 1 downto 0 do
+      match n.kids.(i) with
+      | None -> ()
+      | Some c -> vkids := go c :: !vkids
+    done;
+    let vkids = !vkids in
+    {
+      vphase = (if n.phase < 0 then None else Some (Trace.phase_of_index n.phase));
+      vself = n.self;
+      vtotal = List.fold_left (fun acc k -> acc + k.vtotal) n.self vkids;
+      vkids;
+    }
+  in
+  go t.root

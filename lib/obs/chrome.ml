@@ -56,30 +56,83 @@ let iter t f =
    everything else is an instant ("i"). Timestamps are virtual cycles —
    microseconds in the viewer, which only rescales the axis. *)
 
+(* Event and phase names are wire constants today, but the format must stay
+   valid even if the taxonomy grows names with JSON-significant characters
+   — and the exporter must not hand the viewer a malformed trace when a
+   recording stops mid-span (aborted run, post-mortem dump). *)
+let escape_json s =
+  let plain = ref true in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' || Char.code c < 0x20 then plain := false)
+    s;
+  if !plain then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let span_json buf ph name ts =
+  Printf.bprintf buf
+    {|{"name":"%s","cat":"span","ph":"%c","ts":%d,"pid":0,"tid":0}|}
+    (escape_json name) ph ts
+
 let event_json buf e =
   let kind = e.Trace.kind in
   (match kind with
-  | Trace.Span_begin p ->
-      Printf.bprintf buf
-        {|{"name":"%s","cat":"span","ph":"B","ts":%d,"pid":0,"tid":0}|}
-        (Trace.phase_name p) e.Trace.ts
-  | Trace.Span_end p ->
-      Printf.bprintf buf
-        {|{"name":"%s","cat":"span","ph":"E","ts":%d,"pid":0,"tid":0}|}
-        (Trace.phase_name p) e.Trace.ts
+  | Trace.Span_begin p -> span_json buf 'B' (Trace.phase_name p) e.Trace.ts
+  | Trace.Span_end p -> span_json buf 'E' (Trace.phase_name p) e.Trace.ts
   | _ ->
       Printf.bprintf buf
         {|{"name":"%s","cat":"event","ph":"i","ts":%d,"pid":0,"tid":0,"s":"t","args":{"v":%d}}|}
-        (Trace.name kind) e.Trace.ts e.Trace.arg)
+        (escape_json (Trace.name kind))
+        e.Trace.ts e.Trace.arg)
 
 let to_chrome_json t =
   let buf = Buffer.create (256 + (t.len * 96)) in
   Buffer.add_string buf {|{"displayTimeUnit":"ns","traceEvents":[|};
   let first = ref true in
+  let emit render =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '\n';
+    render ()
+  in
+  (* Keep the B/E nesting balanced even if the recording is not: drop a
+     stray E with no matching open span, and close still-open spans with
+     synthetic E events at the last recorded timestamp. *)
+  let open_spans = ref [] in
+  let last_ts = ref 0 in
   iter t (fun e ->
-      if !first then first := false else Buffer.add_char buf ',';
-      Buffer.add_char buf '\n';
-      event_json buf e);
+      last_ts := e.Trace.ts;
+      match e.Trace.kind with
+      | Trace.Span_begin p ->
+          open_spans := p :: !open_spans;
+          emit (fun () -> event_json buf e)
+      | Trace.Span_end _ -> (
+          match !open_spans with
+          | [] -> () (* unmatched end: dropping it keeps the trace valid *)
+          | p :: rest ->
+              open_spans := rest;
+              (* Close what is actually open — viewers match E to the
+                 innermost B by position, not by name. *)
+              emit (fun () ->
+                  span_json buf 'E' (Trace.phase_name p) e.Trace.ts))
+      | _ -> emit (fun () -> event_json buf e));
+  List.iter
+    (fun p ->
+      emit (fun () -> span_json buf 'E' (Trace.phase_name p) !last_ts))
+    !open_spans;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
@@ -87,7 +140,8 @@ let to_jsonl t =
   let buf = Buffer.create (t.len * 64) in
   iter t (fun e ->
       Printf.bprintf buf {|{"ts":%d,"kind":"%s","arg":%d}|} e.Trace.ts
-        (Trace.name e.Trace.kind) e.Trace.arg;
+        (escape_json (Trace.name e.Trace.kind))
+        e.Trace.arg;
       Buffer.add_char buf '\n');
   Buffer.contents buf
 

@@ -66,11 +66,41 @@ let buckets t kind =
 let bucket_count t kind ~value =
   t.buckets.(Trace.index kind).(bucket_of value)
 
+(* Percentile estimate from the log2 buckets: walk to the bucket holding the
+   rank, then interpolate linearly inside its [lo, hi] range. Exact when a
+   bucket spans a single value (buckets 0 and 1), within a factor-of-two
+   band otherwise — plenty for latency reporting. *)
+let percentile t kind ~p =
+  let i = Trace.index kind in
+  let n = t.counts.(i) in
+  if n = 0 then 0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let rank = p *. float_of_int n in
+    let row = t.buckets.(i) in
+    let rec go b cum =
+      if b >= n_buckets then t.maxs.(i)
+      else begin
+        let c = row.(b) in
+        if c > 0 && float_of_int (cum + c) >= rank then begin
+          let lo = bucket_lo b and hi = bucket_hi b in
+          let within = (rank -. float_of_int cum) /. float_of_int c in
+          let v = float_of_int lo +. (within *. float_of_int (hi - lo)) in
+          min (int_of_float (Float.round v)) t.maxs.(i)
+        end
+        else go (b + 1) (cum + c)
+      end
+    in
+    go 0 0
+  end
+
 let pp fmt (t, kind) =
   let bs = buckets t kind in
   let widest = List.fold_left (fun acc (_, _, c) -> max acc c) 1 bs in
-  Fmt.pf fmt "%s: n=%d mean=%.0f max=%d@."
-    (Trace.name kind) (count t kind) (mean t kind) (max_value t kind);
+  Fmt.pf fmt "%s: n=%d mean=%.0f max=%d p50=%d p95=%d p99=%d@."
+    (Trace.name kind) (count t kind) (mean t kind) (max_value t kind)
+    (percentile t kind ~p:0.50) (percentile t kind ~p:0.95)
+    (percentile t kind ~p:0.99);
   List.iter
     (fun (lo, hi, c) ->
       let bar = String.make (max 1 (c * 40 / widest)) '#' in

@@ -22,5 +22,11 @@ val buckets : t -> Trace.kind -> (int * int * int) list
 val bucket_count : t -> Trace.kind -> value:int -> int
 (** Count in the bucket that [value] would land in. *)
 
+val percentile : t -> Trace.kind -> p:float -> int
+(** Percentile estimate: [p] is clamped to [[0, 1]]; the rank is located in
+    the bucketed distribution and interpolated linearly within the bucket's
+    [[lo, hi]] range (clamped to the observed maximum). Returns 0 for an
+    empty distribution. *)
+
 val pp : Format.formatter -> t * Trace.kind -> unit
-(** ASCII histogram for one kind. *)
+(** ASCII histogram for one kind, with p50/p95/p99 in the header. *)

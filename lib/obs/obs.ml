@@ -6,6 +6,9 @@ module Counter = Counter
 module Ring = Ring
 module Histogram = Histogram
 module Chrome = Chrome
+module Attrib = Attrib
+module Flame = Flame
+module Metrics = Metrics
 
 let with_span emitter ~now phase f =
   Emitter.emit emitter (Trace.span_begin phase) ~ts:(now ()) ~arg:0;

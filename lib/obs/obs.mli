@@ -1,7 +1,9 @@
 (** The unified observability subsystem: a typed, allocation-light event bus
     ({!Emitter}) over the {!Trace} taxonomy, with pluggable sinks — counters
     ({!Counter}), a bounded post-mortem ring ({!Ring}), latency histograms
-    ({!Histogram}) and a Chrome-trace/JSONL recorder ({!Chrome}).
+    ({!Histogram}), a Chrome-trace/JSONL recorder ({!Chrome}) and a
+    cycle-attribution profiler ({!Attrib}) with flamegraph ({!Flame}) and
+    Prometheus/JSON ({!Metrics}) exporters.
 
     Emission never advances the virtual clock: observability is free in
     simulated time, so calibrated results are identical with or without
@@ -14,6 +16,9 @@ module Counter = Counter
 module Ring = Ring
 module Histogram = Histogram
 module Chrome = Chrome
+module Attrib = Attrib
+module Flame = Flame
+module Metrics = Metrics
 
 val with_span : Emitter.t -> now:(unit -> int) -> Trace.phase -> (unit -> 'a) -> 'a
 (** [with_span emitter ~now phase f] emits [Span_begin phase], runs [f], and

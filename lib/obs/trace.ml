@@ -6,7 +6,123 @@
 
 type emc_kind = Mmu | Cr | Msr | Idt | Smap | Ghci
 
-type phase = Boot | Scan | Attest | Run
+(* Privilege domains for cycle attribution: who the virtual CPU is working
+   for when time passes. [User] is sandbox/workload execution, [Kernel] the
+   untrusted guest kernel, [Monitor] Erebor's virtual privileged mode, and
+   [Host] the hypervisor side of a VM exit. *)
+type domain = User | Kernel | Monitor | Host
+
+let n_domains = 4
+let all_domains = [ User; Kernel; Monitor; Host ]
+
+let domain_index = function User -> 0 | Kernel -> 1 | Monitor -> 2 | Host -> 3
+
+let domain_name = function
+  | User -> "user"
+  | Kernel -> "kernel"
+  | Monitor -> "monitor"
+  | Host -> "host"
+
+(* Span phases. The first four are the coarse lifecycle spans; the rest are
+   the fine-grained handler/service phases the cycle-attribution profiler
+   decomposes a run into. Every phase belongs to exactly one privilege
+   domain ({!phase_domain}), so an attribution context is (domain x phase)
+   with the domain implied by the phase. *)
+type phase =
+  | Boot                (* machine assembly *)
+  | Scan                (* kernel-image byte scan *)
+  | Attest              (* attested-channel handshake *)
+  | Run                 (* workload body *)
+  | Emc_gate            (* EMC entry/exit round trip (Fig. 5 gate code) *)
+  | Svc_mmu             (* EMC service body, per privop kind *)
+  | Svc_cr
+  | Svc_msr
+  | Svc_idt
+  | Svc_smap
+  | Svc_ghci
+  | Ve_handler          (* #VE exit + host round trip *)
+  | Pf_handler          (* page-fault service *)
+  | Timer_handler       (* timer-IRQ delivery *)
+  | Syscall_dispatch    (* syscall entry + kernel dispatch *)
+  | Channel_crypto      (* attested-channel seal/open *)
+  | Scheduler           (* context switch *)
+  | Exit_interpose      (* monitor exit interposition (§6.2) *)
+
+let n_phases = 18
+
+let phase_index = function
+  | Boot -> 0
+  | Scan -> 1
+  | Attest -> 2
+  | Run -> 3
+  | Emc_gate -> 4
+  | Svc_mmu -> 5
+  | Svc_cr -> 6
+  | Svc_msr -> 7
+  | Svc_idt -> 8
+  | Svc_smap -> 9
+  | Svc_ghci -> 10
+  | Ve_handler -> 11
+  | Pf_handler -> 12
+  | Timer_handler -> 13
+  | Syscall_dispatch -> 14
+  | Channel_crypto -> 15
+  | Scheduler -> 16
+  | Exit_interpose -> 17
+
+let all_phases =
+  [
+    Boot; Scan; Attest; Run; Emc_gate;
+    Svc_mmu; Svc_cr; Svc_msr; Svc_idt; Svc_smap; Svc_ghci;
+    Ve_handler; Pf_handler; Timer_handler; Syscall_dispatch; Channel_crypto;
+    Scheduler; Exit_interpose;
+  ]
+
+let phases_arr = Array.of_list all_phases
+let phase_of_index i = phases_arr.(i)
+
+let phase_name = function
+  | Boot -> "boot"
+  | Scan -> "scan"
+  | Attest -> "attest"
+  | Run -> "run"
+  | Emc_gate -> "gate"
+  | Svc_mmu -> "svc.mmu"
+  | Svc_cr -> "svc.cr"
+  | Svc_msr -> "svc.msr"
+  | Svc_idt -> "svc.idt"
+  | Svc_smap -> "svc.smap"
+  | Svc_ghci -> "svc.ghci"
+  | Ve_handler -> "ve"
+  | Pf_handler -> "pf"
+  | Timer_handler -> "timer"
+  | Syscall_dispatch -> "syscall"
+  | Channel_crypto -> "crypto"
+  | Scheduler -> "sched"
+  | Exit_interpose -> "interpose"
+
+let phase_domain = function
+  | Boot -> Kernel
+  | Scan -> Monitor
+  | Attest -> Monitor
+  | Run -> User
+  | Emc_gate -> Monitor
+  | Svc_mmu | Svc_cr | Svc_msr | Svc_idt | Svc_smap | Svc_ghci -> Monitor
+  | Ve_handler -> Host
+  | Pf_handler -> Kernel
+  | Timer_handler -> Kernel
+  | Syscall_dispatch -> Kernel
+  | Channel_crypto -> Monitor
+  | Scheduler -> Kernel
+  | Exit_interpose -> Monitor
+
+let gate_phase = function
+  | Mmu -> Svc_mmu
+  | Cr -> Svc_cr
+  | Msr -> Svc_msr
+  | Idt -> Svc_idt
+  | Smap -> Svc_smap
+  | Ghci -> Svc_ghci
 
 type kind =
   | Emc_entry            (* one gate round trip; arg = measured cycles *)
@@ -33,7 +149,8 @@ type kind =
 
 type event = { kind : kind; ts : int; arg : int }
 
-let n_kinds = 32
+let n_span_base = 24
+let n_kinds = n_span_base + (2 * n_phases)
 
 let index = function
   | Emc_entry -> 0
@@ -60,20 +177,8 @@ let index = function
   | Sandbox_seal -> 21
   | Sandbox_kill -> 22
   | Sandbox_exit -> 23
-  | Span_begin Boot -> 24
-  | Span_begin Scan -> 25
-  | Span_begin Attest -> 26
-  | Span_begin Run -> 27
-  | Span_end Boot -> 28
-  | Span_end Scan -> 29
-  | Span_end Attest -> 30
-  | Span_end Run -> 31
-
-let phase_name = function
-  | Boot -> "boot"
-  | Scan -> "scan"
-  | Attest -> "attest"
-  | Run -> "run"
+  | Span_begin p -> n_span_base + phase_index p
+  | Span_end p -> n_span_base + n_phases + phase_index p
 
 let name = function
   | Emc_entry -> "emc"
@@ -112,19 +217,18 @@ let emc_idt = Emc Idt
 let emc_smap = Emc Smap
 let emc_ghci = Emc Ghci
 
-let span_begin = function
-  | Boot -> Span_begin Boot
-  | Scan -> Span_begin Scan
-  | Attest -> Span_begin Attest
-  | Run -> Span_begin Run
+let emc_event = function
+  | Mmu -> emc_mmu
+  | Cr -> emc_cr
+  | Msr -> emc_msr
+  | Idt -> emc_idt
+  | Smap -> emc_smap
+  | Ghci -> emc_ghci
 
-let span_end = function
-  | Boot -> Span_end Boot
-  | Scan -> Span_end Scan
-  | Attest -> Span_end Attest
-  | Run -> Span_end Run
-
-let all_phases = [ Boot; Scan; Attest; Run ]
+let span_begins = Array.map (fun p -> Span_begin p) phases_arr
+let span_ends = Array.map (fun p -> Span_end p) phases_arr
+let span_begin p = span_begins.(phase_index p)
+let span_end p = span_ends.(phase_index p)
 
 let all =
   [

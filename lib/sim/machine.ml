@@ -220,6 +220,26 @@ type session = {
   spec : spec;
 }
 
+(* Attribution span at the machine layer. Machine- and kernel-level spans
+   for the same logical handler nest; the Attrib sink collapses same-phase
+   nesting, so e.g. [fault_on] plus [Kernel.handle_page_fault] read as one
+   [Pf_handler] context. *)
+let span_m m phase f =
+  let obs = m.cpu.Hw.Cpu.obs in
+  Obs.Emitter.emit obs (Obs.Trace.span_begin phase)
+    ~ts:(Hw.Cycles.now m.clock) ~arg:0;
+  let finish () =
+    Obs.Emitter.emit obs (Obs.Trace.span_end phase)
+      ~ts:(Hw.Cycles.now m.clock) ~arg:0
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 let tlb_tax s n =
   if Config.emc_privops s.machine.setting then
     Hw.Cycles.advance s.machine.clock (n * tlb_refill_tax)
@@ -230,15 +250,19 @@ let tlb_tax s n =
    gate, return trampoline. *)
 let interpose_syscall s =
   if Config.interposes_exits s.machine.setting then
-    Hw.Cycles.advance s.machine.clock Hw.Cycles.Cost.monitor_exit_inspect
+    span_m s.machine Obs.Trace.Exit_interpose (fun () ->
+        Hw.Cycles.advance s.machine.clock Hw.Cycles.Cost.monitor_exit_inspect)
 
 let interpose_exception s =
   if Config.interposes_exits s.machine.setting then
-    Hw.Cycles.advance s.machine.clock
-      ((2 * Hw.Cycles.Cost.emc_roundtrip) + Hw.Cycles.Cost.monitor_exit_inspect)
+    span_m s.machine Obs.Trace.Exit_interpose (fun () ->
+        Hw.Cycles.advance s.machine.clock
+          ((2 * Hw.Cycles.Cost.emc_roundtrip)
+          + Hw.Cycles.Cost.monitor_exit_inspect))
 
 let deliver_timer s =
   let m = s.machine in
+  span_m m Obs.Trace.Timer_handler @@ fun () ->
   Hw.Apic.acknowledge m.cpu.Hw.Cpu.apic;
   interpose_exception s;
   match (s.sb, Config.interposes_exits m.setting) with
@@ -265,6 +289,7 @@ let zero_fill_cost = 600 (* demand-zero page clearing, same in every setting *)
 
 let fault_on s task addr kind =
   let m = s.machine in
+  span_m m Obs.Trace.Pf_handler @@ fun () ->
   Hw.Cycles.advance s.machine.clock zero_fill_cost;
   tlb_tax s 1;
   interpose_exception s;
@@ -328,8 +353,9 @@ let host_io s ~bytes =
   let m = s.machine in
   let ops = m.kern.Kernel.privops in
   (* Switch to the proxy: CR3 through the privops table. *)
-  Hw.Cycles.advance m.clock Hw.Cycles.Cost.context_switch;
-  ops.Kernel.Privops.write_cr3 ~root_pfn:m.proxy.Kernel.Task.root_pfn;
+  span_m m Obs.Trace.Scheduler (fun () ->
+      Hw.Cycles.advance m.clock Hw.Cycles.Cost.context_switch;
+      ops.Kernel.Privops.write_cr3 ~root_pfn:m.proxy.Kernel.Task.root_pfn);
   (* The proxy shuffles the payload packet by packet: one syscall and one
      user copy per ~4 KiB, plus packet-buffer PTE churn in the stack. *)
   let packets = min 16 (max 1 (bytes / page_size)) in
@@ -345,16 +371,18 @@ let host_io s ~bytes =
   done;
   tlb_tax s packets;
   (* Kick the device: a synchronous VM exit (#VE is an exception). *)
-  interpose_exception s;
-  Hw.Cycles.advance m.clock Hw.Cycles.Cost.ve_handling;
-  Kernel.note_ve_exit m.kern;
-  (match ops.Kernel.Privops.tdcall (Tdx.Ghci.Vmcall Tdx.Ghci.Hlt) with
-  | Tdx.Td_module.Ok_unit | Tdx.Td_module.Ok_int _ | Tdx.Td_module.Ok_bytes _ -> ()
-  | Tdx.Td_module.Ok_report _ -> ()
-  | Tdx.Td_module.Error_leaf e -> failwith ("host_io: " ^ e));
+  span_m m Obs.Trace.Ve_handler (fun () ->
+      interpose_exception s;
+      Hw.Cycles.advance m.clock Hw.Cycles.Cost.ve_handling;
+      Kernel.note_ve_exit m.kern;
+      match ops.Kernel.Privops.tdcall (Tdx.Ghci.Vmcall Tdx.Ghci.Hlt) with
+      | Tdx.Td_module.Ok_unit | Tdx.Td_module.Ok_int _ | Tdx.Td_module.Ok_bytes _ -> ()
+      | Tdx.Td_module.Ok_report _ -> ()
+      | Tdx.Td_module.Error_leaf e -> failwith ("host_io: " ^ e));
   (* Back to the service's address space. *)
-  Hw.Cycles.advance m.clock Hw.Cycles.Cost.context_switch;
-  ops.Kernel.Privops.write_cr3 ~root_pfn:s.task.Kernel.Task.root_pfn
+  span_m m Obs.Trace.Scheduler (fun () ->
+      Hw.Cycles.advance m.clock Hw.Cycles.Cost.context_switch;
+      ops.Kernel.Privops.write_cr3 ~root_pfn:s.task.Kernel.Task.root_pfn)
 
 let sync_op s ~contended =
   let m = s.machine in
@@ -387,12 +415,14 @@ let mmap_cycle s ~pages =
   match Kernel.mmap m.kern s.task ~len ~prot:Kernel.Vma.prot_rw ~kind:Kernel.Vma.Anon with
   | Error e -> failwith ("mmap_cycle: " ^ e)
   | Ok addr ->
-      Hw.Cycles.advance m.clock Hw.Cycles.Cost.syscall_roundtrip;
+      span_m m Obs.Trace.Syscall_dispatch (fun () ->
+          Hw.Cycles.advance m.clock Hw.Cycles.Cost.syscall_roundtrip);
       for i = 0 to pages - 1 do
         fault_on s s.task (addr + (i * page_size)) Hw.Fault.Write
       done;
       interpose_syscall s;
-      Hw.Cycles.advance m.clock Hw.Cycles.Cost.syscall_roundtrip;
+      span_m m Obs.Trace.Syscall_dispatch (fun () ->
+          Hw.Cycles.advance m.clock Hw.Cycles.Cost.syscall_roundtrip);
       tlb_tax s pages;
       (match Kernel.munmap m.kern s.task ~addr with
       | Ok () -> ()
@@ -401,7 +431,8 @@ let mmap_cycle s ~pages =
 let fork_exit s =
   let m = s.machine in
   interpose_syscall s;
-  Hw.Cycles.advance m.clock Hw.Cycles.Cost.syscall_roundtrip;
+  span_m m Obs.Trace.Syscall_dispatch (fun () ->
+      Hw.Cycles.advance m.clock Hw.Cycles.Cost.syscall_roundtrip);
   let child = Kernel.fork_process m.kern s.task ~name:"forked" in
   interpose_syscall s;
   Kernel.exit_task m.kern child ~code:0;
@@ -606,7 +637,9 @@ let init_sandboxed m spec =
           | Ok p -> p
           | Error e -> failwith e
         in
-        Hw.Cycles.advance m.clock (decrypt_cycles_per_byte * Bytes.length plaintext);
+        span_m m Obs.Trace.Channel_crypto (fun () ->
+            Hw.Cycles.advance m.clock
+              (decrypt_cycles_per_byte * Bytes.length plaintext));
         (match Erebor.Sandbox.load_client_data mgr sb plaintext with
         | Ok _ -> ()
         | Error e -> failwith e);
@@ -664,7 +697,9 @@ let run m spec =
         let raw = Erebor.Sandbox.take_output mgr sb in
         match s.channel with
         | Some server ->
-            Hw.Cycles.advance m.clock (decrypt_cycles_per_byte * Bytes.length raw);
+            span_m m Obs.Trace.Channel_crypto (fun () ->
+                Hw.Cycles.advance m.clock
+                  (decrypt_cycles_per_byte * Bytes.length raw));
             let sealed =
               Erebor.Channel.Server.seal_response server ~bucket:spec.output_bucket raw
             in

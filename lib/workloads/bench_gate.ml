@@ -1,0 +1,409 @@
+(* The bench regression gate: re-run the calibrated anchors and diff them
+   against a committed BENCH_sim.json baseline.
+
+   The gate's contract mirrors how the numbers are produced. Anchor numbers
+   (Table 3 transition costs, Table 4 privop costs, and — in full mode —
+   the Fig. 9 overhead/rate columns at their reported precision) are
+   deterministic functions of the simulator, so they must match EXACTLY;
+   any drift means a semantic change to calibrated mechanics. Wall time and
+   GC pressure are host-dependent, so they only gate within a generous
+   tolerance — enough to catch an accidental 10x, never a noisy CI host.
+
+   JSON comes from a small hand-rolled parser (the repo takes no external
+   dependencies): objects, arrays, strings, numbers, booleans, null. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some d when d = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* Latin-1 subset is enough for our own files. *)
+              Buffer.add_char buf
+                (if code < 256 then Char.chr code else '?')
+          | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match parse_value () with
+    | v ->
+        skip_ws ();
+        if !pos <> n then Result.Error "trailing garbage after JSON value"
+        else Result.Ok v
+    | exception Error msg -> Result.Error msg
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+  let mem_of key j = Option.bind j (member key)
+  let to_float = function Some (Num f) -> Some f | _ -> None
+  let to_int j = Option.map int_of_float (to_float j)
+  let to_str = function Some (Str s) -> Some s | _ -> None
+  let to_arr = function Some (Arr l) -> l | _ -> []
+end
+
+type check = { name : string; ok : bool; detail : string }
+type verdict = check list
+
+let pass v = List.for_all (fun c -> c.ok) v
+let failures v = List.filter (fun c -> not c.ok) v
+
+let pp_verdict fmt v =
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  [%s] %-24s %s@." (if c.ok then "ok" else "FAIL")
+        c.name c.detail)
+    v
+
+(* One check per anchor: [probe] extracts the baseline row's identity and
+   expectation, [current] the regenerated value. *)
+let anchor_checks ~family ~baseline_rows ~key_field ~current ~fields =
+  let seen = ref [] in
+  let row_checks =
+    List.concat_map
+      (fun row ->
+        match Json.to_str (Json.member key_field row) with
+        | None ->
+            [ { name = family; ok = false; detail = "baseline row without " ^ key_field } ]
+        | Some key -> (
+            seen := key :: !seen;
+            match List.assoc_opt key current with
+            | None ->
+                [
+                  {
+                    name = Printf.sprintf "%s/%s" family key;
+                    ok = false;
+                    detail = "anchor present in baseline but not regenerated";
+                  };
+                ]
+            | Some cur_fields ->
+                List.map
+                  (fun (field, cur_value) ->
+                    let name = Printf.sprintf "%s/%s.%s" family key field in
+                    match Json.to_int (Json.member field row) with
+                    | None ->
+                        { name; ok = false; detail = "missing in baseline" }
+                    | Some base_value ->
+                        if base_value = cur_value then
+                          { name; ok = true; detail = string_of_int cur_value }
+                        else
+                          {
+                            name;
+                            ok = false;
+                            detail =
+                              Printf.sprintf "baseline %d, regenerated %d"
+                                base_value cur_value;
+                          })
+                  (List.filter
+                     (fun (f, _) -> List.mem f fields)
+                     cur_fields)))
+      baseline_rows
+  in
+  let coverage =
+    let missing =
+      List.filter (fun (key, _) -> not (List.mem key !seen)) current
+    in
+    match missing with
+    | [] ->
+        {
+          name = family ^ "/coverage";
+          ok = true;
+          detail = Printf.sprintf "%d anchors" (List.length current);
+        }
+    | m ->
+        {
+          name = family ^ "/coverage";
+          ok = false;
+          detail =
+            "regenerated anchors missing from baseline: "
+            ^ String.concat ", " (List.map fst m);
+        }
+  in
+  row_checks @ [ coverage ]
+
+let fig9_checks ~baseline ~jobs =
+  let rows = Eval.fig9 ?jobs () in
+  let current =
+    List.map
+      (fun (r : Eval.program_row) ->
+        ( (r.Eval.program, Sim.Config.name r.Eval.setting),
+          [
+            ("overhead_pct", Printf.sprintf "%.4f" r.Eval.overhead_pct);
+            ("pf_rate", Printf.sprintf "%.2f" r.Eval.pf_rate);
+            ("timer_rate", Printf.sprintf "%.2f" r.Eval.timer_rate);
+            ("ve_rate", Printf.sprintf "%.2f" r.Eval.ve_rate);
+            ("emc_rate", Printf.sprintf "%.2f" r.Eval.emc_rate);
+          ] ))
+      rows
+  in
+  let fmt_of field = if field = "overhead_pct" then format_of_string "%.4f" else format_of_string "%.2f" in
+  List.concat_map
+    (fun row ->
+      let key =
+        ( Option.value ~default:"?" (Json.to_str (Json.member "program" row)),
+          Option.value ~default:"?" (Json.to_str (Json.member "setting" row)) )
+      in
+      let label = Printf.sprintf "fig9/%s:%s" (fst key) (snd key) in
+      match List.assoc_opt key current with
+      | None ->
+          [ { name = label; ok = false; detail = "row not regenerated" } ]
+      | Some fields ->
+          List.map
+            (fun (field, cur) ->
+              let name = Printf.sprintf "%s.%s" label field in
+              match Json.to_float (Json.member field row) with
+              | None -> { name; ok = false; detail = "missing in baseline" }
+              | Some base ->
+                  let base = Printf.sprintf (fmt_of field) base in
+                  if base = cur then { name; ok = true; detail = cur }
+                  else
+                    {
+                      name;
+                      ok = false;
+                      detail = Printf.sprintf "baseline %s, regenerated %s" base cur;
+                    })
+            fields)
+    (Json.to_arr (Json.member "fig9" baseline))
+
+let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
+    ?(gc_tolerance = 1.0) baseline =
+  let cpu0 = Sys.time () in
+  let minor0 = Gc.minor_words () in
+  let schema =
+    match Json.to_str (Json.member "schema" baseline) with
+    | Some "erebor-bench-sim/1" ->
+        { name = "schema"; ok = true; detail = "erebor-bench-sim/1" }
+    | Some other ->
+        { name = "schema"; ok = false; detail = "unknown schema " ^ other }
+    | None -> { name = "schema"; ok = false; detail = "missing schema field" }
+  in
+  let t3 =
+    anchor_checks ~family:"table3"
+      ~baseline_rows:(Json.to_arr (Json.member "table3" baseline))
+      ~key_field:"transition"
+      ~current:
+        (List.map
+           (fun (r : Eval.transition_row) ->
+             (r.Eval.transition, [ ("cycles", r.Eval.cycles) ]))
+           (Eval.table3 ()))
+      ~fields:[ "cycles" ]
+  in
+  let t4 =
+    anchor_checks ~family:"table4"
+      ~baseline_rows:(Json.to_arr (Json.member "table4" baseline))
+      ~key_field:"op"
+      ~current:
+        (List.map
+           (fun (r : Eval.privop_row) ->
+             ( r.Eval.op,
+               [
+                 ("native_cycles", r.Eval.native_cycles);
+                 ("erebor_cycles", r.Eval.erebor_cycles);
+               ] ))
+           (Eval.table4 ()))
+      ~fields:[ "native_cycles"; "erebor_cycles" ]
+  in
+  let f9 = if fig9 then fig9_checks ~baseline ~jobs else [] in
+  let cpu = Sys.time () -. cpu0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let wall =
+    match Json.to_float (Json.member "total_wall_s" baseline) with
+    | None ->
+        [ { name = "wall"; ok = true; detail = "no baseline wall time" } ]
+    | Some base ->
+        let budget = wall_tolerance *. base in
+        [
+          {
+            name = "wall";
+            ok = cpu <= budget;
+            detail =
+              Printf.sprintf "regeneration %.3fs cpu, budget %.3fs (%.1fx baseline suite)"
+                cpu budget wall_tolerance;
+          };
+        ]
+  in
+  let gc =
+    match Json.to_float (Json.mem_of "minor_words" (Json.member "gc" baseline)) with
+    | None -> [ { name = "gc"; ok = true; detail = "no baseline GC stats" } ]
+    | Some base ->
+        let budget = gc_tolerance *. base in
+        [
+          {
+            name = "gc";
+            ok = minor <= budget;
+            detail =
+              Printf.sprintf
+                "regeneration %.0f minor words, budget %.0f (%.1fx baseline suite)"
+                minor budget gc_tolerance;
+          };
+        ]
+  in
+  (schema :: t3) @ t4 @ f9 @ wall @ gc
+
+let check_string ?fig9 ?jobs ?wall_tolerance ?gc_tolerance json =
+  match Json.parse json with
+  | Result.Error e -> Result.Error ("baseline JSON: " ^ e)
+  | Result.Ok baseline ->
+      Result.Ok (check_json ?fig9 ?jobs ?wall_tolerance ?gc_tolerance baseline)
+
+let check_file ?fig9 ?jobs ?wall_tolerance ?gc_tolerance ~path () =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | json -> check_string ?fig9 ?jobs ?wall_tolerance ?gc_tolerance json
+  | exception Sys_error e -> Result.Error e
+
+(* A minimal baseline covering just the exact anchors, regenerated from the
+   current build — lets tests exercise the gate (and seed mismatches into
+   it) without the committed file. *)
+let render_anchors () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"erebor-bench-sim/1\",\n  \"table3\": [\n";
+  let t3 = Eval.table3 () in
+  List.iteri
+    (fun i (r : Eval.transition_row) ->
+      Printf.bprintf buf "    { \"transition\": \"%s\", \"cycles\": %d }%s\n"
+        r.Eval.transition r.Eval.cycles
+        (if i = List.length t3 - 1 then "" else ","))
+    t3;
+  Buffer.add_string buf "  ],\n  \"table4\": [\n";
+  let t4 = Eval.table4 () in
+  List.iteri
+    (fun i (r : Eval.privop_row) ->
+      Printf.bprintf buf
+        "    { \"op\": \"%s\", \"native_cycles\": %d, \"erebor_cycles\": %d }%s\n"
+        r.Eval.op r.Eval.native_cycles r.Eval.erebor_cycles
+        (if i = List.length t4 - 1 then "" else ","))
+    t4;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

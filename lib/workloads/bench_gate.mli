@@ -1,0 +1,74 @@
+(** Regression gate against a committed [BENCH_sim.json] baseline.
+
+    The gate regenerates the calibrated anchors from the current build and
+    diffs them against the baseline: Table 3 transition cycles and Table 4
+    privop cycles must match {e exactly} (they are deterministic functions
+    of simulator mechanics), while wall time and GC pressure are only
+    bounded within a generous tolerance so the gate never flakes on a slow
+    CI host. With [~fig9:true] the Fig. 9 overhead/rate columns are also
+    compared at their reported precision (%.4f / %.2f). *)
+
+(** Dependency-free JSON subset used to read the baseline. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Parse a complete JSON document; [Error] carries a message with the
+      byte offset of the failure. *)
+
+  val member : string -> t -> t option
+end
+
+type check = { name : string; ok : bool; detail : string }
+(** One comparison: a stable dotted name ([table3/EMC.cycles], [wall], ...),
+    whether it held, and a human-readable detail line. *)
+
+type verdict = check list
+
+val pass : verdict -> bool
+val failures : verdict -> check list
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_json :
+  ?fig9:bool ->
+  ?jobs:int ->
+  ?wall_tolerance:float ->
+  ?gc_tolerance:float ->
+  Json.t ->
+  verdict
+(** Run the gate against an already-parsed baseline. [wall_tolerance]
+    (default 2.0) bounds the regeneration CPU time at that multiple of the
+    baseline's [total_wall_s]; [gc_tolerance] (default 1.0) bounds minor
+    allocation at that multiple of the baseline suite's [gc.minor_words].
+    Both budgets cover a full suite while the gate regenerates only
+    anchors, so they catch order-of-magnitude regressions without noise. *)
+
+val check_string :
+  ?fig9:bool ->
+  ?jobs:int ->
+  ?wall_tolerance:float ->
+  ?gc_tolerance:float ->
+  string ->
+  (verdict, string) result
+(** Parse [json] and run the gate; [Error] on malformed JSON. *)
+
+val check_file :
+  ?fig9:bool ->
+  ?jobs:int ->
+  ?wall_tolerance:float ->
+  ?gc_tolerance:float ->
+  path:string ->
+  unit ->
+  (verdict, string) result
+
+val render_anchors : unit -> string
+(** A minimal baseline document (schema + exact Table 3 / Table 4 anchors)
+    regenerated from the current build. Tests use this to construct a
+    passing baseline — and to seed a mismatch that must make the gate
+    fail. *)

@@ -219,6 +219,49 @@ type netserve_row = {
   relative : float;
 }
 
+(* Cycle attribution: re-run every Fig. 9 (program, setting) machine with an
+   [Obs.Attrib] sink attached and decompose its total virtual cycles into
+   (privilege domain x phase) contexts. The overhead analysis of §9 becomes
+   emergent: the monitor's share is the gate + service spans, the kernel's
+   the handler spans, and the invariant [unattributed + sum contexts =
+   total] holds exactly because emission never advances the clock. *)
+
+type attrib_row = {
+  aprogram : string;
+  asetting : Sim.Config.setting;
+  total_cycles : int;
+  unattributed_cycles : int;
+  contexts : (string * string * int) list;
+}
+
+let attrib ?jobs () =
+  let tasks =
+    List.concat_map
+      (fun (program, spec_fn) ->
+        List.map (fun setting -> (program, spec_fn, setting)) Sim.Config.all)
+      all_programs
+  in
+  Sim.Runner.map_list ?jobs
+    (fun (program, spec_fn, setting) ->
+      let obs = Obs.Emitter.create () in
+      let attrib = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+      let m = Sim.Machine.create ~obs ~setting () in
+      ignore (Sim.Machine.run m (spec_fn ()));
+      let total = Hw.Cycles.now (Sim.Machine.clock m) in
+      Obs.Attrib.close attrib ~now:total;
+      {
+        aprogram = program;
+        asetting = setting;
+        total_cycles = total;
+        unattributed_cycles = Obs.Attrib.unattributed attrib;
+        contexts =
+          List.map
+            (fun (d, p, c) ->
+              (Obs.Trace.domain_name d, Obs.Trace.phase_name p, c))
+            (Obs.Attrib.breakdown attrib);
+      })
+    tasks
+
 let fig10 ?jobs () =
   let tasks =
     List.concat_map

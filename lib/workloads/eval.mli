@@ -63,6 +63,22 @@ val fig9 : ?jobs:int -> unit -> program_row list
     [jobs] domains (default {!Sim.Runner.default_jobs}). Row values and
     order are independent of [jobs]. *)
 
+(** {2 Cycle attribution — §9's overhead decomposition from mechanics} *)
+
+type attrib_row = {
+  aprogram : string;
+  asetting : Sim.Config.setting;
+  total_cycles : int;          (** Total virtual cycles of the whole run. *)
+  unattributed_cycles : int;   (** Cycles outside any span (init glue). *)
+  contexts : (string * string * int) list;
+      (** [(domain, phase, cycles)] in stable phase order; together with
+          [unattributed_cycles] these sum to [total_cycles] exactly. *)
+}
+
+val attrib : ?jobs:int -> unit -> attrib_row list
+(** Every Fig. 9 program x setting, each on a fresh machine with an
+    {!Obs.Attrib} sink attached. Deterministic and independent of [jobs]. *)
+
 val table6 : program_row list -> program_row list
 (** Filter a fig9 result down to the full-Erebor rows (Table 6's view). *)
 

@@ -328,6 +328,299 @@ let test_trace_counts_match_snapshot () =
   Alcotest.(check int) "one JSONL line per event" (Obs.Chrome.length rec_)
     (List.length lines)
 
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_percentile () =
+  let obs = Obs.Emitter.create () in
+  let h = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+  (* Empty: no samples, every percentile is 0. *)
+  Alcotest.(check int) "empty p50" 0
+    (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.5);
+  (* Single bucket: three samples of 7 live in [4,7]; interpolation walks
+     that one bucket and the result is clamped to the observed max. *)
+  for i = 1 to 3 do
+    Obs.Emitter.emit obs Obs.Trace.Emc_entry ~ts:i ~arg:7
+  done;
+  Alcotest.(check int) "single-bucket p0" 4
+    (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.0);
+  Alcotest.(check int) "single-bucket p50" 6
+    (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.5);
+  Alcotest.(check int) "single-bucket p100" 7
+    (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:1.0);
+  (* Out-of-range p is clamped, not an error. *)
+  Alcotest.(check int) "p>1 clamped" 7
+    (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:2.0);
+  Alcotest.(check int) "p<0 clamped" 4
+    (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:(-1.0));
+  (* Multi-bucket: [1;1;2;3;4;100] spreads over four buckets. *)
+  List.iteri
+    (fun i v -> Obs.Emitter.emit obs Obs.Trace.Syscall ~ts:i ~arg:v)
+    [ 1; 1; 2; 3; 4; 100 ];
+  Alcotest.(check int) "multi p50" 3
+    (Obs.Histogram.percentile h Obs.Trace.Syscall ~p:0.5);
+  (* The tail percentiles land in [64,127] but clamp to the true max. *)
+  Alcotest.(check int) "multi p95 clamps to max" 100
+    (Obs.Histogram.percentile h Obs.Trace.Syscall ~p:0.95);
+  Alcotest.(check int) "multi p99 clamps to max" 100
+    (Obs.Histogram.percentile h Obs.Trace.Syscall ~p:0.99);
+  (* pp surfaces the percentile columns. *)
+  let rendered = Fmt.str "%a" Obs.Histogram.pp (h, Obs.Trace.Syscall) in
+  Alcotest.(check bool) "pp has percentiles" true
+    (contains ~sub:"p50=3" rendered && contains ~sub:"p95=100" rendered)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome hardening: JSON escaping, unbalanced span stacks             *)
+(* ------------------------------------------------------------------ *)
+
+let count_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let c = ref 0 in
+  for i = 0 to m - n do
+    if String.sub s i n = sub then incr c
+  done;
+  !c
+
+let test_chrome_escape () =
+  Alcotest.(check string) "plain untouched" "syscall"
+    (Obs.Chrome.escape_json "syscall");
+  Alcotest.(check string) "quote and backslash" "a\\\"b\\\\c"
+    (Obs.Chrome.escape_json "a\"b\\c");
+  Alcotest.(check string) "newline" "x\\ny" (Obs.Chrome.escape_json "x\ny");
+  Alcotest.(check string) "control char" "\\u0001"
+    (Obs.Chrome.escape_json "\001")
+
+let test_chrome_unbalanced () =
+  let obs = Obs.Emitter.create () in
+  let rec_ = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+  (* A stray end with no open span must be dropped... *)
+  Obs.Emitter.emit obs (Obs.Trace.span_end Obs.Trace.Run) ~ts:5 ~arg:0;
+  (* ...and spans left open at export time get synthetic E events. *)
+  Obs.Emitter.emit obs (Obs.Trace.span_begin Obs.Trace.Run) ~ts:10 ~arg:0;
+  Obs.Emitter.emit obs (Obs.Trace.span_begin Obs.Trace.Emc_gate) ~ts:20 ~arg:0;
+  Obs.Emitter.emit obs Obs.Trace.Syscall ~ts:30 ~arg:0;
+  let json = Obs.Chrome.to_chrome_json rec_ in
+  Alcotest.(check int) "every B has an E" (count_sub ~sub:{|"ph":"B"|} json)
+    (count_sub ~sub:{|"ph":"E"|} json);
+  Alcotest.(check int) "two spans closed synthetically" 2
+    (count_sub ~sub:{|"ph":"E"|} json);
+  (* Synthetic ends carry the last seen timestamp, keeping ts monotone. *)
+  Alcotest.(check int) "synthetic ends at last ts" 2
+    (count_sub ~sub:{|"ph":"E","ts":30|} json);
+  (* A balanced stream is unaffected by the hardening. *)
+  let obs2 = Obs.Emitter.create () in
+  let rec2 = Obs.Chrome.attach obs2 (Obs.Chrome.create ()) in
+  Obs.Emitter.emit obs2 (Obs.Trace.span_begin Obs.Trace.Run) ~ts:1 ~arg:0;
+  Obs.Emitter.emit obs2 (Obs.Trace.span_end Obs.Trace.Run) ~ts:2 ~arg:0;
+  let json2 = Obs.Chrome.to_chrome_json rec2 in
+  Alcotest.(check int) "balanced: one B" 1 (count_sub ~sub:{|"ph":"B"|} json2);
+  Alcotest.(check int) "balanced: one E" 1 (count_sub ~sub:{|"ph":"E"|} json2)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle attribution: unit semantics, conservation on real machines    *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-driven event stream exercising nesting, same-phase collapse,
+   stray ends and the close-time flush:
+     0..10   outside any span          -> root
+     10..30  boot                      -> boot
+     30..50  boot > gate               -> gate
+     50..60  boot > gate (re-entered)  -> gate
+     60..80  boot > gate > gate(same)  -> gate (collapsed, no new node)
+     80..90  boot > gate               -> gate
+     90..100 boot                      -> boot
+     100..120 closed                   -> root *)
+let synthetic_attrib () =
+  let obs = Obs.Emitter.create () in
+  let a = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+  let b p ts = Obs.Emitter.emit obs (Obs.Trace.span_begin p) ~ts ~arg:0 in
+  let e p ts = Obs.Emitter.emit obs (Obs.Trace.span_end p) ~ts ~arg:0 in
+  b Obs.Trace.Boot 10;
+  b Obs.Trace.Emc_gate 30;
+  e Obs.Trace.Emc_gate 50;
+  b Obs.Trace.Emc_gate 50;
+  b Obs.Trace.Emc_gate 60;
+  e Obs.Trace.Emc_gate 80;
+  e Obs.Trace.Emc_gate 90;
+  e Obs.Trace.Boot 100;
+  (* Stray end at depth 0: ignored, never underflows. *)
+  e Obs.Trace.Run 100;
+  Obs.Attrib.close a ~now:120;
+  a
+
+let test_attrib_semantics () =
+  let a = synthetic_attrib () in
+  Alcotest.(check int) "balanced" 0 (Obs.Attrib.open_depth a);
+  Alcotest.(check int) "total = final clock" 120 (Obs.Attrib.total a);
+  Alcotest.(check int) "unattributed" 30 (Obs.Attrib.unattributed a);
+  Alcotest.(check int) "boot self" 30
+    (Obs.Attrib.phase_cycles a Obs.Trace.Boot);
+  Alcotest.(check int) "gate self" 60
+    (Obs.Attrib.phase_cycles a Obs.Trace.Emc_gate);
+  Alcotest.(check int) "kernel domain" 30
+    (Obs.Attrib.domain_cycles a Obs.Trace.Kernel);
+  Alcotest.(check int) "monitor domain" 60
+    (Obs.Attrib.domain_cycles a Obs.Trace.Monitor);
+  (match Obs.Attrib.breakdown a with
+  | [ (Obs.Trace.Kernel, Obs.Trace.Boot, 30);
+      (Obs.Trace.Monitor, Obs.Trace.Emc_gate, 60) ] -> ()
+  | other -> Alcotest.failf "unexpected breakdown (%d rows)" (List.length other));
+  (* The context tree collapsed the same-phase re-entry: one gate node. *)
+  let v = Obs.Attrib.view a in
+  Alcotest.(check int) "root total" 120 v.Obs.Attrib.vtotal;
+  Alcotest.(check int) "root self" 30 v.Obs.Attrib.vself;
+  (match v.Obs.Attrib.vkids with
+  | [ boot ] -> (
+      Alcotest.(check bool) "boot node" true
+        (boot.Obs.Attrib.vphase = Some Obs.Trace.Boot);
+      Alcotest.(check int) "boot subtree" 90 boot.Obs.Attrib.vtotal;
+      match boot.Obs.Attrib.vkids with
+      | [ gate ] ->
+          Alcotest.(check bool) "gate node" true
+            (gate.Obs.Attrib.vphase = Some Obs.Trace.Emc_gate);
+          Alcotest.(check int) "gate self" 60 gate.Obs.Attrib.vself;
+          Alcotest.(check (list int)) "gate is a leaf" []
+            (List.map (fun k -> k.Obs.Attrib.vself) gate.Obs.Attrib.vkids)
+      | ks -> Alcotest.failf "expected 1 gate child, got %d" (List.length ks))
+  | ks -> Alcotest.failf "expected 1 root child, got %d" (List.length ks))
+
+(* HARD INVARIANT: on a real machine, attributed cycles sum exactly to the
+   final clock — every cycle lands in exactly one domain x phase context.
+   Checked on every setting with every event source exercised. *)
+let test_attrib_conservation () =
+  List.iter
+    (fun setting ->
+      let name field = Sim.Config.name setting ^ " " ^ field in
+      let obs = Obs.Emitter.create () in
+      let a = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+      let m = Sim.Machine.create ~frames:32768 ~cma_frames:4096 ~obs ~setting () in
+      ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+      let total = Hw.Cycles.now (Sim.Machine.clock m) in
+      Obs.Attrib.close a ~now:total;
+      Alcotest.(check int) (name "spans balanced") 0 (Obs.Attrib.open_depth a);
+      Alcotest.(check int) (name "conservation: total") total (Obs.Attrib.total a);
+      let summed =
+        List.fold_left
+          (fun acc (_, _, c) -> acc + c)
+          (Obs.Attrib.unattributed a)
+          (Obs.Attrib.breakdown a)
+      in
+      Alcotest.(check int) (name "conservation: breakdown sums") total summed;
+      Alcotest.(check int) (name "matches stats snapshot")
+        (Sim.Machine.snapshot m).Sim.Stats.cycles total)
+    Sim.Config.all
+
+(* Attaching the full sink complement must not move the clock: the run is
+   cycle-identical to a bare run of the same spec. *)
+let test_attrib_sinks_free () =
+  let bare =
+    let m =
+      Sim.Machine.create ~frames:32768 ~cma_frames:4096
+        ~setting:Sim.Config.Erebor_full ()
+    in
+    ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+    Hw.Cycles.now (Sim.Machine.clock m)
+  in
+  let observed =
+    let obs = Obs.Emitter.create () in
+    ignore (Obs.Attrib.attach obs (Obs.Attrib.create ()));
+    ignore (Obs.Chrome.attach obs (Obs.Chrome.create ()));
+    ignore (Obs.Histogram.attach obs (Obs.Histogram.create ()));
+    ignore (Obs.Ring.attach obs (Obs.Ring.create ~capacity:64));
+    let m =
+      Sim.Machine.create ~frames:32768 ~cma_frames:4096 ~obs
+        ~setting:Sim.Config.Erebor_full ()
+    in
+    ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+    Hw.Cycles.now (Sim.Machine.clock m)
+  in
+  Alcotest.(check int) "sinks never advance the clock" bare observed
+
+(* ------------------------------------------------------------------ *)
+(* Flame and metrics exporters                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_flame_export () =
+  let a = synthetic_attrib () in
+  let folded = Obs.Flame.collapsed a in
+  Alcotest.(check bool) "root line" true (contains ~sub:"erebor 30\n" folded);
+  Alcotest.(check bool) "boot frame" true
+    (contains ~sub:"erebor;kernel:boot 30\n" folded);
+  Alcotest.(check bool) "nested gate frame" true
+    (contains ~sub:"erebor;kernel:boot;monitor:gate 60\n" folded);
+  (* Collapsed-stack wellformedness: "frames count" per line, counts
+     summing to the attributed total. *)
+  let sum =
+    List.fold_left
+      (fun acc line ->
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed folded line %S" line
+        | Some i ->
+            acc + int_of_string (String.sub line (i + 1) (String.length line - i - 1)))
+      0
+      (List.filter
+         (fun l -> l <> "")
+         (String.split_on_char '\n' folded))
+  in
+  Alcotest.(check int) "folded counts sum to total" (Obs.Attrib.total a) sum;
+  let tree = Obs.Flame.tree a in
+  Alcotest.(check bool) "tree shows frames" true
+    (contains ~sub:"kernel:boot" tree && contains ~sub:"monitor:gate" tree)
+
+let test_metrics_export () =
+  let obs = Obs.Emitter.create () in
+  let counter = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+  let a = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+  Obs.Emitter.emit obs (Obs.Trace.span_begin Obs.Trace.Boot) ~ts:10 ~arg:0;
+  Obs.Emitter.emit obs Obs.Trace.Emc_entry ~ts:20 ~arg:1224;
+  Obs.Emitter.emit obs Obs.Trace.Emc_entry ~ts:30 ~arg:1224;
+  Obs.Emitter.emit obs (Obs.Trace.span_end Obs.Trace.Boot) ~ts:40 ~arg:0;
+  Obs.Attrib.close a ~now:50;
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.add reg ~label:"test" ~counter ~histogram:hist ~attrib:a ();
+  let prom = Obs.Metrics.to_prometheus reg in
+  Alcotest.(check bool) "counter family" true
+    (contains ~sub:{|erebor_events_total{source="test",kind="emc"} 2|} prom);
+  Alcotest.(check bool) "attribution family" true
+    (contains
+       ~sub:{|erebor_cycles_attributed_total{source="test",domain="kernel",phase="boot"} 30|}
+       prom);
+  Alcotest.(check bool) "unattributed row" true
+    (contains ~sub:{|domain="none",phase="(outside)"} 20|} prom);
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (contains ~sub:{|le="+Inf"|} prom);
+  (* Every sample line is "name{labels} value" with a parseable value. *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed sample line %S" line
+        | Some i ->
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            Alcotest.(check bool)
+              (Printf.sprintf "numeric value in %S" line)
+              true
+              (float_of_string_opt v <> None)
+      end)
+    (String.split_on_char '\n' prom);
+  Alcotest.(check string) "label escaping" {|a\"b\\c\nd|}
+    (Obs.Metrics.escape_label "a\"b\\c\nd");
+  (* The JSON rendition parses and reproduces the attribution totals. *)
+  let module J = Workloads.Bench_gate.Json in
+  match J.parse (Obs.Metrics.to_json reg) with
+  | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  | Ok json -> (
+      match Option.map (J.member "sources") (Some json) with
+      | Some (Some (J.Arr [ src ])) ->
+          let attribution = J.member "attribution" src in
+          let total =
+            Option.bind attribution (J.member "total")
+          in
+          Alcotest.(check bool) "json total" true (total = Some (J.Num 50.0))
+      | _ -> Alcotest.fail "expected one source in metrics JSON")
+
 let () =
   Alcotest.run "obs"
     [
@@ -351,5 +644,26 @@ let () =
             test_golden_trace_determinism;
           Alcotest.test_case "trace counts match snapshot" `Quick
             test_trace_counts_match_snapshot;
+        ] );
+      ( "percentile",
+        [ Alcotest.test_case "interpolated percentiles" `Quick test_percentile ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "JSON escaping" `Quick test_chrome_escape;
+          Alcotest.test_case "unbalanced spans" `Quick test_chrome_unbalanced;
+        ] );
+      ( "attrib",
+        [
+          Alcotest.test_case "span semantics" `Quick test_attrib_semantics;
+          Alcotest.test_case "conservation on every setting" `Quick
+            test_attrib_conservation;
+          Alcotest.test_case "sinks never move the clock" `Quick
+            test_attrib_sinks_free;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "flame collapsed + tree" `Quick test_flame_export;
+          Alcotest.test_case "metrics prometheus + json" `Quick
+            test_metrics_export;
         ] );
     ]

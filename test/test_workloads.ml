@@ -247,6 +247,117 @@ let test_netserve_shape () =
   Alcotest.(check bool) "small files hurt more" true (small < large);
   Alcotest.(check bool) "large files near native" true (large > 0.93)
 
+(* ------------------------------------------------------------------ *)
+(* Cycle attribution over the Fig. 9 grid                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The attribution breakdown is part of the deterministic evaluation
+   output: fanning the 25 machines across domains must not change a single
+   cycle, and every row must conserve cycles exactly. *)
+let test_attrib_determinism () =
+  let a1 = Workloads.Eval.attrib ~jobs:1 () in
+  let a2 = Workloads.Eval.attrib ~jobs:3 () in
+  Alcotest.(check int) "program x setting grid"
+    (List.length Workloads.Eval.all_programs * List.length Sim.Config.all)
+    (List.length a1);
+  Alcotest.(check bool) "identical under --jobs 1 vs --jobs 3" true (a1 = a2);
+  List.iter
+    (fun (r : Workloads.Eval.attrib_row) ->
+      let name field =
+        Printf.sprintf "%s@%s %s" r.aprogram (Sim.Config.name r.asetting) field
+      in
+      let summed =
+        List.fold_left (fun acc (_, _, c) -> acc + c) r.unattributed_cycles
+          r.contexts
+      in
+      Alcotest.(check int) (name "conserves cycles") r.total_cycles summed;
+      Alcotest.(check bool) (name "run phase present") true
+        (List.exists (fun (d, p, _) -> d = "user" && p = "run") r.contexts);
+      List.iter
+        (fun (_, _, c) ->
+          Alcotest.(check bool) (name "nonzero contexts only") true (c > 0))
+        r.contexts)
+    a1
+
+(* ------------------------------------------------------------------ *)
+(* Bench regression gate                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_gate_json () =
+  let module J = Workloads.Bench_gate.Json in
+  (match J.parse {| {"a": [1, 2.5, "x\n\"y\\", true, false, null, {}], "b": {"c": -3e2}} |} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v -> (
+      (match J.member "a" v with
+      | Some (J.Arr [ J.Num 1.0; J.Num 2.5; J.Str s; J.Bool true; J.Bool false;
+                      J.Null; J.Obj [] ]) ->
+          Alcotest.(check string) "string escapes" "x\n\"y\\" s
+      | _ -> Alcotest.fail "array shape");
+      match Option.bind (J.member "b" v) (J.member "c") with
+      | Some (J.Num f) -> Alcotest.(check (float 1e-9)) "exponent" (-300.0) f
+      | _ -> Alcotest.fail "nested member"));
+  (match J.parse "{\"unterminated\": " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated JSON");
+  match J.parse "{} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage"
+
+let test_bench_gate_pass () =
+  (* A baseline regenerated from the current build must pass the gate. *)
+  match Workloads.Bench_gate.check_string (Workloads.Bench_gate.render_anchors ()) with
+  | Error e -> Alcotest.failf "gate errored: %s" e
+  | Ok verdict ->
+      List.iter
+        (fun (c : Workloads.Bench_gate.check) ->
+          Alcotest.(check bool) (c.name ^ ": " ^ c.detail) true c.ok)
+        verdict;
+      Alcotest.(check bool) "verdict passes" true
+        (Workloads.Bench_gate.pass verdict);
+      (* The gate actually looked at the anchors: one check per table-3 row
+         and two per table-4 row, plus coverage and schema. *)
+      Alcotest.(check int) "check count"
+        (1 (* schema *)
+        + List.length (Workloads.Eval.table3 ()) + 1
+        + (2 * List.length (Workloads.Eval.table4 ())) + 1
+        + 2 (* wall + gc, vacuous without baseline fields *))
+        (List.length verdict)
+
+let replace_first ~sub ~by s =
+  let n = String.length sub in
+  let rec find i =
+    if i + n > String.length s then s
+    else if String.sub s i n = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+    else find (i + 1)
+  in
+  find 0
+
+let test_bench_gate_seeded_failure () =
+  (* Perturb one anchor: the EMC round trip is 1224 in the rendered
+     baseline; a baseline claiming 1225 must fail on exactly that check. *)
+  let anchors = Workloads.Bench_gate.render_anchors () in
+  let seeded = replace_first ~sub:"\"cycles\": 1224" ~by:"\"cycles\": 1225" anchors in
+  Alcotest.(check bool) "anchor present and perturbed" true (seeded <> anchors);
+  match Workloads.Bench_gate.check_string seeded with
+  | Error e -> Alcotest.failf "gate errored: %s" e
+  | Ok verdict ->
+      Alcotest.(check bool) "seeded mismatch fails" false
+        (Workloads.Bench_gate.pass verdict);
+      (match Workloads.Bench_gate.failures verdict with
+      | [ f ] ->
+          Alcotest.(check bool) "failure names the anchor" true
+            (f.Workloads.Bench_gate.name = "table3/EMC.cycles")
+      | fs -> Alcotest.failf "expected exactly 1 failure, got %d" (List.length fs));
+      (* Dropping a row entirely trips the coverage check instead. *)
+      let missing_row =
+        match Workloads.Bench_gate.check_string "{\"schema\": \"erebor-bench-sim/1\", \"table3\": [], \"table4\": []}" with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "gate errored: %s" e
+      in
+      Alcotest.(check bool) "empty anchor tables fail coverage" false
+        (Workloads.Bench_gate.pass missing_row)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -292,5 +403,17 @@ let () =
           Alcotest.test_case "syscall overhead" `Quick test_lmbench_syscall_overhead;
           Alcotest.test_case "pagefault worst" `Slow test_lmbench_pagefault_worst;
           Alcotest.test_case "netserve shape" `Slow test_netserve_shape;
+        ] );
+      ( "attrib",
+        [
+          Alcotest.test_case "fig9 grid: jobs-independent + conserving" `Quick
+            test_attrib_determinism;
+        ] );
+      ( "bench-gate",
+        [
+          Alcotest.test_case "json parser" `Quick test_bench_gate_json;
+          Alcotest.test_case "current anchors pass" `Quick test_bench_gate_pass;
+          Alcotest.test_case "seeded mismatch fails" `Quick
+            test_bench_gate_seeded_failure;
         ] );
     ]
