@@ -441,7 +441,9 @@ let run_check () =
         Printf.printf "PASS: %d checks (anchors exact, wall/GC within tolerance)\n"
           (List.length verdict)
       else begin
-        Format.printf "%a" Workloads.Bench_gate.pp_verdict fails;
+        (* All mismatches in one old/new table — one run is enough to see
+           the full extent of a regression. *)
+        Format.printf "%a" Workloads.Bench_gate.pp_mismatch_table verdict;
         Printf.printf "FAIL: %d of %d checks failed against %s\n"
           (List.length fails) (List.length verdict) !baseline_arg;
         exit 1

@@ -29,6 +29,12 @@ let workload_conv =
   in
   Arg.conv (parse, fun fmt (name, _) -> Fmt.string fmt name)
 
+(* The audit chain's MAC key. A real deployment would derive this from a
+   sealed monitor secret; the simulator uses a fixed derivation shared with
+   [audit verify] so chains written by [run --audit] verify offline (the
+   same substitution DESIGN.md makes for the attestation hw_key). *)
+let audit_key = Crypto.Sha256.digest_string "erebor-sim audit key"
+
 let print_run name setting (r : Sim.Machine.run_result) =
   Printf.printf "workload : %s\n" name;
   Printf.printf "setting  : %s\n" (Sim.Config.name setting);
@@ -82,8 +88,18 @@ let run_cmd =
              to stderr post mortem when the run dies on an unexpected fault \
              or the sandbox is killed.")
   in
-  let run (name, spec_fn) setting trace debug =
-    if trace = None && not debug then
+  let audit_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Record every monitor security decision in an HMAC-SHA256 \
+             hash-chained audit log and write it (JSONL) on exit — normal or \
+             abnormal. Check it offline with $(b,audit verify).")
+  in
+  let run (name, spec_fn) setting trace debug audit_file =
+    if trace = None && (not debug) && audit_file = None then
       print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
     else begin
       let obs = Obs.Emitter.create () in
@@ -94,6 +110,14 @@ let run_cmd =
       let ring =
         if debug then Some (Obs.Ring.attach obs (Obs.Ring.create ~capacity:512))
         else None
+      in
+      let chain =
+        match audit_file with
+        | None -> None
+        | Some _ ->
+            let chain = Obs.Audit.create ~key:audit_key in
+            Obs.Emitter.set_audit obs (Some chain);
+            Some chain
       in
       let m = Sim.Machine.create ~obs ~setting () in
       let dump_ring reason =
@@ -116,23 +140,38 @@ let run_cmd =
               (Obs.Chrome.length recorder) path
         | _ -> ()
       in
+      (* Flush every export that has buffered state — the trace file, the
+         finalized audit chain — on BOTH exit paths, so an abnormal exit
+         never drops a partially-written export. *)
+      let flush_exports () =
+        Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
+        write_trace ();
+        match (audit_file, chain) with
+        | Some path, Some chain ->
+            let oc = open_out path in
+            output_string oc (Obs.Audit.to_string chain);
+            close_out oc;
+            Printf.printf "audit    : %d records (chained, finalized) -> %s\n"
+              (Obs.Audit.length chain) path
+        | _ -> ()
+      in
       match Sim.Machine.run m (spec_fn ()) with
       | r ->
           print_run name setting r;
-          write_trace ();
+          flush_exports ();
           (match r.Sim.Machine.killed with
           | Some reason when debug -> dump_ring ("sandbox killed: " ^ reason)
           | _ -> ())
       | exception e ->
           dump_ring (Printexc.to_string e);
-          write_trace ();
+          flush_exports ();
           Printf.eprintf "run aborted: %s\n" (Printexc.to_string e);
           exit 2
     end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one setting and print its results")
-    Term.(const run $ workload $ setting $ trace $ debug)
+    Term.(const run $ workload $ setting $ trace $ debug $ audit_file)
 
 let profile_cmd =
   let workload =
@@ -170,10 +209,50 @@ let profile_cmd =
     let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
     let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
     let attrib = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+    (* The attribution context tree must be closed before export; doing it
+       through the finalizer registry means the exception path below flushes
+       exactly the same way the normal path does. *)
+    Obs.Emitter.add_finalizer obs (fun ~now -> Obs.Attrib.close attrib ~now);
     let m = Sim.Machine.create ~obs ~setting () in
-    let r = Sim.Machine.run m (spec_fn ()) in
+    let write_exports () =
+      (match flame with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Obs.Flame.collapsed attrib);
+          close_out oc;
+          Printf.printf "flame    : collapsed stacks -> %s\n" path);
+      match metrics with
+      | None -> ()
+      | Some path ->
+          let reg = Obs.Metrics.create () in
+          Obs.Metrics.add reg ~label:name ~counter:counters ~histogram:hist
+            ~attrib ();
+          let rendered =
+            if Filename.check_suffix path ".json" then Obs.Metrics.to_json reg
+            else Obs.Metrics.to_prometheus reg
+          in
+          let oc = open_out path in
+          output_string oc rendered;
+          close_out oc;
+          Printf.printf "metrics  : %s -> %s\n"
+            (if Filename.check_suffix path ".json" then "JSON" else "Prometheus")
+            path
+    in
+    let r =
+      match Sim.Machine.run m (spec_fn ()) with
+      | r -> r
+      | exception e ->
+          (* Abnormal exit: finalize the sinks and write well-formed
+             exports before dying, so a crash never loses the profile. *)
+          Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
+          write_exports ();
+          Printf.eprintf "profile aborted: %s (exports flushed)\n"
+            (Printexc.to_string e);
+          exit 2
+    in
     let total = Hw.Cycles.now (Sim.Machine.clock m) in
-    Obs.Attrib.close attrib ~now:total;
+    Obs.Emitter.finalize obs ~now:total;
     Printf.printf "profile  : %s under %s (%d virtual cycles total)\n" name
       (Sim.Config.name setting) total;
     Printf.printf "  %-16s %10s %14s\n" "kind" "count" "cycles";
@@ -218,29 +297,7 @@ let profile_cmd =
       (100.0
       *. float_of_int (Obs.Attrib.unattributed attrib)
       /. float_of_int total);
-    (match flame with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Obs.Flame.collapsed attrib);
-        close_out oc;
-        Printf.printf "flame    : collapsed stacks -> %s\n" path);
-    (match metrics with
-    | None -> ()
-    | Some path ->
-        let reg = Obs.Metrics.create () in
-        Obs.Metrics.add reg ~label:name ~counter:counters ~histogram:hist
-          ~attrib ();
-        let rendered =
-          if Filename.check_suffix path ".json" then Obs.Metrics.to_json reg
-          else Obs.Metrics.to_prometheus reg
-        in
-        let oc = open_out path in
-        output_string oc rendered;
-        close_out oc;
-        Printf.printf "metrics  : %s -> %s\n"
-          (if Filename.check_suffix path ".json" then "JSON" else "Prometheus")
-          path);
+    write_exports ();
     match r.Sim.Machine.killed with
     | Some reason -> Printf.printf "KILLED   : %s\n" reason
     | None -> ()
@@ -386,10 +443,41 @@ let selfcheck_cmd =
     (Cmd.info "selfcheck" ~doc:"Run the security-claim battery (C1-C8) on a fresh stack")
     Term.(const selfcheck $ const ())
 
+let audit_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Audit log written by $(b,run --audit).")
+  in
+  let verify path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Obs.Audit.verify_string ~key:audit_key contents with
+    | Ok n ->
+        Printf.printf "audit verify: OK — %d record(s), chain intact and finalized\n" n
+    | Error msg ->
+        Printf.eprintf "audit verify: FAILED — %s\n" msg;
+        exit 1
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-walk an audit log's HMAC chain offline; any tampered, \
+            dropped, reordered or truncated record fails the check")
+      Term.(const verify $ file)
+  in
+  Cmd.group
+    (Cmd.info "audit" ~doc:"Inspect tamper-evident audit logs")
+    [ verify_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "erebor-sim" ~version:"1.0.0"
        ~doc:"Run the paper's workloads on the simulated Erebor CVM")
-    [ run_cmd; profile_cmd; compare_cmd; list_cmd; selfcheck_cmd ]
+    [ run_cmd; profile_cmd; compare_cmd; list_cmd; selfcheck_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -56,6 +56,37 @@ let decode_sealed b =
     else Ok { Crypto.Aead.nonce; ciphertext = Bytes.sub b 52 len; tag }
   end
 
+(* Trace-context header, carried *inside* the seal so the untrusted proxy
+   learns nothing from it: magic "ERTC1", then le64 trace id, le64 parent
+   span id, and a flags byte (bit 0 = sampled). The server strips it before
+   handing the plaintext to the monitor, so payload-length-based cycle
+   charges are identical with tracing on or off. *)
+let ctx_magic = "ERTC1"
+let ctx_header_len = String.length ctx_magic + 8 + 8 + 1
+
+let encode_ctx (cx : Obs.Request.ctx) data =
+  let h = Bytes.create ctx_header_len in
+  Bytes.blit_string ctx_magic 0 h 0 5;
+  Bytes.blit (le64 cx.Obs.Request.trace_id) 0 h 5 8;
+  Bytes.blit (le64 cx.Obs.Request.span_id) 0 h 13 8;
+  Bytes.set h 21 (if cx.Obs.Request.sampled then '\001' else '\000');
+  Bytes.cat h data
+
+let decode_ctx data =
+  if
+    Bytes.length data >= ctx_header_len
+    && Bytes.sub_string data 0 (String.length ctx_magic) = ctx_magic
+  then
+    let cx =
+      {
+        Obs.Request.trace_id = read_le64 data 5;
+        span_id = read_le64 data 13;
+        sampled = Bytes.get data 21 <> '\000';
+      }
+    in
+    Some (cx, Bytes.sub data ctx_header_len (Bytes.length data - ctx_header_len))
+  else None
+
 let serialize_report (r : Tdx.Attest.report) =
   Bytes.concat Bytes.empty
     (r.Tdx.Attest.mrtd
@@ -141,8 +172,9 @@ module Client = struct
           end
     end
 
-  let seal_request t data =
+  let seal_request ?ctx t data =
     if not t.established then invalid_arg "Client.seal_request: no session";
+    let data = match ctx with None -> data | Some cx -> encode_ctx cx data in
     encode_sealed
       (Crypto.Aead.seal ~key:t.c2s ~nonce:(fresh_nonce t.rng) ~ad:(Bytes.of_string "c2s") data)
 
@@ -165,7 +197,14 @@ module Server = struct
     emit : Obs.Trace.kind -> arg:int -> unit;
         (* Channel traffic events ride the monitor's emitter; arg is the
            wire-payload size in bytes. *)
+    obs : Obs.Emitter.t;
+    now : unit -> int;
+    mutable last_ctx : Obs.Request.ctx option;
+        (* Trace context of the request being served, set by [open_request]
+           and cleared when [seal_response] closes the window. *)
   }
+
+  let last_ctx t = t.last_ctx
 
   (* Attribution span markers around the crypto work. The channel's own
      computation is host-real (no virtual cost of its own), but the spans
@@ -180,7 +219,14 @@ module Server = struct
       Obs.Emitter.emit (Monitor.obs monitor) kind ~ts:(Monitor.now monitor) ~arg
     in
     emit Obs.Trace.Channel_recv ~arg:(Bytes.length client_hello);
-    if Bytes.length client_hello <> 192 then Error "client hello: bad size"
+    let audit verdict detail =
+      Obs.Emitter.audit_event (Monitor.obs monitor)
+        ~ts:(Monitor.now monitor) ~category:"channel.accept" ~verdict detail
+    in
+    if Bytes.length client_hello <> 192 then begin
+      audit Obs.Audit.Deny (fun () -> "client hello: bad size");
+      Error "client hello: bad size"
+    end
     else begin
       emit crypto_begin ~arg:0;
       let result =
@@ -194,12 +240,24 @@ module Server = struct
             let report = Monitor.tdreport monitor ~report_data:binding in
             let c2s, s2c = derive_keys ~secret in
             let hello = Bytes.cat server_pub (serialize_report report) in
-            Ok ({ rng; c2s; s2c; emit }, hello)
+            Ok
+              ( {
+                  rng;
+                  c2s;
+                  s2c;
+                  emit;
+                  obs = Monitor.obs monitor;
+                  now = (fun () -> Monitor.now monitor);
+                  last_ctx = None;
+                },
+                hello )
       in
       emit crypto_end ~arg:0;
       (match result with
-      | Ok (_, hello) -> emit Obs.Trace.Channel_send ~arg:(Bytes.length hello)
-      | Error _ -> ());
+      | Ok (_, hello) ->
+          emit Obs.Trace.Channel_send ~arg:(Bytes.length hello);
+          audit Obs.Audit.Allow (fun () -> "session established")
+      | Error e -> audit Obs.Audit.Deny (fun () -> e));
       result
     end
 
@@ -215,7 +273,22 @@ module Server = struct
           | Some data -> Ok data)
     in
     t.emit crypto_end ~arg:0;
-    result
+    match result with
+    | Error e ->
+        Obs.Emitter.audit_event t.obs ~ts:(t.now ()) ~category:"channel.request"
+          ~verdict:Obs.Audit.Deny (fun () -> e);
+        result
+    | Ok data -> (
+        (* Strip the trace-context header before the plaintext reaches the
+           monitor: downstream length-proportional cycle charges must not
+           see it. The server-side request window opens here and closes in
+           [seal_response]. *)
+        match decode_ctx data with
+        | None -> result
+        | Some (cx, payload) ->
+            t.last_ctx <- Some cx;
+            t.emit Obs.Trace.Req_begin ~arg:(Obs.Request.pack cx ~root:false);
+            Ok payload)
 
   let seal_response t ~bucket data =
     t.emit crypto_begin ~arg:0;
@@ -226,5 +299,10 @@ module Server = struct
     in
     t.emit crypto_end ~arg:0;
     t.emit Obs.Trace.Channel_send ~arg:(Bytes.length out);
+    (match t.last_ctx with
+    | None -> ()
+    | Some cx ->
+        t.emit Obs.Trace.Req_end ~arg:(Obs.Request.pack cx ~root:false);
+        t.last_ctx <- None);
     out
 end

@@ -29,6 +29,18 @@ val unpad : bytes -> (bytes, string) result
 val encode_sealed : Crypto.Aead.sealed -> bytes
 val decode_sealed : bytes -> (Crypto.Aead.sealed, string) result
 
+(** {2 Trace-context header}
+
+    A request-tracing context travels *inside* the seal — magic ["ERTC1"],
+    le64 trace id, le64 parent span id, one flags byte (bit 0 = sampled) —
+    so the untrusted proxy learns nothing from it. The server strips the
+    header before handing the plaintext to the monitor, keeping
+    length-proportional cycle charges identical with tracing on or off. *)
+
+val ctx_header_len : int
+val encode_ctx : Obs.Request.ctx -> bytes -> bytes
+val decode_ctx : bytes -> (Obs.Request.ctx * bytes) option
+
 module Client : sig
   type t
 
@@ -44,8 +56,9 @@ module Client : sig
   (** Verify the monitor's report (MAC, MRTD, transcript binding) and derive
       the session keys. *)
 
-  val seal_request : t -> bytes -> bytes
-  (** Encrypt client data for the monitor (wire encoding included). *)
+  val seal_request : ?ctx:Obs.Request.ctx -> t -> bytes -> bytes
+  (** Encrypt client data for the monitor (wire encoding included). With
+      [?ctx], the trace-context header is prepended inside the seal. *)
 
   val open_response : t -> bytes -> (bytes, string) result
   (** Decrypt, authenticate and unpad a monitor response. *)
@@ -61,10 +74,17 @@ module Server : sig
       (monitor-exclusive tdcall) and produce the server hello. *)
 
   val open_request : t -> bytes -> (bytes, string) result
+  (** Decrypt and authenticate one request. A trace-context header, when
+      present, is stripped before the plaintext is returned; the server
+      emits [Req_begin] and remembers the context until the response is
+      sealed. Authentication failures are audited. *)
+
+  val last_ctx : t -> Obs.Request.ctx option
+  (** The trace context of the request currently being served, if any. *)
 
   val seal_response : t -> bucket:int -> bytes -> bytes
   (** Pad to [bucket] and encrypt — fixed-length output against size covert
-      channels. *)
+      channels. Emits [Req_end] and clears the stored trace context. *)
 end
 
 val serialize_report : Tdx.Attest.report -> bytes

@@ -88,6 +88,9 @@ let ptp_count t =
 let deny_incr t msg =
   t.denied <- t.denied + 1;
   Hw.Cpu.emit t.cpu Obs.Trace.Mmu_deny ~arg:t.denied;
+  Obs.Emitter.audit_event t.cpu.Hw.Cpu.obs
+    ~ts:(Hw.Cycles.now t.cpu.Hw.Cpu.clock) ~category:"mmu"
+    ~verdict:Obs.Audit.Deny (fun () -> msg);
   Error msg
 
 let record_common_mapping t instance pte_addr =

@@ -113,7 +113,17 @@ let pinned_cr_bits =
 let monitor_owned_msrs =
   [ Hw.Msr.ia32_pkrs; Hw.Msr.ia32_s_cet; Hw.Msr.ia32_pl0_ssp; Hw.Msr.ia32_uintr_tt ]
 
-let fail msg = raise (Policy_violation msg)
+(* Audit rail: security decisions append to the attached chain (if any).
+   Appending is pure bookkeeping — it never advances the virtual clock, and
+   the detail thunk only runs when a chain is attached. *)
+let audit t ~category verdict detail =
+  Obs.Emitter.audit_event (obs t) ~ts:(now t) ~category ~verdict detail
+
+(* Every policy rejection is audited before the exception unwinds through
+   the gate, so the chain records the decision even when the caller dies. *)
+let fail t ~category msg =
+  audit t ~category Obs.Audit.Deny (fun () -> msg);
+  raise (Policy_violation msg)
 
 (* Open an attribution span around [f]; the begin/end pair is emitted at
    the current clock (never advancing it), so the Attrib sink can charge
@@ -159,6 +169,7 @@ let serviced t ek f =
 
 let privops t =
   let g = t.gate in
+  let cat = Policy.audit_category in
   {
     Kernel.Privops.label = "erebor";
     write_pte =
@@ -168,7 +179,7 @@ let privops t =
                 cost t Hw.Cycles.Cost.emc_service_mmu;
                 match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
                 | Ok () -> ()
-                | Error e -> fail ("mmu: " ^ e))));
+                | Error e -> fail t ~category:(cat Policy.Mmu) ("mmu: " ^ e))));
     write_pte_batch =
       (fun entries ->
         (* One gate round trip covers the whole batch; each entry still
@@ -180,7 +191,8 @@ let privops t =
                     cost t Hw.Cycles.Cost.emc_service_mmu;
                     match Mmu_guard.write_pte t.guard ~trusted:false ~pte_addr pte with
                     | Ok () -> ()
-                    | Error e -> fail ("mmu batch: " ^ e)))
+                    | Error e ->
+                        fail t ~category:(cat Policy.Mmu) ("mmu batch: " ^ e)))
               entries));
     set_cr_bit =
       (fun ~reg bit v ->
@@ -190,38 +202,56 @@ let privops t =
                 let pinned =
                   List.exists (fun (r, b) -> r = reg && Int64.equal b bit) pinned_cr_bits
                 in
-                if pinned && not v then fail "cr: clearing a monitor-pinned protection bit"
-                else Hw.Cpu.set_cr_bit t.cpu ~reg bit v)));
+                if pinned && not v then
+                  fail t ~category:(cat Policy.Cr)
+                    "cr: clearing a monitor-pinned protection bit"
+                else begin
+                  audit t ~category:(cat Policy.Cr) Obs.Audit.Allow (fun () ->
+                      Printf.sprintf "set_cr_bit %s bit=0x%Lx v=%b"
+                        (match reg with `Cr0 -> "cr0" | `Cr4 -> "cr4")
+                        bit v);
+                  Hw.Cpu.set_cr_bit t.cpu ~reg bit v
+                end)));
     write_cr3 =
       (fun ~root_pfn ->
         Gate.call g (fun () ->
             serviced t Obs.Trace.Cr (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_cr;
                 match Mmu_guard.register_root t.guard ~root_pfn with
-                | Ok () -> Hw.Cpu.write_cr3 t.cpu ~root_pfn
-                | Error e -> fail ("cr3: " ^ e))));
+                | Ok () ->
+                    audit t ~category:(cat Policy.Cr) Obs.Audit.Allow (fun () ->
+                        Printf.sprintf "write_cr3 root_pfn=%d" root_pfn);
+                    Hw.Cpu.write_cr3 t.cpu ~root_pfn
+                | Error e -> fail t ~category:(cat Policy.Cr) ("cr3: " ^ e))));
     declare_root =
       (fun ~root_pfn ->
         Gate.call g (fun () ->
             serviced t Obs.Trace.Mmu (fun () ->
                 cost t Hw.Cycles.Cost.emc_service_mmu;
                 match Mmu_guard.register_root t.guard ~root_pfn with
-                | Ok () -> ()
-                | Error e -> fail ("declare_root: " ^ e))));
+                | Ok () ->
+                    audit t ~category:(cat Policy.Mmu) Obs.Audit.Allow (fun () ->
+                        Printf.sprintf "declare_root root_pfn=%d" root_pfn)
+                | Error e ->
+                    fail t ~category:(cat Policy.Mmu) ("declare_root: " ^ e))));
     write_msr =
       (fun idx v ->
         Gate.call g (fun () ->
             serviced t Obs.Trace.Msr (fun () ->
             cost t Hw.Cycles.Cost.emc_service_msr;
             if List.mem idx monitor_owned_msrs then
-              fail "msr: register is monitor-owned"
-            else if idx = Hw.Msr.ia32_lstar then begin
-              (* Interpose the syscall entry: remember where the kernel
-                 wanted it, keep control at the monitor's entry. *)
-              t.kernel_lstar <- v;
-              Hw.Cpu.write_msr t.cpu idx (Int64.of_int (Gate.entry_point t.gate))
-            end
-            else Hw.Cpu.write_msr t.cpu idx v)));
+              fail t ~category:(cat Policy.Msr) "msr: register is monitor-owned"
+            else begin
+              audit t ~category:(cat Policy.Msr) Obs.Audit.Allow (fun () ->
+                  Printf.sprintf "write_msr idx=0x%x" idx);
+              if idx = Hw.Msr.ia32_lstar then begin
+                (* Interpose the syscall entry: remember where the kernel
+                   wanted it, keep control at the monitor's entry. *)
+                t.kernel_lstar <- v;
+                Hw.Cpu.write_msr t.cpu idx (Int64.of_int (Gate.entry_point t.gate))
+              end
+              else Hw.Cpu.write_msr t.cpu idx v
+            end)));
     lidt =
       (fun idt ->
         Gate.call g (fun () ->
@@ -229,6 +259,8 @@ let privops t =
                 cost t Hw.Cycles.Cost.emc_service_idt;
                 (* The kernel's table is recorded; the installed table is the
                    monitor's wrapped copy (exit interposition, §6.2). *)
+                audit t ~category:(cat Policy.Idt) Obs.Audit.Allow (fun () ->
+                    "lidt: kernel table recorded, wrapped copy installed");
                 t.kernel_idt <- Some (Hw.Idt.copy idt);
                 Hw.Cpu.lidt t.cpu idt)));
     tdcall =
@@ -239,14 +271,23 @@ let privops t =
                   (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
                 match leaf with
                 | Tdx.Ghci.Tdreport _ ->
-                    fail "ghci: attestation digests are monitor-exclusive"
+                    fail t ~category:(cat Policy.Ghci)
+                      "ghci: attestation digests are monitor-exclusive"
                 | Tdx.Ghci.Rtmr_extend _ ->
-                    fail "ghci: measurement registers are monitor-exclusive"
+                    fail t ~category:(cat Policy.Ghci)
+                      "ghci: measurement registers are monitor-exclusive"
                 | Tdx.Ghci.Map_gpa { pfn; shared = true }
                   when not (pfn >= t.shared_first && pfn < t.shared_first + t.shared_frames)
                   ->
-                    fail "ghci: sharing outside the device region"
+                    fail t ~category:(cat Policy.Ghci)
+                      "ghci: sharing outside the device region"
                 | Tdx.Ghci.Map_gpa _ | Tdx.Ghci.Vmcall _ ->
+                    audit t ~category:(cat Policy.Ghci) Obs.Audit.Allow
+                      (fun () ->
+                        match leaf with
+                        | Tdx.Ghci.Map_gpa { pfn; shared } ->
+                            Printf.sprintf "map_gpa pfn=%d shared=%b" pfn shared
+                        | _ -> "vmcall");
                     Tdx.Td_module.tdcall t.td t.cpu leaf)));
     verify_dynamic_code =
       (fun ~section code ->
@@ -254,8 +295,16 @@ let privops t =
             serviced t Obs.Trace.Mmu (fun () ->
                 cost t (Hw.Cycles.Cost.emc_service_mmu + Bytes.length code);
                 match Scan.verify_bytes ~section code with
-                | Ok () -> Ok ()
+                | Ok () ->
+                    audit t ~category:"scan" Obs.Audit.Allow (fun () ->
+                        Printf.sprintf "dynamic code accepted: section=%s %d bytes"
+                          section (Bytes.length code));
+                    Ok ()
                 | Error violations ->
+                    audit t ~category:"scan" Obs.Audit.Deny (fun () ->
+                        Fmt.str "dynamic code rejected: section=%s %a" section
+                          (Fmt.list ~sep:Fmt.comma Scan.pp_violation)
+                          violations);
                     Error
                       (Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Scan.pp_violation) violations))));
     copy_from_user =
@@ -265,7 +314,8 @@ let privops t =
                 cost t Hw.Cycles.Cost.emc_service_smap;
                 cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
                 (match t.usercopy_veto () with
-                | Some reason -> fail ("usercopy: " ^ reason)
+                | Some reason ->
+                    fail t ~category:(cat Policy.Smap) ("usercopy: " ^ reason)
                 | None -> ());
                 Hw.Cpu.stac t.cpu;
                 (match Hw.Cpu.read_bytes t.cpu user_addr len with
@@ -282,7 +332,8 @@ let privops t =
                 cost t Hw.Cycles.Cost.emc_service_smap;
                 cost t (Hw.Cycles.Cost.usercopy_per_page * max 1 (Kernel.Layout.pages_of_bytes len));
                 (match t.usercopy_veto () with
-                | Some reason -> fail ("usercopy: " ^ reason)
+                | Some reason ->
+                    fail t ~category:(cat Policy.Smap) ("usercopy: " ^ reason)
                 | None -> ());
                 Hw.Cpu.stac t.cpu;
                 (match Hw.Cpu.read_into t.cpu user_addr buf ~off ~len with
@@ -301,7 +352,8 @@ let privops t =
                   (Hw.Cycles.Cost.usercopy_per_page
                   * max 1 (Kernel.Layout.pages_of_bytes (Bytes.length data)));
                 (match t.usercopy_veto () with
-                | Some reason -> fail ("usercopy: " ^ reason)
+                | Some reason ->
+                    fail t ~category:(cat Policy.Smap) ("usercopy: " ^ reason)
                 | None -> ());
                 Hw.Cpu.stac t.cpu;
                 (match Hw.Cpu.write_bytes t.cpu user_addr data with
@@ -319,11 +371,18 @@ let boot_kernel t ~kernel_image ~reserved_frames ~cma_frames =
         Scan.verify_image kernel_image)
   with
   | Error violations ->
+      audit t ~category:"scan" Obs.Audit.Deny (fun () ->
+          Fmt.str "kernel image rejected: %a"
+            (Fmt.list ~sep:Fmt.comma Scan.pp_violation)
+            violations);
       Error
         (Fmt.str "kernel image rejected: %a"
            (Fmt.list ~sep:Fmt.comma Scan.pp_violation)
            violations)
   | Ok () ->
+      audit t ~category:"scan" Obs.Audit.Allow (fun () ->
+          Printf.sprintf "kernel image accepted: %d sections"
+            (List.length kernel_image.Hw.Image.sections));
       if reserved_frames < t.monitor_first + t.monitor_frames + t.shared_frames then
         Error "reserved_frames too small for monitor + device region"
       else begin
@@ -372,7 +431,10 @@ let tdreport t ~report_data =
               (Hw.Cycles.Cost.emc_service_ghci - Hw.Cycles.Cost.tdreport_native);
             Tdx.Td_module.tdcall t.td t.cpu (Tdx.Ghci.Tdreport { report_data })))
   with
-  | Tdx.Td_module.Ok_report r -> r
+  | Tdx.Td_module.Ok_report r ->
+      audit t ~category:"attest" Obs.Audit.Info (fun () ->
+          "tdreport minted: " ^ Tdx.Attest.fingerprint r);
+      r
   | Tdx.Td_module.Ok_int _ | Tdx.Td_module.Ok_bytes _ | Tdx.Td_module.Ok_unit ->
       failwith "tdreport: unexpected result"
   | Tdx.Td_module.Error_leaf e -> failwith ("tdreport: " ^ e)

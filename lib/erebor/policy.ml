@@ -47,6 +47,17 @@ let class_of_isa = function
   | Hw.Isa.Iret | Hw.Isa.Cpuid | Hw.Isa.Clac | Hw.Isa.Senduipi _ ->
       None
 
+(* Audit-chain category for a monitor decision about an instruction class;
+   keeping the mapping here keeps record categories consistent across the
+   monitor's service routines. *)
+let audit_category = function
+  | Cr -> "privop.cr"
+  | Msr -> "privop.msr"
+  | Smap -> "privop.smap"
+  | Idt -> "privop.idt"
+  | Ghci -> "privop.ghci"
+  | Mmu -> "privop.mmu"
+
 let pp_class fmt = function
   | Cr -> Fmt.string fmt "CR"
   | Msr -> Fmt.string fmt "MSR"

@@ -31,4 +31,8 @@ val sensitive_instructions : sensitive list
 val class_of_isa : Hw.Isa.instr -> instr_class option
 (** Which class a synthetic-ISA instruction falls into, if sensitive. *)
 
+val audit_category : instr_class -> string
+(** Audit-chain record category for decisions about this class
+    (["privop.cr"], ["privop.mmu"], ...). *)
+
 val pp_class : Format.formatter -> instr_class -> unit

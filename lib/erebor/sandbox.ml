@@ -52,6 +52,13 @@ let guard mgr = Monitor.guard mgr.monitor
 (* Sandbox lifecycle events carry the sandbox id as argument. *)
 let emit mgr kind ~arg = Hw.Cpu.emit mgr.kern.Kernel.cpu kind ~arg
 
+(* Lifecycle transitions are security decisions too: they land in the audit
+   chain (when one is attached) alongside the [Sandbox_*] bus events. *)
+let audit mgr verdict detail =
+  Obs.Emitter.audit_event mgr.kern.Kernel.cpu.Hw.Cpu.obs
+    ~ts:(Hw.Cycles.now mgr.kern.Kernel.clock) ~category:"sandbox" ~verdict
+    detail
+
 (* Attribute a monitor-interposition cycle charge: the [Exit_interpose]
    span boundaries are emitted at the current clock around the advance. *)
 let interpose_charge mgr cycles =
@@ -160,6 +167,8 @@ let create_sandbox mgr ~name ~confined_budget =
     Hashtbl.replace mgr.sandboxes sid sb;
     Hashtbl.replace mgr.by_root task.Kernel.Task.root_pfn sb;
     emit mgr Obs.Trace.Sandbox_create ~arg:sid;
+    audit mgr Obs.Audit.Info (fun () ->
+        Printf.sprintf "create id=%d name=%s" sid sb.sb_name);
     Ok sb
   end
 
@@ -284,6 +293,8 @@ let kill mgr sb reason =
   sb.kill_reason <- Some reason;
   sb.phase <- Terminated;
   emit mgr Obs.Trace.Sandbox_kill ~arg:sb.id;
+  audit mgr Obs.Audit.Kill (fun () ->
+      Printf.sprintf "kill id=%d: %s" sb.id reason);
   Kernel.exit_task mgr.kern sb.main_task ~code:137;
   List.iter (fun th -> Kernel.exit_task mgr.kern th ~code:137) sb.threads
 
@@ -306,6 +317,8 @@ let load_client_data mgr sb data =
           Monitor.prepare_sandbox_entry mgr.monitor;
           sb.phase <- Data_loaded;
           emit mgr Obs.Trace.Sandbox_seal ~arg:sb.id;
+          audit mgr Obs.Audit.Info (fun () ->
+              Printf.sprintf "seal id=%d input=%d bytes" sb.id sb.input_len);
           Ok start
         end
 
@@ -389,6 +402,7 @@ let timer_tick mgr sb =
 let terminate mgr sb =
   if sb.phase <> Terminated then sb.phase <- Terminated;
   emit mgr Obs.Trace.Sandbox_exit ~arg:sb.id;
+  audit mgr Obs.Audit.Info (fun () -> Printf.sprintf "exit id=%d" sb.id);
   (* Scrub and release confined memory (§6.3 cleanup). *)
   List.iter
     (fun r ->

@@ -1,8 +1,14 @@
 type sink = Trace.kind -> ts:int -> arg:int -> unit
 
-type t = { mutable sinks : sink array }
+type t = {
+  mutable sinks : sink array;
+  mutable audit : Audit.t option;
+  mutable finalizers : (now:int -> unit) list;
+  mutable finalized : bool;
+}
 
-let create () = { sinks = [||] }
+let create () =
+  { sinks = [||]; audit = None; finalizers = []; finalized = false }
 
 let attach t sink = t.sinks <- Array.append t.sinks [| sink |]
 
@@ -13,3 +19,30 @@ let emit t kind ~ts ~arg =
   for i = 0 to Array.length sinks - 1 do
     (Array.unsafe_get sinks i) kind ~ts ~arg
   done
+
+(* Audit hook: the structured side channel for decisions whose detail does
+   not fit the int-arg bus. The detail thunk only runs when a log is
+   attached, so instrumented paths stay allocation-free otherwise. *)
+
+let set_audit t audit = t.audit <- audit
+let audit t = t.audit
+
+let audit_event t ~ts ~category ~verdict detail =
+  match t.audit with
+  | None -> ()
+  | Some log -> Audit.append log ~ts ~category ~verdict ~detail:(detail ())
+
+(* Finalizers: flush/close hooks for sinks with buffered or open state
+   (attribution contexts, audit chains). [finalize] is idempotent so both
+   the normal-exit path and an exception handler can call it. *)
+
+let add_finalizer t f = t.finalizers <- f :: t.finalizers
+
+let finalize t ~now =
+  if not t.finalized then begin
+    t.finalized <- true;
+    List.iter (fun f -> f ~now) (List.rev t.finalizers);
+    match t.audit with None -> () | Some log -> Audit.finalize log ~now
+  end
+
+let finalized t = t.finalized

@@ -4,7 +4,12 @@
     bounds check and a loop over zero elements, so instrumented code paths
     stay cheap when nobody is listening. Emission NEVER advances the virtual
     clock — observability is free in simulated time, which is what keeps the
-    calibrated tables byte-identical with tracing on or off. *)
+    calibrated tables byte-identical with tracing on or off.
+
+    Two side rails ride along with the int-arg bus: an optional {!Audit}
+    chain for structured security decisions ({!audit_event}), and a
+    finalizer registry ({!add_finalizer}/{!finalize}) so sinks with buffered
+    state get flushed even on abnormal exit. *)
 
 type sink = Trace.kind -> ts:int -> arg:int -> unit
 
@@ -14,3 +19,28 @@ val create : unit -> t
 val attach : t -> sink -> unit
 val sink_count : t -> int
 val emit : t -> Trace.kind -> ts:int -> arg:int -> unit
+
+(** {2 Audit rail} *)
+
+val set_audit : t -> Audit.t option -> unit
+(** Attach (or detach) the audit chain decisions are appended to. *)
+
+val audit : t -> Audit.t option
+
+val audit_event : t -> ts:int -> category:string -> verdict:Audit.verdict ->
+  (unit -> string) -> unit
+(** Append a decision record if an audit chain is attached. The detail
+    thunk only runs when one is, keeping un-audited runs allocation-free. *)
+
+(** {2 Finalizers} *)
+
+val add_finalizer : t -> (now:int -> unit) -> unit
+(** Register a flush/close hook, run in registration order by
+    {!finalize}. *)
+
+val finalize : t -> now:int -> unit
+(** Run all registered finalizers and finalize the attached audit chain (if
+    any). Idempotent: only the first call runs anything, so both the normal
+    exit path and an exception handler may call it. *)
+
+val finalized : t -> bool

@@ -9,6 +9,8 @@ module Chrome = Chrome
 module Attrib = Attrib
 module Flame = Flame
 module Metrics = Metrics
+module Audit = Audit
+module Request = Request
 
 let with_span emitter ~now phase f =
   Emitter.emit emitter (Trace.span_begin phase) ~ts:(now ()) ~arg:0;

@@ -1,9 +1,11 @@
 (** The unified observability subsystem: a typed, allocation-light event bus
     ({!Emitter}) over the {!Trace} taxonomy, with pluggable sinks — counters
     ({!Counter}), a bounded post-mortem ring ({!Ring}), latency histograms
-    ({!Histogram}), a Chrome-trace/JSONL recorder ({!Chrome}) and a
+    ({!Histogram}), a Chrome-trace/JSONL recorder ({!Chrome}), a
     cycle-attribution profiler ({!Attrib}) with flamegraph ({!Flame}) and
-    Prometheus/JSON ({!Metrics}) exporters.
+    Prometheus/JSON ({!Metrics}) exporters, a request-scoped causal-trace
+    collector ({!Request}) and a tamper-evident hash-chained audit log
+    ({!Audit}).
 
     Emission never advances the virtual clock: observability is free in
     simulated time, so calibrated results are identical with or without
@@ -19,6 +21,8 @@ module Chrome = Chrome
 module Attrib = Attrib
 module Flame = Flame
 module Metrics = Metrics
+module Audit = Audit
+module Request = Request
 
 val with_span : Emitter.t -> now:(unit -> int) -> Trace.phase -> (unit -> 'a) -> 'a
 (** [with_span emitter ~now phase f] emits [Span_begin phase], runs [f], and

@@ -144,12 +144,14 @@ type kind =
   | Sandbox_seal         (* arg = sandbox id *)
   | Sandbox_kill         (* arg = sandbox id *)
   | Sandbox_exit         (* arg = sandbox id *)
+  | Req_begin            (* arg = packed request ctx, see {!Request} *)
+  | Req_end              (* arg = packed request ctx, see {!Request} *)
   | Span_begin of phase
   | Span_end of phase
 
 type event = { kind : kind; ts : int; arg : int }
 
-let n_span_base = 24
+let n_span_base = 26
 let n_kinds = n_span_base + (2 * n_phases)
 
 let index = function
@@ -177,6 +179,8 @@ let index = function
   | Sandbox_seal -> 21
   | Sandbox_kill -> 22
   | Sandbox_exit -> 23
+  | Req_begin -> 24
+  | Req_end -> 25
   | Span_begin p -> n_span_base + phase_index p
   | Span_end p -> n_span_base + n_phases + phase_index p
 
@@ -205,6 +209,8 @@ let name = function
   | Sandbox_seal -> "sandbox.seal"
   | Sandbox_kill -> "sandbox.kill"
   | Sandbox_exit -> "sandbox.exit"
+  | Req_begin -> "req.begin"
+  | Req_end -> "req.end"
   | Span_begin p -> phase_name p
   | Span_end p -> phase_name p
 
@@ -237,6 +243,7 @@ let all =
     Tdcall; Vmcall; Tlb_fill; Fault_raised; Mmu_deny;
     Channel_send; Channel_recv;
     Sandbox_create; Sandbox_seal; Sandbox_kill; Sandbox_exit;
+    Req_begin; Req_end;
   ]
   @ List.map span_begin all_phases
   @ List.map span_end all_phases

@@ -85,6 +85,9 @@ type kind =
   | Sandbox_seal         (** arg = sandbox id. *)
   | Sandbox_kill         (** arg = sandbox id. *)
   | Sandbox_exit         (** arg = sandbox id. *)
+  | Req_begin            (** Request window opens; arg = packed trace ctx
+                             ([Request.pack]). *)
+  | Req_end              (** Request window closes; arg = packed trace ctx. *)
   | Span_begin of phase
   | Span_end of phase
 

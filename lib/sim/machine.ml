@@ -45,6 +45,9 @@ type t = {
   counters : Obs.Counter.t;
       (* Machine-wide counter sink, attached before any component boots:
          {!snapshot} is derived entirely from this event stream. *)
+  requests : Obs.Request.t;
+      (* Request-trace collector watching this machine's emitter; the
+         attested-channel path mints one trace context per session. *)
 }
 
 let setting t = t.setting
@@ -53,6 +56,7 @@ let manager t = t.mgr
 let clock t = t.clock
 let obs t = t.cpu.Hw.Cpu.obs
 let counters t = t.counters
+let requests t = t.requests
 
 let page_size = Hw.Phys_mem.page_size
 
@@ -64,6 +68,8 @@ let create ?obs ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256
   (* Attach the machine's counter sink before anything boots so every event
      from assembly onward is counted. *)
   let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let requests = Obs.Request.create () in
+  Obs.Request.attach requests ~machine:"sim" obs;
   Obs.with_span obs ~now:(fun () -> Hw.Cycles.now clock) Obs.Trace.Boot
   @@ fun () ->
   let cpu = Hw.Cpu.create ~obs ~id:0 ~mem ~clock ~timer_period () in
@@ -130,6 +136,7 @@ let create ?obs ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256
   {
     setting; mem; clock; cpu; td; host; kern; monitor; mgr; proxy; proxy_buf;
     proxy_fd; scratch_slots; copy_scratch = Bytes.create page_size; counters;
+    requests;
   }
 
 (* Every field below is a per-kind count from the machine's counter sink;
@@ -214,6 +221,9 @@ type session = {
   common_base : int;    (* 0 when absent *)
   common_pages : int;
   channel : Erebor.Channel.Server.t option;
+  req_ctx : Obs.Request.ctx option;
+      (* Trace context minted at the client end of the channel; the root
+         request window closes when the response is sealed. *)
   io_buf : int;   (* user buffer mapped in [task]'s space (0 in sandboxes) *)
   io_fd : int;
   native_output : Buffer.t;
@@ -565,6 +575,7 @@ let init_native m spec =
     common_base;
     common_pages;
     channel = None;
+    req_ctx = None;
     io_buf;
     io_fd;
     native_output = Buffer.create 256;
@@ -608,9 +619,15 @@ let init_sandboxed m spec =
   in
   (* Install the client data. Full Erebor runs the attested channel; the
      ablations install directly. *)
-  let channel =
+  let channel, req_ctx =
     match m.setting with
     | Config.Erebor_full ->
+        (* The request window opens at the client: everything from the
+           handshake to the sealed response belongs to this trace. *)
+        let cx = Obs.Request.mint m.requests in
+        Obs.Emitter.emit m.cpu.Hw.Cpu.obs Obs.Trace.Req_begin
+          ~ts:(Hw.Cycles.now m.clock)
+          ~arg:(Obs.Request.pack cx ~root:true);
         Obs.with_span m.cpu.Hw.Cpu.obs
           ~now:(fun () -> Hw.Cycles.now m.clock)
           Obs.Trace.Attest
@@ -631,7 +648,7 @@ let init_sandboxed m spec =
         (match Erebor.Channel.Client.finish client ~server_hello with
         | Ok () -> ()
         | Error e -> failwith e);
-        let sealed = Erebor.Channel.Client.seal_request client spec.input in
+        let sealed = Erebor.Channel.Client.seal_request ~ctx:cx client spec.input in
         let plaintext =
           match Erebor.Channel.Server.open_request server sealed with
           | Ok p -> p
@@ -643,12 +660,12 @@ let init_sandboxed m spec =
         (match Erebor.Sandbox.load_client_data mgr sb plaintext with
         | Ok _ -> ()
         | Error e -> failwith e);
-        Some server
+        (Some server, Some cx)
     | Config.Libos_only | Config.Erebor_mmu | Config.Erebor_exit ->
         (match Erebor.Sandbox.load_client_data mgr sb spec.input with
         | Ok _ -> ()
         | Error e -> failwith e);
-        None
+        (None, None)
     | Config.Native -> assert false
   in
   {
@@ -662,6 +679,7 @@ let init_sandboxed m spec =
     common_base;
     common_pages;
     channel;
+    req_ctx;
     io_buf = 0;
     io_fd = -1;
     native_output = Buffer.create 16;
@@ -703,6 +721,14 @@ let run m spec =
             let sealed =
               Erebor.Channel.Server.seal_response server ~bucket:spec.output_bucket raw
             in
+            (* Close the root request window: the client has its sealed
+               response in hand. *)
+            (match s.req_ctx with
+            | Some cx ->
+                Obs.Emitter.emit m.cpu.Hw.Cpu.obs Obs.Trace.Req_end
+                  ~ts:(Hw.Cycles.now m.clock)
+                  ~arg:(Obs.Request.pack cx ~root:true)
+            | None -> ());
             (raw, Bytes.length sealed)
         | None -> (raw, Bytes.length raw))
     | _ -> (Buffer.to_bytes s.native_output, Buffer.length s.native_output)

@@ -28,6 +28,11 @@ val obs : t -> Obs.Emitter.t
 val counters : t -> Obs.Counter.t
 (** The machine-wide counter sink {!snapshot} is derived from. *)
 
+val requests : t -> Obs.Request.t
+(** The request-trace collector watching this machine's emitter. Under
+    [Erebor_full], every sandboxed session mints one trace context at the
+    channel client and the collector assembles its causal span tree. *)
+
 val snapshot : t -> Stats.snapshot
 
 (** {2 Workload interface} *)

@@ -63,3 +63,10 @@ let generate m ~hw_key ~report_data =
   { body with mac = Crypto.Hmac.mac ~key:hw_key (serialize_body body) }
 
 let verify ~hw_key r = Crypto.Hmac.verify ~key:hw_key (serialize_body r) ~tag:r.mac
+
+(* Short, log-friendly identity of a report: first 8 hex chars of MRTD and
+   of the MAC — enough to correlate audit records with a handshake without
+   copying whole measurements into the log. *)
+let fingerprint r =
+  let short b = String.sub (Crypto.Sha256.hex b) 0 8 in
+  Printf.sprintf "mrtd=%s mac=%s" (short r.mrtd) (short r.mac)

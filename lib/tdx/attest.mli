@@ -43,3 +43,7 @@ val verify : hw_key:bytes -> report -> bool
 
 val serialize_body : report -> bytes
 (** The MACed byte string, exposed for tests. *)
+
+val fingerprint : report -> string
+(** Short log-friendly identity (["mrtd=<8 hex> mac=<8 hex>"]) for audit
+    records and debug output. *)

@@ -174,8 +174,20 @@ module Json = struct
   let to_arr = function Some (Arr l) -> l | _ -> []
 end
 
-type check = { name : string; ok : bool; detail : string }
+type check = {
+  name : string;
+  ok : bool;
+  detail : string;
+  old_value : string option;
+  new_value : string option;
+}
+
 type verdict = check list
+
+(* Most checks are built through this helper so the old/new columns stay
+   optional at the construction sites. *)
+let chk ?old_value ?new_value name ok detail =
+  { name; ok; detail; old_value; new_value }
 
 let pass v = List.for_all (fun c -> c.ok) v
 let failures v = List.filter (fun c -> not c.ok) v
@@ -187,6 +199,39 @@ let pp_verdict fmt v =
         c.name c.detail)
     v
 
+(* A unified old/new table of every failing check, so one run is enough to
+   triage a regression. Checks without a comparable pair (parse errors,
+   coverage gaps) render "-" and keep their detail line. *)
+let pp_mismatch_table fmt v =
+  let fails = failures v in
+  if fails <> [] then begin
+    let cell = function Some s -> s | None -> "-" in
+    let w_name =
+      List.fold_left (fun w c -> max w (String.length c.name)) 24 fails
+    in
+    let w_old =
+      List.fold_left
+        (fun w c -> max w (String.length (cell c.old_value)))
+        (String.length "old (baseline)") fails
+    in
+    let w_new =
+      List.fold_left
+        (fun w c -> max w (String.length (cell c.new_value)))
+        (String.length "new (regenerated)") fails
+    in
+    Format.fprintf fmt "  %-*s  %-*s  %-*s@." w_name "check" w_old
+      "old (baseline)" w_new "new (regenerated)";
+    Format.fprintf fmt "  %s  %s  %s@." (String.make w_name '-')
+      (String.make w_old '-') (String.make w_new '-');
+    List.iter
+      (fun c ->
+        Format.fprintf fmt "  %-*s  %-*s  %-*s@." w_name c.name w_old
+          (cell c.old_value) w_new (cell c.new_value);
+        if c.old_value = None && c.new_value = None then
+          Format.fprintf fmt "  %-*s    %s@." w_name "" c.detail)
+      fails
+  end
+
 (* One check per anchor: [probe] extracts the baseline row's identity and
    expectation, [current] the regenerated value. *)
 let anchor_checks ~family ~baseline_rows ~key_field ~current ~fields =
@@ -196,17 +241,15 @@ let anchor_checks ~family ~baseline_rows ~key_field ~current ~fields =
       (fun row ->
         match Json.to_str (Json.member key_field row) with
         | None ->
-            [ { name = family; ok = false; detail = "baseline row without " ^ key_field } ]
+            [ chk family false ("baseline row without " ^ key_field) ]
         | Some key -> (
             seen := key :: !seen;
             match List.assoc_opt key current with
             | None ->
                 [
-                  {
-                    name = Printf.sprintf "%s/%s" family key;
-                    ok = false;
-                    detail = "anchor present in baseline but not regenerated";
-                  };
+                  chk
+                    (Printf.sprintf "%s/%s" family key)
+                    false "anchor present in baseline but not regenerated";
                 ]
             | Some cur_fields ->
                 List.map
@@ -214,18 +257,17 @@ let anchor_checks ~family ~baseline_rows ~key_field ~current ~fields =
                     let name = Printf.sprintf "%s/%s.%s" family key field in
                     match Json.to_int (Json.member field row) with
                     | None ->
-                        { name; ok = false; detail = "missing in baseline" }
+                        chk ~new_value:(string_of_int cur_value) name false
+                          "missing in baseline"
                     | Some base_value ->
+                        let old_value = string_of_int base_value in
+                        let new_value = string_of_int cur_value in
                         if base_value = cur_value then
-                          { name; ok = true; detail = string_of_int cur_value }
+                          chk ~old_value ~new_value name true new_value
                         else
-                          {
-                            name;
-                            ok = false;
-                            detail =
-                              Printf.sprintf "baseline %d, regenerated %d"
-                                base_value cur_value;
-                          })
+                          chk ~old_value ~new_value name false
+                            (Printf.sprintf "baseline %d, regenerated %d"
+                               base_value cur_value))
                   (List.filter
                      (fun (f, _) -> List.mem f fields)
                      cur_fields)))
@@ -237,19 +279,12 @@ let anchor_checks ~family ~baseline_rows ~key_field ~current ~fields =
     in
     match missing with
     | [] ->
-        {
-          name = family ^ "/coverage";
-          ok = true;
-          detail = Printf.sprintf "%d anchors" (List.length current);
-        }
+        chk (family ^ "/coverage") true
+          (Printf.sprintf "%d anchors" (List.length current))
     | m ->
-        {
-          name = family ^ "/coverage";
-          ok = false;
-          detail =
-            "regenerated anchors missing from baseline: "
-            ^ String.concat ", " (List.map fst m);
-        }
+        chk (family ^ "/coverage") false
+          ("regenerated anchors missing from baseline: "
+          ^ String.concat ", " (List.map fst m))
   in
   row_checks @ [ coverage ]
 
@@ -277,23 +312,20 @@ let fig9_checks ~baseline ~jobs =
       in
       let label = Printf.sprintf "fig9/%s:%s" (fst key) (snd key) in
       match List.assoc_opt key current with
-      | None ->
-          [ { name = label; ok = false; detail = "row not regenerated" } ]
+      | None -> [ chk label false "row not regenerated" ]
       | Some fields ->
           List.map
             (fun (field, cur) ->
               let name = Printf.sprintf "%s.%s" label field in
               match Json.to_float (Json.member field row) with
-              | None -> { name; ok = false; detail = "missing in baseline" }
+              | None -> chk ~new_value:cur name false "missing in baseline"
               | Some base ->
                   let base = Printf.sprintf (fmt_of field) base in
-                  if base = cur then { name; ok = true; detail = cur }
+                  if base = cur then
+                    chk ~old_value:base ~new_value:cur name true cur
                   else
-                    {
-                      name;
-                      ok = false;
-                      detail = Printf.sprintf "baseline %s, regenerated %s" base cur;
-                    })
+                    chk ~old_value:base ~new_value:cur name false
+                      (Printf.sprintf "baseline %s, regenerated %s" base cur))
             fields)
     (Json.to_arr (Json.member "fig9" baseline))
 
@@ -304,10 +336,14 @@ let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
   let schema =
     match Json.to_str (Json.member "schema" baseline) with
     | Some "erebor-bench-sim/1" ->
-        { name = "schema"; ok = true; detail = "erebor-bench-sim/1" }
+        chk ~old_value:"erebor-bench-sim/1" ~new_value:"erebor-bench-sim/1"
+          "schema" true "erebor-bench-sim/1"
     | Some other ->
-        { name = "schema"; ok = false; detail = "unknown schema " ^ other }
-    | None -> { name = "schema"; ok = false; detail = "missing schema field" }
+        chk ~old_value:other ~new_value:"erebor-bench-sim/1" "schema" false
+          ("unknown schema " ^ other)
+    | None ->
+        chk ~new_value:"erebor-bench-sim/1" "schema" false
+          "missing schema field"
   in
   let t3 =
     anchor_checks ~family:"table3"
@@ -340,34 +376,32 @@ let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
   let minor = Gc.minor_words () -. minor0 in
   let wall =
     match Json.to_float (Json.member "total_wall_s" baseline) with
-    | None ->
-        [ { name = "wall"; ok = true; detail = "no baseline wall time" } ]
+    | None -> [ chk "wall" true "no baseline wall time" ]
     | Some base ->
         let budget = wall_tolerance *. base in
         [
-          {
-            name = "wall";
-            ok = cpu <= budget;
-            detail =
-              Printf.sprintf "regeneration %.3fs cpu, budget %.3fs (%.1fx baseline suite)"
-                cpu budget wall_tolerance;
-          };
+          chk
+            ~old_value:(Printf.sprintf "budget %.3fs" budget)
+            ~new_value:(Printf.sprintf "%.3fs cpu" cpu)
+            "wall" (cpu <= budget)
+            (Printf.sprintf
+               "regeneration %.3fs cpu, budget %.3fs (%.1fx baseline suite)"
+               cpu budget wall_tolerance);
         ]
   in
   let gc =
     match Json.to_float (Json.mem_of "minor_words" (Json.member "gc" baseline)) with
-    | None -> [ { name = "gc"; ok = true; detail = "no baseline GC stats" } ]
+    | None -> [ chk "gc" true "no baseline GC stats" ]
     | Some base ->
         let budget = gc_tolerance *. base in
         [
-          {
-            name = "gc";
-            ok = minor <= budget;
-            detail =
-              Printf.sprintf
-                "regeneration %.0f minor words, budget %.0f (%.1fx baseline suite)"
-                minor budget gc_tolerance;
-          };
+          chk
+            ~old_value:(Printf.sprintf "budget %.0f words" budget)
+            ~new_value:(Printf.sprintf "%.0f minor words" minor)
+            "gc" (minor <= budget)
+            (Printf.sprintf
+               "regeneration %.0f minor words, budget %.0f (%.1fx baseline suite)"
+               minor budget gc_tolerance);
         ]
   in
   (schema :: t3) @ t4 @ f9 @ wall @ gc

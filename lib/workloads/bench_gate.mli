@@ -25,15 +25,30 @@ module Json : sig
   val member : string -> t -> t option
 end
 
-type check = { name : string; ok : bool; detail : string }
+type check = {
+  name : string;
+  ok : bool;
+  detail : string;
+  old_value : string option;
+      (** The baseline ("old") side of the comparison, rendered at the
+          precision the gate compared at; [None] when the check has no
+          comparable pair (parse errors, coverage gaps). *)
+  new_value : string option;  (** The regenerated ("new") side. *)
+}
 (** One comparison: a stable dotted name ([table3/EMC.cycles], [wall], ...),
-    whether it held, and a human-readable detail line. *)
+    whether it held, a human-readable detail line, and — when the check
+    compares two values — the old/new pair for tabular rendering. *)
 
 type verdict = check list
 
 val pass : verdict -> bool
 val failures : verdict -> check list
 val pp_verdict : Format.formatter -> verdict -> unit
+
+val pp_mismatch_table : Format.formatter -> verdict -> unit
+(** Render {e every} failing check of [verdict] as a unified old/new table
+    (baseline value vs regenerated value), so one run shows the complete
+    set of drifted anchors. Prints nothing when the verdict passes. *)
 
 val check_json :
   ?fig9:bool ->

@@ -338,6 +338,14 @@ let test_percentile () =
   (* Empty: no samples, every percentile is 0. *)
   Alcotest.(check int) "empty p50" 0
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.5);
+  (* One sample: every percentile collapses to (at most) that sample. *)
+  Obs.Emitter.emit obs Obs.Trace.Page_fault ~ts:0 ~arg:9;
+  Alcotest.(check int) "single-sample p100" 9
+    (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:1.0);
+  Alcotest.(check int) "single-sample p50 bounded" 9
+    (max 9 (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:0.5));
+  Alcotest.(check bool) "single-sample p0 positive" true
+    (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:0.0 > 0);
   (* Single bucket: three samples of 7 live in [4,7]; interpolation walks
      that one bucket and the result is clamped to the observed max. *)
   for i = 1 to 3 do
@@ -621,6 +629,482 @@ let test_metrics_export () =
           Alcotest.(check bool) "json total" true (total = Some (J.Num 50.0))
       | _ -> Alcotest.fail "expected one source in metrics JSON")
 
+(* ------------------------------------------------------------------ *)
+(* Audit chain: tamper evidence                                        *)
+(* ------------------------------------------------------------------ *)
+
+let audit_test_key = Crypto.Sha256.digest_string "test audit key"
+
+let replace_once ~sub ~by s =
+  let n = String.length sub and m = String.length s in
+  let rec find i = if i + n > m then None else if String.sub s i n = sub then Some i else find (i + 1) in
+  match find 0 with
+  | None -> Alcotest.failf "substring %S not found" sub
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + n) (m - i - n)
+
+let sample_chain () =
+  let chain = Obs.Audit.create ~key:audit_test_key in
+  List.iteri
+    (fun i (category, verdict, detail) ->
+      Obs.Audit.append chain ~ts:(100 + (10 * i)) ~category ~verdict ~detail)
+    [
+      ("scan", Obs.Audit.Allow, "kernel image accepted: 2 sections");
+      ("privop.cr", Obs.Audit.Allow, "write_cr3");
+      ("mmu", Obs.Audit.Deny, "PTE store outside registered tables");
+      ("sandbox", Obs.Audit.Kill, "kill id=3: rate \"limit\"\nexceeded");
+      ("attest", Obs.Audit.Info, "mrtd=deadbeef mac=00112233");
+    ];
+  chain
+
+let test_audit_chain_roundtrip () =
+  let chain = sample_chain () in
+  Alcotest.(check int) "length before finalize" 5 (Obs.Audit.length chain);
+  Alcotest.(check bool) "not finalized yet" false (Obs.Audit.finalized chain);
+  Obs.Audit.finalize chain ~now:999;
+  Obs.Audit.finalize chain ~now:12_345 (* idempotent *);
+  Alcotest.(check bool) "finalized" true (Obs.Audit.finalized chain);
+  Alcotest.(check int) "close record not counted" 5 (Obs.Audit.length chain);
+  let recs = Obs.Audit.records chain in
+  Alcotest.(check int) "records incl. close" 6 (List.length recs);
+  Alcotest.(check (list int)) "append order" [ 0; 1; 2; 3; 4; 5 ]
+    (List.map (fun r -> r.Obs.Audit.seq) recs);
+  Alcotest.check_raises "append after finalize"
+    (Invalid_argument "Audit.append: log already finalized") (fun () ->
+      Obs.Audit.append chain ~ts:1 ~category:"scan" ~verdict:Obs.Audit.Allow
+        ~detail:"late");
+  let s = Obs.Audit.to_string chain in
+  (match Obs.Audit.verify_string ~key:audit_test_key s with
+  | Ok n -> Alcotest.(check int) "verifies with count" 5 n
+  | Error e -> Alcotest.failf "intact chain rejected: %s" e);
+  (* The escaped detail survives the JSONL roundtrip byte-for-byte. *)
+  Alcotest.(check bool) "escaped newline on the wire" true
+    (contains ~sub:{|rate \"limit\"\nexceeded|} s)
+
+let expect_reject name tampered ~msg_frag =
+  match Obs.Audit.verify_string ~key:audit_test_key tampered with
+  | Ok _ -> Alcotest.failf "%s: tampered chain verified" name
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error %S mentions %S" name e msg_frag)
+        true (contains ~sub:msg_frag e)
+
+let test_audit_tamper_rejected () =
+  let chain = sample_chain () in
+  Obs.Audit.finalize chain ~now:999;
+  let good = Obs.Audit.to_string chain in
+  let lines = String.split_on_char '\n' (String.trim good) in
+  let unlines ls = String.concat "\n" ls ^ "\n" in
+  (* Flip a byte inside a field value: the record still parses, so the
+     chain MAC is what catches it. *)
+  expect_reject "flipped byte"
+    (replace_once ~sub:"write_cr3" ~by:"write_cr4" good)
+    ~msg_frag:"MAC mismatch";
+  (* Same for a flipped hex digit in a stored MAC. *)
+  expect_reject "flipped mac"
+    (let mac2 = (List.nth (Obs.Audit.records chain) 2).Obs.Audit.mac in
+     let flipped =
+       String.mapi
+         (fun i c -> if i = 0 then (if c = '0' then '1' else '0') else c)
+         mac2
+     in
+     replace_once ~sub:mac2 ~by:flipped good)
+    ~msg_frag:"MAC mismatch";
+  (* Dropping a record breaks the sequence numbering. *)
+  expect_reject "dropped record"
+    (unlines (List.filteri (fun i _ -> i <> 2) lines))
+    ~msg_frag:"sequence mismatch";
+  (* So does swapping two adjacent records. *)
+  expect_reject "swapped records"
+    (unlines
+       (List.mapi
+          (fun i _ ->
+            List.nth lines (if i = 1 then 2 else if i = 2 then 1 else i))
+          lines))
+    ~msg_frag:"sequence mismatch";
+  (* Truncation: the close record is gone. *)
+  expect_reject "truncated"
+    (unlines (List.filteri (fun i _ -> i <> List.length lines - 1) lines))
+    ~msg_frag:"truncated";
+  (* A different key rejects everything from the genesis onward. *)
+  (match Obs.Audit.verify_string ~key:(Bytes.of_string "wrong key") good with
+  | Ok _ -> Alcotest.fail "wrong key verified"
+  | Error e ->
+      Alcotest.(check bool) "wrong key: first record flagged" true
+        (contains ~sub:"record 0" e));
+  expect_reject "empty log" "" ~msg_frag:"empty log";
+  (* And the untampered rendering still verifies after all that. *)
+  match Obs.Audit.verify_string ~key:audit_test_key good with
+  | Ok 5 -> ()
+  | Ok n -> Alcotest.failf "expected 5 records, got %d" n
+  | Error e -> Alcotest.failf "control chain rejected: %s" e
+
+let test_audit_emitter_rail () =
+  let obs = Obs.Emitter.create () in
+  (* No chain attached: the detail thunk must not even run. *)
+  let ran = ref false in
+  Obs.Emitter.audit_event obs ~ts:1 ~category:"scan" ~verdict:Obs.Audit.Allow
+    (fun () ->
+      ran := true;
+      "detail");
+  Alcotest.(check bool) "thunk skipped without chain" false !ran;
+  let chain = Obs.Audit.create ~key:audit_test_key in
+  Obs.Emitter.set_audit obs (Some chain);
+  Obs.Emitter.audit_event obs ~ts:2 ~category:"scan" ~verdict:Obs.Audit.Deny
+    (fun () ->
+      ran := true;
+      "bad section");
+  Alcotest.(check bool) "thunk ran with chain" true !ran;
+  Alcotest.(check int) "record appended" 1 (Obs.Audit.length chain);
+  (* Emitter.finalize closes the attached chain. *)
+  Obs.Emitter.finalize obs ~now:50;
+  Alcotest.(check bool) "chain finalized via emitter" true
+    (Obs.Audit.finalized chain);
+  match Obs.Audit.verify_string ~key:audit_test_key (Obs.Audit.to_string chain) with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1 record, got %d" n
+  | Error e -> Alcotest.failf "chain rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped tracing: packing, windows, cross-machine trees       *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_pack_roundtrip () =
+  List.iter
+    (fun (trace_id, sampled, root) ->
+      let cx = { Obs.Request.trace_id; span_id = 7; sampled } in
+      let cx', root' = Obs.Request.unpack (Obs.Request.pack cx ~root) in
+      Alcotest.(check int) "trace id" trace_id cx'.Obs.Request.trace_id;
+      Alcotest.(check bool) "sampled" sampled cx'.Obs.Request.sampled;
+      Alcotest.(check bool) "root bit" root root';
+      Alcotest.(check int) "span id does not travel" 0 cx'.Obs.Request.span_id)
+    [ (1, true, true); (2, false, true); (1000, true, false); (0, false, false) ]
+
+(* One emitter carries both the client-side (root) and the server-side
+   (non-root) markers of the same trace — the in-process Erebor_full shape.
+   The non-root Req_end must NOT close the root window. *)
+let test_request_single_emitter_window () =
+  let obs = Obs.Emitter.create () in
+  let reqs = Obs.Request.create () in
+  Obs.Request.attach reqs ~machine:"sim" obs;
+  let cx = Obs.Request.mint reqs in
+  let arg ~root = Obs.Request.pack cx ~root in
+  Obs.Emitter.emit obs Obs.Trace.Req_begin ~ts:100 ~arg:(arg ~root:true);
+  Obs.Emitter.emit obs (Obs.Trace.span_begin Obs.Trace.Attest) ~ts:110 ~arg:0;
+  Obs.Emitter.emit obs (Obs.Trace.span_end Obs.Trace.Attest) ~ts:130 ~arg:0;
+  (* Server-side end of the same trace: root bit clear, window stays open. *)
+  Obs.Emitter.emit obs Obs.Trace.Req_end ~ts:150 ~arg:(arg ~root:false);
+  Obs.Emitter.emit obs (Obs.Trace.span_begin Obs.Trace.Run) ~ts:160 ~arg:0;
+  Obs.Emitter.emit obs (Obs.Trace.span_end Obs.Trace.Run) ~ts:190 ~arg:0;
+  Obs.Emitter.emit obs Obs.Trace.Req_end ~ts:200 ~arg:(arg ~root:true);
+  Alcotest.(check int) "one request completed" 1 (Obs.Request.completed reqs);
+  Alcotest.(check (option int)) "root cycles span the full window" (Some 100)
+    (Obs.Request.root_cycles reqs ~trace_id:cx.Obs.Request.trace_id);
+  match Obs.Request.tree reqs ~trace_id:cx.Obs.Request.trace_id with
+  | [ seg ] ->
+      Alcotest.(check bool) "root segment" true seg.Obs.Request.root;
+      Alcotest.(check string) "machine label" "sim" seg.Obs.Request.machine;
+      Alcotest.(check int) "both spans collected" 2
+        (List.length seg.Obs.Request.spans)
+  | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs)
+
+let test_request_cross_machine_tree () =
+  let obs_client = Obs.Emitter.create () in
+  let obs_fleet = Obs.Emitter.create () in
+  let reqs = Obs.Request.create () in
+  Obs.Request.attach reqs ~machine:"client" obs_client;
+  Obs.Request.attach reqs ~machine:"fleet" obs_fleet;
+  let cx = Obs.Request.mint reqs in
+  Obs.Emitter.emit obs_client Obs.Trace.Req_begin ~ts:100
+    ~arg:(Obs.Request.pack cx ~root:true);
+  Obs.Emitter.emit obs_client (Obs.Trace.span_begin Obs.Trace.Attest) ~ts:105 ~arg:0;
+  Obs.Emitter.emit obs_client (Obs.Trace.span_end Obs.Trace.Attest) ~ts:140 ~arg:0;
+  Obs.Emitter.emit obs_fleet Obs.Trace.Req_begin ~ts:150
+    ~arg:(Obs.Request.pack cx ~root:false);
+  Obs.Emitter.emit obs_fleet (Obs.Trace.span_begin Obs.Trace.Emc_gate) ~ts:200 ~arg:0;
+  Obs.Emitter.emit obs_fleet (Obs.Trace.span_begin Obs.Trace.Svc_mmu) ~ts:210 ~arg:0;
+  Obs.Emitter.emit obs_fleet (Obs.Trace.span_end Obs.Trace.Svc_mmu) ~ts:230 ~arg:0;
+  Obs.Emitter.emit obs_fleet (Obs.Trace.span_end Obs.Trace.Emc_gate) ~ts:240 ~arg:0;
+  Obs.Emitter.emit obs_fleet Obs.Trace.Req_end ~ts:350
+    ~arg:(Obs.Request.pack cx ~root:false);
+  Obs.Emitter.emit obs_client Obs.Trace.Req_end ~ts:400
+    ~arg:(Obs.Request.pack cx ~root:true);
+  let id = cx.Obs.Request.trace_id in
+  Alcotest.(check (option int)) "end-to-end cycles" (Some 300)
+    (Obs.Request.root_cycles reqs ~trace_id:id);
+  (match Obs.Request.tree reqs ~trace_id:id with
+  | [ root; leaf ] ->
+      Alcotest.(check string) "root machine" "client" root.Obs.Request.machine;
+      Alcotest.(check bool) "root first" true root.Obs.Request.root;
+      Alcotest.(check string) "leaf machine" "fleet" leaf.Obs.Request.machine;
+      Alcotest.(check int) "leaf window" 200
+        (leaf.Obs.Request.seg_t1 - leaf.Obs.Request.seg_t0);
+      (* Nesting preserved: gate > svc.mmu. *)
+      (match leaf.Obs.Request.spans with
+      | [ gate ] -> (
+          Alcotest.(check bool) "gate phase" true
+            (gate.Obs.Request.phase = Obs.Trace.Emc_gate);
+          match gate.Obs.Request.children with
+          | [ svc ] ->
+              Alcotest.(check bool) "nested svc.mmu" true
+                (svc.Obs.Request.phase = Obs.Trace.Svc_mmu);
+              Alcotest.(check int) "svc duration" 20
+                (svc.Obs.Request.t1 - svc.Obs.Request.t0)
+          | ks -> Alcotest.failf "expected 1 child, got %d" (List.length ks))
+      | sp -> Alcotest.failf "expected 1 fleet span, got %d" (List.length sp));
+      (* The tree is causal: every segment fits inside the root window. *)
+      Alcotest.(check bool) "leaf inside root" true
+        (leaf.Obs.Request.seg_t0 >= root.Obs.Request.seg_t0
+        && leaf.Obs.Request.seg_t1 <= root.Obs.Request.seg_t1)
+  | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs));
+  (* Exports are well-formed JSON. *)
+  let module J = Workloads.Bench_gate.Json in
+  (match J.parse (Obs.Request.to_json reqs) with
+  | Error e -> Alcotest.failf "to_json does not parse: %s" e
+  | Ok _ -> ());
+  match J.parse (Obs.Request.to_chrome_json reqs ~trace_id:id) with
+  | Error e -> Alcotest.failf "to_chrome_json does not parse: %s" e
+  | Ok _ -> ()
+
+let test_request_sampling_and_latency () =
+  let obs = Obs.Emitter.create () in
+  let reqs = Obs.Request.create ~sample_every:2 () in
+  Obs.Request.attach reqs ~machine:"m" obs;
+  let durations = [ 100; 100; 100; 100 ] in
+  let minted =
+    List.mapi
+      (fun i d ->
+        let cx = Obs.Request.mint reqs in
+        let t0 = 1000 * (i + 1) in
+        Obs.Emitter.emit obs Obs.Trace.Req_begin ~ts:t0
+          ~arg:(Obs.Request.pack cx ~root:true);
+        Obs.Emitter.emit obs (Obs.Trace.span_begin Obs.Trace.Run) ~ts:t0 ~arg:0;
+        Obs.Emitter.emit obs (Obs.Trace.span_end Obs.Trace.Run) ~ts:(t0 + d) ~arg:0;
+        Obs.Emitter.emit obs Obs.Trace.Req_end ~ts:(t0 + d)
+          ~arg:(Obs.Request.pack cx ~root:true);
+        cx)
+      durations
+  in
+  Alcotest.(check int) "half the mints sampled" 2
+    (List.length (List.filter (fun cx -> cx.Obs.Request.sampled) minted));
+  (* Every request completes and feeds the latency distribution... *)
+  Alcotest.(check int) "all completed" 4 (Obs.Request.completed reqs);
+  Alcotest.(check int) "all in the latency histogram" 4
+    (Obs.Request.latency_count reqs);
+  Alcotest.(check (float 0.001)) "mean latency" 100.0
+    (Obs.Request.latency_mean reqs);
+  Alcotest.(check int) "p100 clamps to max" 100
+    (Obs.Request.latency_percentile reqs ~p:1.0);
+  Alcotest.(check bool) "p50 within observed range" true
+    (let p50 = Obs.Request.latency_percentile reqs ~p:0.5 in
+     p50 > 0 && p50 <= 100);
+  (* ...but only sampled traces kept their span trees. *)
+  Alcotest.(check int) "sampled trees only" 2
+    (List.length (Obs.Request.sampled_traces reqs));
+  List.iter
+    (fun cx ->
+      let id = cx.Obs.Request.trace_id in
+      let n_segs = List.length (Obs.Request.tree reqs ~trace_id:id) in
+      if cx.Obs.Request.sampled then
+        Alcotest.(check int) "sampled: segment kept" 1 n_segs
+      else
+        Alcotest.(check int) "unsampled: no segments" 0 n_segs)
+    minted
+
+(* Machine names land in Chrome span names; control characters must not
+   break the JSON. *)
+let test_request_chrome_escaping () =
+  let obs = Obs.Emitter.create () in
+  let reqs = Obs.Request.create () in
+  Obs.Request.attach reqs ~machine:"cli\"ent\n\001" obs;
+  let cx = Obs.Request.mint reqs in
+  Obs.Emitter.emit obs Obs.Trace.Req_begin ~ts:10
+    ~arg:(Obs.Request.pack cx ~root:true);
+  Obs.Emitter.emit obs Obs.Trace.Req_end ~ts:20
+    ~arg:(Obs.Request.pack cx ~root:true);
+  let json = Obs.Request.to_chrome_json reqs ~trace_id:cx.Obs.Request.trace_id in
+  Alcotest.(check bool) "quote escaped" true (contains ~sub:{|cli\"ent|} json);
+  Alcotest.(check bool) "newline escaped" true (contains ~sub:{|\n|} json);
+  Alcotest.(check bool) "control char escaped" true
+    (contains ~sub:{|\u0001|} json);
+  let module J = Workloads.Bench_gate.Json in
+  match J.parse json with
+  | Error e -> Alcotest.failf "escaped chrome JSON does not parse: %s" e
+  | Ok _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace-context propagation through the sealed channel                *)
+(* ------------------------------------------------------------------ *)
+
+let ctx_hw_key = Crypto.Sha256.digest_string "obs channel test hw key"
+
+let ctx_kernel_image =
+  {
+    Hw.Image.entry = 0x1000;
+    sections =
+      [
+        { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+          writable = false;
+          data = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Ret ] };
+      ];
+  }
+
+let make_channel_stack () =
+  let mem = Hw.Phys_mem.create ~frames:16384 in
+  let clock = Hw.Cycles.clock () in
+  let obs = Obs.Emitter.create () in
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:200_000 ~obs () in
+  let td = Tdx.Td_module.create ~mem ~clock ~hw_key:ctx_hw_key in
+  let host = Vmm.Host.create () in
+  Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
+  let monitor =
+    Erebor.Monitor.install ~cpu ~mem ~td ~firmware:(Bytes.of_string "OVMF")
+      ~monitor_frames:32 ~device_shared_frames:32 ()
+  in
+  (match
+     Erebor.Monitor.boot_kernel monitor ~kernel_image:ctx_kernel_image
+       ~reserved_frames:128 ~cma_frames:4096
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (monitor, obs)
+
+let test_channel_ctx_header () =
+  let cx = { Obs.Request.trace_id = 0xbeef; span_id = 42; sampled = true } in
+  let payload = Bytes.of_string "private payload" in
+  let framed = Erebor.Channel.encode_ctx cx payload in
+  Alcotest.(check int) "header length"
+    (Erebor.Channel.ctx_header_len + Bytes.length payload)
+    (Bytes.length framed);
+  (match Erebor.Channel.decode_ctx framed with
+  | Some (cx', rest) ->
+      Alcotest.(check int) "trace id" 0xbeef cx'.Obs.Request.trace_id;
+      Alcotest.(check int) "span id" 42 cx'.Obs.Request.span_id;
+      Alcotest.(check bool) "sampled" true cx'.Obs.Request.sampled;
+      Alcotest.(check bytes) "payload intact" payload rest
+  | None -> Alcotest.fail "framed header did not decode");
+  (* A payload without the magic passes through undecoded. *)
+  Alcotest.(check bool) "no header -> None" true
+    (Erebor.Channel.decode_ctx payload = None)
+
+let test_channel_ctx_propagation () =
+  let monitor, obs = make_channel_stack () in
+  let counter = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let reqs = Obs.Request.create () in
+  Obs.Request.attach reqs ~machine:"monitor" obs;
+  let rng_c = Crypto.Drbg.create ~seed:"ctx client" in
+  let rng_s = Crypto.Drbg.create ~seed:"ctx server" in
+  let expected =
+    (Erebor.Monitor.tdreport monitor ~report_data:Bytes.empty).Tdx.Attest.mrtd
+  in
+  let client =
+    Erebor.Channel.Client.create ~rng:rng_c ~hw_key:ctx_hw_key
+      ~expected_mrtd:expected
+  in
+  let hello = Erebor.Channel.Client.hello client in
+  let server, server_hello =
+    Result.get_ok
+      (Erebor.Channel.Server.accept ~monitor ~rng:rng_s ~client_hello:hello)
+  in
+  Result.get_ok (Erebor.Channel.Client.finish client ~server_hello);
+  let cx = Obs.Request.mint reqs in
+  let secret = Bytes.of_string "the plaintext the monitor must see" in
+  let sealed = Erebor.Channel.Client.seal_request ~ctx:cx client secret in
+  let plaintext = Result.get_ok (Erebor.Channel.Server.open_request server sealed) in
+  (* The header is stripped before the plaintext reaches the monitor. *)
+  Alcotest.(check bytes) "header stripped" secret plaintext;
+  (match Erebor.Channel.Server.last_ctx server with
+  | Some cx' ->
+      Alcotest.(check int) "ctx survives the seal" cx.Obs.Request.trace_id
+        cx'.Obs.Request.trace_id
+  | None -> Alcotest.fail "server did not decode the trace context");
+  Alcotest.(check int) "server emitted Req_begin" 1
+    (Obs.Counter.count counter Obs.Trace.Req_begin);
+  let response =
+    Erebor.Channel.Server.seal_response server ~bucket:256 (Bytes.of_string "ok")
+  in
+  Alcotest.(check int) "server emitted Req_end" 1
+    (Obs.Counter.count counter Obs.Trace.Req_end);
+  Alcotest.(check bool) "ctx cleared after response" true
+    (Erebor.Channel.Server.last_ctx server = None);
+  Alcotest.(check bytes) "response opens" (Bytes.of_string "ok")
+    (Result.get_ok (Erebor.Channel.Client.open_response client response));
+  (* Without ?ctx nothing changes on the wire path: no markers, payload
+     returned as sealed. *)
+  let sealed2 = Erebor.Channel.Client.seal_request client secret in
+  let plaintext2 =
+    Result.get_ok (Erebor.Channel.Server.open_request server sealed2)
+  in
+  Alcotest.(check bytes) "no-ctx passthrough" secret plaintext2;
+  Alcotest.(check int) "no extra Req_begin" 1
+    (Obs.Counter.count counter Obs.Trace.Req_begin)
+
+(* Under Erebor_full, the machine mints a context per session and the
+   collector assembles the tree; the root segment accounts for the whole
+   client-observed window. *)
+let test_machine_request_tree () =
+  let m =
+    Sim.Machine.create ~frames:32768 ~cma_frames:4096
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+  let reqs = Sim.Machine.requests m in
+  Alcotest.(check int) "one request per session" 1 (Obs.Request.completed reqs);
+  match Obs.Request.sampled_traces reqs with
+  | [ id ] -> (
+      match Obs.Request.tree reqs ~trace_id:id with
+      | root :: _ ->
+          Alcotest.(check bool) "root segment collected" true
+            root.Obs.Request.root;
+          Alcotest.(check bool) "spans inside the window" true
+            (root.Obs.Request.spans <> []);
+          Alcotest.(check (option int)) "root cycles = window"
+            (Some (root.Obs.Request.seg_t1 - root.Obs.Request.seg_t0))
+            (Obs.Request.root_cycles reqs ~trace_id:id)
+      | [] -> Alcotest.fail "no segments collected")
+  | ids -> Alcotest.failf "expected 1 sampled trace, got %d" (List.length ids)
+
+(* ------------------------------------------------------------------ *)
+(* Abnormal-exit flushing: exports stay well-formed after a raise      *)
+(* ------------------------------------------------------------------ *)
+
+let test_finalize_on_abnormal_exit () =
+  let obs = Obs.Emitter.create () in
+  let rec_ = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+  let attrib = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+  Obs.Emitter.add_finalizer obs (fun ~now -> Obs.Attrib.close attrib ~now);
+  let chain = Obs.Audit.create ~key:audit_test_key in
+  Obs.Emitter.set_audit obs (Some chain);
+  let m =
+    Sim.Machine.create ~frames:32768 ~cma_frames:4096 ~obs
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  let boom (_ : Sim.Machine.ops) = raise Exit in
+  (match Sim.Machine.run m (small_spec ~body:boom ()) with
+  | _ -> Alcotest.fail "expected the body to raise"
+  | exception Exit -> ());
+  (* The exception handler path: flush everything exactly once. *)
+  let now = Hw.Cycles.now (Sim.Machine.clock m) in
+  Obs.Emitter.finalize obs ~now;
+  Obs.Emitter.finalize obs ~now (* idempotent *);
+  Alcotest.(check bool) "emitter finalized" true (Obs.Emitter.finalized obs);
+  (* Chrome export balanced despite the mid-run raise. *)
+  let json = Obs.Chrome.to_chrome_json rec_ in
+  Alcotest.(check int) "every B closed" (count_sub ~sub:{|"ph":"B"|} json)
+    (count_sub ~sub:{|"ph":"E"|} json);
+  let module J = Workloads.Bench_gate.Json in
+  (match J.parse json with
+  | Error e -> Alcotest.failf "chrome export does not parse: %s" e
+  | Ok _ -> ());
+  (* Attribution closed by the registered finalizer: conservation holds. *)
+  Alcotest.(check int) "attrib closed" 0 (Obs.Attrib.open_depth attrib);
+  Alcotest.(check int) "attrib covers the aborted run" now
+    (Obs.Attrib.total attrib);
+  (* The audit chain was finalized, so it verifies offline. *)
+  Alcotest.(check bool) "chain finalized" true (Obs.Audit.finalized chain);
+  match Obs.Audit.verify_string ~key:audit_test_key (Obs.Audit.to_string chain) with
+  | Ok n -> Alcotest.(check bool) "decisions recorded before the raise" true (n > 0)
+  | Error e -> Alcotest.failf "aborted run's chain rejected: %s" e
+
 let () =
   Alcotest.run "obs"
     [
@@ -665,5 +1149,41 @@ let () =
           Alcotest.test_case "flame collapsed + tree" `Quick test_flame_export;
           Alcotest.test_case "metrics prometheus + json" `Quick
             test_metrics_export;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "chain roundtrip + close record" `Quick
+            test_audit_chain_roundtrip;
+          Alcotest.test_case "tampering rejected" `Quick
+            test_audit_tamper_rejected;
+          Alcotest.test_case "emitter audit rail" `Quick
+            test_audit_emitter_rail;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "ctx pack roundtrip" `Quick
+            test_request_pack_roundtrip;
+          Alcotest.test_case "single-emitter window" `Quick
+            test_request_single_emitter_window;
+          Alcotest.test_case "cross-machine tree" `Quick
+            test_request_cross_machine_tree;
+          Alcotest.test_case "sampling + latency" `Quick
+            test_request_sampling_and_latency;
+          Alcotest.test_case "chrome escaping of machine names" `Quick
+            test_request_chrome_escaping;
+        ] );
+      ( "channel-ctx",
+        [
+          Alcotest.test_case "header encode/decode" `Quick
+            test_channel_ctx_header;
+          Alcotest.test_case "sealed propagation + strip" `Quick
+            test_channel_ctx_propagation;
+          Alcotest.test_case "machine assembles request tree" `Quick
+            test_machine_request_tree;
+        ] );
+      ( "finalize",
+        [
+          Alcotest.test_case "abnormal exit flushes exports" `Quick
+            test_finalize_on_abnormal_exit;
         ] );
     ]
