@@ -7,6 +7,9 @@
      bench/main.exe                 # everything (same as "all")
      bench/main.exe table3|table4|fig8|fig9|table6|fig10|memshare|tables-qual
      bench/main.exe smoke           # table3+table4 only (the @ci quick gate)
+     bench/main.exe density         # per-backend overhead + 1->256 tenants/CVM
+                                    # (--smoke for the @ci cut; --backend /
+                                    #  --tenants narrow the matrix)
      bench/main.exe attrib          # per-domain/per-phase cycle attribution
      bench/main.exe check           # regression gate vs committed BENCH_sim.json
      bench/main.exe bechamel        # wall-clock microbenchmarks
@@ -20,6 +23,9 @@
 (* Parsed flags; set once in the driver before any experiment runs. *)
 let jobs_arg : int option ref = ref None
 let scale_arg = ref 1.0
+let smoke_arg = ref false
+let backend_arg : Erebor.Isolation.kind option ref = ref None
+let tenants_arg : int option ref = ref None
 
 let line width = print_endline (String.make width '-')
 
@@ -257,6 +263,57 @@ let print_ablations () =
   let hardened = run_with "paranoid" (Some Erebor.Mitigations.paranoid) in
   Printf.printf "mitigation overhead: %.2f%%\n"
     (100.0 *. ((float_of_int hardened /. float_of_int base) -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant density (pluggable isolation backends)                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_density () =
+  let backends =
+    match !backend_arg with
+    | Some b -> [ b ]
+    | None -> [ Erebor.Isolation.Pks; Erebor.Isolation.Tme_mk ]
+  in
+  let tenant_counts = Option.map (fun n -> [ n ]) !tenants_arg in
+  header "Per-backend overhead on the Fig. 9 workloads (% over Native)";
+  Printf.printf "%-10s %-8s %14s %14s %9s\n" "Program" "Backend" "Native(cy)"
+    "Erebor(cy)" "Overhead";
+  List.iter
+    (fun (r : Workloads.Density.backend_row) ->
+      Printf.printf "%-10s %-8s %14d %14d %8.2f%%\n" r.bprogram
+        (Erebor.Isolation.kind_name r.bbackend)
+        r.native_cycles r.backend_cycles r.boverhead_pct)
+    (Workloads.Density.backend_overhead ?jobs:!jobs_arg ~smoke:!smoke_arg
+       ~backends ());
+  header "Sandboxes-per-CVM scaling (memory, EMC interference, tenant p99)";
+  Printf.printf "%-8s %7s %9s %7s %7s %10s %8s %9s %12s %5s\n" "Backend"
+    "Tenants" "Conf.fr" "PTP.fr" "Com.fr" "Fr/tenant" "EMC/req" "Interf."
+    "Worst p99" "Viol.";
+  let rows =
+    Workloads.Density.scaling ?jobs:!jobs_arg ~smoke:!smoke_arg ~backends
+      ?tenant_counts ()
+  in
+  List.iter
+    (fun (r : Workloads.Density.scale_row) ->
+      Printf.printf "%-8s %7d %9d %7d %7d %10.1f %8.1f %8.2f%% %12d %5d\n"
+        (Erebor.Isolation.kind_name r.sbackend)
+        r.tenants r.confined_frames r.ptp_frames r.common_frames
+        r.frames_per_tenant r.emc_per_request r.emc_interference_pct
+        r.worst_p99 r.violations)
+    rows;
+  let total_violations =
+    List.fold_left
+      (fun acc (r : Workloads.Density.scale_row) -> acc + r.violations)
+      0 rows
+  in
+  Printf.printf
+    "(adversarial probe per machine: cross-tenant confined map, TME-MK key-id\n\
+    \ forgery, sealed-common writable map — %d attempts not denied)\n"
+    total_violations;
+  if total_violations > 0 then begin
+    Printf.eprintf "density: %d isolation violations\n" total_violations;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Qualitative tables (1, 2, 7)                                        *)
@@ -584,8 +641,9 @@ let smoke () =
 
 let usage =
   "usage: main.exe \
-   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|ablations|tables-qual|emchist|attrib|check|bechamel]\n\
-  \       [--jobs N] [--scale F] [--baseline PATH] [--full]\n"
+   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|density|ablations|tables-qual|emchist|attrib|check|bechamel]\n\
+  \       [--jobs N] [--scale F] [--baseline PATH] [--full]\n\
+  \       [--smoke] [--backend pks|wp|tmemk] [--tenants N]   (density)\n"
 
 let () =
   let target = ref None in
@@ -616,6 +674,19 @@ let () =
         if !i >= argc then bad "--baseline needs an argument";
         baseline_arg := Sys.argv.(!i)
     | "--full" -> full_arg := true
+    | "--smoke" -> smoke_arg := true
+    | "--backend" ->
+        incr i;
+        if !i >= argc then bad "--backend needs an argument";
+        (match Erebor.Isolation.kind_of_name Sys.argv.(!i) with
+        | Ok b -> backend_arg := Some b
+        | Error e -> bad ("--backend: " ^ e))
+    | "--tenants" ->
+        incr i;
+        if !i >= argc then bad "--tenants needs an argument";
+        (match int_of_string_opt Sys.argv.(!i) with
+        | Some n when n >= 1 -> tenants_arg := Some n
+        | _ -> bad "--tenants: positive integer expected")
     | s when String.length s > 0 && s.[0] = '-' ->
         bad (Printf.sprintf "unknown flag %S" s)
     | s -> (
@@ -634,6 +705,7 @@ let () =
   | "table6" -> print_table6 ()
   | "fig10" -> print_fig10 ()
   | "memshare" -> print_memshare ()
+  | "density" -> print_density ()
   | "ablations" -> print_ablations ()
   | "tables-qual" -> print_tables_qual ()
   | "emchist" -> print_emchist ()

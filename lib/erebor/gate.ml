@@ -18,13 +18,11 @@ let gate_listing =
     Hw.Isa.Ret;
   ]
 
-type privilege = Pks | Write_protect
-
 type t = {
   cpu : Hw.Cpu.t;
   code_base : int;
   code : bytes;
-  privilege : privilege;
+  backend : Isolation.t;
   shadow : Hw.Cet.shadow_stack;
   mutable depth : int;          (* nested monitor-context calls *)
   mutable saved_grants : int list; (* secure-stack slots for the #INT gate *)
@@ -32,12 +30,12 @@ type t = {
   mutable interrupted : int;
 }
 
-let create ~cpu ~code_base ?(privilege = Pks) () =
+let create ~cpu ~code_base ~backend () =
   {
     cpu;
     code_base;
     code = Hw.Isa.assemble gate_listing;
-    privilege;
+    backend;
     shadow = Hw.Cet.create_stack ~base:(code_base + 0x10000);
     depth = 0;
     saved_grants = [];
@@ -45,7 +43,7 @@ let create ~cpu ~code_base ?(privilege = Pks) () =
     interrupted = 0;
   }
 
-let privilege t = t.privilege
+let backend t = t.backend
 
 let entry_point t = t.code_base
 let code_bytes t = Bytes.copy t.code
@@ -54,26 +52,12 @@ let endbr_at t addr = addr = t.code_base
 
 (* Read/grant/revoke the privilege state the backend uses. The saved value
    is opaque to callers: a PKRS image or a CR0.WP bit. Grants travel as
-   unboxed ints — [enter] runs once per EMC and must not allocate. *)
-let read_grant t =
-  match t.privilege with
-  | Pks -> Hw.Msr.pkrs_bits t.cpu.Hw.Cpu.msr
-  | Write_protect -> if Hw.Cr.wp t.cpu.Hw.Cpu.cr then 1 else 0
-
-let load_grant t v =
-  match t.privilege with
-  | Pks -> Hw.Msr.write_pkrs_bits t.cpu.Hw.Cpu.msr v
-  | Write_protect -> Hw.Cr.set_bit t.cpu.Hw.Cpu.cr ~reg:`Cr0 Hw.Cr.cr0_wp (v = 1)
-
-let granted_value t =
-  match t.privilege with
-  | Pks -> Int64.to_int Policy.monitor_mode_pkrs
-  | Write_protect -> 0
-
-let revoked_value t =
-  match t.privilege with
-  | Pks -> Int64.to_int Policy.normal_mode_pkrs
-  | Write_protect -> 1
+   unboxed ints — [enter] runs once per EMC and must not allocate, and the
+   Isolation dispatch (existential match + indirect call) keeps that. *)
+let read_grant t = Isolation.read_grant t.backend
+let load_grant t v = Isolation.load_grant t.backend v
+let granted_value t = Isolation.granted_value t.backend
+let revoked_value t = Isolation.revoked_value t.backend
 
 let gate_span_begin = Obs.Trace.span_begin Obs.Trace.Emc_gate
 let gate_span_end = Obs.Trace.span_end Obs.Trace.Emc_gate
@@ -97,22 +81,27 @@ let enter t ~target f =
     let caller_grant = read_grant t in
     load_grant t (granted_value t);
     t.depth <- 1;
-    let finish () =
-      t.depth <- 0;
-      load_grant t caller_grant;
-      let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
-      Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
-      (* One event per outermost monitor-context entry: ts is the entry
-         time, arg the full round-trip latency in cycles. *)
-      Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
-        ~arg:(now - t0)
-    in
+    (* The exit sequence is written out in both arms rather than shared
+       through a [finish] closure: the closure would capture [caller_grant]
+       and [t0] and put one heap block on every EMC round trip. *)
     match f () with
     | v ->
-        finish ();
+        t.depth <- 0;
+        load_grant t caller_grant;
+        let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
+        (* One event per outermost monitor-context entry: ts is the entry
+           time, arg the full round-trip latency in cycles. *)
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(now - t0);
         v
     | exception e ->
-        finish ();
+        t.depth <- 0;
+        load_grant t caller_grant;
+        let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(now - t0);
         raise e
   end
 

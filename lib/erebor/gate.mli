@@ -4,27 +4,21 @@
     Entry is guarded by CET forward CFI — the monitor's code image carries
     exactly one endbr64, at the entry gate — so an indirect branch anywhere
     else into monitor code raises #CP. The gate grants the core monitor
-    memory permissions by loading a grant-all IA32_PKRS, switches to a
-    per-core secure stack (modelled by the CET shadow stack token), runs the
-    requested service, then revokes permissions and returns. Interrupts
-    arriving mid-EMC are wrapped by the #INT gate, which stashes the granted
-    PKRS on the secure stack and revokes it before the OS handler runs. *)
+    memory permissions through its {!Isolation} backend's grant protocol —
+    a grant-all IA32_PKRS under PKS, a CR0.WP clear under the WP and TME-MK
+    backends — switches to a per-core secure stack (modelled by the CET
+    shadow stack token), runs the requested service, then revokes
+    permissions and returns. Interrupts arriving mid-EMC are wrapped by the
+    #INT gate, which stashes the granted value on the secure stack and
+    revokes it before the OS handler runs. *)
 
 type t
 
-type privilege =
-  | Pks
-      (** TDX-style: the gate swaps IA32_PKRS (grant-all vs normal mode). *)
-  | Write_protect
-      (** SEV-style (§10, after Nested Kernel): no PKS exists, so the gate
-          clears CR0.WP inside the monitor — read-only page-table pages and
-          kernel text become writable only in monitor context. *)
-
-val create : cpu:Hw.Cpu.t -> code_base:int -> ?privilege:privilege -> unit -> t
+val create : cpu:Hw.Cpu.t -> code_base:int -> backend:Isolation.t -> unit -> t
 (** Lay the monitor's gate code at [code_base]; the single endbr64 sits at
-    the entry gate, offset 0. [privilege] defaults to [Pks]. *)
+    the entry gate, offset 0. [backend] supplies the grant protocol. *)
 
-val privilege : t -> privilege
+val backend : t -> Isolation.t
 
 val entry_point : t -> int
 val code_bytes : t -> bytes
@@ -39,9 +33,9 @@ val enter : t -> target:int -> (unit -> 'a) -> 'a
 
     Raises [Fault.Fault (Control_protection _)] if [target] is not the entry
     gate while IBT is on. On the legitimate path: pays the EMC round-trip
-    cost, loads the monitor PKRS, runs the service, restores the caller's
-    PKRS (even on exception). Nested calls from monitor context reuse the
-    already-granted privilege and pay nothing. *)
+    cost, loads the backend's granted value, runs the service, restores the
+    caller's grant (even on exception). Nested calls from monitor context
+    reuse the already-granted privilege and pay nothing. *)
 
 val call : t -> (unit -> 'a) -> 'a
 (** [enter] through the legitimate entry point — what instrumented kernel

@@ -9,6 +9,7 @@ type frame_class =
 type t = {
   mem : Hw.Phys_mem.t;
   cpu : Hw.Cpu.t;
+  backend : Isolation.t;
   (* Per-frame state as flat arrays indexed by pfn: [class_of] sits on the
      write_pte hot path (several probes per EMC), where a hashed lookup per
      probe is measurable across the millions of MMU EMCs in an evaluation
@@ -23,10 +24,11 @@ type t = {
   mutable denied : int;
 }
 
-let create ~mem ~cpu =
+let create ~mem ~cpu ~backend =
   {
     mem;
     cpu;
+    backend;
     classes = Array.make (Hw.Phys_mem.frames mem) Free;
     confined_mapped = Bytes.make (Hw.Phys_mem.frames mem) '\000';
     sandbox_roots = Hashtbl.create 8;
@@ -59,10 +61,17 @@ let register_root t ~root_pfn =
 let register_sandbox_root t ~root_pfn ~sandbox =
   Hashtbl.replace t.sandbox_roots root_pfn sandbox
 
+let sandbox_of_root t ~root_pfn = Hashtbl.find_opt t.sandbox_roots root_pfn
+
 let classify t ~pfn cls =
   match class_of t pfn with
   | Free ->
       set_class t pfn cls;
+      (* Backend frame tagging rides classification: TME-MK keys the frame
+         to its owner here; PKS/WP tag nothing. *)
+      (match cls with
+      | Confined { owner } -> Isolation.tag_confined t.backend ~pfn ~owner
+      | Free | Ptp _ | Monitor | Kernel_text | Common _ -> ());
       Ok ()
   | Ptp _ -> Error "cannot reclassify a page-table page"
   | Monitor -> Error "cannot reclassify monitor memory"
@@ -74,6 +83,9 @@ let is_confined_mapped t ~pfn =
   in_range t pfn && Bytes.unsafe_get t.confined_mapped pfn = '\001'
 
 let declassify t ~pfn =
+  (match class_of t pfn with
+  | Confined _ -> Isolation.untag_confined t.backend ~pfn
+  | Free | Ptp _ | Monitor | Kernel_text | Common _ -> ());
   clear_class t pfn;
   mark_confined_mapped t pfn false
 
@@ -110,45 +122,55 @@ let do_store t pte_addr pte =
   Hw.Phys_mem.write_u64 t.mem pte_addr pte;
   Hw.Cpu.flush_tlb t.cpu
 
-(* Leaf policy (§6.1): decide/transform a level-3 entry. *)
+(* Leaf policy (§6.1): decide/transform a level-3 entry. The untrusted PTE
+   is screened by the isolation backend first (TME-MK rejects forged key
+   ids — only the monitor stamps them), then dispatched on the target
+   frame's class. *)
 let check_leaf t ~root pte =
-  let target = Hw.Pte.pfn pte in
-  let sandbox = Hashtbl.find_opt t.sandbox_roots root in
-  match class_of t target with
-  | Monitor -> Error "mapping monitor memory is forbidden"
-  | Ptp _ ->
-      (* PTPs are only visible read-only, supervisor, PTP-keyed (the kernel
-         may read page tables but never write them). *)
-      Ok
-        (Hw.Pte.set_pkey
-           (Hw.Pte.set_user (Hw.Pte.set_writable pte false) false)
-           Policy.key_ptp)
-  | Kernel_text ->
-      Ok
-        (Hw.Pte.set_pkey
-           (Hw.Pte.set_user (Hw.Pte.set_writable pte false) false)
-           Policy.key_kernel_text)
-  | Confined { owner } -> (
-      match sandbox with
-      | Some sid when sid = owner ->
-          if is_confined_mapped t ~pfn:target then
-            Error "confined frame already mapped (single-mapping rule)"
-          else begin
-            mark_confined_mapped t target true;
-            Ok pte
-          end
-      | Some _ -> Error "confined frame belongs to another sandbox"
-      | None -> Error "confined frame cannot map outside its sandbox")
-  | Common { instance } ->
-      let pte =
-        if Hashtbl.mem t.sealed instance then Hw.Pte.set_writable pte false else pte
-      in
-      Ok pte
-  | Free -> (
-      match sandbox with
-      | Some _ when Hw.Pte.user pte ->
-          Error "sandbox user mappings must target declared confined/common frames"
-      | Some _ | None -> Ok pte)
+  match Isolation.validate_untrusted t.backend pte with
+  | Error _ as e -> e
+  | Ok () -> (
+      let target = Hw.Pte.pfn pte in
+      let sandbox = Hashtbl.find_opt t.sandbox_roots root in
+      match class_of t target with
+      | Monitor -> Error "mapping monitor memory is forbidden"
+      | Ptp _ ->
+          (* PTPs are only visible read-only, supervisor, PTP-keyed (the kernel
+             may read page tables but never write them). *)
+          Ok
+            (Hw.Pte.set_pkey
+               (Hw.Pte.set_user (Hw.Pte.set_writable pte false) false)
+               Policy.key_ptp)
+      | Kernel_text ->
+          Ok
+            (Hw.Pte.set_pkey
+               (Hw.Pte.set_user (Hw.Pte.set_writable pte false) false)
+               Policy.key_kernel_text)
+      | Confined { owner } -> (
+          match sandbox with
+          | Some sid when sid = owner ->
+              if is_confined_mapped t ~pfn:target then
+                Error "confined frame already mapped (single-mapping rule)"
+              else begin
+                mark_confined_mapped t target true;
+                Ok (Isolation.seal_confined_leaf t.backend ~owner pte)
+              end
+          | Some _ -> Error "confined frame belongs to another sandbox"
+          | None -> Error "confined frame cannot map outside its sandbox")
+      | Common { instance } ->
+          if Hashtbl.mem t.sealed instance then
+            (* Sandbox mappings of a sealed instance silently downgrade to
+               read-only (demand paging continues after seal); a writable
+               mapping requested from outside any sandbox is an attack. *)
+            if sandbox = None && Hw.Pte.writable pte then
+              Error "sealed common frame cannot be mapped writable outside a sandbox"
+            else Ok (Hw.Pte.set_writable pte false)
+          else Ok pte
+      | Free -> (
+          match sandbox with
+          | Some _ when Hw.Pte.user pte ->
+              Error "sandbox user mappings must target declared confined/common frames"
+          | Some _ | None -> Ok pte))
 
 let write_pte t ~trusted ~pte_addr pte =
   let container = Hw.Phys_mem.pfn_of_addr pte_addr in

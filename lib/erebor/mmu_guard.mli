@@ -9,10 +9,26 @@
     - stores are only accepted into registered page-table pages;
     - intermediate entries register their child frame as a new PTP and
       write-protect its direct-map view with the PTP protection key;
-    - leaf entries are checked against the target frame's class: monitor
-      frames are unmappable, PTPs and kernel text become read-only with
-      their keys, confined frames obey the single-mapping rule inside their
-      owning sandbox only, and common frames lose writability once sealed. *)
+    - leaf entries are first screened by the {!Isolation} backend
+      ([validate_untrusted] — TME-MK rejects kernel-forged key ids here),
+      then checked against the target frame's class: monitor frames are
+      unmappable, PTPs and kernel text become read-only with their keys,
+      confined frames obey the single-mapping rule inside their owning
+      sandbox only, and common frames lose writability once sealed (a
+      writable mapping of a sealed instance requested from outside any
+      sandbox is denied outright).
+
+    The single-mapping rule is mechanism-independent — at most one live
+    leaf per confined frame, enforced by the guard's registry — but what
+    backs it up differs per backend: under PKS/WP the only mapping is the
+    owning sandbox's and the kernel's direct-map view is retagged; under
+    TME-MK the accepted leaf is additionally stamped with the owner's
+    encryption key id ([seal_confined_leaf]), so even a bookkeeping bypass
+    yields a frame the walker refuses to decrypt for anyone but the owner.
+
+    Backend hooks also ride classification: [classify]-ing a frame
+    [Confined] tags it with its owner's key (TME-MK) and [declassify]
+    untags it; PKS/WP tag nothing. *)
 
 type frame_class =
   | Free
@@ -24,7 +40,10 @@ type frame_class =
 
 type t
 
-val create : mem:Hw.Phys_mem.t -> cpu:Hw.Cpu.t -> t
+val create : mem:Hw.Phys_mem.t -> cpu:Hw.Cpu.t -> backend:Isolation.t -> t
+(** [backend] is the monitor's isolation backend; the guard consults it to
+    screen untrusted leaves, transform accepted confined leaves, and keep
+    per-frame key tags in sync with classification. *)
 
 val set_kernel_root : t -> int -> unit
 (** Identify the master kernel root whose tree carries the direct map. *)
@@ -34,7 +53,13 @@ val register_root : t -> root_pfn:int -> (unit, string) result
 
 val register_sandbox_root : t -> root_pfn:int -> sandbox:int -> unit
 (** Mark an address-space root as belonging to a sandbox; its leaves are
-    then restricted to that sandbox's confined/common frames. *)
+    then restricted to that sandbox's confined/common frames. With N
+    sandboxes per CVM each root maps to its own tenant, and the owner
+    checks below keep tenants' confined frames mutually unmappable. *)
+
+val sandbox_of_root : t -> root_pfn:int -> int option
+(** The sandbox owning an address-space root, if any — the monitor feeds
+    this to [Isolation.tenant_enter] on every approved CR3 load. *)
 
 val classify : t -> pfn:int -> frame_class -> (unit, string) result
 (** Monitor-side frame classification (confined/common/monitor/text).

@@ -13,6 +13,7 @@ type t = {
   cpu : Hw.Cpu.t;
   mem : Hw.Phys_mem.t;
   td : Tdx.Td_module.t;
+  backend : Isolation.t;
   gate : Gate.t;
   guard : Mmu_guard.t;
   monitor_first : int;
@@ -33,6 +34,7 @@ type t = {
 
 let gate t = t.gate
 let guard t = t.guard
+let backend t = t.backend
 let kernel t = t.kernel
 let obs t = t.cpu.Hw.Cpu.obs
 
@@ -50,9 +52,10 @@ let emc_stats t =
 let emc_total t = Gate.emc_count t.gate
 let cpuid_cache_hits t = t.cache_hits
 
-let install ?(privilege = Gate.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
+let install ?(backend = Isolation.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
     ~device_shared_frames () =
-  let gate = Gate.create ~cpu ~code_base:(Kernel.Layout.direct_map 0x1000) ~privilege () in
+  let backend = Isolation.create backend ~cpu in
+  let gate = Gate.create ~cpu ~code_base:(Kernel.Layout.direct_map 0x1000) ~backend () in
   (* Stage one: only the firmware and the monitor binary are measured. *)
   Tdx.Td_module.measure_initial td firmware;
   Tdx.Td_module.measure_initial td (Gate.code_bytes gate);
@@ -61,8 +64,9 @@ let install ?(privilege = Gate.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
       cpu;
       mem;
       td;
+      backend;
       gate;
-      guard = Mmu_guard.create ~mem ~cpu;
+      guard = Mmu_guard.create ~mem ~cpu ~backend;
       monitor_first = 0;
       monitor_frames;
       shared_first = monitor_frames;
@@ -82,14 +86,10 @@ let install ?(privilege = Gate.Pks) ~cpu ~mem ~td ~firmware ~monitor_frames
     | Ok () -> ()
     | Error e -> failwith ("Monitor.install: " ^ e)
   done;
-  (* Enable the hardware features the whole design rests on. On a platform
-     without PKS (SEV, §10) the Nested Kernel discipline relies on CR0.WP
-     plus read-only mappings instead of protection keys. *)
-  (match privilege with
-  | Gate.Pks ->
-      Hw.Cpu.set_cr_bit cpu ~reg:`Cr4 Hw.Cr.cr4_pks true;
-      Hw.Cpu.write_msr cpu Hw.Msr.ia32_pkrs Policy.normal_mode_pkrs
-  | Gate.Write_protect -> ());
+  (* Enable the hardware features the backend rests on: PKS programs CR4
+     plus the normal-mode PKRS, WP nothing extra (CR0.WP is pinned below),
+     TME-MK attaches its key engine to the walker. *)
+  Isolation.install backend;
   Hw.Cpu.set_cr_bit cpu ~reg:`Cr4 Hw.Cr.cr4_cet true;
   Hw.Cpu.set_cr_bit cpu ~reg:`Cr0 Hw.Cr.cr0_wp true;
   Hw.Cpu.write_msr cpu Hw.Msr.ia32_s_cet Hw.Msr.s_cet_ibt_bit;
@@ -221,6 +221,11 @@ let privops t =
                 | Ok () ->
                     audit t ~category:(cat Policy.Cr) Obs.Audit.Allow (fun () ->
                         Printf.sprintf "write_cr3 root_pfn=%d" root_pfn);
+                    (* Tenant context follows the address space: the backend
+                       learns which sandbox (if any) this root belongs to —
+                       TME-MK switches its active key here. *)
+                    Isolation.tenant_enter t.backend
+                      (Mmu_guard.sandbox_of_root t.guard ~root_pfn);
                     Hw.Cpu.write_cr3 t.cpu ~root_pfn
                 | Error e -> fail t ~category:(cat Policy.Cr) ("cr3: " ^ e))));
     declare_root =

@@ -14,7 +14,7 @@ exception Policy_violation of string
 type t
 
 val install :
-  ?privilege:Gate.privilege ->
+  ?backend:Isolation.kind ->
   cpu:Hw.Cpu.t ->
   mem:Hw.Phys_mem.t ->
   td:Tdx.Td_module.t ->
@@ -26,12 +26,17 @@ val install :
 (** Stage-one boot: measure the firmware and the monitor binary into MRTD,
     claim the bottom [monitor_frames] frames as monitor memory, designate
     the next [device_shared_frames] as the only region convertible to CVM
-    shared memory, and enable the protection hardware: CET (IBT) plus, per
-    [privilege], either PKS with the normal-mode PKRS (TDX) or the CR0.WP
-    discipline (SEV-style platforms without PKS, §10). *)
+    shared memory, and enable the protection hardware: CET (IBT) plus
+    whatever the chosen {!Isolation} backend rests on — PKS with the
+    normal-mode PKRS (the default, the paper's TDX prototype), the CR0.WP
+    discipline (SEV-style platforms without PKS, §10), or the simulated
+    TME-MK key engine. *)
 
 val gate : t -> Gate.t
 val guard : t -> Mmu_guard.t
+val backend : t -> Isolation.t
+(** The isolation backend instantiated at {!install}. *)
+
 val kernel : t -> Kernel.t option
 
 val boot_kernel :

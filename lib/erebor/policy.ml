@@ -10,6 +10,17 @@ let normal_mode_pkrs =
 
 let monitor_mode_pkrs = 0L
 
+(* Per-tenant sandbox policy: with N mutually-distrusting sandboxes in one
+   CVM, each carries its own limits rather than inheriting one global
+   configuration. Defaults reproduce the single-tenant behaviour. *)
+type tenant = {
+  label : string;
+  max_output_bytes : int;
+  allow_common : bool;
+}
+
+let default_tenant ~label = { label; max_output_bytes = 0; allow_common = true }
+
 type instr_class = Cr | Msr | Smap | Idt | Ghci | Mmu
 
 type sensitive = { class_ : instr_class; mnemonic : string; description : string }

@@ -15,6 +15,17 @@ val normal_mode_pkrs : int64
 val monitor_mode_pkrs : int64
 (** Grant-all — loaded by the EMC entry gate, revoked at exit. *)
 
+(** {2 Per-tenant sandbox policy} *)
+
+type tenant = {
+  label : string;           (** Attribution label for audit records. *)
+  max_output_bytes : int;   (** Output-channel cap; [0] = unlimited. *)
+  allow_common : bool;      (** May attach shared common instances. *)
+}
+
+val default_tenant : label:string -> tenant
+(** Unlimited output, commons allowed — the single-tenant defaults. *)
+
 (** {2 Sensitive instructions (Table 2)} *)
 
 type instr_class = Cr | Msr | Smap | Idt | Ghci | Mmu

@@ -5,6 +5,7 @@ type confined_region = { start : int; len : int; base_pfn : int }
 type t = {
   id : int;
   sb_name : string;
+  policy : Policy.tenant;
   mutable phase : phase;
   main_task : Kernel.Task.t;
   mutable threads : Kernel.Task.t list;
@@ -39,6 +40,7 @@ type manager = {
 
 let id sb = sb.id
 let name sb = sb.sb_name
+let policy sb = sb.policy
 let phase sb = sb.phase
 let main_task sb = sb.main_task
 let threads sb = sb.threads
@@ -135,9 +137,12 @@ let create_manager ~monitor ~kern =
   Monitor.set_usercopy_veto monitor (usercopy_veto mgr);
   mgr
 
-let create_sandbox mgr ~name ~confined_budget =
+let create_sandbox ?policy mgr ~name ~confined_budget =
   if confined_budget <= 0 then Error "confined budget must be positive"
   else begin
+    let policy =
+      match policy with Some p -> p | None -> Policy.default_tenant ~label:name
+    in
     let sid = mgr.next_id in
     mgr.next_id <- sid + 1;
     let task = Kernel.create_task mgr.kern ~name ~kind:(Kernel.Task.Sandboxed sid) in
@@ -148,6 +153,7 @@ let create_sandbox mgr ~name ~confined_budget =
       {
         id = sid;
         sb_name = name;
+        policy;
         phase = Initializing;
         main_task = task;
         threads = [];
@@ -220,6 +226,12 @@ let declare_confined mgr sb ~len =
 
 let attach_common mgr sb ~name ~size =
   if sb.phase <> Initializing then Error "common memory must attach before data"
+  else if not sb.policy.Policy.allow_common then begin
+    audit mgr Obs.Audit.Deny (fun () ->
+        Printf.sprintf "attach_common id=%d %s: tenant policy forbids common memory"
+          sb.id sb.policy.Policy.label);
+    Error "tenant policy forbids common memory"
+  end
   else begin
     let inst =
       match Hashtbl.find_opt mgr.commons name with
@@ -359,9 +371,17 @@ let handle_syscall mgr sb call =
               Kernel.Syscall.Rbytes
                 (read_sandbox_bytes mgr sb ~addr:sb.input_addr ~len:sb.input_len)
           | 2 ->
-              emit mgr Obs.Trace.Channel_send ~arg:(Bytes.length arg);
-              append_output mgr sb arg;
-              Kernel.Syscall.Rok
+              let cap = sb.policy.Policy.max_output_bytes in
+              if cap > 0 && Buffer.length sb.output + Bytes.length arg > cap then begin
+                kill mgr sb
+                  (Printf.sprintf "output exceeds tenant cap (%d bytes)" cap);
+                Kernel.Syscall.Rerr "killed"
+              end
+              else begin
+                emit mgr Obs.Trace.Channel_send ~arg:(Bytes.length arg);
+                append_output mgr sb arg;
+                Kernel.Syscall.Rok
+              end
           | _ ->
               kill mgr sb "ioctl: unknown channel request";
               Kernel.Syscall.Rerr "killed")
@@ -428,6 +448,18 @@ let find_by_task mgr task =
   match Kernel.Task.sandbox_id task with
   | None -> None
   | Some sid -> Hashtbl.find_opt mgr.sandboxes sid
+
+let find_by_id mgr sid = Hashtbl.find_opt mgr.sandboxes sid
+
+let sandboxes mgr =
+  List.sort
+    (fun a b -> compare a.id b.id)
+    (Hashtbl.fold (fun _ sb acc -> sb :: acc) mgr.sandboxes [])
+
+let exit_stats_all mgr =
+  List.map
+    (fun sb -> (sb.id, sb.sb_name, (sb.pf_count, sb.timer_count, sb.ve_count)))
+    (sandboxes mgr)
 
 let sandbox_count mgr = Hashtbl.length mgr.sandboxes
 let manager_kernel mgr = mgr.kern

@@ -1,7 +1,15 @@
 (** EREBOR-SANDBOX (§6): monitor-managed containers that process one client's
     data. The manager owns the lifecycle — confined/common memory
     declaration, the data-loaded phase flip that seals common memory and
-    disables exits, exit interposition, and terminal scrubbing. *)
+    disables exits, exit interposition, and terminal scrubbing.
+
+    One manager can host N mutually-distrusting sandboxes in the same CVM:
+    each gets its own address-space root (registered with the MMU guard, so
+    tenant A can never map tenant B's confined frames), its own channel fd,
+    per-sandbox exit statistics, and a {!Policy.tenant} policy. Which
+    hardware mechanism walls tenants off is the monitor's {!Isolation}
+    backend — protection keys by default, per-tenant encryption keys under
+    TME-MK — and is invisible at this interface. *)
 
 type phase = Initializing | Data_loaded | Terminated
 
@@ -17,19 +25,27 @@ val channel_fd : t -> int
 (** The reserved ioctl descriptor for monitor-shepherded I/O (§6.3). *)
 
 val confined_bytes : t -> int
+val policy : t -> Policy.tenant
+
 val exit_stats : t -> int * int * int
 (** (page faults, timer interrupts, #VE-style kill attempts) observed for
-    this sandbox — Table 6's exit columns. *)
+    this sandbox — Table 6's exit columns. Counters are per-sandbox, so the
+    columns stay meaningful with N > 1 tenants; see {!exit_stats_all}. *)
 
 type manager
 
 val create_manager : monitor:Monitor.t -> kern:Kernel.t -> manager
-(** Also installs the kernel fault-frame hook and the monitor usercopy veto. *)
+(** Also installs the kernel fault-frame hook and the monitor usercopy veto.
+    One manager serves every sandbox in the CVM: tenants share the monitor
+    and kernel but get their own address-space root, confined frames,
+    channel fd and {!Policy.tenant} limits. *)
 
 val create_sandbox :
+  ?policy:Policy.tenant ->
   manager -> name:string -> confined_budget:int -> (t, string) result
 (** New sandbox with its own address space and a hard confined-memory budget
-    set by the service provider (§6.1). *)
+    set by the service provider (§6.1). [policy] defaults to
+    [Policy.default_tenant ~label:name]. *)
 
 val spawn_thread : manager -> t -> name:string -> Kernel.Task.t
 (** Pre-created worker thread (clone) sharing the sandbox address space. *)
@@ -89,6 +105,16 @@ val terminate : manager -> t -> unit
 (** Scrub: zero every confined frame, unmap and free them, drop outputs. *)
 
 val find_by_task : manager -> Kernel.Task.t -> t option
+val find_by_id : manager -> int -> t option
+
+val sandboxes : manager -> t list
+(** Every sandbox the manager has created (including terminated ones),
+    ascending by id — the scheduling order multi-tenant drivers iterate. *)
+
+val exit_stats_all : manager -> (int * string * (int * int * int)) list
+(** Per-sandbox [(id, name, exit_stats)] rows, ascending by id — the
+    multi-tenant form of {!exit_stats} behind [Sim.Stats.sandbox_row]. *)
+
 val sandbox_count : manager -> int
 val manager_kernel : manager -> Kernel.t
 val manager_monitor : manager -> Monitor.t

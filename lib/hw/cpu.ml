@@ -14,6 +14,9 @@ type t = {
   mutable idt : Idt.t;
   apic : Apic.t;
   obs : Obs.Emitter.t;
+  (* TME-MK key engine; None (the default, and the PKS backend) skips the
+     key check entirely so the fill path is unchanged. *)
+  mutable tme : Tme.t option;
   (* Cached access-check context: rebuilt only when one of its inputs
      changed (mode, EFLAGS.AC, any CR write, any MSR write), so the TLB-hit
      path does one record read instead of one record build per access. *)
@@ -53,6 +56,7 @@ let create ?obs ~id ~mem ~clock ~timer_period () =
     idt = Idt.create ();
     apic = Apic.create clock ~period:timer_period;
     obs = (match obs with Some e -> e | None -> Obs.Emitter.create ());
+    tme = None;
     actx =
       {
         Access.user_mode = false;
@@ -123,11 +127,47 @@ let not_present_fault t ~kind vaddr =
   emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
   Fault.raise_fault f
 
+let tme_fault t ~kind vaddr detail =
+  Obs.Emitter.audit_event t.obs ~ts:(Cycles.now t.clock) ~category:"tme"
+    ~verdict:Obs.Audit.Deny detail;
+  let f =
+    Fault.Page_fault
+      {
+        Fault.addr = vaddr;
+        kind;
+        user = t.mode = User;
+        present = true;
+        pkey_violation = true;
+      }
+  in
+  emit t Obs.Trace.Fault_raised ~arg:(Fault.vector f);
+  Fault.raise_fault f
+
+(* TME-MK key check, at fill time only: CR3 switches and guarded PTE
+   stores flush the TLB, so every relevant permission change forces a
+   refill through here. *)
+let tme_check t tme ~kind vaddr ~pfn ~pte =
+  match Tme.check tme ~pfn ~pte_keyid:(Pte.keyid pte) with
+  | Tme.Plain -> ()
+  | Tme.Keyed -> Cycles.advance t.clock Cycles.Cost.tme_key_load
+  | Tme.Wrong_key (claimed, actual) ->
+      tme_fault t ~kind vaddr (fun () ->
+          Printf.sprintf "keyid mismatch pfn=%d pte_keyid=%d frame_tag=%d" pfn
+            claimed actual)
+  | Tme.Inactive_key (tagd, active) ->
+      tme_fault t ~kind vaddr (fun () ->
+          Printf.sprintf "inactive key pfn=%d frame_tag=%d active=%d" pfn tagd
+            active)
+
 (* TLB miss: walk, set accessed/dirty as hardware does, fill. *)
 let tlb_fill t ~kind vaddr =
   match Page_table.walk t.mem ~root_pfn:(Cr.root_pfn t.cr) vaddr with
   | None -> not_present_fault t ~kind vaddr
   | Some w ->
+      (match t.tme with
+      | None -> ()
+      | Some tme ->
+          tme_check t tme ~kind vaddr ~pfn:w.Page_table.pfn ~pte:w.Page_table.pte);
       let updated = Pte.set_accessed w.Page_table.pte true in
       let updated = if kind = Fault.Write then Pte.set_dirty updated true else updated in
       if not (Int64.equal updated w.Page_table.pte) then

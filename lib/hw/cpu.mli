@@ -24,6 +24,12 @@ type t = {
       (** The core's event bus. Every layer that holds (or is passed) this
           CPU publishes its privilege-relevant events here — one emitter per
           simulated machine, fresh unless injected at {!create}. *)
+  mutable tme : Tme.t option;
+      (** TME-MK key engine, consulted at TLB-fill time when attached by
+          the [tmemk] isolation backend. [None] (the default) leaves the
+          fill path byte-identical to a machine without TME. Violations
+          raise [Page_fault] with [pkey_violation] set and append a
+          ["tme"]-category deny to the audit chain. *)
   mutable actx : Access.ctx;
       (** Cached access-check context; use {!access_ctx}, which revalidates
           it against the mode/AC/CR/MSR state before returning it. *)

@@ -1,12 +1,11 @@
 (** Control registers CR0/CR3/CR4 with the protection bits Erebor manages
     (Table 2 of the paper: mov %r, %CR is a sensitive instruction). *)
 
-type t = {
-  mutable cr0 : int64;
-  mutable cr3 : int64;
-  mutable cr4 : int64;
-  mutable gen : int;
-}
+type t
+(** Register file. The representation is private to keep the hot-path bit
+    twiddling free of Int64 boxing (the EMC gate toggles the WP grant on
+    every round trip); the architectural bit constants below stay [int64]
+    for x86 fidelity. *)
 
 val create : unit -> t
 

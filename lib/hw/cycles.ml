@@ -32,6 +32,12 @@ module Cost = struct
   let spinlock_acquire = 40
   let libos_service = 210
   let usercopy_per_page = 320
+
+  (* TME-MK backend: per-fill key-tag handling on keyed frames. TME-Box
+     reports low single-digit-percent overheads; one extra AES-XTS key
+     schedule selection per TLB fill models that. Charged only when a
+     Tme.t is attached, so PKS-backend runs are unaffected. *)
+  let tme_key_load = 28
 end
 
 type clock = { mutable now : int }

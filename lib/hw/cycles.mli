@@ -63,6 +63,10 @@ module Cost : sig
 
   val usercopy_per_page : int
   (** copy_from/to_user per 4KiB page, excluding stac/clac. *)
+
+  val tme_key_load : int
+  (** TME-MK backend: key-schedule selection per keyed TLB fill. Charged
+      only when a {!Tme.t} is attached to the CPU. *)
 end
 
 type clock

@@ -10,6 +10,8 @@ let bit_dirty = 6
 let bit_huge = 7
 let pfn_shift = 12
 let pfn_bits = 36
+let keyid_shift = 48
+let keyid_bits = 10
 let pkey_shift = 59
 let bit_nx = 63
 
@@ -75,6 +77,20 @@ let set_accessed t v = set_bit t bit_accessed v
 
 let huge t = get_bit t bit_huge
 let set_huge t v = set_bit t bit_huge v
+
+let keyid_mask = Int64.shift_left (Int64.sub (Int64.shift_left 1L keyid_bits) 1L) keyid_shift
+
+let keyid t =
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical t keyid_shift)
+       (Int64.sub (Int64.shift_left 1L keyid_bits) 1L))
+
+let set_keyid t k =
+  if k < 0 || k >= 1 lsl keyid_bits then invalid_arg "Pte.set_keyid: keyid out of range";
+  Int64.logor
+    (Int64.logand t (Int64.lognot keyid_mask))
+    (Int64.shift_left (Int64.of_int k) keyid_shift)
 
 let set_pkey t k =
   if k < 0 || k > 15 then invalid_arg "Pte.set_pkey: pkey out of range";

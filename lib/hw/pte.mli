@@ -46,6 +46,18 @@ val set_present : t -> bool -> t
 val set_writable : t -> bool -> t
 val set_user : t -> bool -> t
 val set_nx : t -> bool -> t
+val keyid_bits : int
+(** Width of the keyid field (10 → ids 0–1023). *)
+
+val keyid : t -> int
+(** Memory-encryption key id (TME-MK style), carried in the otherwise-free
+    physical-address upper bits 48–57. 0 means "no key" (shared/TME-global
+    key); the walker packs it into TLB entries so key checks happen at fill
+    time, mirroring how TME-MK derives the keyid from PTE address bits. *)
+
+val set_keyid : t -> int -> t
+(** Raises [Invalid_argument] outside 0–1023. *)
+
 val set_pkey : t -> int -> t
 val set_dirty : t -> bool -> t
 val set_accessed : t -> bool -> t

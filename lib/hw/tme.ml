@@ -1,0 +1,55 @@
+(* TME-MK engine model: per-frame key tags, one active tenant key. *)
+
+type t = {
+  tags : int array;
+  mutable active : int;
+  mutable keyed_fills : int;
+  mutable faults : int;
+}
+
+type decision = Plain | Keyed | Wrong_key of int * int | Inactive_key of int * int
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Tme.create: frames must be positive";
+  { tags = Array.make frames 0; active = 0; keyed_fills = 0; faults = 0 }
+
+let tag_of t ~pfn = if pfn >= 0 && pfn < Array.length t.tags then t.tags.(pfn) else 0
+
+let tag t ~pfn keyid =
+  if keyid < 0 || keyid >= 1 lsl Pte.keyid_bits then
+    invalid_arg "Tme.tag: keyid out of range";
+  if pfn < 0 || pfn >= Array.length t.tags then invalid_arg "Tme.tag: pfn out of range";
+  t.tags.(pfn) <- keyid
+
+let untag t ~pfn =
+  if pfn >= 0 && pfn < Array.length t.tags then t.tags.(pfn) <- 0
+
+let set_active t keyid =
+  if keyid < 0 || keyid >= 1 lsl Pte.keyid_bits then
+    invalid_arg "Tme.set_active: keyid out of range";
+  t.active <- keyid
+
+let active t = t.active
+
+(* The fill-time key check. A mapping whose PTE keyid disagrees with the
+   frame's tag decrypts with the wrong key — modelled as an integrity fault
+   rather than silent ciphertext. A correctly-tagged tenant frame still
+   requires that tenant's key to be the active context. *)
+let check t ~pfn ~pte_keyid =
+  let tag = tag_of t ~pfn in
+  if pte_keyid <> tag then begin
+    t.faults <- t.faults + 1;
+    Wrong_key (pte_keyid, tag)
+  end
+  else if tag = 0 then Plain
+  else if t.active <> tag then begin
+    t.faults <- t.faults + 1;
+    Inactive_key (tag, t.active)
+  end
+  else begin
+    t.keyed_fills <- t.keyed_fills + 1;
+    Keyed
+  end
+
+let keyed_fills t = t.keyed_fills
+let faults t = t.faults

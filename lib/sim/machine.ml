@@ -60,8 +60,8 @@ let requests t = t.requests
 
 let page_size = Hw.Phys_mem.page_size
 
-let create ?obs ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256)
-    ~setting () =
+let create ?obs ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
+    ?(cma_frames = 65536) ?(reserved_frames = 256) ~setting () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
   let obs = match obs with Some e -> e | None -> Obs.Emitter.create () in
@@ -79,7 +79,7 @@ let create ?obs ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256
   let monitor =
     if Config.has_monitor setting then
       Some
-        (Erebor.Monitor.install ~cpu ~mem ~td ~firmware ~monitor_frames:32
+        (Erebor.Monitor.install ~backend ~cpu ~mem ~td ~firmware ~monitor_frames:32
            ~device_shared_frames:64 ())
     else None
   in
@@ -757,6 +757,11 @@ let run m spec =
     common_frames;
   }
 
-let run_fresh ?frames ?cma_frames ~setting spec =
-  let m = create ?frames ?cma_frames ~setting () in
+let run_fresh ?backend ?frames ?cma_frames ~setting spec =
+  let m = create ?backend ?frames ?cma_frames ~setting () in
   run m spec
+
+let sandbox_rows t =
+  match t.mgr with
+  | None -> []
+  | Some mgr -> List.map Stats.sandbox_row_of (Erebor.Sandbox.exit_stats_all mgr)

@@ -11,11 +11,14 @@ type t
 
 val create :
   ?obs:Obs.Emitter.t ->
+  ?backend:Erebor.Isolation.kind ->
   ?frames:int -> ?cma_frames:int -> ?reserved_frames:int -> setting:Config.setting ->
   unit -> t
 (** [?obs] supplies the machine's event emitter — attach sinks (recorders,
     histograms) to it before [create] to observe boot as well. A fresh
-    emitter is made otherwise. *)
+    emitter is made otherwise. [?backend] picks the monitor's isolation
+    backend (default [Pks], the calibrated configuration); it only matters
+    for settings with a monitor. *)
 
 val setting : t -> Config.setting
 val kern : t -> Kernel.t
@@ -34,6 +37,10 @@ val requests : t -> Obs.Request.t
     channel client and the collector assembles its causal span tree. *)
 
 val snapshot : t -> Stats.snapshot
+
+val sandbox_rows : t -> Stats.sandbox_row list
+(** Per-sandbox exit rows ([] when the setting has no sandbox manager) —
+    keeps Table 6's exit attribution meaningful with N > 1 tenants. *)
 
 (** {2 Workload interface} *)
 
@@ -109,5 +116,6 @@ val run : t -> spec -> run_result
 (** Execute one client session of [spec] under this machine's setting. *)
 
 val run_fresh :
+  ?backend:Erebor.Isolation.kind ->
   ?frames:int -> ?cma_frames:int -> setting:Config.setting -> spec -> run_result
 (** Convenience: fresh machine, one run. *)

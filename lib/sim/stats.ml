@@ -41,6 +41,26 @@ let diff ~before ~after =
     mmu_denies = after.mmu_denies - before.mmu_denies;
   }
 
+(* Per-sandbox exit accounting: one row per tenant, so Table 6's exit
+   columns stay attributable when a machine hosts N > 1 sandboxes. Derived
+   from [Sandbox.exit_stats_all]; additive to [snapshot], which remains the
+   machine-wide aggregate. *)
+type sandbox_row = {
+  sandbox_id : int;
+  sandbox_name : string;
+  sb_page_faults : int;
+  sb_timer_irqs : int;
+  sb_ve_exits : int;
+}
+
+let sandbox_row_of (sandbox_id, sandbox_name, (pf, timer, ve)) =
+  { sandbox_id; sandbox_name; sb_page_faults = pf; sb_timer_irqs = timer;
+    sb_ve_exits = ve }
+
+let pp_sandbox_row fmt r =
+  Fmt.pf fmt "sb%d %-16s #PF=%d #Timer=%d #VE=%d" r.sandbox_id r.sandbox_name
+    r.sb_page_faults r.sb_timer_irqs r.sb_ve_exits
+
 let per_second s count = if s.seconds <= 0.0 then 0.0 else count /. s.seconds
 
 let pf_rate s = per_second s (float_of_int s.page_faults)

@@ -24,6 +24,22 @@ type snapshot = {
 val zero : snapshot
 val diff : before:snapshot -> after:snapshot -> snapshot
 
+type sandbox_row = {
+  sandbox_id : int;
+  sandbox_name : string;
+  sb_page_faults : int;
+  sb_timer_irqs : int;
+  sb_ve_exits : int;
+}
+(** Per-sandbox exit accounting — with N tenants per CVM the aggregate
+    {!snapshot} no longer attributes exits, so Table 6 columns come from
+    these rows. *)
+
+val sandbox_row_of : int * string * (int * int * int) -> sandbox_row
+(** Lift one [Sandbox.exit_stats_all] row. *)
+
+val pp_sandbox_row : Format.formatter -> sandbox_row -> unit
+
 val per_second : snapshot -> float -> float
 (** [per_second s count] — rate of [count] events over the snapshot span. *)
 

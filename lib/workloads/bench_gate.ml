@@ -371,6 +371,60 @@ let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
            (Eval.table4 ()))
       ~fields:[ "native_cycles"; "erebor_cycles" ]
   in
+  (* Backend pinning: the committed anchors were calibrated under the PKS
+     backend, so the gate holds two invariants — the default install still
+     IS PKS, and an explicitly-PKS machine reproduces the default anchors
+     byte for byte. A backend-default change (or a PKS backend that drifted
+     from the historical inline behaviour) fails here even if the default
+     anchors above still happen to match. *)
+  let backend_pin =
+    let default_kind =
+      let m =
+        Sim.Machine.create ~frames:16384 ~cma_frames:1024
+          ~setting:Sim.Config.Erebor_full ()
+      in
+      let monitor =
+        Erebor.Sandbox.manager_monitor (Option.get (Sim.Machine.manager m))
+      in
+      Erebor.Isolation.kind_name
+        (Erebor.Isolation.kind (Erebor.Monitor.backend monitor))
+    in
+    let default_check =
+      chk ~old_value:"pks" ~new_value:default_kind "backend/default"
+        (default_kind = "pks")
+        (if default_kind = "pks" then "default install is pks"
+         else "default isolation backend is no longer pks")
+    in
+    let pks_t3 =
+      List.map2
+        (fun (d : Eval.transition_row) (p : Eval.transition_row) ->
+          let name = Printf.sprintf "backend/table3-pks/%s" d.Eval.transition in
+          chk
+            ~old_value:(string_of_int d.Eval.cycles)
+            ~new_value:(string_of_int p.Eval.cycles)
+            name
+            (d.Eval.cycles = p.Eval.cycles)
+            (Printf.sprintf "default %d, explicit pks %d" d.Eval.cycles
+               p.Eval.cycles))
+        (Eval.table3 ())
+        (Eval.table3 ~backend:Erebor.Isolation.Pks ())
+    in
+    let pks_t4 =
+      List.map2
+        (fun (d : Eval.privop_row) (p : Eval.privop_row) ->
+          let name = Printf.sprintf "backend/table4-pks/%s" d.Eval.op in
+          chk
+            ~old_value:(string_of_int d.Eval.erebor_cycles)
+            ~new_value:(string_of_int p.Eval.erebor_cycles)
+            name
+            (d.Eval.erebor_cycles = p.Eval.erebor_cycles)
+            (Printf.sprintf "default %d, explicit pks %d" d.Eval.erebor_cycles
+               p.Eval.erebor_cycles))
+        (Eval.table4 ())
+        (Eval.table4 ~backend:Erebor.Isolation.Pks ())
+    in
+    (default_check :: pks_t3) @ pks_t4
+  in
   let f9 = if fig9 then fig9_checks ~baseline ~jobs else [] in
   let cpu = Sys.time () -. cpu0 in
   let minor = Gc.minor_words () -. minor0 in
@@ -404,7 +458,7 @@ let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
                minor budget gc_tolerance);
         ]
   in
-  (schema :: t3) @ t4 @ f9 @ wall @ gc
+  (schema :: t3) @ t4 @ backend_pin @ f9 @ wall @ gc
 
 let check_string ?fig9 ?jobs ?wall_tolerance ?gc_tolerance json =
   match Json.parse json with

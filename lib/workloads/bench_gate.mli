@@ -6,7 +6,13 @@
     of simulator mechanics), while wall time and GC pressure are only
     bounded within a generous tolerance so the gate never flakes on a slow
     CI host. With [~fig9:true] the Fig. 9 overhead/rate columns are also
-    compared at their reported precision (%.4f / %.2f). *)
+    compared at their reported precision (%.4f / %.2f).
+
+    The gate also pins the isolation backend the anchors were calibrated
+    under: the default {!Erebor.Isolation} install must still be PKS, and a
+    machine with the backend forced to PKS must reproduce the default
+    Table 3/4 anchors exactly (checks [backend/default],
+    [backend/table3-pks/*], [backend/table4-pks/*]). *)
 
 (** Dependency-free JSON subset used to read the baseline. *)
 module Json : sig

@@ -12,9 +12,12 @@ let measure clock f =
   f ();
   Hw.Cycles.now clock - t0
 
-let table3 () =
+let table3 ?backend () =
   (* EMC: an empty monitor call through the gate. *)
-  let full = Sim.Machine.create ~frames:16384 ~cma_frames:1024 ~setting:Sim.Config.Erebor_full () in
+  let full =
+    Sim.Machine.create ?backend ~frames:16384 ~cma_frames:1024
+      ~setting:Sim.Config.Erebor_full ()
+  in
   let gate =
     match Sim.Machine.manager full with
     | Some mgr -> Erebor.Monitor.gate (Erebor.Sandbox.manager_monitor mgr)
@@ -54,9 +57,9 @@ type privop_row = {
   paper_erebor : int;
 }
 
-let table4 () =
+let table4 ?backend () =
   let run_setting setting =
-    let m = Sim.Machine.create ~frames:16384 ~cma_frames:1024 ~setting () in
+    let m = Sim.Machine.create ?backend ~frames:16384 ~cma_frames:1024 ~setting () in
     let kern = Sim.Machine.kern m in
     let ops = kern.Kernel.privops in
     let clock = Sim.Machine.clock m in

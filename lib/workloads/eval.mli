@@ -12,7 +12,10 @@ type transition_row = {
   paper_cycles : int;
 }
 
-val table3 : unit -> transition_row list
+val table3 : ?backend:Erebor.Isolation.kind -> unit -> transition_row list
+(** [?backend] overrides the Erebor machine's isolation backend; the
+    committed anchors are the default (PKS) values, and the bench gate
+    pins that equivalence. *)
 
 (** {2 Table 4 — privileged-operation costs} *)
 
@@ -25,7 +28,7 @@ type privop_row = {
   paper_erebor : int;
 }
 
-val table4 : unit -> privop_row list
+val table4 : ?backend:Erebor.Isolation.kind -> unit -> privop_row list
 
 (** {2 Fig. 8 — LMBench} *)
 

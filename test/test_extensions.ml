@@ -21,17 +21,21 @@ type stack = {
   monitor : Erebor.Monitor.t;
   kern : Kernel.t;
   mgr : Erebor.Sandbox.manager;
+  audit : Obs.Audit.t;
 }
 
-let make_stack ?(privilege = Erebor.Gate.Pks) ?(frames = 32768) ?(cma_frames = 8192) () =
+let make_stack ?(backend = Erebor.Isolation.Pks) ?(frames = 32768) ?(cma_frames = 8192) () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
-  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 () in
+  let obs = Obs.Emitter.create () in
+  let audit = Obs.Audit.create ~key:hw_key in
+  Obs.Emitter.set_audit obs (Some audit);
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 ~obs () in
   let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
   let host = Vmm.Host.create () in
   Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
   let monitor =
-    Erebor.Monitor.install ~privilege ~cpu ~mem ~td ~firmware:(Bytes.of_string "fw")
+    Erebor.Monitor.install ~backend ~cpu ~mem ~td ~firmware:(Bytes.of_string "fw")
       ~monitor_frames:32 ~device_shared_frames:32 ()
   in
   let kern =
@@ -40,7 +44,7 @@ let make_stack ?(privilege = Erebor.Gate.Pks) ?(frames = 32768) ?(cma_frames = 8
          ~reserved_frames:128 ~cma_frames)
   in
   let mgr = Erebor.Sandbox.create_manager ~monitor ~kern in
-  { mem; cpu; monitor; kern; mgr }
+  { mem; cpu; monitor; kern; mgr; audit }
 
 (* ------------------------------------------------------------------ *)
 (* Batched MMU updates (§9.1)                                          *)
@@ -360,13 +364,13 @@ let test_native_accepts_dynamic_code () =
 (* ------------------------------------------------------------------ *)
 
 let test_wp_backend_boots () =
-  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  let st = make_stack ~backend:Erebor.Isolation.Write_protect () in
   Alcotest.(check bool) "no PKS on this platform" false (Hw.Cr.pks st.cpu.Hw.Cpu.cr);
   Alcotest.(check bool) "WP on in normal mode" true (Hw.Cr.wp st.cpu.Hw.Cpu.cr);
   Alcotest.(check bool) "kernel booted" true (Erebor.Monitor.kernel st.monitor <> None)
 
 let test_wp_protects_ptps () =
-  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  let st = make_stack ~backend:Erebor.Isolation.Write_protect () in
   Kernel.ensure_direct_map st.kern ~pfn:st.kern.Kernel.kernel_root;
   let va = Kernel.Layout.direct_map (Hw.Phys_mem.addr_of_pfn st.kern.Kernel.kernel_root) in
   (* Readable, like under PKS... *)
@@ -387,7 +391,7 @@ let test_wp_protects_ptps () =
   Alcotest.(check bool) "WP restored after EMC" true (Hw.Cr.wp st.cpu.Hw.Cpu.cr)
 
 let test_wp_interrupt_gate () =
-  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  let st = make_stack ~backend:Erebor.Isolation.Write_protect () in
   let gate = Erebor.Monitor.gate st.monitor in
   let during = ref true and after = ref false in
   Erebor.Gate.call gate (fun () ->
@@ -398,7 +402,7 @@ let test_wp_interrupt_gate () =
 
 let test_wp_sandbox_protection_holds () =
   (* The sandbox story is backend-independent. *)
-  let st = make_stack ~privilege:Erebor.Gate.Write_protect () in
+  let st = make_stack ~backend:Erebor.Isolation.Write_protect () in
   let sb =
     Result.get_ok
       (Erebor.Sandbox.create_sandbox st.mgr ~name:"wp-sb" ~confined_budget:(32 * 4096))
@@ -448,6 +452,265 @@ let test_pool_warm_vs_cold () =
   (match Sim.Pool.prewarm pool 3 with Ok () -> () | Error e -> Alcotest.fail e);
   Alcotest.(check int) "refilled" 3 (Sim.Pool.ready pool)
 
+(* ------------------------------------------------------------------ *)
+(* Isolation backends + multi-tenant density                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Denial records of one category on the stack's audit chain. *)
+let denies st ~category =
+  List.length
+    (List.filter
+       (fun r ->
+         r.Obs.Audit.category = category && r.Obs.Audit.verdict = Obs.Audit.Deny)
+       (Obs.Audit.records st.audit))
+
+let make_tenant st ~name ~pages =
+  let sb =
+    Result.get_ok
+      (Erebor.Sandbox.create_sandbox st.mgr ~name ~confined_budget:(pages * 4096))
+  in
+  let base =
+    Result.get_ok (Erebor.Sandbox.declare_confined st.mgr sb ~len:(pages * 4096))
+  in
+  (sb, base)
+
+let tenant_pfn st sb addr =
+  Option.get
+    (Kernel.resolve_pfn st.kern (Erebor.Sandbox.main_task sb) ~addr)
+
+(* A compromised-kernel context: a Normal task with one mapped anon page,
+   whose leaf-PTE slot the attacker then abuses with raw privop stores. *)
+let attacker_slot st =
+  let atk = Kernel.create_task st.kern ~name:"atk" ~kind:Kernel.Task.Normal in
+  let addr =
+    Result.get_ok
+      (Kernel.mmap st.kern atk ~len:4096 ~prot:Kernel.Vma.prot_rw
+         ~kind:Kernel.Vma.Anon)
+  in
+  Result.get_ok (Kernel.handle_page_fault st.kern atk ~addr ~kind:Hw.Fault.Write);
+  let leaf =
+    Option.get
+      (Hw.Page_table.leaf_addr st.mem ~root_pfn:atk.Kernel.Task.root_pfn addr)
+  in
+  (atk, addr, leaf)
+
+let expect_violation name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: monitor accepted the mapping" name
+  | exception Erebor.Monitor.Policy_violation _ -> ()
+
+(* Tenant A (and the outside kernel) must not be able to map tenant B's
+   confined frames, on either backend, and every refusal must land on the
+   audit chain. *)
+let test_cross_tenant_map_denied backend () =
+  let st = make_stack ~backend () in
+  let a, base_a = make_tenant st ~name:"tenant-a" ~pages:4 in
+  let b, base_b = make_tenant st ~name:"tenant-b" ~pages:4 in
+  let pfn_b = tenant_pfn st b base_b in
+  let write_pte = st.kern.Kernel.privops.Kernel.Privops.write_pte in
+  let before = denies st ~category:"mmu" in
+  (* From outside any sandbox. *)
+  let _atk, _addr, leaf = attacker_slot st in
+  expect_violation "outside map of confined frame" (fun () ->
+      write_pte ~pte_addr:leaf
+        (Hw.Pte.make ~pfn:pfn_b { Hw.Pte.default_flags with user = true }));
+  (* From sibling tenant A's own tree: repoint A's confined leaf at B. *)
+  let leaf_a =
+    Option.get
+      (Hw.Page_table.leaf_addr st.mem
+         ~root_pfn:(Erebor.Sandbox.main_task a).Kernel.Task.root_pfn base_a)
+  in
+  expect_violation "sibling map of confined frame" (fun () ->
+      write_pte ~pte_addr:leaf_a
+        (Hw.Pte.make ~pfn:pfn_b { Hw.Pte.default_flags with user = true }));
+  Alcotest.(check int) "both denials audited" (before + 2)
+    (denies st ~category:"mmu");
+  Alcotest.(check bool) "guard counted them" true
+    (Erebor.Mmu_guard.denied_count (Erebor.Monitor.guard st.monitor) >= 2);
+  (* B is unharmed: still owner-classified and readable. *)
+  Alcotest.(check bool) "b still owns its frame" true
+    (Erebor.Mmu_guard.class_of (Erebor.Monitor.guard st.monitor) pfn_b
+    = Erebor.Mmu_guard.Confined { owner = Erebor.Sandbox.id b })
+
+(* TME-MK: an untrusted PTE that names a nonzero key id the monitor did not
+   stamp is a forgery and must be rejected before class dispatch. *)
+let test_keyid_forgery_denied () =
+  let st = make_stack ~backend:Erebor.Isolation.Tme_mk () in
+  let b, base_b = make_tenant st ~name:"tenant-b" ~pages:4 in
+  (* The legitimate install path DID stamp B's leaf with B's key id... *)
+  let leaf_b =
+    Option.get
+      (Hw.Page_table.leaf_addr st.mem
+         ~root_pfn:(Erebor.Sandbox.main_task b).Kernel.Task.root_pfn base_b)
+  in
+  Alcotest.(check int) "confined leaf stamped with owner key"
+    (Erebor.Isolation.keyid_of_owner (Erebor.Sandbox.id b))
+    (Hw.Pte.keyid (Hw.Phys_mem.read_u64 st.mem leaf_b));
+  (* ...but an untrusted store may not present a key id of its own, even on
+     the attacker's very own frame. *)
+  let atk, addr, leaf = attacker_slot st in
+  let own_pfn = Option.get (Kernel.resolve_pfn st.kern atk ~addr) in
+  let before = denies st ~category:"mmu" in
+  expect_violation "forged key id" (fun () ->
+      st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr:leaf
+        (Hw.Pte.set_keyid
+           (Hw.Pte.make ~pfn:own_pfn { Hw.Pte.default_flags with user = true })
+           (Erebor.Isolation.keyid_of_owner (Erebor.Sandbox.id b))));
+  Alcotest.(check int) "forgery audited" (before + 1) (denies st ~category:"mmu")
+
+(* TME-MK fill-time checks at the hardware layer: wrong key id and inactive
+   key both fault with pkey_violation set and audit as "tme" denials; the
+   matching active key fills and is charged as a keyed fill. *)
+let test_tme_fill_faults () =
+  let mem = Hw.Phys_mem.create ~frames:4096 in
+  let clock = Hw.Cycles.clock () in
+  let obs = Obs.Emitter.create () in
+  let audit = Obs.Audit.create ~key:hw_key in
+  Obs.Emitter.set_audit obs (Some audit);
+  let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:1_000_000 ~obs () in
+  let tme = Hw.Tme.create ~frames:4096 in
+  cpu.Hw.Cpu.tme <- Some tme;
+  let next = ref 1 in
+  let alloc_ptp () =
+    let p = !next in
+    incr next;
+    p
+  in
+  let write_pte ~pte_addr pte = Hw.Phys_mem.write_u64 mem pte_addr pte in
+  let root = alloc_ptp () in
+  Hw.Cpu.write_cr3 cpu ~root_pfn:root;
+  let data_pfn = 128 and vaddr = 0x5000_0000 in
+  Hw.Page_table.map mem ~write_pte ~alloc_ptp ~root_pfn:root ~vaddr
+    (Hw.Pte.make ~pfn:data_pfn Hw.Pte.default_flags);
+  Hw.Tme.tag tme ~pfn:data_pfn 3;
+  (* Key-0 PTE over a key-3 frame: Wrong_key. *)
+  (match Hw.Cpu.read_u8 cpu vaddr with
+  | _ -> Alcotest.fail "wrong-key fill accepted"
+  | exception Hw.Fault.Fault (Hw.Fault.Page_fault pf) ->
+      Alcotest.(check bool) "wrong key is a pkey fault" true pf.Hw.Fault.pkey_violation);
+  (* Correct key id but the tenant context is not active: Inactive_key. *)
+  let leaf = Option.get (Hw.Page_table.leaf_addr mem ~root_pfn:root vaddr) in
+  Hw.Phys_mem.write_u64 mem leaf
+    (Hw.Pte.set_keyid (Hw.Pte.make ~pfn:data_pfn Hw.Pte.default_flags) 3);
+  (match Hw.Cpu.read_u8 cpu vaddr with
+  | _ -> Alcotest.fail "inactive-key fill accepted"
+  | exception Hw.Fault.Fault (Hw.Fault.Page_fault pf) ->
+      Alcotest.(check bool) "inactive key is a pkey fault" true pf.Hw.Fault.pkey_violation);
+  (* Activate the key: the fill succeeds and is charged. *)
+  Hw.Tme.set_active tme 3;
+  let t0 = Hw.Cycles.now clock in
+  ignore (Hw.Cpu.read_u8 cpu vaddr);
+  Alcotest.(check bool) "keyed fill charges the key load" true
+    (Hw.Cycles.now clock - t0 >= Hw.Cycles.Cost.tme_key_load);
+  Alcotest.(check int) "two integrity faults" 2 (Hw.Tme.faults tme);
+  Alcotest.(check bool) "keyed fills counted" true (Hw.Tme.keyed_fills tme >= 1);
+  Alcotest.(check int) "both faults audited as tme denials" 2
+    (List.length
+       (List.filter
+          (fun r ->
+            r.Obs.Audit.category = "tme" && r.Obs.Audit.verdict = Obs.Audit.Deny)
+          (Obs.Audit.records audit)))
+
+(* Sealed common frames may be shared read-only across the CVM but never
+   mapped writable from outside a sandbox. *)
+let test_sealed_common_write_denied backend () =
+  let st = make_stack ~backend () in
+  let sb, _base = make_tenant st ~name:"tenant" ~pages:4 in
+  let caddr =
+    Result.get_ok
+      (Erebor.Sandbox.attach_common st.mgr sb ~name:"corpus" ~size:(4 * 4096))
+  in
+  ignore
+    (Result.get_ok (Erebor.Sandbox.load_client_data st.mgr sb (Bytes.of_string "q")));
+  (* Demand-fault the first common page in so it has a backing frame. *)
+  (match Kernel.resolve_pfn st.kern (Erebor.Sandbox.main_task sb) ~addr:caddr with
+  | Some _ -> ()
+  | None ->
+      Result.get_ok
+        (Erebor.Sandbox.page_fault st.mgr sb ~addr:caddr ~kind:Hw.Fault.Read));
+  let cpfn = tenant_pfn st sb caddr in
+  let _atk, _addr, leaf = attacker_slot st in
+  let before = denies st ~category:"mmu" in
+  expect_violation "writable map of sealed common frame" (fun () ->
+      st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr:leaf
+        (Hw.Pte.make ~pfn:cpfn { Hw.Pte.default_flags with user = true }));
+  Alcotest.(check int) "denial audited" (before + 1) (denies st ~category:"mmu");
+  (* The read-only alias — the legitimate sharing mode — is still accepted. *)
+  st.kern.Kernel.privops.Kernel.Privops.write_pte ~pte_addr:leaf
+    (Hw.Pte.make ~pfn:cpfn
+       { Hw.Pte.default_flags with user = true; writable = false })
+
+(* Terminating one tenant scrubs exactly that tenant: siblings keep their
+   frames, their translations, their counters and their key tags. *)
+let test_teardown_leaves_siblings backend () =
+  let st = make_stack ~backend () in
+  let guard = Erebor.Monitor.guard st.monitor in
+  let a, base_a = make_tenant st ~name:"a" ~pages:4 in
+  let b, base_b = make_tenant st ~name:"b" ~pages:4 in
+  let _c, _base_c = make_tenant st ~name:"c" ~pages:4 in
+  let secret = Bytes.of_string "SIBLING-SECRET" in
+  Erebor.Sandbox.write_sandbox_bytes st.mgr b ~addr:base_b secret;
+  let pfn_a = tenant_pfn st a base_a and pfn_b = tenant_pfn st b base_b in
+  Hw.Phys_mem.write_u64 st.mem (Hw.Phys_mem.addr_of_pfn pfn_a) 0xDEADL;
+  (if backend = Erebor.Isolation.Tme_mk then
+     let tme = Option.get st.cpu.Hw.Cpu.tme in
+     Alcotest.(check int) "b's frame tagged with b's key"
+       (Erebor.Isolation.keyid_of_owner (Erebor.Sandbox.id b))
+       (Hw.Tme.tag_of tme ~pfn:pfn_b));
+  let stats_b = Erebor.Sandbox.exit_stats b in
+  let a_root = (Erebor.Sandbox.main_task a).Kernel.Task.root_pfn in
+  Erebor.Sandbox.terminate st.mgr a;
+  (* a: declassified, zeroed, translation gone, key tag cleared. *)
+  Alcotest.(check bool) "a's frame declassified" true
+    (Erebor.Mmu_guard.class_of guard pfn_a = Erebor.Mmu_guard.Free);
+  Alcotest.(check int64) "a's frame scrubbed" 0L
+    (Hw.Phys_mem.read_u64 st.mem (Hw.Phys_mem.addr_of_pfn pfn_a));
+  Alcotest.(check bool) "no stale translation for a" true
+    (Hw.Page_table.walk st.mem ~root_pfn:a_root base_a = None);
+  (if backend = Erebor.Isolation.Tme_mk then
+     let tme = Option.get st.cpu.Hw.Cpu.tme in
+     Alcotest.(check int) "a's key tag cleared" 0 (Hw.Tme.tag_of tme ~pfn:pfn_a));
+  (* b: untouched in every observable way. *)
+  Alcotest.(check bool) "b still owns its frame" true
+    (Erebor.Mmu_guard.class_of guard pfn_b
+    = Erebor.Mmu_guard.Confined { owner = Erebor.Sandbox.id b });
+  Alcotest.(check int) "b's translation intact" pfn_b (tenant_pfn st b base_b);
+  Alcotest.(check bytes) "b's data intact" secret
+    (Erebor.Sandbox.read_sandbox_bytes st.mgr b ~addr:base_b
+       ~len:(Bytes.length secret));
+  Alcotest.(check bool) "b's exit stats untouched" true
+    (Erebor.Sandbox.exit_stats b = stats_b);
+  (if backend = Erebor.Isolation.Tme_mk then
+     let tme = Option.get st.cpu.Hw.Cpu.tme in
+     Alcotest.(check int) "b's key tag intact"
+       (Erebor.Isolation.keyid_of_owner (Erebor.Sandbox.id b))
+       (Hw.Tme.tag_of tme ~pfn:pfn_b));
+  (* b still serves: a user-mode access through the MMU (refilled after the
+     scrub's TLB flushes) reads the right bytes. *)
+  st.kern.Kernel.privops.Kernel.Privops.write_cr3
+    ~root_pfn:(Erebor.Sandbox.main_task b).Kernel.Task.root_pfn;
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  let byte = Hw.Cpu.read_u8 st.cpu base_b in
+  st.cpu.Hw.Cpu.mode <- Hw.Cpu.Supervisor;
+  Alcotest.(check int) "b serves after sibling teardown" (Char.code 'S') byte;
+  (* Per-sandbox accounting still reports every tenant. *)
+  Alcotest.(check int) "exit_stats_all rows" 3
+    (List.length (Erebor.Sandbox.exit_stats_all st.mgr))
+
+(* The EMC gate's fast path must stay allocation-free under backend
+   dispatch — the first-class-module indirection may not cost a box per
+   call on either backend. *)
+let test_gate_call_no_alloc backend () =
+  let st = make_stack ~backend () in
+  let gate = Erebor.Monitor.gate st.monitor in
+  ignore (Erebor.Gate.call gate (fun () -> 0));
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Erebor.Gate.call gate (fun () -> 0))
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool) "gate dispatch allocation-free" true (allocated < 256.0)
+
 let () =
   Alcotest.run "extensions"
     [
@@ -484,4 +747,25 @@ let () =
         ] );
       ( "warm pool (9.2)",
         [ Alcotest.test_case "warm vs cold" `Quick test_pool_warm_vs_cold ] );
+      ( "isolation backends + tenancy",
+        [
+          Alcotest.test_case "cross-tenant map denied (pks)" `Quick
+            (test_cross_tenant_map_denied Erebor.Isolation.Pks);
+          Alcotest.test_case "cross-tenant map denied (tmemk)" `Quick
+            (test_cross_tenant_map_denied Erebor.Isolation.Tme_mk);
+          Alcotest.test_case "key-id forgery denied" `Quick test_keyid_forgery_denied;
+          Alcotest.test_case "tme fill faults" `Quick test_tme_fill_faults;
+          Alcotest.test_case "sealed common write denied (pks)" `Quick
+            (test_sealed_common_write_denied Erebor.Isolation.Pks);
+          Alcotest.test_case "sealed common write denied (tmemk)" `Quick
+            (test_sealed_common_write_denied Erebor.Isolation.Tme_mk);
+          Alcotest.test_case "teardown spares siblings (pks)" `Quick
+            (test_teardown_leaves_siblings Erebor.Isolation.Pks);
+          Alcotest.test_case "teardown spares siblings (tmemk)" `Quick
+            (test_teardown_leaves_siblings Erebor.Isolation.Tme_mk);
+          Alcotest.test_case "gate dispatch no-alloc (pks)" `Quick
+            (test_gate_call_no_alloc Erebor.Isolation.Pks);
+          Alcotest.test_case "gate dispatch no-alloc (tmemk)" `Quick
+            (test_gate_call_no_alloc Erebor.Isolation.Tme_mk);
+        ] );
     ]

@@ -315,11 +315,16 @@ let test_bench_gate_pass () =
       Alcotest.(check bool) "verdict passes" true
         (Workloads.Bench_gate.pass verdict);
       (* The gate actually looked at the anchors: one check per table-3 row
-         and two per table-4 row, plus coverage and schema. *)
+         and two per table-4 row, plus coverage and schema, plus the
+         backend-pinning block (default-is-pks and one re-derivation per
+         table-3/table-4 row under an explicit PKS backend). *)
       Alcotest.(check int) "check count"
         (1 (* schema *)
         + List.length (Workloads.Eval.table3 ()) + 1
         + (2 * List.length (Workloads.Eval.table4 ())) + 1
+        + 1 (* backend/default *)
+        + List.length (Workloads.Eval.table3 ()) (* backend/table3-pks/* *)
+        + List.length (Workloads.Eval.table4 ()) (* backend/table4-pks/* *)
         + 2 (* wall + gc, vacuous without baseline fields *))
         (List.length verdict)
 
