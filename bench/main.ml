@@ -11,6 +11,8 @@
                                     # (--smoke for the @ci cut; --backend /
                                     #  --tenants narrow the matrix)
      bench/main.exe attrib          # per-domain/per-phase cycle attribution
+                                    # (--smoke: first program only, the @ci cut)
+     bench/main.exe icode           # decoded-instruction cache microbenchmark
      bench/main.exe check           # regression gate vs committed BENCH_sim.json
      bench/main.exe bechamel        # wall-clock microbenchmarks
    Flags (anywhere on the line):
@@ -450,8 +452,11 @@ let print_emchist () =
 
 let print_attrib () =
   header
-    "Cycle attribution: domain x phase decomposition (every Fig. 9 program x setting)";
-  let rows = Workloads.Eval.attrib ?jobs:!jobs_arg () in
+    (if !smoke_arg then
+       "Cycle attribution: domain x phase decomposition (smoke: first program x every setting)"
+     else
+       "Cycle attribution: domain x phase decomposition (every Fig. 9 program x setting)");
+  let rows = Workloads.Eval.attrib ?jobs:!jobs_arg ~smoke:!smoke_arg () in
   List.iter
     (fun (r : Workloads.Eval.attrib_row) ->
       let total = float_of_int r.total_cycles in
@@ -475,6 +480,62 @@ let print_attrib () =
     rows;
   Printf.printf
     "\n(every row's contexts + (outside) sum exactly to its total — checked)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Decoded-instruction cache microbenchmark                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_icode () =
+  header "Decoded-instruction cache: threaded dispatch vs per-step Isa.decode";
+  (* The workload is the monitor's own gate listing — the exact sequence
+     every EMC round trip retires — so the speedup shown here is the one
+     that makes per-EMC gate execution affordable. *)
+  let cpu =
+    Hw.Cpu.create ~id:0
+      ~mem:(Hw.Phys_mem.create ~frames:16)
+      ~clock:(Hw.Cycles.clock ()) ~timer_period:1_000_000 ()
+  in
+  let gate =
+    Erebor.Gate.create ~cpu ~code_base:0x1000
+      ~backend:(Erebor.Isolation.create Erebor.Isolation.Pks ~cpu) ()
+  in
+  let code = Erebor.Gate.code_bytes gate in
+  let prog =
+    match Hw.Icode.of_bytes code with
+    | Ok p -> p
+    | Error off -> failwith (Printf.sprintf "gate listing undecodable at +%d" off)
+  in
+  let st = Hw.Icode.make_state () in
+  let iters = 2_000_000 in
+  let bench label f =
+    (* One warmup pass, then a timed loop with GC deltas. *)
+    ignore (f ());
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let retired = ref 0 in
+    for _ = 1 to iters do
+      retired := !retired + f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    Printf.printf
+      "  %-22s %8.1f ns/run  %12.0f instr/s  %6.2f minor words/run\n" label
+      (dt /. float_of_int iters *. 1e9)
+      (float_of_int !retired /. dt)
+      ((g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int iters);
+    dt
+  in
+  let warm =
+    bench "decoded (warm cache)" (fun () ->
+        Hw.Icode.run prog st ~entry:0 ~fuel:64)
+  in
+  let cold =
+    bench "per-step Isa.decode" (fun () ->
+        Hw.Icode.run_undecoded code st ~entry:0 ~fuel:64)
+  in
+  let hits, misses = Hw.Icode.cache_stats () in
+  Printf.printf "  speedup: %.1fx  (decode cache: %d hits, %d misses)\n"
+    (cold /. warm) hits misses
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate against the committed BENCH_sim.json                *)
@@ -641,7 +702,7 @@ let smoke () =
 
 let usage =
   "usage: main.exe \
-   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|density|ablations|tables-qual|emchist|attrib|check|bechamel]\n\
+   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|density|ablations|tables-qual|emchist|attrib|icode|check|bechamel]\n\
   \       [--jobs N] [--scale F] [--baseline PATH] [--full]\n\
   \       [--smoke] [--backend pks|wp|tmemk] [--tenants N]   (density)\n"
 
@@ -710,6 +771,7 @@ let () =
   | "tables-qual" -> print_tables_qual ()
   | "emchist" -> print_emchist ()
   | "attrib" -> print_attrib ()
+  | "icode" -> print_icode ()
   | "check" -> run_check ()
   | "bechamel" -> run_bechamel ()
   | other -> bad (Printf.sprintf "unknown experiment %S" other)

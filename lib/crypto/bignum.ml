@@ -195,10 +195,20 @@ let of_hex s =
   !acc
 
 let of_bytes b =
-  let acc = ref zero in
-  let two56 = of_int 256 in
-  Bytes.iter (fun c -> acc := add (mul !acc two56) (of_int (Char.code c))) b;
-  !acc
+  let n = Bytes.length b in
+  if n = 0 then zero
+  else begin
+    (* Pack big-endian bytes straight into limbs: byte i (counted from the
+       little end) lands at bit offset 8i, spanning at most two limbs. *)
+    let out = Array.make (((8 * n) + bits - 1) / bits) 0 in
+    for i = 0 to n - 1 do
+      let v = Char.code (Bytes.get b (n - 1 - i)) in
+      let limb = 8 * i / bits and off = 8 * i mod bits in
+      out.(limb) <- out.(limb) lor ((v lsl off) land mask);
+      if off > bits - 8 then out.(limb + 1) <- out.(limb + 1) lor (v lsr (bits - off))
+    done;
+    normalize out
+  end
 
 let to_bytes ?len a =
   let nbytes = (bit_length a + 7) / 8 in
@@ -272,68 +282,77 @@ module Mont = struct
 
   let modulus ctx = ctx.modulus
 
-  (* CIOS Montgomery product: a*b*R^{-1} mod m. Inputs and output are fixed
-     k-limb arrays representing values < m. *)
-  let mont_mul ctx a b =
+  (* Fused CIOS Montgomery product: dst <- a*b*R^{-1} mod m. Inputs are fixed
+     k-limb arrays representing values < m; [t] is caller-provided scratch of
+     k+1 limbs. The reduction step for limb i folds the a_i*b multiply, the
+     u_i*m addition and the one-limb shift into a single carry chain, so each
+     product is one pass over the limbs instead of three. [dst] may alias [a]
+     or [b] (it is only written after the last read); [t] may alias neither.
+     Per-limb bound: t_j + a_i*b_j + u_i*m_j + carry < 2^26 + 2*2^52 + 2^28,
+     well inside a 63-bit int. *)
+  let mont_mul_into ctx t dst a b =
     let k = ctx.k in
-    let t = Array.make (k + 2) 0 in
+    let m = ctx.m and n0inv = ctx.n0inv in
+    Array.fill t 0 (k + 1) 0;
+    let b0 = Array.unsafe_get b 0 in
     for i = 0 to k - 1 do
-      let ai = a.(i) in
-      let carry = ref 0 in
-      for j = 0 to k - 1 do
-        let v = t.(j) + (ai * b.(j)) + !carry in
-        t.(j) <- v land mask;
+      let ai = Array.unsafe_get a i in
+      let v0 = Array.unsafe_get t 0 + (ai * b0) in
+      let u = ((v0 land mask) * n0inv) land mask in
+      let carry = ref ((v0 + (u * Array.unsafe_get m 0)) lsr bits) in
+      for j = 1 to k - 1 do
+        let v =
+          Array.unsafe_get t j + (ai * Array.unsafe_get b j)
+          + (u * Array.unsafe_get m j) + !carry
+        in
+        Array.unsafe_set t (j - 1) (v land mask);
         carry := v lsr bits
       done;
-      let v = t.(k) + !carry in
-      t.(k) <- v land mask;
-      t.(k + 1) <- t.(k + 1) + (v lsr bits);
-      let u = (t.(0) * ctx.n0inv) land mask in
-      let carry = ref 0 in
-      for j = 0 to k - 1 do
-        let v = t.(j) + (u * ctx.m.(j)) + !carry in
-        t.(j) <- v land mask;
-        carry := v lsr bits
-      done;
-      let v = t.(k) + !carry in
-      t.(k) <- v land mask;
-      t.(k + 1) <- t.(k + 1) + (v lsr bits);
-      (* Divide by the base: shift one limb down. *)
-      for j = 0 to k do
-        t.(j) <- t.(j + 1)
-      done;
-      t.(k + 1) <- 0
+      let v = Array.unsafe_get t k + !carry in
+      Array.unsafe_set t (k - 1) (v land mask);
+      Array.unsafe_set t k (v lsr bits)
     done;
-    let res = Array.sub t 0 k in
-    (* Conditional final subtraction. *)
+    (* t now holds a value < 2m in limbs 0..k; conditional final subtraction. *)
     let ge =
-      let rec go i = if i < 0 then true else if res.(i) <> ctx.m.(i) then res.(i) > ctx.m.(i) else go (i - 1) in
+      Array.unsafe_get t k > 0
+      ||
+      let rec go i =
+        if i < 0 then true
+        else
+          let ti = Array.unsafe_get t i and mi = Array.unsafe_get m i in
+          if ti <> mi then ti > mi else go (i - 1)
+      in
       go (k - 1)
     in
     if ge then begin
       let borrow = ref 0 in
       for i = 0 to k - 1 do
-        let v = res.(i) - ctx.m.(i) - !borrow in
+        let v = Array.unsafe_get t i - Array.unsafe_get m i - !borrow in
         if v < 0 then begin
-          res.(i) <- v + base;
+          Array.unsafe_set dst i (v + base);
           borrow := 1
         end else begin
-          res.(i) <- v;
+          Array.unsafe_set dst i v;
           borrow := 0
         end
       done
-    end;
-    res
+    end
+    else Array.blit t 0 dst 0 k
 
   let modpow ctx b e =
     if compare b ctx.modulus >= 0 then invalid_arg "Mont.modpow: base >= modulus";
     let k = ctx.k in
-    let b_mont = mont_mul ctx (to_fixed k b) ctx.r2 in
-    let acc = ref (Array.copy ctx.r_mod) in
+    (* One scratch + two residue buffers reused across the whole ladder: the
+       square-and-multiply loop allocates nothing. *)
+    let t = Array.make (k + 1) 0 in
+    let b_mont = Array.make k 0 in
+    let acc = Array.make k 0 in
+    mont_mul_into ctx t b_mont (to_fixed k b) ctx.r2;
+    Array.blit ctx.r_mod 0 acc 0 k;
     for i = bit_length e - 1 downto 0 do
-      acc := mont_mul ctx !acc !acc;
-      if test_bit e i then acc := mont_mul ctx !acc b_mont
+      mont_mul_into ctx t acc acc acc;
+      if test_bit e i then mont_mul_into ctx t acc acc b_mont
     done;
-    let one_fixed = to_fixed k one in
-    of_fixed (mont_mul ctx !acc one_fixed)
+    mont_mul_into ctx t acc acc (to_fixed k one);
+    of_fixed acc
 end

@@ -1,40 +1,55 @@
+(* ChaCha20 on plain OCaml ints. Every state word lives in [0, 2^32) inside
+   a 63-bit int, so additions/rotations/xors are ordinary register arithmetic
+   with one [land mask32] — no Int32 boxing on the hot path. The Int32 values
+   at the API boundary are converted once per call. *)
+
 let key_size = 32
 let nonce_size = 12
 
-let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let mask32 = 0xffff_ffff
 
-let quarter_round st a b c d =
-  st.(a) <- Int32.add st.(a) st.(b);
-  st.(d) <- rotl (Int32.logxor st.(d) st.(a)) 16;
-  st.(c) <- Int32.add st.(c) st.(d);
-  st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 12;
-  st.(a) <- Int32.add st.(a) st.(b);
-  st.(d) <- rotl (Int32.logxor st.(d) st.(a)) 8;
-  st.(c) <- Int32.add st.(c) st.(d);
-  st.(b) <- rotl (Int32.logxor st.(b) st.(c)) 7
+let[@inline] rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
-let le32 b off = Bytes.get_int32_le b off
-let store_le32 b off v = Bytes.set_int32_le b off v
+(* All sixteen indices come from the constant round schedule below, so the
+   unsafe accesses never go out of bounds. *)
+let[@inline] quarter_round st a b c d =
+  let va = (Array.unsafe_get st a + Array.unsafe_get st b) land mask32 in
+  let vd = rotl (Array.unsafe_get st d lxor va) 16 in
+  let vc = (Array.unsafe_get st c + vd) land mask32 in
+  let vb = rotl (Array.unsafe_get st b lxor vc) 12 in
+  let va = (va + vb) land mask32 in
+  let vd = rotl (vd lxor va) 8 in
+  let vc = (vc + vd) land mask32 in
+  let vb = rotl (vb lxor vc) 7 in
+  Array.unsafe_set st a va;
+  Array.unsafe_set st b vb;
+  Array.unsafe_set st c vc;
+  Array.unsafe_set st d vd
+
+let[@inline] le32 b off = Int32.to_int (Bytes.get_int32_le b off) land mask32
+let[@inline] store_le32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
 
 let init_state ~key ~nonce ~counter =
   if Bytes.length key <> key_size then invalid_arg "Chacha20: key must be 32 bytes";
   if Bytes.length nonce <> nonce_size then invalid_arg "Chacha20: nonce must be 12 bytes";
-  let st = Array.make 16 0l in
+  let st = Array.make 16 0 in
   (* "expand 32-byte k" constants *)
-  st.(0) <- 0x61707865l;
-  st.(1) <- 0x3320646el;
-  st.(2) <- 0x79622d32l;
-  st.(3) <- 0x6b206574l;
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
   for i = 0 to 7 do
     st.(4 + i) <- le32 key (4 * i)
   done;
-  st.(12) <- counter;
+  st.(12) <- Int32.to_int counter land mask32;
   for i = 0 to 2 do
     st.(13 + i) <- le32 nonce (4 * i)
   done;
   st
 
-(* 20 rounds over [work], leaving the raw (pre-feed-forward) state there. *)
+(* 20 rounds over [work], leaving the raw (pre-feed-forward) state there. The
+   eight quarter-rounds of each double round are written out so the whole body
+   is straight-line word arithmetic. *)
 let rounds work =
   for _ = 1 to 10 do
     quarter_round work 0 4 8 12;
@@ -47,24 +62,29 @@ let rounds work =
     quarter_round work 3 4 9 14
   done
 
-let block ~key ~nonce ~counter =
+let block_into ~key ~nonce ~counter dst =
+  if Bytes.length dst < 64 then invalid_arg "Chacha20.block_into: need 64 bytes";
   let st = init_state ~key ~nonce ~counter in
   let work = Array.copy st in
   rounds work;
-  let out = Bytes.create 64 in
   for i = 0 to 15 do
-    store_le32 out (4 * i) (Int32.add work.(i) st.(i))
-  done;
+    store_le32 dst (4 * i) ((work.(i) + st.(i)) land mask32)
+  done
+
+let block ~key ~nonce ~counter =
+  let out = Bytes.create 64 in
+  block_into ~key ~nonce ~counter out;
   out
 
 let xor ~key ~nonce ?(counter = 1l) data =
   let len = Bytes.length data in
   let out = Bytes.copy data in
   let st = init_state ~key ~nonce ~counter in
-  let work = Array.make 16 0l in
+  let work = Array.make 16 0 in
+  let counter = Int32.to_int counter land mask32 in
   let blocks = (len + 63) / 64 in
   for b = 0 to blocks - 1 do
-    st.(12) <- Int32.add counter (Int32.of_int b);
+    st.(12) <- (counter + b) land mask32;
     Array.blit st 0 work 0 16;
     rounds work;
     let base = b * 64 in
@@ -72,16 +92,14 @@ let xor ~key ~nonce ?(counter = 1l) data =
     if n >= 64 then
       (* Full block: xor the keystream in 16 aligned 32-bit words. *)
       for i = 0 to 15 do
-        let ks = Int32.add work.(i) st.(i) in
+        let ks = (work.(i) + st.(i)) land mask32 in
         let off = base + (4 * i) in
-        store_le32 out off (Int32.logxor (le32 out off) ks)
+        store_le32 out off (le32 out off lxor ks)
       done
     else
       for i = 0 to n - 1 do
-        let word = Int32.add work.(i lsr 2) st.(i lsr 2) in
-        let ks_byte =
-          Int32.to_int (Int32.shift_right_logical word (8 * (i land 3))) land 0xff
-        in
+        let word = (work.(i lsr 2) + st.(i lsr 2)) land mask32 in
+        let ks_byte = (word lsr (8 * (i land 3))) land 0xff in
         Bytes.set out (base + i)
           (Char.chr (Char.code (Bytes.get out (base + i)) lxor ks_byte))
       done

@@ -11,6 +11,12 @@ val block : key:bytes -> nonce:bytes -> counter:int32 -> bytes
 (** [block ~key ~nonce ~counter] is the raw 64-byte keystream block; exposed
     for test vectors. Raises [Invalid_argument] on wrong key/nonce sizes. *)
 
+val block_into : key:bytes -> nonce:bytes -> counter:int32 -> bytes -> unit
+(** [block_into ~key ~nonce ~counter dst] writes the 64-byte keystream block
+    into the first 64 bytes of [dst], so steady-state consumers (the DRBG
+    pool) can reuse one buffer instead of allocating per refill. Raises
+    [Invalid_argument] if [dst] is shorter than 64 bytes. *)
+
 val xor : key:bytes -> nonce:bytes -> ?counter:int32 -> bytes -> bytes
 (** [xor ~key ~nonce data] encrypts (or, being an involution, decrypts) [data]
     with the keystream starting at block [counter] (default 1, reserving

@@ -1,29 +1,36 @@
 type t = {
   mutable key : bytes;
-  mutable counter : int64; (* block counter split into nonce + chacha counter *)
-  mutable pool : bytes;    (* unconsumed keystream *)
-  mutable pool_off : int;
+  mutable counter : int;   (* block counter split into nonce + chacha counter *)
+  pool : bytes;            (* one keystream block, refilled in place *)
+  mutable pool_off : int;  (* consumed prefix; pool_size forces a refill *)
+  nonce : bytes;           (* scratch for the per-refill nonce *)
 }
 
+let pool_size = 64
+
 let create ~seed =
-  { key = Sha256.digest_string seed; counter = 0L; pool = Bytes.empty; pool_off = 0 }
+  {
+    key = Sha256.digest_string seed;
+    counter = 0;
+    pool = Bytes.create pool_size;
+    pool_off = pool_size;
+    nonce = Bytes.make Chacha20.nonce_size '\000';
+  }
 
 let refill t =
-  let nonce = Bytes.make Chacha20.nonce_size '\000' in
   for i = 0 to 7 do
-    Bytes.set nonce i
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical t.counter (8 * i)) 0xffL)))
+    Bytes.unsafe_set t.nonce i (Char.unsafe_chr ((t.counter lsr (8 * i)) land 0xff))
   done;
-  t.counter <- Int64.add t.counter 1L;
-  t.pool <- Chacha20.block ~key:t.key ~nonce ~counter:0l;
+  t.counter <- t.counter + 1;
+  Chacha20.block_into ~key:t.key ~nonce:t.nonce ~counter:0l t.pool;
   t.pool_off <- 0
 
 let bytes t n =
   let out = Bytes.create n in
   let filled = ref 0 in
   while !filled < n do
-    if t.pool_off >= Bytes.length t.pool then refill t;
-    let avail = Bytes.length t.pool - t.pool_off in
+    if t.pool_off >= pool_size then refill t;
+    let avail = pool_size - t.pool_off in
     let take = min avail (n - !filled) in
     Bytes.blit t.pool t.pool_off out !filled take;
     t.pool_off <- t.pool_off + take;
@@ -33,39 +40,52 @@ let bytes t n =
 
 (* Same byte stream as [bytes t 8], folded directly off the pool so the
    per-draw 8-byte buffer (and its copy) never exists. *)
-let next_byte t =
-  if t.pool_off >= Bytes.length t.pool then refill t;
+let[@inline] next_byte t =
+  if t.pool_off >= pool_size then refill t;
   let c = Char.code (Bytes.unsafe_get t.pool t.pool_off) in
   t.pool_off <- t.pool_off + 1;
   c
 
-let int64 t =
-  let v = ref 0L in
-  for _ = 0 to 7 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (next_byte t))
-  done;
-  Int64.shift_right_logical !v 1
+(* Eight stream bytes folded big-endian then shifted right once: 63 uniform
+   bits. The value can reach 2^63 - 1, one bit more than a native int holds,
+   so the first seven bytes build a 56-bit plain-int prefix and only the
+   final splice happens on Int64 — an unboxed straight-line chain whose
+   boxes the compiler eliminates. *)
+let[@inline] draw64 t =
+  let b0 = next_byte t in
+  let b1 = next_byte t in
+  let b2 = next_byte t in
+  let b3 = next_byte t in
+  let b4 = next_byte t in
+  let b5 = next_byte t in
+  let b6 = next_byte t in
+  let b7 = next_byte t in
+  let hi =
+    (b0 lsl 48) lor (b1 lsl 40) lor (b2 lsl 32) lor (b3 lsl 24)
+    lor (b4 lsl 16) lor (b5 lsl 8) lor b6
+  in
+  Int64.logor (Int64.shift_left (Int64.of_int hi) 7) (Int64.of_int (b7 lsr 1))
+
+let int64 t = draw64 t
 
 let int t bound =
   if bound <= 0 then invalid_arg "Drbg.int: bound must be positive";
-  (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+  (* Rejection sampling over the largest multiple of [bound] below 2^63. *)
   let limit = Int64.mul (Int64.div Int64.max_int (Int64.of_int bound)) (Int64.of_int bound) in
   let rec draw () =
-    let v = int64 t in
+    let v = draw64 t in
     if Int64.compare v limit >= 0 then draw ()
     else Int64.to_int (Int64.rem v (Int64.of_int bound))
   in
   draw ()
 
 let float t =
-  (* [int64] yields 63 uniform bits; divide by 2^63 for [0, 1). *)
-  let v = int64 t in
-  Int64.to_float v /. 9.223372036854775808e18
+  (* [draw64] yields 63 uniform bits; divide by 2^63 for [0, 1). *)
+  Int64.to_float (draw64 t) /. 9.223372036854775808e18
 
 let reseed t entropy =
   let ctx = Sha256.init () in
   Sha256.feed ctx t.key;
   Sha256.feed_string ctx entropy;
   t.key <- Sha256.digest ctx;
-  t.pool <- Bytes.empty;
-  t.pool_off <- 0
+  t.pool_off <- pool_size

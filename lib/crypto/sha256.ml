@@ -1,105 +1,103 @@
-(* SHA-256 per FIPS 180-4. All word arithmetic is on Int32 so the
-   implementation is exact on 64-bit OCaml without masking games. *)
+(* SHA-256 per FIPS 180-4. All word arithmetic is on plain ints holding
+   values in [0, 2^32): one [land mask32] after each add keeps the math
+   exact while every operation stays unboxed register arithmetic. The
+   message schedule is loaded 8 bytes at a time ([Bytes.get_int64_be]) and
+   lives in a per-context scratch array reused across blocks, so compressing
+   a block allocates nothing. *)
 
 let digest_size = 32
 let block_size = 64
 
+let mask32 = 0xffff_ffff
+
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  state : int32 array;        (* 8 words H0..H7 *)
+  state : int array;          (* 8 words H0..H7, each in [0, 2^32) *)
+  w : int array;              (* 64-word message schedule, reused per block *)
   buf : bytes;                (* partial block *)
   mutable buf_len : int;      (* bytes pending in [buf] *)
-  mutable total : int64;      (* total message bytes absorbed *)
+  mutable total : int;        (* total message bytes absorbed *)
   mutable finalized : bool;
 }
 
 let init () =
   {
     state =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
-         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    w = Array.make 64 0;
     buf = Bytes.create block_size;
     buf_len = 0;
-    total = 0L;
+    total = 0;
     finalized = false;
   }
 
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-(* Compress one 64-byte block located at [off] in [b] into [state]. *)
-let compress state b off =
-  let w = Array.make 64 0l in
-  for i = 0 to 15 do
-    w.(i) <- Bytes.get_int32_be b (off + (i * 4))
+(* Compress one 64-byte block located at [off] in [b] into [ctx.state]. *)
+let compress ctx b off =
+  let w = ctx.w in
+  (* Wide loads: two schedule words per 64-bit read. *)
+  for i = 0 to 7 do
+    let v = Bytes.get_int64_be b (off + (i * 8)) in
+    Array.unsafe_set w (2 * i) (Int64.to_int (Int64.shift_right_logical v 32) land mask32);
+    Array.unsafe_set w ((2 * i) + 1) (Int64.to_int v land mask32)
   done;
   for i = 16 to 63 do
-    let s0 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(i - 15) 7) (rotr w.(i - 15) 18))
-        (Int32.shift_right_logical w.(i - 15) 3)
-    and s1 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(i - 2) 17) (rotr w.(i - 2) 19))
-        (Int32.shift_right_logical w.(i - 2) 10)
-    in
-    w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3)
+    and s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1) land mask32)
   done;
-  let a = ref state.(0) and b' = ref state.(1) and c = ref state.(2)
-  and d = ref state.(3) and e = ref state.(4) and f = ref state.(5)
-  and g = ref state.(6) and h = ref state.(7) in
-  for i = 0 to 63 do
-    let s1 =
-      Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25)
-    in
-    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
-    let temp1 = Int32.add (Int32.add (Int32.add !h s1) (Int32.add ch k.(i))) w.(i) in
-    let s0 =
-      Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22)
-    in
-    let maj =
-      Int32.logxor
-        (Int32.logxor (Int32.logand !a !b') (Int32.logand !a !c))
-        (Int32.logand !b' !c)
-    in
-    let temp2 = Int32.add s0 maj in
-    h := !g;
-    g := !f;
-    f := !e;
-    e := Int32.add !d temp1;
-    d := !c;
-    c := !b';
-    b' := !a;
-    a := Int32.add temp1 temp2
-  done;
-  state.(0) <- Int32.add state.(0) !a;
-  state.(1) <- Int32.add state.(1) !b';
-  state.(2) <- Int32.add state.(2) !c;
-  state.(3) <- Int32.add state.(3) !d;
-  state.(4) <- Int32.add state.(4) !e;
-  state.(5) <- Int32.add state.(5) !f;
-  state.(6) <- Int32.add state.(6) !g;
-  state.(7) <- Int32.add state.(7) !h
+  let st = ctx.state in
+  (* The eight working variables travel as loop parameters, so the whole
+     round function runs in registers with no ref cells. *)
+  let rec round i a b' c d e f g h =
+    if i = 64 then begin
+      st.(0) <- (st.(0) + a) land mask32;
+      st.(1) <- (st.(1) + b') land mask32;
+      st.(2) <- (st.(2) + c) land mask32;
+      st.(3) <- (st.(3) + d) land mask32;
+      st.(4) <- (st.(4) + e) land mask32;
+      st.(5) <- (st.(5) + f) land mask32;
+      st.(6) <- (st.(6) + g) land mask32;
+      st.(7) <- (st.(7) + h) land mask32
+    end
+    else begin
+      let s1 = rotr e 6 lxor rotr e 11 lxor rotr e 25 in
+      let ch = (e land f) lxor (lnot e land g land mask32) in
+      let temp1 =
+        (h + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+      in
+      let s0 = rotr a 2 lxor rotr a 13 lxor rotr a 22 in
+      let maj = (a land b') lxor (a land c) lxor (b' land c) in
+      let temp2 = (s0 + maj) land mask32 in
+      round (i + 1) ((temp1 + temp2) land mask32) a b' c ((d + temp1) land mask32) e f g
+    end
+  in
+  round 0 st.(0) st.(1) st.(2) st.(3) st.(4) st.(5) st.(6) st.(7)
 
 let feed ctx ?(off = 0) ?len b =
   if ctx.finalized then invalid_arg "Sha256.feed: context already finalized";
   let len = match len with Some l -> l | None -> Bytes.length b - off in
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Sha256.feed: slice out of range";
-  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  ctx.total <- ctx.total + len;
   let pos = ref off and remaining = ref len in
   (* Fill any partial block first. *)
   if ctx.buf_len > 0 then begin
@@ -110,12 +108,12 @@ let feed ctx ?(off = 0) ?len b =
     pos := !pos + take;
     remaining := !remaining - take;
     if ctx.buf_len = block_size then begin
-      compress ctx.state ctx.buf 0;
+      compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
   while !remaining >= block_size do
-    compress ctx.state b !pos;
+    compress ctx b !pos;
     pos := !pos + block_size;
     remaining := !remaining - block_size
   done;
@@ -129,7 +127,7 @@ let feed_string ctx s = feed ctx (Bytes.unsafe_of_string s)
 let digest ctx =
   if ctx.finalized then invalid_arg "Sha256.digest: context already finalized";
   ctx.finalized <- true;
-  let bit_len = Int64.mul ctx.total 8L in
+  let bit_len = ctx.total * 8 in
   (* Padding: 0x80, zeros, then the 64-bit big-endian length. *)
   let pad_len =
     let rem = (ctx.buf_len + 1 + 8) mod block_size in
@@ -139,8 +137,7 @@ let digest ctx =
   Bytes.set tail 0 '\x80';
   for i = 0 to 7 do
     let shift = 8 * (7 - i) in
-    Bytes.set tail (pad_len + i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len shift) 0xffL)))
+    Bytes.set tail (pad_len + i) (Char.chr ((bit_len lsr shift) land 0xff))
   done;
   (* Absorb the tail without recounting it in [total]. *)
   let pos = ref 0 and remaining = ref (Bytes.length tail) in
@@ -152,19 +149,19 @@ let digest ctx =
     pos := take;
     remaining := !remaining - take;
     if ctx.buf_len = block_size then begin
-      compress ctx.state ctx.buf 0;
+      compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
   while !remaining >= block_size do
-    compress ctx.state tail !pos;
+    compress ctx tail !pos;
     pos := !pos + block_size;
     remaining := !remaining - block_size
   done;
   assert (!remaining = 0 && ctx.buf_len = 0);
   let out = Bytes.create digest_size in
   for i = 0 to 7 do
-    Bytes.set_int32_be out (i * 4) ctx.state.(i)
+    Bytes.set_int32_be out (i * 4) (Int32.of_int ctx.state.(i))
   done;
   out
 

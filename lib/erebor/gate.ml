@@ -22,6 +22,9 @@ type t = {
   cpu : Hw.Cpu.t;
   code_base : int;
   code : bytes;
+  icode : Hw.Icode.program;     (* [code], decoded once at create *)
+  istate : Hw.Icode.state;
+  gate_retires : int;           (* instructions one round trip retires *)
   backend : Isolation.t;
   shadow : Hw.Cet.shadow_stack;
   mutable depth : int;          (* nested monitor-context calls *)
@@ -31,10 +34,30 @@ type t = {
 }
 
 let create ~cpu ~code_base ~backend () =
+  let code = Hw.Isa.assemble gate_listing in
+  (* Decode the gate listing once into the instruction cache ([of_bytes]
+     is content-keyed, so every gate in a multi-machine sweep shares one
+     decoded program). Each EMC round trip then *executes* the Fig. 5
+     entry/exit sequence through it — affordable only because the warm
+     path is a jump-table walk over preallocated ints. *)
+  let icode =
+    match Hw.Icode.of_bytes code with
+    | Ok p -> p
+    | Error off -> Fmt.failwith "Gate.create: undecodable listing at +%d" off
+  in
+  let istate = Hw.Icode.make_state () in
+  let gate_retires = Hw.Icode.run icode istate ~entry:0 ~fuel:64 in
+  if gate_retires <> List.length gate_listing then
+    Fmt.failwith "Gate.create: listing retires %d of %d instructions"
+      gate_retires
+      (List.length gate_listing);
   {
     cpu;
     code_base;
-    code = Hw.Isa.assemble gate_listing;
+    code;
+    icode;
+    istate;
+    gate_retires;
     backend;
     shadow = Hw.Cet.create_stack ~base:(code_base + 0x10000);
     depth = 0;
@@ -62,6 +85,16 @@ let revoked_value t = Isolation.revoked_value t.backend
 let gate_span_begin = Obs.Trace.span_begin Obs.Trace.Emc_gate
 let gate_span_end = Obs.Trace.span_end Obs.Trace.Emc_gate
 
+(* Each round trip retires the gate's entry/exit instruction sequence
+   through the warm decoded program: simulated fetch/execute only — no
+   clock movement (the emc_roundtrip charge already models the gate's
+   latency) and no allocation. A short retire means the code executing at
+   the gate no longer matches the measured listing. *)
+let retire_gate t =
+  if Hw.Icode.run t.icode t.istate ~entry:0 ~fuel:64 <> t.gate_retires then
+    Hw.Fault.raise_fault
+      (Hw.Fault.Control_protection "gate: entry sequence diverged")
+
 let enter t ~target f =
   if t.depth > 0 then f () (* already in monitor context *)
   else begin
@@ -78,6 +111,7 @@ let enter t ~target f =
     Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_begin ~ts:t0 ~arg:0;
     Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
     t.emc_count <- t.emc_count + 1;
+    retire_gate t;
     let caller_grant = read_grant t in
     load_grant t (granted_value t);
     t.depth <- 1;
@@ -106,6 +140,72 @@ let enter t ~target f =
   end
 
 let call t f = enter t ~target:t.code_base f
+
+(* Arity-specialized gate entries: the service body receives its operands
+   directly instead of closing over them, so the hottest privops (write_pte
+   above all) cross the gate without building a per-call closure. The
+   target is the entry gate itself, so the IBT check in [enter] would never
+   fire and is elided; everything else mirrors [enter] exactly, with both
+   exit arms written out for the same no-allocation reason. *)
+let call1 t f a =
+  if t.depth > 0 then f a
+  else begin
+    let t0 = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+    Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_begin ~ts:t0 ~arg:0;
+    Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
+    t.emc_count <- t.emc_count + 1;
+    retire_gate t;
+    let caller_grant = read_grant t in
+    load_grant t (granted_value t);
+    t.depth <- 1;
+    match f a with
+    | v ->
+        t.depth <- 0;
+        load_grant t caller_grant;
+        let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(now - t0);
+        v
+    | exception e ->
+        t.depth <- 0;
+        load_grant t caller_grant;
+        let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(now - t0);
+        raise e
+  end
+
+let call2 t f a b =
+  if t.depth > 0 then f a b
+  else begin
+    let t0 = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+    Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_begin ~ts:t0 ~arg:0;
+    Hw.Cycles.advance t.cpu.Hw.Cpu.clock Hw.Cycles.Cost.emc_roundtrip;
+    t.emc_count <- t.emc_count + 1;
+    retire_gate t;
+    let caller_grant = read_grant t in
+    load_grant t (granted_value t);
+    t.depth <- 1;
+    match f a b with
+    | v ->
+        t.depth <- 0;
+        load_grant t caller_grant;
+        let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(now - t0);
+        v
+    | exception e ->
+        t.depth <- 0;
+        load_grant t caller_grant;
+        let now = Hw.Cycles.now t.cpu.Hw.Cpu.clock in
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs gate_span_end ~ts:now ~arg:0;
+        Obs.Emitter.emit t.cpu.Hw.Cpu.obs Obs.Trace.Emc_entry ~ts:t0
+          ~arg:(now - t0);
+        raise e
+  end
 
 let interrupt_during_emc t f =
   if t.depth = 0 then f ()

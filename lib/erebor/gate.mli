@@ -41,6 +41,14 @@ val call : t -> (unit -> 'a) -> 'a
 (** [enter] through the legitimate entry point — what instrumented kernel
     code compiles to. *)
 
+val call1 : t -> ('a -> 'b) -> 'a -> 'b
+val call2 : t -> ('a -> 'b -> 'c) -> 'a -> 'b -> 'c
+(** [call] specialized to one- and two-argument service bodies: the
+    operands are passed through the gate instead of captured, so a
+    steady-state privop can reuse one preallocated service function and
+    cross the gate without any per-call closure. Semantics (cost, grant
+    protocol, events, nesting) are identical to {!call}. *)
+
 val interrupt_during_emc : t -> (unit -> 'a) -> 'a
 (** The #INT gate (Fig. 5c right): if an interrupt preempts an EMC, revoke
     monitor permissions around the OS handler and restore afterwards. When

@@ -1,0 +1,292 @@
+(* Packed word layout, one int per 4-byte instruction slot:
+     bits 0..4   dense tag (jump-table dispatch)
+     bits 5..8   operand a (register code, or CR index for mov_cr)
+     bits 9..12  operand b (second register)
+     bits 13..26 14-bit immediate, stored as its unsigned image
+   Dense tags rather than the sparse Isa opcodes so the dispatch match
+   compiles to one bounded jump table. *)
+
+let t_nop = 0
+let t_endbr = 1
+let t_mov_imm = 2
+let t_load = 3
+let t_store = 4
+let t_add = 5
+let t_jmp = 6
+let t_call = 7
+let t_ret = 8
+let t_syscall = 9
+let t_iret = 10
+let t_cpuid = 11
+let t_clac = 12
+let t_senduipi = 13
+let t_mov_cr = 14
+let t_wrmsr = 15
+let t_stac = 16
+let t_lidt = 17
+let t_tdcall = 18
+
+type program = { code : int array }
+
+let length p = Array.length p.code
+
+let f_a w = (w lsr 5) land 0xf
+let f_b w = (w lsr 9) land 0xf
+
+let f_imm w =
+  let u = (w lsr 13) land 0x3fff in
+  if u >= Isa.imm_range then u - (2 * Isa.imm_range) else u
+
+let pack_imm v = (v land 0x3fff) lsl 13
+
+let pack = function
+  | Isa.Nop -> t_nop
+  | Isa.Endbr -> t_endbr
+  | Isa.Mov_imm (r, v) -> t_mov_imm lor (Isa.reg_code r lsl 5) lor pack_imm v
+  | Isa.Load (rd, rs) ->
+      t_load lor (Isa.reg_code rd lsl 5) lor (Isa.reg_code rs lsl 9)
+  | Isa.Store (rd, rs) ->
+      t_store lor (Isa.reg_code rd lsl 5) lor (Isa.reg_code rs lsl 9)
+  | Isa.Add (rd, rs) ->
+      t_add lor (Isa.reg_code rd lsl 5) lor (Isa.reg_code rs lsl 9)
+  | Isa.Jmp off -> t_jmp lor pack_imm off
+  | Isa.Call off -> t_call lor pack_imm off
+  | Isa.Ret -> t_ret
+  | Isa.Syscall -> t_syscall
+  | Isa.Iret -> t_iret
+  | Isa.Cpuid -> t_cpuid
+  | Isa.Clac -> t_clac
+  | Isa.Senduipi r -> t_senduipi lor (Isa.reg_code r lsl 5)
+  | Isa.Mov_cr (cr, r) -> t_mov_cr lor (cr lsl 5) lor (Isa.reg_code r lsl 9)
+  | Isa.Wrmsr -> t_wrmsr
+  | Isa.Stac -> t_stac
+  | Isa.Lidt -> t_lidt
+  | Isa.Tdcall -> t_tdcall
+
+let reg_of_field f =
+  match Isa.reg_of_code f with Some r -> r | None -> assert false
+
+let instr p i =
+  let w = p.code.(i) in
+  match w land 0x1f with
+  | 0 -> Isa.Nop
+  | 1 -> Isa.Endbr
+  | 2 -> Isa.Mov_imm (reg_of_field (f_a w), f_imm w)
+  | 3 -> Isa.Load (reg_of_field (f_a w), reg_of_field (f_b w))
+  | 4 -> Isa.Store (reg_of_field (f_a w), reg_of_field (f_b w))
+  | 5 -> Isa.Add (reg_of_field (f_a w), reg_of_field (f_b w))
+  | 6 -> Isa.Jmp (f_imm w)
+  | 7 -> Isa.Call (f_imm w)
+  | 8 -> Isa.Ret
+  | 9 -> Isa.Syscall
+  | 10 -> Isa.Iret
+  | 11 -> Isa.Cpuid
+  | 12 -> Isa.Clac
+  | 13 -> Isa.Senduipi (reg_of_field (f_a w))
+  | 14 -> Isa.Mov_cr (f_a w, reg_of_field (f_b w))
+  | 15 -> Isa.Wrmsr
+  | 16 -> Isa.Stac
+  | 17 -> Isa.Lidt
+  | _ -> Isa.Tdcall
+
+(* Decode each aligned slot exactly once, through the one authoritative
+   decoder ([Isa.decode]); the packed form is a pure re-encoding of its
+   output, so the cache can never disagree with the scanner's view. *)
+let decode b =
+  let n = Bytes.length b / Isa.instr_size in
+  let exception Bad of int in
+  match
+    Array.init n (fun i ->
+        match Isa.decode b (i * Isa.instr_size) with
+        | Some instr -> pack instr
+        | None -> raise (Bad (i * Isa.instr_size)))
+  with
+  | code ->
+      if n * Isa.instr_size <> Bytes.length b then Error (n * Isa.instr_size)
+      else Ok { code }
+  | exception Bad off -> Error off
+
+let cache : (string, program) Hashtbl.t = Hashtbl.create 16
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_stats () = (!cache_hits, !cache_misses)
+
+let of_bytes b =
+  let key = Bytes.to_string b in
+  match Hashtbl.find_opt cache key with
+  | Some p ->
+      incr cache_hits;
+      Ok p
+  | None -> (
+      incr cache_misses;
+      match decode b with
+      | Ok p ->
+          Hashtbl.add cache key p;
+          Ok p
+      | Error _ as e -> e)
+
+(* Interpreter state: power-of-two scratch memory so Load/Store addresses
+   wrap instead of bounds-checking, and a bounded call stack. All arrays
+   are preallocated — a warm [run] touches no heap. *)
+type state = {
+  regs : int array;
+  mem : int array;
+  stack : int array;
+  mutable sp : int;
+  mutable hook : int -> unit;
+}
+
+let scratch_words = 64
+let stack_slots = 64
+
+let make_state () =
+  {
+    regs = Array.make 8 0;
+    mem = Array.make scratch_words 0;
+    stack = Array.make stack_slots 0;
+    sp = 0;
+    hook = ignore;
+  }
+
+let set_sensitive_hook st f = st.hook <- f
+let reg st i = st.regs.(i)
+
+let mem_slot v = (v asr 3) land (scratch_words - 1)
+
+(* The dispatch loop proper. Loop state travels as unboxed int arguments
+   (a tail call per retired instruction) — refs would put three mutable
+   cells on the heap per [run], and this runs once per EMC round trip. *)
+let rec exec p st code n pc retired fuel =
+  if retired >= fuel || pc < 0 || pc >= n then retired
+  else begin
+    let w = Array.unsafe_get code pc in
+    let retired = retired + 1 in
+    match w land 0x1f with
+    | 2 ->
+        Array.unsafe_set st.regs (f_a w) (f_imm w);
+        exec p st code n (pc + 1) retired fuel
+    | 3 ->
+        Array.unsafe_set st.regs (f_a w)
+          (Array.unsafe_get st.mem
+             (mem_slot (Array.unsafe_get st.regs (f_b w))));
+        exec p st code n (pc + 1) retired fuel
+    | 4 ->
+        Array.unsafe_set st.mem
+          (mem_slot (Array.unsafe_get st.regs (f_a w)))
+          (Array.unsafe_get st.regs (f_b w));
+        exec p st code n (pc + 1) retired fuel
+    | 5 ->
+        Array.unsafe_set st.regs (f_a w)
+          (Array.unsafe_get st.regs (f_a w)
+          + Array.unsafe_get st.regs (f_b w));
+        exec p st code n (pc + 1) retired fuel
+    | 6 -> exec p st code n (pc + f_imm w) retired fuel
+    | 7 ->
+        (* In-range call pushes a return slot; a target outside the program
+           is dispatch to an external service body — it retires and the
+           "call" returns immediately. *)
+        let target = pc + f_imm w in
+        if target >= 0 && target < n then
+          if st.sp >= stack_slots then retired
+          else begin
+            Array.unsafe_set st.stack st.sp (pc + 1);
+            st.sp <- st.sp + 1;
+            exec p st code n target retired fuel
+          end
+        else exec p st code n (pc + 1) retired fuel
+    | 8 ->
+        if st.sp = 0 then retired
+        else begin
+          st.sp <- st.sp - 1;
+          exec p st code n (Array.unsafe_get st.stack st.sp) retired fuel
+        end
+    | 14 ->
+        st.hook Isa.op_mov_cr;
+        exec p st code n (pc + 1) retired fuel
+    | 15 ->
+        st.hook Isa.op_wrmsr;
+        exec p st code n (pc + 1) retired fuel
+    | 16 ->
+        st.hook Isa.op_stac;
+        exec p st code n (pc + 1) retired fuel
+    | 17 ->
+        st.hook Isa.op_lidt;
+        exec p st code n (pc + 1) retired fuel
+    | 18 ->
+        st.hook Isa.op_tdcall;
+        exec p st code n (pc + 1) retired fuel
+    | _ ->
+        (* nop, endbr, ret-less benign ops: syscall/iret/cpuid/clac/senduipi
+           retire with no interpreter-visible effect. *)
+        exec p st code n (pc + 1) retired fuel
+  end
+
+let run p st ~entry ~fuel =
+  st.sp <- 0;
+  exec p st p.code (Array.length p.code) entry 0 fuel
+
+(* The pre-cache shape: one [Isa.decode] per step, constructor match per
+   retire. Identical observable semantics to [run] — the equivalence test
+   and the microbenchmark lean on that. *)
+let rec exec_undecoded b st n pc retired fuel =
+  if retired >= fuel || pc < 0 || pc >= n then retired
+  else
+    match Isa.decode b (pc * Isa.instr_size) with
+    | None -> retired
+    | Some i -> (
+        let retired = retired + 1 in
+        match i with
+        | Isa.Nop | Isa.Endbr | Isa.Syscall | Isa.Iret | Isa.Cpuid | Isa.Clac
+        | Isa.Senduipi _ ->
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Mov_imm (r, v) ->
+            st.regs.(Isa.reg_code r) <- v;
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Load (rd, rs) ->
+            st.regs.(Isa.reg_code rd) <-
+              st.mem.(mem_slot st.regs.(Isa.reg_code rs));
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Store (rd, rs) ->
+            st.mem.(mem_slot st.regs.(Isa.reg_code rd)) <-
+              st.regs.(Isa.reg_code rs);
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Add (rd, rs) ->
+            st.regs.(Isa.reg_code rd) <-
+              st.regs.(Isa.reg_code rd) + st.regs.(Isa.reg_code rs);
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Jmp off -> exec_undecoded b st n (pc + off) retired fuel
+        | Isa.Call off ->
+            let target = pc + off in
+            if target >= 0 && target < n then
+              if st.sp >= stack_slots then retired
+              else begin
+                st.stack.(st.sp) <- pc + 1;
+                st.sp <- st.sp + 1;
+                exec_undecoded b st n target retired fuel
+              end
+            else exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Ret ->
+            if st.sp = 0 then retired
+            else begin
+              st.sp <- st.sp - 1;
+              exec_undecoded b st n st.stack.(st.sp) retired fuel
+            end
+        | Isa.Mov_cr _ ->
+            st.hook Isa.op_mov_cr;
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Wrmsr ->
+            st.hook Isa.op_wrmsr;
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Stac ->
+            st.hook Isa.op_stac;
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Lidt ->
+            st.hook Isa.op_lidt;
+            exec_undecoded b st n (pc + 1) retired fuel
+        | Isa.Tdcall ->
+            st.hook Isa.op_tdcall;
+            exec_undecoded b st n (pc + 1) retired fuel)
+
+let run_undecoded b st ~entry ~fuel =
+  st.sp <- 0;
+  exec_undecoded b st (Bytes.length b / Isa.instr_size) entry 0 fuel

@@ -37,6 +37,22 @@ type instr =
 
 val instr_size : int  (** 4. *)
 
+val imm_range : int
+(** Immediates and branch offsets are 14-bit signed:
+    [-imm_range, imm_range). *)
+
+val reg_code : reg -> int
+val reg_of_code : int -> reg option
+
+(** Raw opcode bytes, exposed so the decoded-instruction cache ({!Icode})
+    can re-encode and report without a constructor round trip. *)
+
+val op_mov_cr : int
+val op_wrmsr : int
+val op_stac : int
+val op_lidt : int
+val op_tdcall : int
+
 val is_sensitive : instr -> bool
 val sensitive_opcode : int -> bool
 (** Whether a raw byte is in the sensitive opcode range. *)

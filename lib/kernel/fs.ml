@@ -1,4 +1,8 @@
-type special = { read : unit -> bytes; write : bytes -> unit }
+(* A special node's [write] receives the payload as a (buffer, length)
+   view: the buffer may be a caller-owned scratch longer than [len], so the
+   kernel's steady-state write path can hand over a reusable page instead
+   of allocating an exactly sized bytes per call. *)
+type special = { read : unit -> bytes; write : bytes -> len:int -> unit }
 
 type t = {
   files : (string, bytes ref) Hashtbl.t;
@@ -44,8 +48,15 @@ let read_path t path =
 let write_path t path data =
   match Hashtbl.find_opt t.specials path with
   | Some s ->
-      s.write data;
+      s.write data ~len:(Bytes.length data);
       true
   | None ->
       write_file t path data;
       true
+
+let write_special_view t path buf ~len =
+  match Hashtbl.find_opt t.specials path with
+  | Some s ->
+      s.write buf ~len;
+      true
+  | None -> false

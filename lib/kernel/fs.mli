@@ -25,7 +25,10 @@ val file_size : t -> string -> int option
 (** {2 Special nodes} *)
 
 val register_special :
-  t -> string -> read:(unit -> bytes) -> write:(bytes -> unit) -> unit
+  t -> string -> read:(unit -> bytes) -> write:(bytes -> len:int -> unit) -> unit
+(** [write] receives a (buffer, length) view; only the first [len] bytes
+    are the payload and the buffer may be a shared scratch the caller
+    reuses, so handlers must not retain it past the call. *)
 
 val is_special : t -> string -> bool
 
@@ -36,3 +39,7 @@ val write_path : t -> string -> bytes -> bool
 (** Write through a special handler, or create/overwrite a regular file.
     Returns [false] only if a special node rejects… never currently; kept
     for symmetry. *)
+
+val write_special_view : t -> string -> bytes -> len:int -> bool
+(** Deliver the first [len] bytes of a caller-owned buffer to a special
+    handler without copying; [false] when [path] is not special. *)

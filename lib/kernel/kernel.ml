@@ -35,6 +35,8 @@ type t = {
     (Task.t -> Vma.region -> addr:int -> int option) option;
   futex_waiters : Task.t Queue.t;
   mutable mmu_batching : bool;
+  mutable io_scratch : bytes;
+      (* reusable landing buffer for special-file writes, grown on demand *)
 }
 
 let cost t c = Hw.Cycles.advance t.clock c
@@ -111,6 +113,7 @@ let boot ~mem ~cpu ~td ~privops ~reserved_frames ~cma_frames =
       frame_source = None;
       futex_waiters = Queue.create ();
       mmu_batching = false;
+      io_scratch = Bytes.create 4096;
     }
   in
   let root =
@@ -496,8 +499,10 @@ let brk _t task ~new_brk =
       | Error e -> Error e
   end
 
-let syscall t task call =
-  span t Obs.Trace.Syscall_dispatch @@ fun () ->
+(* The dispatch body, bracketed by [syscall] below. Split out so the hot
+   entry point can emit the span boundaries inline instead of building a
+   closure per call. *)
+let syscall_body t task call =
   cost t Hw.Cycles.Cost.syscall_roundtrip;
   t.stats.syscalls <- t.stats.syscalls + 1;
   emit t Obs.Trace.Syscall ~arg:(Syscall.code call);
@@ -514,17 +519,36 @@ let syscall t task call =
           match Fs.read_path t.fs path with
           | None -> Syscall.Rerr "read: no such file"
           | Some data ->
-              let chunk = Bytes.sub data 0 (min len (Bytes.length data)) in
-              if user_buf <> 0 then t.privops.Privops.copy_to_user ~user_addr:user_buf chunk;
-              Syscall.Rbytes chunk))
+              let n = min len (Bytes.length data) in
+              if user_buf <> 0 then begin
+                (* The payload lands in user memory; returning the count
+                   keeps the steady-state read loop allocation-free. *)
+                t.privops.Privops.copy_to_user_from ~user_addr:user_buf
+                  ~buf:data ~off:0 ~len:n;
+                Syscall.Rint n
+              end
+              else
+                Syscall.Rbytes
+                  (if n = Bytes.length data then data else Bytes.sub data 0 n)))
   | Syscall.Write { fd; user_buf; len } -> (
       match Task.path_of_fd task fd with
       | None -> Syscall.Rerr "write: bad fd"
       | Some path ->
-          let data = t.privops.Privops.copy_from_user ~user_addr:user_buf ~len in
-          if Fs.is_special t.fs path then ignore (Fs.write_path t.fs path data)
-          else Fs.append_file t.fs path data;
-          Syscall.Rint (Bytes.length data))
+          if Fs.is_special t.fs path then begin
+            (* Specials get a (buffer, len) view of a reusable scratch:
+               same user-copy costs and checks, no per-call buffer. *)
+            if Bytes.length t.io_scratch < len then
+              t.io_scratch <- Bytes.create len;
+            t.privops.Privops.copy_from_user_into ~user_addr:user_buf
+              ~buf:t.io_scratch ~off:0 ~len;
+            ignore (Fs.write_special_view t.fs path t.io_scratch ~len);
+            Syscall.Rint len
+          end
+          else begin
+            let data = t.privops.Privops.copy_from_user ~user_addr:user_buf ~len in
+            Fs.append_file t.fs path data;
+            Syscall.Rint (Bytes.length data)
+          end)
   | Syscall.Mmap { len; prot } -> (
       match mmap t task ~len ~prot ~kind:Vma.Anon with
       | Ok addr -> Syscall.Raddr addr
@@ -568,6 +592,18 @@ let syscall t task call =
   | Syscall.Exit { code } ->
       exit_task t task ~code;
       Syscall.Rok
+
+(* Span boundaries written out inline (the constructors are interned in
+   [Obs.Trace]), so steady-state dispatch allocates nothing of its own. *)
+let syscall t task call =
+  emit t (Obs.Trace.span_begin Obs.Trace.Syscall_dispatch) ~arg:0;
+  match syscall_body t task call with
+  | r ->
+      emit t (Obs.Trace.span_end Obs.Trace.Syscall_dispatch) ~arg:0;
+      r
+  | exception e ->
+      emit t (Obs.Trace.span_end Obs.Trace.Syscall_dispatch) ~arg:0;
+      raise e
 
 (* Exposed for Erebor: install a custom provider of fault frames (common
    memory instances, pinned confined pools). *)

@@ -45,6 +45,9 @@ type t = {
   mutable mmu_batching : bool;
       (** When set, bulk operations ({!populate}) submit leaf PTEs through
           {!Privops.t.write_pte_batch} — §9.1's batched-MMU optimization. *)
+  mutable io_scratch : bytes;
+      (** Reusable landing buffer for special-file writes (grown on
+          demand), so the steady-state write path allocates nothing. *)
 }
 
 val boot :

@@ -12,6 +12,7 @@ type t = {
   copy_from_user : user_addr:int -> len:int -> bytes;
   copy_from_user_into : user_addr:int -> buf:bytes -> off:int -> len:int -> unit;
   copy_to_user : user_addr:int -> bytes -> unit;
+  copy_to_user_from : user_addr:int -> buf:bytes -> off:int -> len:int -> unit;
 }
 
 let native ~cpu ~td =
@@ -85,6 +86,18 @@ let native ~cpu ~td =
           * max 1 (Layout.pages_of_bytes (Bytes.length data)));
         Hw.Cpu.stac cpu;
         match Hw.Cpu.write_bytes cpu user_addr data with
+        | v ->
+            Hw.Cpu.clac cpu;
+            v
+        | exception e ->
+            Hw.Cpu.clac cpu;
+            raise e);
+    copy_to_user_from =
+      (fun ~user_addr ~buf ~off ~len ->
+        cost Hw.Cycles.Cost.stac_native;
+        cost (Hw.Cycles.Cost.usercopy_per_page * max 1 (Layout.pages_of_bytes len));
+        Hw.Cpu.stac cpu;
+        match Hw.Cpu.write_from cpu user_addr buf ~off ~len with
         | v ->
             Hw.Cpu.clac cpu;
             v

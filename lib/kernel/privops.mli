@@ -40,6 +40,11 @@ type t = {
           fresh buffer — and a 4 KiB buffer is a major-heap allocation, so
           loops must prefer this form. *)
   copy_to_user : user_addr:int -> bytes -> unit;
+  copy_to_user_from : user_addr:int -> buf:bytes -> off:int -> len:int -> unit;
+      (** [copy_to_user] from a slice of a caller-owned buffer — same
+          checks, costs and events, but the source need not be an exactly
+          sized bytes, so steady-state writers can push from a shared
+          page without a per-call [Bytes.sub]. *)
 }
 
 val native : cpu:Hw.Cpu.t -> td:Tdx.Td_module.t -> t

@@ -4,6 +4,11 @@
 
 type call =
   | Read of { fd : int; user_buf : int; len : int }
+      (** With [user_buf <> 0] the payload is copied to user memory and the
+          result is [Rint count] (the POSIX shape, allocation-free in the
+          kernel). With [user_buf = 0] the kernel buffers the payload and
+          returns [Rbytes]; treat it as read-only — it may alias kernel or
+          special-node storage. *)
   | Write of { fd : int; user_buf : int; len : int }
   | Open of { path : string }
   | Close of { fd : int }
@@ -21,7 +26,7 @@ type call =
 type result =
   | Rint of int          (** fd, byte count, tid, pid... *)
   | Raddr of int         (** mmap/brk address. *)
-  | Rbytes of bytes      (** read payload (already user-copied). *)
+  | Rbytes of bytes      (** kernel-buffered read payload; read-only. *)
   | Rok
   | Rerr of string
 

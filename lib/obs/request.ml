@@ -59,6 +59,7 @@ type bseg = {
 
 type t = {
   sample_every : int;
+  collect_spans : bool;
   mutable next_id : int;
   mutable completed : int;
   by_trace : (int, segment list ref) Hashtbl.t; (* reversed arrival order *)
@@ -66,11 +67,11 @@ type t = {
   hist : Histogram.t;
 }
 
-let create ?(sample_every = 1) () =
+let create ?(sample_every = 1) ?(collect_spans = true) () =
   if sample_every < 1 then invalid_arg "Request.create: sample_every < 1";
   let hist_emitter = Emitter.create () in
   let hist = Histogram.attach hist_emitter (Histogram.create ()) in
-  { sample_every; next_id = 0; completed = 0;
+  { sample_every; collect_spans; next_id = 0; completed = 0;
     by_trace = Hashtbl.create 64; hist_emitter; hist }
 
 let mint t =
@@ -139,10 +140,10 @@ let attach t ~machine emitter =
               end;
               current := None
             end
-        | Trace.Span_begin p when seg.bsampled ->
+        | Trace.Span_begin p when seg.bsampled && t.collect_spans ->
             let b = { bphase = p; bt0 = ts; bt1 = ts; bkids = [] } in
             seg.bstack <- b :: seg.bstack
-        | Trace.Span_end _ when seg.bsampled -> (
+        | Trace.Span_end _ when seg.bsampled && t.collect_spans -> (
             match seg.bstack with
             | [] -> () (* stray end from a span opened before the window *)
             | b :: rest ->

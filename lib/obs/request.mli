@@ -39,8 +39,14 @@ type segment = {
 
 type t
 
-val create : ?sample_every:int -> unit -> t
-(** Collector sampling 1 in [sample_every] requests (default 1 = all). *)
+val create : ?sample_every:int -> ?collect_spans:bool -> unit -> t
+(** Collector sampling 1 in [sample_every] requests (default 1 = all).
+    [collect_spans] (default true) controls whether sampled windows also
+    record their full nested span tree; with it off the collector still
+    tracks segments (window bounds, {!root_cycles}) and the latency
+    histogram, but skips the per-span builders entirely — the right mode
+    for high-volume measurement runs where only end-to-end windows are
+    read back. *)
 
 val mint : t -> ctx
 (** Fresh trace context; the sampling bit follows the collector policy. *)

@@ -61,14 +61,15 @@ let requests t = t.requests
 let page_size = Hw.Phys_mem.page_size
 
 let create ?obs ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
-    ?(cma_frames = 65536) ?(reserved_frames = 256) ~setting () =
+    ?(cma_frames = 65536) ?(reserved_frames = 256)
+    ?(collect_request_spans = false) ~setting () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
   let obs = match obs with Some e -> e | None -> Obs.Emitter.create () in
   (* Attach the machine's counter sink before anything boots so every event
      from assembly onward is counted. *)
   let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
-  let requests = Obs.Request.create () in
+  let requests = Obs.Request.create ~collect_spans:collect_request_spans () in
   Obs.Request.attach requests ~machine:"sim" obs;
   Obs.with_span obs ~now:(fun () -> Hw.Cycles.now clock) Obs.Trace.Boot
   @@ fun () ->
@@ -129,9 +130,12 @@ let create ?obs ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
         | Some addr -> addr
         | None -> failwith "Machine.create: scratch leaf missing")
   in
+  (* One shared, never-written sink buffer: readers get a (read-only) view
+     and writers are discarded, so steady-state I/O never allocates. *)
+  let net_sink = Bytes.make io_chunk '\000' in
   Kernel.Fs.register_special kern.Kernel.fs "/dev/net-sink"
-    ~read:(fun () -> Bytes.make io_chunk '\000')
-    ~write:(fun _ -> ());
+    ~read:(fun () -> net_sink)
+    ~write:(fun _ ~len:_ -> ());
   let proxy_fd = Kernel.Task.alloc_fd proxy "/dev/net-sink" in
   {
     setting; mem; clock; cpu; td; host; kern; monitor; mgr; proxy; proxy_buf;
@@ -234,20 +238,21 @@ type session = {
    for the same logical handler nest; the Attrib sink collapses same-phase
    nesting, so e.g. [fault_on] plus [Kernel.handle_page_fault] read as one
    [Pf_handler] context. *)
+(* Both exit arms are written out rather than shared through a [finish]
+   closure — this brackets every hot handler, and the closure would cost a
+   heap block per call. *)
 let span_m m phase f =
   let obs = m.cpu.Hw.Cpu.obs in
   Obs.Emitter.emit obs (Obs.Trace.span_begin phase)
     ~ts:(Hw.Cycles.now m.clock) ~arg:0;
-  let finish () =
-    Obs.Emitter.emit obs (Obs.Trace.span_end phase)
-      ~ts:(Hw.Cycles.now m.clock) ~arg:0
-  in
   match f () with
   | v ->
-      finish ();
+      Obs.Emitter.emit obs (Obs.Trace.span_end phase)
+        ~ts:(Hw.Cycles.now m.clock) ~arg:0;
       v
   | exception e ->
-      finish ();
+      Obs.Emitter.emit obs (Obs.Trace.span_end phase)
+        ~ts:(Hw.Cycles.now m.clock) ~arg:0;
       raise e
 
 let tlb_tax s n =
@@ -258,17 +263,30 @@ let tlb_tax s n =
    The syscall path is a streamlined re-vector (inspect and forward); the
    exception/interrupt path runs the full gate pair — state capture, #INT
    gate, return trampoline. *)
+(* The interpose bodies are straight-line clock advances, so the span
+   brackets are emitted inline: these run on every syscall/exception under
+   exit interposition and must not build a closure per event. *)
+let interpose_begin = Obs.Trace.span_begin Obs.Trace.Exit_interpose
+let interpose_end = Obs.Trace.span_end Obs.Trace.Exit_interpose
+
 let interpose_syscall s =
-  if Config.interposes_exits s.machine.setting then
-    span_m s.machine Obs.Trace.Exit_interpose (fun () ->
-        Hw.Cycles.advance s.machine.clock Hw.Cycles.Cost.monitor_exit_inspect)
+  let m = s.machine in
+  if Config.interposes_exits m.setting then begin
+    let obs = m.cpu.Hw.Cpu.obs in
+    Obs.Emitter.emit obs interpose_begin ~ts:(Hw.Cycles.now m.clock) ~arg:0;
+    Hw.Cycles.advance m.clock Hw.Cycles.Cost.monitor_exit_inspect;
+    Obs.Emitter.emit obs interpose_end ~ts:(Hw.Cycles.now m.clock) ~arg:0
+  end
 
 let interpose_exception s =
-  if Config.interposes_exits s.machine.setting then
-    span_m s.machine Obs.Trace.Exit_interpose (fun () ->
-        Hw.Cycles.advance s.machine.clock
-          ((2 * Hw.Cycles.Cost.emc_roundtrip)
-          + Hw.Cycles.Cost.monitor_exit_inspect))
+  let m = s.machine in
+  if Config.interposes_exits m.setting then begin
+    let obs = m.cpu.Hw.Cpu.obs in
+    Obs.Emitter.emit obs interpose_begin ~ts:(Hw.Cycles.now m.clock) ~arg:0;
+    Hw.Cycles.advance m.clock
+      ((2 * Hw.Cycles.Cost.emc_roundtrip) + Hw.Cycles.Cost.monitor_exit_inspect);
+    Obs.Emitter.emit obs interpose_end ~ts:(Hw.Cycles.now m.clock) ~arg:0
+  end
 
 let deliver_timer s =
   let m = s.machine in

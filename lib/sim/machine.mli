@@ -12,13 +12,17 @@ type t
 val create :
   ?obs:Obs.Emitter.t ->
   ?backend:Erebor.Isolation.kind ->
-  ?frames:int -> ?cma_frames:int -> ?reserved_frames:int -> setting:Config.setting ->
+  ?frames:int -> ?cma_frames:int -> ?reserved_frames:int ->
+  ?collect_request_spans:bool -> setting:Config.setting ->
   unit -> t
 (** [?obs] supplies the machine's event emitter — attach sinks (recorders,
     histograms) to it before [create] to observe boot as well. A fresh
     emitter is made otherwise. [?backend] picks the monitor's isolation
     backend (default [Pks], the calibrated configuration); it only matters
-    for settings with a monitor. *)
+    for settings with a monitor. [?collect_request_spans] (default false)
+    makes the machine's request collector retain full causal span trees for
+    sampled requests; the default tracks only window bounds and latency,
+    which is what the bench/density paths read. *)
 
 val setting : t -> Config.setting
 val kern : t -> Kernel.t
@@ -34,7 +38,9 @@ val counters : t -> Obs.Counter.t
 val requests : t -> Obs.Request.t
 (** The request-trace collector watching this machine's emitter. Under
     [Erebor_full], every sandboxed session mints one trace context at the
-    channel client and the collector assembles its causal span tree. *)
+    channel client; the collector always tracks request windows and latency,
+    and additionally assembles causal span trees when the machine was
+    created with [~collect_request_spans:true]. *)
 
 val snapshot : t -> Stats.snapshot
 

@@ -329,10 +329,11 @@ let fig9_checks ~baseline ~jobs =
             fields)
     (Json.to_arr (Json.member "fig9" baseline))
 
-let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
-    ?(gc_tolerance = 1.0) baseline =
+let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 1.5)
+    ?(gc_tolerance = 0.5) baseline =
   let cpu0 = Sys.time () in
   let minor0 = Gc.minor_words () in
+  let major0 = (Gc.quick_stat ()).Gc.major_words in
   let schema =
     match Json.to_str (Json.member "schema" baseline) with
     | Some "erebor-bench-sim/1" ->
@@ -443,22 +444,28 @@ let check_json ?(fig9 = false) ?jobs ?(wall_tolerance = 2.0)
                cpu budget wall_tolerance);
         ]
   in
-  let gc =
-    match Json.to_float (Json.mem_of "minor_words" (Json.member "gc" baseline)) with
-    | None -> [ chk "gc" true "no baseline GC stats" ]
+  (* Minor AND major words are bounded against the committed full-suite
+     totals: the anchor regeneration allocates a small fraction of either,
+     so a pass leaves generous slack while still catching an accidental
+     order-of-magnitude allocation regression on the hot paths. *)
+  let major = (Gc.quick_stat ()).Gc.major_words -. major0 in
+  let gc_bound label words =
+    match Json.to_float (Json.mem_of (label ^ "_words") (Json.member "gc" baseline)) with
+    | None -> [ chk ("gc-" ^ label) true "no baseline GC stats" ]
     | Some base ->
         let budget = gc_tolerance *. base in
         [
           chk
             ~old_value:(Printf.sprintf "budget %.0f words" budget)
-            ~new_value:(Printf.sprintf "%.0f minor words" minor)
-            "gc" (minor <= budget)
+            ~new_value:(Printf.sprintf "%.0f %s words" words label)
+            ("gc-" ^ label) (words <= budget)
             (Printf.sprintf
-               "regeneration %.0f minor words, budget %.0f (%.1fx baseline suite)"
-               minor budget gc_tolerance);
+               "regeneration %.0f %s words, budget %.0f (%.1fx baseline suite)"
+               words label budget gc_tolerance);
         ]
   in
-  (schema :: t3) @ t4 @ backend_pin @ f9 @ wall @ gc
+  (schema :: t3) @ t4 @ backend_pin @ f9 @ wall
+  @ gc_bound "minor" minor @ gc_bound "major" major
 
 let check_string ?fig9 ?jobs ?wall_tolerance ?gc_tolerance json =
   match Json.parse json with

@@ -64,11 +64,12 @@ val check_json :
   Json.t ->
   verdict
 (** Run the gate against an already-parsed baseline. [wall_tolerance]
-    (default 2.0) bounds the regeneration CPU time at that multiple of the
-    baseline's [total_wall_s]; [gc_tolerance] (default 1.0) bounds minor
-    allocation at that multiple of the baseline suite's [gc.minor_words].
-    Both budgets cover a full suite while the gate regenerates only
-    anchors, so they catch order-of-magnitude regressions without noise. *)
+    (default 1.5) bounds the regeneration CPU time at that multiple of the
+    baseline's [total_wall_s]; [gc_tolerance] (default 0.5) bounds minor
+    and major allocation at that multiple of the baseline suite's
+    [gc.minor_words] / [gc.major_words]. The budgets cover (a fraction of)
+    a full suite while the gate regenerates only anchors, so they catch
+    order-of-magnitude regressions without noise. *)
 
 val check_string :
   ?fig9:bool ->

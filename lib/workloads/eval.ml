@@ -237,12 +237,16 @@ type attrib_row = {
   contexts : (string * string * int) list;
 }
 
-let attrib ?jobs () =
+let attrib ?jobs ?(smoke = false) () =
+  (* Smoke cut for @ci: one program across every setting still exercises
+     span nesting, the EMC service phases, and the conservation invariant,
+     at a fraction of the full 25-cell sweep. *)
+  let programs = if smoke then [ List.hd all_programs ] else all_programs in
   let tasks =
     List.concat_map
       (fun (program, spec_fn) ->
         List.map (fun setting -> (program, spec_fn, setting)) Sim.Config.all)
-      all_programs
+      programs
   in
   Sim.Runner.map_list ?jobs
     (fun (program, spec_fn, setting) ->

@@ -78,8 +78,10 @@ type attrib_row = {
           [unattributed_cycles] these sum to [total_cycles] exactly. *)
 }
 
-val attrib : ?jobs:int -> unit -> attrib_row list
-(** Every Fig. 9 program x setting, each on a fresh machine with an
+val attrib : ?jobs:int -> ?smoke:bool -> unit -> attrib_row list
+(** [smoke] (default false) restricts the sweep to the first program
+    across every setting — the @ci conservation gate.
+    Every Fig. 9 program x setting, each on a fresh machine with an
     {!Obs.Attrib} sink attached. Deterministic and independent of [jobs]. *)
 
 val table6 : program_row list -> program_row list

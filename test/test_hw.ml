@@ -552,6 +552,143 @@ let test_isa_imm_range () =
   | Some (Isa.Mov_imm (Isa.R3, -4000)) -> ()
   | _ -> Alcotest.fail "negative immediate roundtrip"
 
+let every_instr =
+  (* One representative of every constructor, plus operand edge cases:
+     extreme registers, immediate range ends, every legal CR index. *)
+  [ Isa.Nop; Isa.Endbr;
+    Isa.Mov_imm (Isa.R0, 0); Isa.Mov_imm (Isa.R7, 8191);
+    Isa.Mov_imm (Isa.R3, -8192);
+    Isa.Load (Isa.R0, Isa.R7); Isa.Store (Isa.R7, Isa.R0);
+    Isa.Add (Isa.R4, Isa.R4);
+    Isa.Jmp 8191; Isa.Jmp (-8192); Isa.Call 1; Isa.Call (-1);
+    Isa.Ret; Isa.Syscall; Isa.Iret; Isa.Cpuid; Isa.Clac;
+    Isa.Senduipi Isa.R5;
+    Isa.Mov_cr (0, Isa.R1); Isa.Mov_cr (3, Isa.R2); Isa.Mov_cr (4, Isa.R7);
+    Isa.Wrmsr; Isa.Stac; Isa.Lidt; Isa.Tdcall ]
+
+let test_isa_roundtrip_every_opcode () =
+  List.iter
+    (fun instr ->
+      match Isa.decode (Isa.encode instr) 0 with
+      | Some got when got = instr -> ()
+      | Some got ->
+          Alcotest.failf "%a decoded as %a" Isa.pp_instr instr Isa.pp_instr got
+      | None -> Alcotest.failf "%a failed to decode" Isa.pp_instr instr)
+    every_instr
+
+let test_isa_decode_rejects () =
+  let slot l = Bytes.of_string (String.init 4 (fun i -> Char.chr (List.nth l i))) in
+  (* Unknown opcode byte. *)
+  Alcotest.(check bool) "unknown opcode" true (Isa.decode (slot [0x7f;0;0;0]) 0 = None);
+  (* Operand register code out of range. *)
+  Alcotest.(check bool) "bad reg (load)" true (Isa.decode (slot [0x03;8;0;0]) 0 = None);
+  Alcotest.(check bool) "bad reg (mov_imm)" true (Isa.decode (slot [0x02;9;0;0]) 0 = None);
+  (* CR index outside {0,3,4}. *)
+  Alcotest.(check bool) "bad cr index" true (Isa.decode (slot [0xc0;2;0;0]) 0 = None);
+  (* Truncated tail and out-of-range offsets. *)
+  let one = Isa.encode Isa.Nop in
+  Alcotest.(check bool) "truncated" true (Isa.decode one 1 = None);
+  Alcotest.(check bool) "negative offset" true (Isa.decode one (-4) = None);
+  Alcotest.(check bool) "past end" true (Isa.decode one 4 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Icode: decoded-instruction cache                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_icode_decode_matches_isa () =
+  (* Every slot of the decoded program re-materializes to exactly what the
+     one-shot decoder sees. *)
+  let code = Isa.assemble every_instr in
+  match (Icode.decode code, Isa.disassemble code) with
+  | Ok p, Some instrs ->
+      Alcotest.(check int) "length" (List.length instrs) (Icode.length p);
+      List.iteri
+        (fun i instr ->
+          if Icode.instr p i <> instr then
+            Alcotest.failf "slot %d: %a <> %a" i Isa.pp_instr (Icode.instr p i)
+              Isa.pp_instr instr)
+        instrs
+  | Error off, _ -> Alcotest.failf "icode decode failed at +%d" off
+  | _, None -> Alcotest.fail "disassemble failed"
+
+let test_icode_decode_rejects () =
+  (* The cache decoder rejects exactly what Isa.decode rejects, reporting
+     the first bad slot's byte offset. *)
+  let bad = Bytes.cat (Isa.assemble [ Isa.Nop; Isa.Ret ]) (Bytes.make 4 '\x7f') in
+  (match Icode.decode bad with
+  | Error 8 -> ()
+  | Error off -> Alcotest.failf "wrong offset %d" off
+  | Ok _ -> Alcotest.fail "undecodable slot accepted");
+  match Icode.decode (Bytes.make 6 '\x00') with
+  | Error 4 -> () (* trailing partial slot *)
+  | Error off -> Alcotest.failf "partial slot: wrong offset %d" off
+  | Ok _ -> Alcotest.fail "partial slot accepted"
+
+(* A branchy program exercising every interpreter path: registers, scratch
+   memory, subroutine call/ret, a skipped-over external call, sensitive
+   retires. *)
+let branchy_program =
+  [ Isa.Endbr;                       (* 0 *)
+    Isa.Mov_imm (Isa.R0, 24);        (* 1 *)
+    Isa.Mov_imm (Isa.R1, 100);       (* 2 *)
+    Isa.Store (Isa.R0, Isa.R1);      (* 3: mem[3] <- 100 *)
+    Isa.Call 4;                      (* 4: -> 8 (subroutine) *)
+    Isa.Call 100;                    (* 5: external, falls through *)
+    Isa.Wrmsr;                       (* 6: sensitive *)
+    Isa.Ret;                         (* 7: top-level -> stop *)
+    Isa.Load (Isa.R2, Isa.R0);       (* 8: r2 <- mem[3] *)
+    Isa.Add (Isa.R2, Isa.R1);        (* 9: r2 = 200 *)
+    Isa.Ret ]                        (* 10: return to 5 *)
+
+let test_icode_run_equivalence () =
+  let code = Isa.assemble branchy_program in
+  let p = match Icode.decode code with Ok p -> p | Error _ -> assert false in
+  let run_with runner =
+    let st = Icode.make_state () in
+    let sensitive = ref 0 in
+    Icode.set_sensitive_hook st (fun _ -> incr sensitive);
+    let retired = runner st in
+    (retired, !sensitive, List.init 8 (Icode.reg st))
+  in
+  let fast = run_with (fun st -> Icode.run p st ~entry:0 ~fuel:64) in
+  let slow = run_with (fun st -> Icode.run_undecoded code st ~entry:0 ~fuel:64) in
+  let retired, sensitive, regs = fast in
+  Alcotest.(check int) "retired" 11 retired;
+  Alcotest.(check int) "sensitive retires" 1 sensitive;
+  Alcotest.(check int) "r2 through call/load/add" 200 (List.nth regs 2);
+  Alcotest.(check bool) "decoded = undecoded" true (fast = slow)
+
+let test_icode_cache_shares () =
+  let code = Isa.assemble branchy_program in
+  let h0, _ = Icode.cache_stats () in
+  match (Icode.of_bytes code, Icode.of_bytes (Bytes.copy code)) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "same decoded program" true (a == b);
+      let h1, _ = Icode.cache_stats () in
+      Alcotest.(check bool) "second lookup hit" true (h1 > h0)
+  | _ -> Alcotest.fail "decode failed"
+
+let test_icode_steady_state_no_alloc () =
+  (* The tentpole property: with a warm decoded program, the interpreter
+     loop allocates nothing — minor words must not move across 10k runs. *)
+  let code = Isa.assemble branchy_program in
+  let p = match Icode.of_bytes code with Ok p -> p | Error _ -> assert false in
+  let st = Icode.make_state () in
+  ignore (Icode.run p st ~entry:0 ~fuel:64);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Icode.run p st ~entry:0 ~fuel:64)
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check (float 0.0)) "zero minor words" 0.0 (w1 -. w0)
+
+let test_icode_fuel_bounds_runaway () =
+  (* Jmp 0 spins in place; fuel must bound it. *)
+  let code = Isa.assemble [ Isa.Jmp 0 ] in
+  let p = match Icode.decode code with Ok p -> p | Error _ -> assert false in
+  let st = Icode.make_state () in
+  Alcotest.(check int) "fuel cap" 1000 (Icode.run p st ~entry:0 ~fuel:1000)
+
 let prop_isa_benign_scan_clean =
   (* Any program assembled from benign instructions scans clean. *)
   let benign_gen =
@@ -772,7 +909,23 @@ let () =
           Alcotest.test_case "scan sensitive" `Quick test_isa_scan_catches_sensitive;
           Alcotest.test_case "scan unaligned" `Quick test_isa_scan_unaligned;
           Alcotest.test_case "imm range" `Quick test_isa_imm_range;
+          Alcotest.test_case "roundtrip every opcode" `Quick
+            test_isa_roundtrip_every_opcode;
+          Alcotest.test_case "decode rejects" `Quick test_isa_decode_rejects;
           qt prop_isa_benign_scan_clean;
+        ] );
+      ( "icode",
+        [
+          Alcotest.test_case "decode matches isa" `Quick
+            test_icode_decode_matches_isa;
+          Alcotest.test_case "decode rejects" `Quick test_icode_decode_rejects;
+          Alcotest.test_case "run equivalence" `Quick test_icode_run_equivalence;
+          Alcotest.test_case "cache shares programs" `Quick
+            test_icode_cache_shares;
+          Alcotest.test_case "steady state allocation-free" `Quick
+            test_icode_steady_state_no_alloc;
+          Alcotest.test_case "fuel bounds runaway" `Quick
+            test_icode_fuel_bounds_runaway;
         ] );
       ( "image",
         [

@@ -314,7 +314,12 @@ let test_syscall_file_roundtrip () =
   (match Kernel.syscall k task (Kernel.Syscall.Write { fd; user_buf = buf; len = 15 }) with
   | Kernel.Syscall.Rint 15 -> ()
   | r -> Alcotest.failf "write: %a" Kernel.Syscall.pp_result r);
+  (* User-destination read: POSIX shape, count back, payload in user memory. *)
   (match Kernel.syscall k task (Kernel.Syscall.Read { fd; user_buf = buf + 512; len = 64 }) with
+  | Kernel.Syscall.Rint 15 -> ()
+  | r -> Alcotest.failf "read: %a" Kernel.Syscall.pp_result r);
+  (* Kernel-buffered read: the payload itself comes back. *)
+  (match Kernel.syscall k task (Kernel.Syscall.Read { fd; user_buf = 0; len = 64 }) with
   | Kernel.Syscall.Rbytes b -> Alcotest.(check string) "read back" "hello kernel fs" (Bytes.to_string b)
   | r -> Alcotest.failf "read: %a" Kernel.Syscall.pp_result r);
   (* The user copy really landed in user memory. *)
@@ -414,11 +419,19 @@ let test_fs_special () =
   let sink = Buffer.create 16 in
   Kernel.Fs.register_special fs "/sys/debug/chan"
     ~read:(fun () -> Bytes.of_string "from-monitor")
-    ~write:(fun b -> Buffer.add_bytes sink b);
+    ~write:(fun b ~len -> Buffer.add_subbytes sink b 0 len);
   Alcotest.(check (option string)) "special read" (Some "from-monitor")
     (Option.map Bytes.to_string (Kernel.Fs.read_path fs "/sys/debug/chan"));
   ignore (Kernel.Fs.write_path fs "/sys/debug/chan" (Bytes.of_string "to-monitor"));
-  Alcotest.(check string) "special write" "to-monitor" (Buffer.contents sink)
+  Alcotest.(check string) "special write" "to-monitor" (Buffer.contents sink);
+  (* The view form delivers only the length-bounded prefix. *)
+  Buffer.clear sink;
+  Alcotest.(check bool) "view delivered" true
+    (Kernel.Fs.write_special_view fs "/sys/debug/chan"
+       (Bytes.of_string "view-payload-XXXX") ~len:12);
+  Alcotest.(check string) "view prefix" "view-payload" (Buffer.contents sink);
+  Alcotest.(check bool) "view on regular path" false
+    (Kernel.Fs.write_special_view fs "/not-special" Bytes.empty ~len:0)
 
 (* ------------------------------------------------------------------ *)
 (* Native privop costs (Table 4, Native column)                        *)

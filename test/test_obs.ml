@@ -1044,7 +1044,7 @@ let test_channel_ctx_propagation () =
 let test_machine_request_tree () =
   let m =
     Sim.Machine.create ~frames:32768 ~cma_frames:4096
-      ~setting:Sim.Config.Erebor_full ()
+      ~collect_request_spans:true ~setting:Sim.Config.Erebor_full ()
   in
   ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
   let reqs = Sim.Machine.requests m in

@@ -325,7 +325,7 @@ let test_bench_gate_pass () =
         + 1 (* backend/default *)
         + List.length (Workloads.Eval.table3 ()) (* backend/table3-pks/* *)
         + List.length (Workloads.Eval.table4 ()) (* backend/table4-pks/* *)
-        + 2 (* wall + gc, vacuous without baseline fields *))
+        + 3 (* wall + gc-minor + gc-major, vacuous without baseline fields *))
         (List.length verdict)
 
 let replace_first ~sub ~by s =
