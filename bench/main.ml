@@ -318,6 +318,57 @@ let print_density () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Live SLO telemetry: seeded degradation + clean-workload silence      *)
+(* ------------------------------------------------------------------ *)
+
+let print_slo () =
+  header "Live SLO telemetry: seeded mid-run stall, per-tenant attribution";
+  let backend = Option.value !backend_arg ~default:Erebor.Isolation.Pks in
+  let tenants = Option.value !tenants_arg ~default:4 in
+  let rounds = if !smoke_arg then 16 else 40 in
+  let stall_rounds = if !smoke_arg then 3 else 4 in
+  let r = Workloads.Slo_bench.run ~backend ~tenants ~rounds ~stall_rounds () in
+  Printf.printf "%-10s %-8s %6s %7s %-10s %-10s %s\n" "Tenant" "Seeded"
+    "Reqs" "Alert" "Worst" "Final" "Transitions";
+  List.iter
+    (fun (o : Workloads.Slo_bench.tenant_outcome) ->
+      Printf.printf "%-10s %-8s %6d %7s %-10s %-10s %s\n" o.tname
+        (if o.stalled then "STALL" else "-")
+        o.served
+        (if o.alert_fired then "FIRED" else "-")
+        (Obs.Health.state_name o.worst_state)
+        (Obs.Health.state_name o.final_state)
+        (String.concat " -> "
+           (List.map
+              (fun (_, st) -> Obs.Health.state_name st)
+              o.health_transitions))
+    )
+    r.Workloads.Slo_bench.outcomes;
+  Printf.printf
+    "(%d evaluation ticks; %d alert + %d health transition events; %d audit \
+     records, chain %s)\n"
+    r.Workloads.Slo_bench.evals r.Workloads.Slo_bench.alert_events
+    r.Workloads.Slo_bench.health_events r.Workloads.Slo_bench.audit_records
+    (if r.Workloads.Slo_bench.audit_intact then "intact" else "BROKEN");
+  header "Clean Fig. 9 workloads: SLOs must stay silent";
+  let clean = Workloads.Slo_bench.clean_fig9 ?jobs:!jobs_arg ~smoke:!smoke_arg () in
+  let clean_failures =
+    List.concat_map
+      (fun (program, fired) ->
+        Printf.printf "%-10s %s\n" program
+          (if fired = [] then "silent" else "FIRED " ^ String.concat "," fired);
+        List.map (fun o -> program ^ ": clean run fired " ^ o) fired)
+      clean
+  in
+  let failures = r.Workloads.Slo_bench.failures @ clean_failures in
+  if failures <> [] then begin
+    List.iter (fun f -> Printf.eprintf "slo: %s\n" f) failures;
+    exit 1
+  end;
+  Printf.printf
+    "PASS: alert + demotion on the seeded tenant only; clean runs silent\n"
+
+(* ------------------------------------------------------------------ *)
 (* Qualitative tables (1, 2, 7)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -702,9 +753,9 @@ let smoke () =
 
 let usage =
   "usage: main.exe \
-   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|density|ablations|tables-qual|emchist|attrib|icode|check|bechamel]\n\
+   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|density|slo|ablations|tables-qual|emchist|attrib|icode|check|bechamel]\n\
   \       [--jobs N] [--scale F] [--baseline PATH] [--full]\n\
-  \       [--smoke] [--backend pks|wp|tmemk] [--tenants N]   (density)\n"
+  \       [--smoke] [--backend pks|wp|tmemk] [--tenants N]   (density, slo)\n"
 
 let () =
   let target = ref None in
@@ -767,6 +818,7 @@ let () =
   | "fig10" -> print_fig10 ()
   | "memshare" -> print_memshare ()
   | "density" -> print_density ()
+  | "slo" -> print_slo ()
   | "ablations" -> print_ablations ()
   | "tables-qual" -> print_tables_qual ()
   | "emchist" -> print_emchist ()

@@ -98,9 +98,20 @@ let run_cmd =
              hash-chained audit log and write it (JSONL) on exit — normal or \
              abnormal. Check it offline with $(b,audit verify).")
   in
-  let run (name, spec_fn) setting trace debug audit_file =
-    if trace = None && (not debug) && audit_file = None then
-      print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
+  let dash =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dash" ] ~docv:"FILE"
+          ~doc:
+            "Live monitoring: attach a sliding-window sink, machine-level \
+             SLO burn-rate alerts and a health watchdog; repaint an ASCII \
+             dashboard to stderr every 50 virtual ms and write a JSON \
+             telemetry snapshot to $(docv) on exit — normal or abnormal.")
+  in
+  let run (name, spec_fn) setting trace debug audit_file dash_file =
+    if trace = None && (not debug) && audit_file = None && dash_file = None
+    then print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
     else begin
       let obs = Obs.Emitter.create () in
       let recorder =
@@ -119,7 +130,80 @@ let run_cmd =
             Obs.Emitter.set_audit obs (Some chain);
             Some chain
       in
-      let m = Sim.Machine.create ~obs ~setting () in
+      (* Live telemetry: a sliding window over the machine's event stream
+         (attached pre-boot via [~window]), machine-level SLOs with generous
+         ceilings — a healthy run must stay silent — and a health watchdog
+         fed by the same emitter. The dashboard repaints on a virtual-time
+         cadence and the final snapshot is written by an emitter finalizer,
+         so abnormal exits still leave a complete, parseable file. *)
+      let window =
+        match dash_file with
+        | None -> None
+        | Some _ ->
+            Some (Obs.Window.create ~width:10_500_000 ~buckets:120 ())
+      in
+      let dash =
+        match (dash_file, window) with
+        | Some _, Some window ->
+            let slo =
+              Obs.Slo.create ~emit:obs ~window
+                ~objectives:
+                  [
+                    Obs.Slo.objective ~name:"emc-latency"
+                      ~condition:
+                        (Obs.Slo.Latency_above
+                           { kind = Obs.Trace.Emc_entry; threshold = 65536 })
+                      ~budget:0.02 ();
+                    Obs.Slo.objective ~name:"emc-rate"
+                      ~condition:
+                        (Obs.Slo.Rate_above
+                           { kind = Obs.Trace.Emc_entry; per_second = 500_000.0 })
+                      ~budget:1.0 ();
+                    Obs.Slo.objective ~name:"audit-denials"
+                      ~condition:
+                        (Obs.Slo.Ratio
+                           { bad = Obs.Trace.Mmu_deny; total = Obs.Trace.Emc_entry })
+                      ~budget:0.02 ();
+                  ]
+                ()
+            in
+            (* A [run] session spans the whole body, so a per-request
+               deadline is meaningless here — the watchdogs that matter for
+               a single machine are the EMC stall (1 virtual second of
+               in-flight silence) and denial spikes. *)
+            let health =
+              Obs.Health.create ~emit:obs
+                ~rules:
+                  {
+                    Obs.Health.default_rules with
+                    Obs.Health.stall_cycles = 2_100_000_000;
+                    deadline_cycles = max_int / 2;
+                  }
+                ()
+            in
+            Some (slo, health, window)
+        | _ -> None
+      in
+      let m = Sim.Machine.create ~obs ?window ~setting () in
+      (match (dash_file, dash) with
+      | Some path, Some (slo, health, window) ->
+          let subject =
+            Obs.Health.register health ~name
+              ~now:(Hw.Cycles.now (Sim.Machine.clock m))
+          in
+          Obs.Health.watch health subject obs;
+          let d =
+            Obs.Dash.attach obs
+              (Obs.Dash.create ~label:name ~out:stderr ~slo ~health
+                 ~refresh_cycles:105_000_000 ~window ())
+          in
+          Obs.Emitter.add_finalizer obs (fun ~now ->
+              let oc = open_out path in
+              output_string oc (Obs.Dash.snapshot_json d ~now);
+              close_out oc;
+              Printf.printf "dash     : %d refreshes, snapshot -> %s\n"
+                (Obs.Dash.refreshes d) path)
+      | _ -> ());
       let dump_ring reason =
         match ring with
         | None -> ()
@@ -171,7 +255,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under one setting and print its results")
-    Term.(const run $ workload $ setting $ trace $ debug $ audit_file)
+    Term.(const run $ workload $ setting $ trace $ debug $ audit_file $ dash)
 
 let profile_cmd =
   let workload =

@@ -27,19 +27,10 @@ let kernel_image =
       ];
   }
 
-(* Minimal argv scan: --audit FILE and --trace FILE, anywhere. *)
-let flag_arg name =
-  let r = ref None in
-  Array.iteri
-    (fun i a ->
-      if a = name && i + 1 < Array.length Sys.argv then r := Some Sys.argv.(i + 1))
-    Sys.argv;
-  !r
-
 let () =
   print_endline "Multi-tenant fleet: warm pool + shared model + mitigations";
-  let audit_file = flag_arg "--audit" in
-  let trace_file = flag_arg "--trace" in
+  let audit_file = Workloads.Cli.flag_arg "--audit" in
+  let trace_file = Workloads.Cli.flag_arg "--trace" in
   let mem = Hw.Phys_mem.create ~frames:131072 in
   let clock = Hw.Cycles.clock () in
   let now () = Hw.Cycles.now clock in

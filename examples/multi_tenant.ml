@@ -27,15 +27,6 @@ let kernel_image =
       ];
   }
 
-(* Minimal argv scan (examples link no cmdliner): --flag VALUE anywhere. *)
-let flag_arg name =
-  let r = ref None in
-  Array.iteri
-    (fun i a ->
-      if a = name && i + 1 < Array.length Sys.argv then r := Some Sys.argv.(i + 1))
-    Sys.argv;
-  !r
-
 let page = Hw.Phys_mem.page_size
 
 (* The three service kinds; tenant i runs service (i mod 3), so --tenants N
@@ -78,7 +69,7 @@ let serve_request service (input : bytes) =
 
 let () =
   let backend =
-    match flag_arg "--backend" with
+    match Workloads.Cli.flag_arg "--backend" with
     | None -> Erebor.Isolation.Pks
     | Some s -> (
         match Erebor.Isolation.kind_of_name s with
@@ -87,16 +78,7 @@ let () =
             Printf.eprintf "--backend: %s\n" e;
             exit 2)
   in
-  let tenants =
-    match flag_arg "--tenants" with
-    | None -> 3
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some n when n >= 1 -> n
-        | _ ->
-            Printf.eprintf "--tenants: positive integer expected\n";
-            exit 2)
-  in
+  let tenants = Workloads.Cli.int_arg ~default:3 "--tenants" in
   Printf.printf "Multi-tenant CVM: %d tenants on the %s backend\n" tenants
     (Erebor.Isolation.kind_name backend);
 

@@ -1,0 +1,43 @@
+(** Live ASCII dashboard driver: a sink that, every [refresh_cycles] of
+    {e virtual} time, evaluates the SLOs, runs the health watchdogs and
+    repaints a compact text panel.
+
+    The cadence is keyed to event timestamps, so it needs no wall clock and
+    never advances the virtual one; a run that covers more simulated time
+    simply repaints more often. Evaluation bumps the next-refresh deadline
+    before calling into {!Slo}/{!Health}, so the transition events those
+    emit (which re-enter this sink when it shares the emitter) cannot
+    recurse. *)
+
+type t
+
+val create :
+  ?label:string ->
+  ?out:out_channel ->
+  ?slo:Slo.t ->
+  ?health:Health.t ->
+  refresh_cycles:int ->
+  window:Window.t ->
+  unit ->
+  t
+(** [out] receives a panel per refresh (omit it for evaluation without
+    painting — the [--dash] snapshot-only path). Raises [Invalid_argument]
+    when [refresh_cycles <= 0]. *)
+
+val attach : Emitter.t -> t -> t
+(** Attach as a sink on the emitter driving the run. *)
+
+val sink : t -> Trace.kind -> ts:int -> arg:int -> unit
+(** The raw sink (for drivers that fan events out manually). *)
+
+val refreshes : t -> int
+
+val render : t -> now:int -> string
+(** The current panel: windowed rates, tracked-kind percentiles, SLO burn
+    rates and per-subject health. *)
+
+val snapshot_json : t -> now:int -> string
+(** One JSON document composing the window, SLO and health state — what
+    [run --dash] writes on exit via an {!Emitter} finalizer, so abnormal
+    exits still leave a complete snapshot. [now] is clamped up to the last
+    event seen. *)

@@ -1,0 +1,78 @@
+(** Per-sandbox / per-tenant health state machine driven by watchdog rules.
+
+    Register one {!subject} per sandbox or tenant, feed it observations
+    (EMC activity, request begin/end, audit denials), and {!check} at a
+    steady cadence. A check scores the subject "bad" when a watchdog trips:
+
+    - {e EMC stall}: a request is in flight but the subject has made no
+      monitor call for [stall_cycles];
+    - {e deadline overrun}: a request is in flight past [deadline_cycles],
+      or a completed request exceeded it since the last check;
+    - {e denial spike}: [denial_spike]+ audit denials since the last check.
+
+    Transitions are hysteretic in both directions: [degrade_after]
+    consecutive bad checks take Healthy -> Degraded, [unhealthy_after] more
+    take Degraded -> Unhealthy, and [recover_after] consecutive clean
+    checks step one level back up.
+
+    Checks never advance the virtual clock. Every transition emits a
+    {!Trace.Health_transition} event ([arg = id lsl 2 lor state index])
+    and lands on the emitter's audit rail (category ["health"], [Deny] on
+    demotion / [Info] on recovery) when a chain is attached. *)
+
+type state = Healthy | Degraded | Unhealthy
+
+val state_index : state -> int
+(** Dense index (0/1/2), as packed into the transition event arg. *)
+
+val state_name : state -> string
+
+type rules = {
+  stall_cycles : int;
+  deadline_cycles : int;
+  denial_spike : int;
+  degrade_after : int;
+  unhealthy_after : int;
+  recover_after : int;
+}
+
+val default_rules : rules
+
+type subject
+type t
+
+val create : ?emit:Emitter.t -> ?rules:rules -> unit -> t
+
+val register : t -> name:string -> now:int -> subject
+(** Add a subject (initially Healthy; its EMC watchdog is armed from
+    [now]). *)
+
+val subjects : t -> subject list
+val name : subject -> string
+val id : subject -> int
+val state : subject -> state
+val requests : subject -> int
+val total_overruns : subject -> int
+val total_denials : subject -> int
+
+(** {2 Feeding observations} *)
+
+val note_emc : subject -> now:int -> unit
+val note_denial : subject -> unit
+val begin_request : subject -> now:int -> unit
+val end_request : t -> subject -> now:int -> latency:int -> unit
+
+val watch : t -> subject -> Emitter.t -> unit
+(** Route a machine emitter's events to one subject (EMCs, MMU denials,
+    request windows) — the single-machine adapter [run --dash] uses.
+    Request latency is derived from the Req_begin/Req_end window bounds. *)
+
+val check : t -> now:int -> unit
+(** Run the watchdogs for every subject and apply the state machine. *)
+
+val transitions : t -> (int * subject * state) list
+(** Chronological [(ts, subject, new state)] transitions. *)
+
+val transitions_of : t -> subject -> (int * state) list
+
+val to_json : t -> string

@@ -23,6 +23,7 @@ type t = {
   buckets : int array array; (* kind index -> bucket -> count *)
   counts : int array;
   sums : int array;
+  mins : int array; (* max_int sentinel while empty *)
   maxs : int array;
 }
 
@@ -31,6 +32,7 @@ let create () =
     buckets = Array.init Trace.n_kinds (fun _ -> Array.make n_buckets 0);
     counts = Array.make Trace.n_kinds 0;
     sums = Array.make Trace.n_kinds 0;
+    mins = Array.make Trace.n_kinds max_int;
     maxs = Array.make Trace.n_kinds 0;
   }
 
@@ -40,6 +42,7 @@ let sink t kind ~ts:_ ~arg =
   t.buckets.(i).(b) <- t.buckets.(i).(b) + 1;
   t.counts.(i) <- t.counts.(i) + 1;
   t.sums.(i) <- t.sums.(i) + arg;
+  if arg < t.mins.(i) then t.mins.(i) <- arg;
   if arg > t.maxs.(i) then t.maxs.(i) <- arg
 
 let attach emitter t =
@@ -49,6 +52,10 @@ let attach emitter t =
 let count t kind = t.counts.(Trace.index kind)
 let sum t kind = t.sums.(Trace.index kind)
 let max_value t kind = t.maxs.(Trace.index kind)
+
+let min_value t kind =
+  let i = Trace.index kind in
+  if t.counts.(i) = 0 then 0 else t.mins.(i)
 
 let mean t kind =
   let i = Trace.index kind in
@@ -67,31 +74,38 @@ let bucket_count t kind ~value =
   t.buckets.(Trace.index kind).(bucket_of value)
 
 (* Percentile estimate from the log2 buckets: walk to the bucket holding the
-   rank, then interpolate linearly inside its [lo, hi] range. Exact when a
-   bucket spans a single value (buckets 0 and 1), within a factor-of-two
-   band otherwise — plenty for latency reporting. *)
+   rank, then interpolate linearly inside its [lo, hi] range, clamping the
+   estimate to the observed [min, max]. Exact when a bucket spans a single
+   value (buckets 0 and 1) or holds a single distinct sample, within a
+   factor-of-two band otherwise — plenty for latency reporting. The clamps
+   pin the edges: an empty distribution is 0, p <= 0 is the observed
+   minimum, p >= 1 the observed maximum, and a single-sample distribution
+   returns that sample at every p. *)
 let percentile t kind ~p =
   let i = Trace.index kind in
   let n = t.counts.(i) in
   if n = 0 then 0
   else begin
     let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
-    let rank = p *. float_of_int n in
-    let row = t.buckets.(i) in
-    let rec go b cum =
-      if b >= n_buckets then t.maxs.(i)
-      else begin
-        let c = row.(b) in
-        if c > 0 && float_of_int (cum + c) >= rank then begin
-          let lo = bucket_lo b and hi = bucket_hi b in
-          let within = (rank -. float_of_int cum) /. float_of_int c in
-          let v = float_of_int lo +. (within *. float_of_int (hi - lo)) in
-          min (int_of_float (Float.round v)) t.maxs.(i)
+    if p <= 0.0 then t.mins.(i)
+    else begin
+      let rank = p *. float_of_int n in
+      let row = t.buckets.(i) in
+      let rec go b cum =
+        if b >= n_buckets then t.maxs.(i)
+        else begin
+          let c = row.(b) in
+          if c > 0 && float_of_int (cum + c) >= rank then begin
+            let lo = bucket_lo b and hi = bucket_hi b in
+            let within = (rank -. float_of_int cum) /. float_of_int c in
+            let v = float_of_int lo +. (within *. float_of_int (hi - lo)) in
+            min (max (int_of_float (Float.round v)) t.mins.(i)) t.maxs.(i)
+          end
+          else go (b + 1) (cum + c)
         end
-        else go (b + 1) (cum + c)
-      end
-    in
-    go 0 0
+      in
+      go 0 0
+    end
   end
 
 let pp fmt (t, kind) =

@@ -5,15 +5,26 @@
 
 type t
 
+val n_buckets : int
+(** Number of log2 buckets per kind (63 — one per significant-bit count). *)
+
 val create : unit -> t
 val attach : Emitter.t -> t -> t
 
 val bucket_of : int -> int
 (** The bucket index a value lands in (number of significant bits). *)
 
+val bucket_lo : int -> int
+val bucket_hi : int -> int
+(** Inclusive value range covered by a bucket index. *)
+
 val count : t -> Trace.kind -> int
 val sum : t -> Trace.kind -> int
 val max_value : t -> Trace.kind -> int
+
+val min_value : t -> Trace.kind -> int
+(** Smallest observed value; 0 for an empty distribution. *)
+
 val mean : t -> Trace.kind -> float
 
 val buckets : t -> Trace.kind -> (int * int * int) list
@@ -25,8 +36,11 @@ val bucket_count : t -> Trace.kind -> value:int -> int
 val percentile : t -> Trace.kind -> p:float -> int
 (** Percentile estimate: [p] is clamped to [[0, 1]]; the rank is located in
     the bucketed distribution and interpolated linearly within the bucket's
-    [[lo, hi]] range (clamped to the observed maximum). Returns 0 for an
-    empty distribution. *)
+    [[lo, hi]] range, then clamped to the observed [[min, max]]. Edge
+    semantics are exact: an empty distribution returns 0 at every [p];
+    [p <= 0.0] returns {!min_value}; [p >= 1.0] returns {!max_value}; a
+    single-sample distribution returns that sample at every [p]. Between
+    the edges the estimate is within the bucket's factor-of-two band. *)
 
 val pp : Format.formatter -> t * Trace.kind -> unit
 (** ASCII histogram for one kind, with p50/p95/p99 in the header. *)

@@ -8,14 +8,15 @@ type source = {
   counter : Counter.t option;
   histogram : Histogram.t option;
   attrib : Attrib.t option;
+  window : Window.t option;
 }
 
 type t = { namespace : string; mutable sources : source list (* reversed *) }
 
 let create ?(namespace = "erebor") () = { namespace; sources = [] }
 
-let add t ~label ?counter ?histogram ?attrib () =
-  t.sources <- { label; counter; histogram; attrib } :: t.sources
+let add t ~label ?counter ?histogram ?attrib ?window () =
+  t.sources <- { label; counter; histogram; attrib; window } :: t.sources
 
 let sources t = List.rev t.sources
 
@@ -104,6 +105,59 @@ let to_prometheus t =
             (fun (d, p, cycles) ->
               row (Trace.domain_name d) (Trace.phase_name p) cycles)
             (Attrib.breakdown a));
+  (* Window-scoped series: gauges over the sliding window, not lifetime
+     counters — they describe "now", and age out with the ring. *)
+  family "window_events" "gauge"
+    "Events in the sliding window per trace kind." (fun s out ->
+      match s.window with
+      | None -> ()
+      | Some w ->
+          List.iter
+            (fun kind ->
+              let n = Window.count w kind in
+              if n > 0 then
+                out
+                  (Printf.sprintf
+                     "%s_window_events{source=\"%s\",kind=\"%s\"} %d\n" ns
+                     (escape_label s.label)
+                     (escape_label (Trace.name kind))
+                     n))
+            Trace.all);
+  family "window_rate" "gauge"
+    "Events per virtual second over the sliding window." (fun s out ->
+      match s.window with
+      | None -> ()
+      | Some w ->
+          List.iter
+            (fun kind ->
+              if Window.count w kind > 0 then
+                out
+                  (Printf.sprintf
+                     "%s_window_rate{source=\"%s\",kind=\"%s\"} %.2f\n" ns
+                     (escape_label s.label)
+                     (escape_label (Trace.name kind))
+                     (Window.rate w kind)))
+            Trace.all);
+  family "window_arg" "gauge"
+    "Event-argument quantiles over the sliding window (merge-on-read)."
+    (fun s out ->
+      match s.window with
+      | None -> ()
+      | Some w ->
+          List.iter
+            (fun kind ->
+              if Window.hist_tracked w kind && Window.count w kind > 0 then
+                List.iter
+                  (fun (q, p) ->
+                    out
+                      (Printf.sprintf
+                         "%s_window_arg{source=\"%s\",kind=\"%s\",quantile=\"%s\"} %d\n"
+                         ns (escape_label s.label)
+                         (escape_label (Trace.name kind))
+                         q
+                         (Window.percentile w kind ~p)))
+                  [ ("0.5", 0.50); ("0.95", 0.95); ("0.99", 0.99) ])
+            Trace.all);
   family "event_arg" "histogram"
     "Event-argument distribution per kind (log2 buckets)." (fun s out ->
       match s.histogram with
@@ -227,6 +281,11 @@ let to_json t =
                 cycles)
             (Attrib.breakdown a);
           Buffer.add_string buf "]}");
+      (match s.window with
+      | None -> ()
+      | Some w ->
+          Buffer.add_string buf ",\"window\":";
+          Buffer.add_string buf (Window.to_json w ()));
       Buffer.add_string buf "}")
     (sources t);
   Buffer.add_string buf "]}\n";

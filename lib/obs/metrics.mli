@@ -6,7 +6,10 @@
     [<ns>_events_total{source,kind}], [<ns>_event_arg_total{source,kind}],
     [<ns>_cycles_attributed_total{source,domain,phase}] and the
     [<ns>_event_arg{source,kind}] histogram (cumulative [le] buckets on the
-    log2 boundaries). *)
+    log2 boundaries). A {!Window} source adds window-scoped gauges —
+    [<ns>_window_events{source,kind}], [<ns>_window_rate{source,kind}] and
+    [<ns>_window_arg{source,kind,quantile}] — that describe the sliding
+    window rather than the whole run. *)
 
 type t
 
@@ -19,12 +22,16 @@ val add :
   ?counter:Counter.t ->
   ?histogram:Histogram.t ->
   ?attrib:Attrib.t ->
+  ?window:Window.t ->
   unit ->
   unit
 (** Register one source (rendered with label [source="label"]). *)
 
 val escape_label : string -> string
 (** Prometheus label-value escaping (backslash, quote, newline). *)
+
+val escape_json : string -> string
+(** JSON string escaping (quotes, backslash, control characters). *)
 
 val to_prometheus : t -> string
 (** Text exposition format 0.0.4; zero-count series are omitted. *)

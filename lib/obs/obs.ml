@@ -11,6 +11,10 @@ module Flame = Flame
 module Metrics = Metrics
 module Audit = Audit
 module Request = Request
+module Window = Window
+module Slo = Slo
+module Health = Health
+module Dash = Dash
 
 let with_span emitter ~now phase f =
   Emitter.emit emitter (Trace.span_begin phase) ~ts:(now ()) ~arg:0;

@@ -4,8 +4,10 @@
     ({!Histogram}), a Chrome-trace/JSONL recorder ({!Chrome}), a
     cycle-attribution profiler ({!Attrib}) with flamegraph ({!Flame}) and
     Prometheus/JSON ({!Metrics}) exporters, a request-scoped causal-trace
-    collector ({!Request}) and a tamper-evident hash-chained audit log
-    ({!Audit}).
+    collector ({!Request}), a tamper-evident hash-chained audit log
+    ({!Audit}), and live SLO telemetry — virtual-clock sliding windows
+    ({!Window}), error-budget burn-rate alerts ({!Slo}), per-sandbox health
+    watchdogs ({!Health}) and an ASCII dashboard driver ({!Dash}).
 
     Emission never advances the virtual clock: observability is free in
     simulated time, so calibrated results are identical with or without
@@ -23,6 +25,10 @@ module Flame = Flame
 module Metrics = Metrics
 module Audit = Audit
 module Request = Request
+module Window = Window
+module Slo = Slo
+module Health = Health
+module Dash = Dash
 
 val with_span : Emitter.t -> now:(unit -> int) -> Trace.phase -> (unit -> 'a) -> 'a
 (** [with_span emitter ~now phase f] emits [Span_begin phase], runs [f], and

@@ -146,12 +146,14 @@ type kind =
   | Sandbox_exit         (* arg = sandbox id *)
   | Req_begin            (* arg = packed request ctx, see {!Request} *)
   | Req_end              (* arg = packed request ctx, see {!Request} *)
+  | Slo_alert            (* arg = objective index lsl 1 lor fired *)
+  | Health_transition    (* arg = subject id lsl 2 lor state index *)
   | Span_begin of phase
   | Span_end of phase
 
 type event = { kind : kind; ts : int; arg : int }
 
-let n_span_base = 26
+let n_span_base = 28
 let n_kinds = n_span_base + (2 * n_phases)
 
 let index = function
@@ -181,6 +183,8 @@ let index = function
   | Sandbox_exit -> 23
   | Req_begin -> 24
   | Req_end -> 25
+  | Slo_alert -> 26
+  | Health_transition -> 27
   | Span_begin p -> n_span_base + phase_index p
   | Span_end p -> n_span_base + n_phases + phase_index p
 
@@ -211,6 +215,8 @@ let name = function
   | Sandbox_exit -> "sandbox.exit"
   | Req_begin -> "req.begin"
   | Req_end -> "req.end"
+  | Slo_alert -> "slo.alert"
+  | Health_transition -> "health.transition"
   | Span_begin p -> phase_name p
   | Span_end p -> phase_name p
 
@@ -243,7 +249,7 @@ let all =
     Tdcall; Vmcall; Tlb_fill; Fault_raised; Mmu_deny;
     Channel_send; Channel_recv;
     Sandbox_create; Sandbox_seal; Sandbox_kill; Sandbox_exit;
-    Req_begin; Req_end;
+    Req_begin; Req_end; Slo_alert; Health_transition;
   ]
   @ List.map span_begin all_phases
   @ List.map span_end all_phases

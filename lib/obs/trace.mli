@@ -88,6 +88,11 @@ type kind =
   | Req_begin            (** Request window opens; arg = packed trace ctx
                              ([Request.pack]). *)
   | Req_end              (** Request window closes; arg = packed trace ctx. *)
+  | Slo_alert            (** SLO burn-rate alert transition; arg =
+                             [objective index lsl 1 lor fired] (see {!Slo}). *)
+  | Health_transition    (** Health state change; arg =
+                             [subject id lsl 2 lor state index] (see
+                             {!Health}). *)
   | Span_begin of phase
   | Span_end of phase
 

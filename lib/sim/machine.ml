@@ -48,6 +48,9 @@ type t = {
   requests : Obs.Request.t;
       (* Request-trace collector watching this machine's emitter; the
          attested-channel path mints one trace context per session. *)
+  window : Obs.Window.t option;
+      (* Optional sliding-window sink, attached before boot so live SLO /
+         health telemetry sees the event stream from the first cycle. *)
 }
 
 let setting t = t.setting
@@ -57,10 +60,11 @@ let clock t = t.clock
 let obs t = t.cpu.Hw.Cpu.obs
 let counters t = t.counters
 let requests t = t.requests
+let window t = t.window
 
 let page_size = Hw.Phys_mem.page_size
 
-let create ?obs ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
+let create ?obs ?window ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
     ?(cma_frames = 65536) ?(reserved_frames = 256)
     ?(collect_request_spans = false) ~setting () =
   let mem = Hw.Phys_mem.create ~frames in
@@ -69,6 +73,9 @@ let create ?obs ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
   (* Attach the machine's counter sink before anything boots so every event
      from assembly onward is counted. *)
   let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  (match window with
+  | Some w -> ignore (Obs.Window.attach obs w)
+  | None -> ());
   let requests = Obs.Request.create ~collect_spans:collect_request_spans () in
   Obs.Request.attach requests ~machine:"sim" obs;
   Obs.with_span obs ~now:(fun () -> Hw.Cycles.now clock) Obs.Trace.Boot
@@ -140,7 +147,7 @@ let create ?obs ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
   {
     setting; mem; clock; cpu; td; host; kern; monitor; mgr; proxy; proxy_buf;
     proxy_fd; scratch_slots; copy_scratch = Bytes.create page_size; counters;
-    requests;
+    requests; window;
   }
 
 (* Every field below is a per-kind count from the machine's counter sink;

@@ -11,18 +11,21 @@ type t
 
 val create :
   ?obs:Obs.Emitter.t ->
+  ?window:Obs.Window.t ->
   ?backend:Erebor.Isolation.kind ->
   ?frames:int -> ?cma_frames:int -> ?reserved_frames:int ->
   ?collect_request_spans:bool -> setting:Config.setting ->
   unit -> t
 (** [?obs] supplies the machine's event emitter — attach sinks (recorders,
     histograms) to it before [create] to observe boot as well. A fresh
-    emitter is made otherwise. [?backend] picks the monitor's isolation
-    backend (default [Pks], the calibrated configuration); it only matters
-    for settings with a monitor. [?collect_request_spans] (default false)
-    makes the machine's request collector retain full causal span trees for
-    sampled requests; the default tracks only window bounds and latency,
-    which is what the bench/density paths read. *)
+    emitter is made otherwise. [?window] attaches a sliding-window sink
+    before boot, so live SLO/health telemetry covers the full event stream.
+    [?backend] picks the monitor's isolation backend (default [Pks], the
+    calibrated configuration); it only matters for settings with a monitor.
+    [?collect_request_spans] (default false) makes the machine's request
+    collector retain full causal span trees for sampled requests; the
+    default tracks only window bounds and latency, which is what the
+    bench/density paths read. *)
 
 val setting : t -> Config.setting
 val kern : t -> Kernel.t
@@ -41,6 +44,9 @@ val requests : t -> Obs.Request.t
     channel client; the collector always tracks request windows and latency,
     and additionally assembles causal span trees when the machine was
     created with [~collect_request_spans:true]. *)
+
+val window : t -> Obs.Window.t option
+(** The sliding-window sink the machine was created with, if any. *)
 
 val snapshot : t -> Stats.snapshot
 

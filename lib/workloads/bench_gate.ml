@@ -481,10 +481,10 @@ let check_file ?fig9 ?jobs ?wall_tolerance ?gc_tolerance ~path () =
 (* A minimal baseline covering just the exact anchors, regenerated from the
    current build — lets tests exercise the gate (and seed mismatches into
    it) without the committed file. *)
-let render_anchors () =
+let render_anchors ?instrument () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"schema\": \"erebor-bench-sim/1\",\n  \"table3\": [\n";
-  let t3 = Eval.table3 () in
+  let t3 = Eval.table3 ?instrument () in
   List.iteri
     (fun i (r : Eval.transition_row) ->
       Printf.bprintf buf "    { \"transition\": \"%s\", \"cycles\": %d }%s\n"
@@ -492,7 +492,7 @@ let render_anchors () =
         (if i = List.length t3 - 1 then "" else ","))
     t3;
   Buffer.add_string buf "  ],\n  \"table4\": [\n";
-  let t4 = Eval.table4 () in
+  let t4 = Eval.table4 ?instrument () in
   List.iteri
     (fun i (r : Eval.privop_row) ->
       Printf.bprintf buf

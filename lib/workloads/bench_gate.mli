@@ -89,8 +89,10 @@ val check_file :
   unit ->
   (verdict, string) result
 
-val render_anchors : unit -> string
+val render_anchors : ?instrument:(Obs.Emitter.t -> unit) -> unit -> string
 (** A minimal baseline document (schema + exact Table 3 / Table 4 anchors)
     regenerated from the current build. Tests use this to construct a
     passing baseline — and to seed a mismatch that must make the gate
-    fail. *)
+    fail. [?instrument] is threaded to {!Eval.table3}/{!Eval.table4}; the
+    rendered document must be byte-identical with or without sinks
+    attached (observability never advances the virtual clock). *)

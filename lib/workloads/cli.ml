@@ -1,0 +1,24 @@
+(* Minimal argv scanning for the examples and bench drivers, which link no
+   cmdliner: --flag VALUE pairs and bare --flag switches, anywhere on the
+   command line. The last occurrence wins, matching what the per-example
+   copies this replaces did. *)
+
+let flag_arg ?(argv = Sys.argv) name =
+  let r = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = name && i + 1 < Array.length argv then r := Some argv.(i + 1))
+    argv;
+  !r
+
+let has_flag ?(argv = Sys.argv) name = Array.exists (fun a -> a = name) argv
+
+let int_arg ?(argv = Sys.argv) ?(min = 1) ~default name =
+  match flag_arg ~argv name with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= min -> n
+      | _ ->
+          Printf.eprintf "%s: integer >= %d expected, got %S\n" name min s;
+          exit 2)

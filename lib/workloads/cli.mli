@@ -1,0 +1,15 @@
+(** Minimal argv scanning for examples and bench drivers (no cmdliner):
+    [--flag VALUE] pairs and bare [--flag] switches, anywhere on the
+    command line. The last occurrence wins. [argv] defaults to
+    [Sys.argv]. *)
+
+val flag_arg : ?argv:string array -> string -> string option
+(** The value following the last occurrence of [name], if any. *)
+
+val has_flag : ?argv:string array -> string -> bool
+(** Whether the bare switch [name] appears at all. *)
+
+val int_arg : ?argv:string array -> ?min:int -> default:int -> string -> int
+(** Integer value of [name], or [default] when absent. Prints a diagnostic
+    and exits with status 2 when the value is not an integer [>= min]
+    (default [min = 1]). *)

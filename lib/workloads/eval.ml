@@ -12,12 +12,21 @@ let measure clock f =
   f ();
   Hw.Cycles.now clock - t0
 
-let table3 ?backend () =
+(* [?instrument] lets callers attach passive sinks (windows, recorders) to
+   each bench machine's emitter before it boots; the measured numbers must
+   not move — the bench gate's byte-identity check rides on this hook. When
+   absent the machine makes its own emitter, exactly as before. *)
+let bench_machine ?backend ?instrument ~setting () =
+  match instrument with
+  | None -> Sim.Machine.create ?backend ~frames:16384 ~cma_frames:1024 ~setting ()
+  | Some f ->
+      let obs = Obs.Emitter.create () in
+      f obs;
+      Sim.Machine.create ~obs ?backend ~frames:16384 ~cma_frames:1024 ~setting ()
+
+let table3 ?backend ?instrument () =
   (* EMC: an empty monitor call through the gate. *)
-  let full =
-    Sim.Machine.create ?backend ~frames:16384 ~cma_frames:1024
-      ~setting:Sim.Config.Erebor_full ()
-  in
+  let full = bench_machine ?backend ?instrument ~setting:Sim.Config.Erebor_full () in
   let gate =
     match Sim.Machine.manager full with
     | Some mgr -> Erebor.Monitor.gate (Erebor.Sandbox.manager_monitor mgr)
@@ -25,7 +34,7 @@ let table3 ?backend () =
   in
   let emc = measure (Sim.Machine.clock full) (fun () -> Erebor.Gate.call gate (fun () -> ())) in
   (* SYSCALL: an empty syscall on a native machine. *)
-  let native = Sim.Machine.create ~frames:16384 ~cma_frames:1024 ~setting:Sim.Config.Native () in
+  let native = bench_machine ?instrument ~setting:Sim.Config.Native () in
   let kern = Sim.Machine.kern native in
   let task = Kernel.create_task kern ~name:"bench" ~kind:Kernel.Task.Normal in
   let syscall =
@@ -57,9 +66,9 @@ type privop_row = {
   paper_erebor : int;
 }
 
-let table4 ?backend () =
+let table4 ?backend ?instrument () =
   let run_setting setting =
-    let m = Sim.Machine.create ?backend ~frames:16384 ~cma_frames:1024 ~setting () in
+    let m = bench_machine ?backend ?instrument ~setting () in
     let kern = Sim.Machine.kern m in
     let ops = kern.Kernel.privops in
     let clock = Sim.Machine.clock m in

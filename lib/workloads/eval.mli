@@ -12,10 +12,17 @@ type transition_row = {
   paper_cycles : int;
 }
 
-val table3 : ?backend:Erebor.Isolation.kind -> unit -> transition_row list
+val table3 :
+  ?backend:Erebor.Isolation.kind ->
+  ?instrument:(Obs.Emitter.t -> unit) ->
+  unit ->
+  transition_row list
 (** [?backend] overrides the Erebor machine's isolation backend; the
     committed anchors are the default (PKS) values, and the bench gate
-    pins that equivalence. *)
+    pins that equivalence. [?instrument] is called on each bench machine's
+    emitter before it boots, to attach passive sinks; since observability
+    never advances the virtual clock, the measured rows must be identical
+    with or without it (pinned by a test). *)
 
 (** {2 Table 4 — privileged-operation costs} *)
 
@@ -28,7 +35,11 @@ type privop_row = {
   paper_erebor : int;
 }
 
-val table4 : ?backend:Erebor.Isolation.kind -> unit -> privop_row list
+val table4 :
+  ?backend:Erebor.Isolation.kind ->
+  ?instrument:(Obs.Emitter.t -> unit) ->
+  unit ->
+  privop_row list
 
 (** {2 Fig. 8 — LMBench} *)
 

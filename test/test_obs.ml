@@ -338,30 +338,34 @@ let test_percentile () =
   (* Empty: no samples, every percentile is 0. *)
   Alcotest.(check int) "empty p50" 0
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.5);
-  (* One sample: every percentile collapses to (at most) that sample. *)
+  (* One sample: every percentile is exactly that sample. *)
   Obs.Emitter.emit obs Obs.Trace.Page_fault ~ts:0 ~arg:9;
   Alcotest.(check int) "single-sample p100" 9
     (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:1.0);
-  Alcotest.(check int) "single-sample p50 bounded" 9
-    (max 9 (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:0.5));
-  Alcotest.(check bool) "single-sample p0 positive" true
-    (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:0.0 > 0);
-  (* Single bucket: three samples of 7 live in [4,7]; interpolation walks
-     that one bucket and the result is clamped to the observed max. *)
+  Alcotest.(check int) "single-sample p50" 9
+    (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:0.5);
+  Alcotest.(check int) "single-sample p0" 9
+    (Obs.Histogram.percentile h Obs.Trace.Page_fault ~p:0.0);
+  (* Single bucket: three samples of 7 live in [4,7]; the interpolated
+     estimate is clamped to the observed [min, max] — here both are 7. *)
   for i = 1 to 3 do
     Obs.Emitter.emit obs Obs.Trace.Emc_entry ~ts:i ~arg:7
   done;
-  Alcotest.(check int) "single-bucket p0" 4
+  Alcotest.(check int) "single-bucket p0" 7
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.0);
-  Alcotest.(check int) "single-bucket p50" 6
+  Alcotest.(check int) "single-bucket p50" 7
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:0.5);
   Alcotest.(check int) "single-bucket p100" 7
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:1.0);
   (* Out-of-range p is clamped, not an error. *)
   Alcotest.(check int) "p>1 clamped" 7
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:2.0);
-  Alcotest.(check int) "p<0 clamped" 4
+  Alcotest.(check int) "p<0 clamped" 7
     (Obs.Histogram.percentile h Obs.Trace.Emc_entry ~p:(-1.0));
+  Alcotest.(check int) "min_value tracked" 7
+    (Obs.Histogram.min_value h Obs.Trace.Emc_entry);
+  Alcotest.(check int) "min_value empty is 0" 0
+    (Obs.Histogram.min_value h Obs.Trace.Tdcall);
   (* Multi-bucket: [1;1;2;3;4;100] spreads over four buckets. *)
   List.iteri
     (fun i v -> Obs.Emitter.emit obs Obs.Trace.Syscall ~ts:i ~arg:v)
@@ -1105,6 +1109,438 @@ let test_finalize_on_abnormal_exit () =
   | Ok n -> Alcotest.(check bool) "decisions recorded before the raise" true (n > 0)
   | Error e -> Alcotest.failf "aborted run's chain rejected: %s" e
 
+(* ------------------------------------------------------------------ *)
+(* Sliding windows: rotation, merged percentiles, allocation-free path *)
+(* ------------------------------------------------------------------ *)
+
+let test_window_rotation () =
+  let w = Obs.Window.create ~width:100 ~buckets:4 () in
+  Obs.Window.record w Obs.Trace.Syscall ~ts:10 ~arg:5;
+  Obs.Window.record w Obs.Trace.Syscall ~ts:50 ~arg:7;
+  Alcotest.(check int) "current bucket" 2
+    (Obs.Window.count w ~windows:1 Obs.Trace.Syscall);
+  Alcotest.(check int) "arg sum" 12
+    (Obs.Window.arg_sum w ~windows:1 Obs.Trace.Syscall);
+  Obs.Window.record w Obs.Trace.Syscall ~ts:150 ~arg:1;
+  Alcotest.(check int) "rotated bucket holds one" 1
+    (Obs.Window.count w ~windows:1 Obs.Trace.Syscall);
+  Alcotest.(check int) "ring holds all three" 3
+    (Obs.Window.count w Obs.Trace.Syscall);
+  Obs.Window.record w Obs.Trace.Syscall ~ts:250 ~arg:1;
+  Obs.Window.record w Obs.Trace.Syscall ~ts:350 ~arg:1;
+  (* The ring is full; the next bucket evicts [0, 100) and its 2 events. *)
+  Obs.Window.record w Obs.Trace.Syscall ~ts:450 ~arg:1;
+  Alcotest.(check int) "oldest bucket aged out" 4
+    (Obs.Window.count w Obs.Trace.Syscall);
+  Alcotest.(check int) "lifetime total unaffected" 6
+    (Obs.Window.total_count w Obs.Trace.Syscall);
+  (* A gap longer than the whole ring clears it in one pass and keeps
+     bucket alignment relative to the old start. *)
+  Obs.Window.record w Obs.Trace.Syscall ~ts:1_000_000 ~arg:1;
+  Alcotest.(check int) "big gap cleared the ring" 1
+    (Obs.Window.count w Obs.Trace.Syscall);
+  Obs.Window.record w Obs.Trace.Syscall ~ts:1_000_050 ~arg:1;
+  Alcotest.(check int) "aligned bucket after the jump" 2
+    (Obs.Window.count w ~windows:1 Obs.Trace.Syscall);
+  Alcotest.(check int) "lifetime total spans the gap" 8
+    (Obs.Window.total_count w Obs.Trace.Syscall);
+  (match Obs.Window.count w ~windows:0 Obs.Trace.Syscall with
+  | _ -> Alcotest.fail "windows = 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Obs.Window.create ~width:0 ~buckets:4 () with
+  | _ -> Alcotest.fail "width = 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_window_percentile () =
+  let w =
+    Obs.Window.create ~hist_kinds:[ Obs.Trace.Req_end ] ~width:100 ~buckets:8
+      ()
+  in
+  let pct ?windows p = Obs.Window.percentile w ?windows Obs.Trace.Req_end ~p in
+  Alcotest.(check int) "empty window" 0 (pct 0.5);
+  Obs.Window.record w Obs.Trace.Req_end ~ts:10 ~arg:9;
+  Alcotest.(check int) "single sample p50 exact" 9 (pct 0.5);
+  Alcotest.(check int) "single sample p0" 9 (pct 0.0);
+  Alcotest.(check int) "single sample p100" 9 (pct 1.0);
+  Obs.Window.record w Obs.Trace.Req_end ~ts:150 ~arg:100;
+  Obs.Window.record w Obs.Trace.Req_end ~ts:160 ~arg:100;
+  Obs.Window.record w Obs.Trace.Req_end ~ts:250 ~arg:1000;
+  (* Merged over {9, 100, 100, 1000}: the p50 rank lands in the 100s'
+     log2 bucket [64, 127] and interpolates to 96. *)
+  Alcotest.(check int) "merge-on-read p50" 96 (pct 0.5);
+  Alcotest.(check int) "merged p0 clamps to observed min" 9 (pct 0.0);
+  Alcotest.(check int) "merged p100 clamps to observed max" 1000 (pct 1.0);
+  Alcotest.(check int) "current bucket only: single sample" 1000
+    (pct ~windows:1 0.5);
+  Alcotest.(check int) "two-bucket merge min" 100 (pct ~windows:2 0.0);
+  Alcotest.(check int) "over is log2-conservative" 1
+    (Obs.Window.over w Obs.Trace.Req_end ~threshold:128);
+  match Obs.Window.percentile w Obs.Trace.Syscall ~p:0.5 with
+  | _ -> Alcotest.fail "untracked kind must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* The record path (rotation included) must not allocate: the live sink
+   rides inside the machine's hot event loop. The slack absorbs the boxed
+   floats from the Gc counter reads themselves. *)
+let test_window_record_allocation_free () =
+  let w = Obs.Window.create ~width:100 ~buckets:16 () in
+  let spin () =
+    for i = 1 to 10_000 do
+      Obs.Window.record w Obs.Trace.Req_end ~ts:(i * 37) ~arg:(i land 1023)
+    done;
+    Obs.Window.record w Obs.Trace.Emc_entry ~ts:10_000_000 ~arg:7
+  in
+  spin ();
+  let before = Gc.minor_words () in
+  spin ();
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "record allocates nothing (%.0f words)" delta)
+    true (delta <= 32.0)
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn-rate alerts                                                *)
+(* ------------------------------------------------------------------ *)
+
+let slo_latency_objective () =
+  Obs.Slo.objective ~name:"lat"
+    ~condition:
+      (Obs.Slo.Latency_above { kind = Obs.Trace.Req_end; threshold = 1000 })
+    ~budget:0.01 ()
+
+let test_slo_fire_and_clear () =
+  let obs = Obs.Emitter.create () in
+  let counter = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let w =
+    Obs.Window.create ~hist_kinds:[ Obs.Trace.Req_end ] ~width:100 ~buckets:64
+      ()
+  in
+  let slo =
+    Obs.Slo.create ~emit:obs ~fast_windows:5 ~slow_windows:30 ~window:w
+      ~objectives:[ slo_latency_objective () ] ()
+  in
+  (* Healthy traffic: 20 fast requests, one per 50 cycles. *)
+  for i = 1 to 20 do
+    Obs.Window.record w Obs.Trace.Req_end ~ts:(i * 50) ~arg:10
+  done;
+  Obs.Slo.evaluate slo ~now:1000;
+  Alcotest.(check int) "clean traffic: nothing firing" 0
+    (List.length (Obs.Slo.firing slo));
+  (* Burst of slow requests: both the fast and the slow window burn far
+     past 10x the 1% budget. *)
+  for i = 1 to 5 do
+    Obs.Window.record w Obs.Trace.Req_end ~ts:(1000 + (i * 10)) ~arg:5000
+  done;
+  Obs.Slo.evaluate slo ~now:1050;
+  Alcotest.(check int) "burst fires the alert" 1
+    (List.length (Obs.Slo.firing slo));
+  Alcotest.(check bool) "fired_ever" true (Obs.Slo.fired_ever slo ~name:"lat");
+  (* Recovery traffic pushes the bad samples out of the fast window, but
+     the slow window still burns: hysteresis keeps the alert up. *)
+  for i = 0 to 10 do
+    Obs.Window.record w Obs.Trace.Req_end ~ts:(1100 + (i * 50)) ~arg:10
+  done;
+  Obs.Slo.evaluate slo ~now:1600;
+  Alcotest.(check int) "slow burn holds the alert up" 1
+    (List.length (Obs.Slo.firing slo));
+  (* Once both burns drop below clear_burn, it still takes clear_evals
+     consecutive evaluations to clear. *)
+  Obs.Slo.evaluate slo ~now:20_000;
+  Obs.Slo.evaluate slo ~now:20_100;
+  Alcotest.(check int) "two clean evals: still firing" 1
+    (List.length (Obs.Slo.firing slo));
+  Obs.Slo.evaluate slo ~now:20_200;
+  Alcotest.(check int) "third clean eval clears" 0
+    (List.length (Obs.Slo.firing slo));
+  Alcotest.(check int) "evals counted" 6 (Obs.Slo.evals slo);
+  (match Obs.Slo.transitions slo with
+  | [ (1050, _, true); (20_200, _, false) ] -> ()
+  | ts -> Alcotest.failf "unexpected transitions (%d)" (List.length ts));
+  Alcotest.(check int) "one Slo_alert event per transition" 2
+    (Obs.Counter.count counter Obs.Trace.Slo_alert);
+  (* Construction guards. *)
+  (match
+     Obs.Slo.objective ~name:"bad"
+       ~condition:(Obs.Slo.Ratio { bad = Obs.Trace.Mmu_deny; total = Obs.Trace.Emc_entry })
+       ~budget:0.0 ()
+   with
+  | _ -> Alcotest.fail "zero budget must be rejected"
+  | exception Invalid_argument _ -> ());
+  match
+    Obs.Slo.create ~fast_windows:8 ~slow_windows:4 ~window:w ~objectives:[] ()
+  with
+  | _ -> Alcotest.fail "fast > slow must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* A burst old enough to have left the fast window must not fire, however
+   hard the slow window burns: firing needs BOTH windows over threshold. *)
+let test_slo_needs_both_windows () =
+  let w =
+    Obs.Window.create ~hist_kinds:[ Obs.Trace.Req_end ] ~width:100 ~buckets:64
+      ()
+  in
+  let slo =
+    Obs.Slo.create ~fast_windows:5 ~slow_windows:30 ~window:w
+      ~objectives:[ slo_latency_objective () ] ()
+  in
+  for i = 1 to 5 do
+    Obs.Window.record w Obs.Trace.Req_end ~ts:(i * 10) ~arg:5000
+  done;
+  for i = 0 to 8 do
+    Obs.Window.record w Obs.Trace.Req_end ~ts:(600 + (i * 50)) ~arg:10
+  done;
+  Obs.Slo.evaluate slo ~now:1050;
+  match Obs.Slo.statuses slo with
+  | [ s ] ->
+      Alcotest.(check bool) "slow window burns" true
+        (s.Obs.Slo.slow_burn >= 10.0);
+      Alcotest.(check bool) "fast window is clean" true
+        (s.Obs.Slo.fast_burn < 1.0);
+      Alcotest.(check bool) "no fire on slow burn alone" false
+        s.Obs.Slo.firing
+  | ss -> Alcotest.failf "expected 1 status, got %d" (List.length ss)
+
+(* ------------------------------------------------------------------ *)
+(* Health watchdogs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tight_rules =
+  {
+    Obs.Health.stall_cycles = 1000;
+    deadline_cycles = 5000;
+    denial_spike = 3;
+    degrade_after = 2;
+    unhealthy_after = 2;
+    recover_after = 2;
+  }
+
+let test_health_stall_ladder () =
+  let obs = Obs.Emitter.create () in
+  let counter = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let ring = Obs.Ring.attach obs (Obs.Ring.create ~capacity:32) in
+  let chain = Obs.Audit.create ~key:audit_test_key in
+  Obs.Emitter.set_audit obs (Some chain);
+  let h = Obs.Health.create ~emit:obs ~rules:tight_rules () in
+  let s = Obs.Health.register h ~name:"t0" ~now:0 in
+  Alcotest.(check string) "initially healthy" "healthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  (* A request goes in flight and the subject falls silent: the EMC-stall
+     watchdog scores it bad once [stall_cycles] pass without a call. *)
+  Obs.Health.begin_request s ~now:0;
+  Obs.Health.note_emc s ~now:0;
+  Obs.Health.check h ~now:500;
+  Alcotest.(check string) "under the stall threshold" "healthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Obs.Health.check h ~now:1600;
+  Alcotest.(check string) "one bad check is not enough" "healthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Obs.Health.check h ~now:1700;
+  Alcotest.(check string) "degrade_after bad checks demote" "degraded"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Obs.Health.check h ~now:1800;
+  Obs.Health.check h ~now:1900;
+  Alcotest.(check string) "unhealthy_after more demote again" "unhealthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  (* The request completes inside its deadline: clean checks walk the
+     subject back up one level per recover_after streak. *)
+  Obs.Health.note_emc s ~now:2000;
+  Obs.Health.end_request h s ~now:2000 ~latency:2000;
+  Obs.Health.check h ~now:2100;
+  Obs.Health.check h ~now:2200;
+  Alcotest.(check string) "recovery steps one level" "degraded"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Obs.Health.check h ~now:2300;
+  Obs.Health.check h ~now:2400;
+  Alcotest.(check string) "full recovery" "healthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  (match Obs.Health.transitions_of h s with
+  | [ (1700, Obs.Health.Degraded); (1900, Obs.Health.Unhealthy);
+      (2200, Obs.Health.Degraded); (2400, Obs.Health.Healthy) ] -> ()
+  | ts -> Alcotest.failf "unexpected transition list (%d)" (List.length ts));
+  Alcotest.(check int) "one event per transition" 4
+    (Obs.Counter.count counter Obs.Trace.Health_transition);
+  (* Events pack (id lsl 2 lor state index); subject 0 -> bare indices. *)
+  Alcotest.(check (list int)) "packed state indices"
+    [ 1; 2; 1; 0 ]
+    (List.filter_map
+       (fun e ->
+         if e.Obs.Trace.kind = Obs.Trace.Health_transition then
+           Some e.Obs.Trace.arg
+         else None)
+       (Obs.Ring.to_list ring));
+  (* Transitions land on the audit rail and the chain verifies offline. *)
+  Obs.Emitter.finalize obs ~now:2400;
+  Alcotest.(check bool) "audit rail carries health records" true
+    (contains ~sub:"health" (Obs.Audit.to_string chain));
+  match
+    Obs.Audit.verify_string ~key:audit_test_key (Obs.Audit.to_string chain)
+  with
+  | Ok n ->
+      Alcotest.(check bool) "all transitions on the chain" true (n >= 4)
+  | Error e -> Alcotest.failf "health audit chain rejected: %s" e
+
+let test_health_overrun_and_spike () =
+  let h = Obs.Health.create ~rules:tight_rules () in
+  let s = Obs.Health.register h ~name:"t1" ~now:0 in
+  (* Two consecutive completed-request deadline overruns demote. *)
+  Obs.Health.begin_request s ~now:0;
+  Obs.Health.note_emc s ~now:5900;
+  Obs.Health.end_request h s ~now:6000 ~latency:6000;
+  Obs.Health.check h ~now:6100;
+  Obs.Health.begin_request s ~now:6100;
+  Obs.Health.note_emc s ~now:12_400;
+  Obs.Health.end_request h s ~now:12_500 ~latency:6400;
+  Obs.Health.check h ~now:12_600;
+  Alcotest.(check string) "overruns demote" "degraded"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Alcotest.(check int) "overruns counted" 2 (Obs.Health.total_overruns s);
+  Alcotest.(check int) "requests counted" 2 (Obs.Health.requests s);
+  Obs.Health.check h ~now:12_700;
+  Obs.Health.check h ~now:12_800;
+  Alcotest.(check string) "recovered" "healthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  (* A denial spike (>= denial_spike since the last check) scores bad;
+     a sub-threshold trickle does not. *)
+  for _ = 1 to 3 do Obs.Health.note_denial s done;
+  Obs.Health.check h ~now:13_000;
+  for _ = 1 to 3 do Obs.Health.note_denial s done;
+  Obs.Health.check h ~now:13_100;
+  Alcotest.(check string) "denial spikes demote" "degraded"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Obs.Health.note_denial s;
+  Obs.Health.note_denial s;
+  Obs.Health.check h ~now:13_200;
+  Obs.Health.check h ~now:13_300;
+  Alcotest.(check string) "trickle under the spike recovers" "healthy"
+    (Obs.Health.state_name (Obs.Health.state s));
+  Alcotest.(check int) "denials counted" 8 (Obs.Health.total_denials s)
+
+(* ------------------------------------------------------------------ *)
+(* Live telemetry end to end: clock identity, anchors, kill-mid-run    *)
+(* ------------------------------------------------------------------ *)
+
+let live_objectives () =
+  [
+    Obs.Slo.objective ~name:"emc-latency"
+      ~condition:
+        (Obs.Slo.Latency_above { kind = Obs.Trace.Emc_entry; threshold = 65536 })
+      ~budget:0.02 ();
+    Obs.Slo.objective ~name:"audit-denials"
+      ~condition:
+        (Obs.Slo.Ratio { bad = Obs.Trace.Mmu_deny; total = Obs.Trace.Emc_entry })
+      ~budget:0.02 ();
+  ]
+
+(* Attaching the whole live-telemetry complement (window, SLO evaluator,
+   health watchdog, dashboard) must leave the run cycle-identical to a
+   bare one: observability never advances the virtual clock. *)
+let test_live_sinks_clock_free () =
+  let bare =
+    let m =
+      Sim.Machine.create ~frames:32768 ~cma_frames:4096
+        ~setting:Sim.Config.Erebor_full ()
+    in
+    ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+    Hw.Cycles.now (Sim.Machine.clock m)
+  in
+  let live =
+    let obs = Obs.Emitter.create () in
+    let window = Obs.Window.create ~width:1_000_000 ~buckets:64 () in
+    let slo =
+      Obs.Slo.create ~emit:obs ~window ~objectives:(live_objectives ()) ()
+    in
+    let health = Obs.Health.create ~emit:obs () in
+    let m =
+      Sim.Machine.create ~frames:32768 ~cma_frames:4096 ~obs ~window
+        ~setting:Sim.Config.Erebor_full ()
+    in
+    let subject =
+      Obs.Health.register health ~name:"obs-test"
+        ~now:(Hw.Cycles.now (Sim.Machine.clock m))
+    in
+    Obs.Health.watch health subject obs;
+    ignore
+      (Obs.Dash.attach obs
+         (Obs.Dash.create ~slo ~health ~refresh_cycles:500_000 ~window ()));
+    ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+    Hw.Cycles.now (Sim.Machine.clock m)
+  in
+  Alcotest.(check int) "live sinks never advance the clock" bare live
+
+(* The regression-gate anchors (Tables 3/4) must render byte-identically
+   whether or not live telemetry is attached to the bench machines. *)
+let test_anchors_identical_under_telemetry () =
+  let base = Workloads.Bench_gate.render_anchors () in
+  let instrumented =
+    Workloads.Bench_gate.render_anchors
+      ~instrument:(fun obs ->
+        let window = Obs.Window.create ~width:1_000_000 ~buckets:32 () in
+        ignore (Obs.Window.attach obs window);
+        ignore
+          (Obs.Dash.attach obs
+             (Obs.Dash.create ~refresh_cycles:1_000_000 ~window ())))
+      ()
+  in
+  Alcotest.(check string) "anchors byte-identical under live telemetry" base
+    instrumented
+
+(* Kill-mid-run coverage for the dashboard snapshot: the emitter finalizer
+   must leave a complete, parseable snapshot even when the body raises. *)
+let test_dash_snapshot_abnormal_exit () =
+  let obs = Obs.Emitter.create () in
+  let window = Obs.Window.create ~width:100_000 ~buckets:64 () in
+  let slo =
+    Obs.Slo.create ~emit:obs ~window ~objectives:(live_objectives ()) ()
+  in
+  let health = Obs.Health.create ~emit:obs () in
+  let m =
+    Sim.Machine.create ~frames:32768 ~cma_frames:4096 ~obs ~window
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  let subject =
+    Obs.Health.register health ~name:"obs-test"
+      ~now:(Hw.Cycles.now (Sim.Machine.clock m))
+  in
+  Obs.Health.watch health subject obs;
+  let dash =
+    Obs.Dash.create ~label:"abnormal" ~slo ~health ~refresh_cycles:100_000
+      ~window ()
+  in
+  ignore (Obs.Dash.attach obs dash);
+  let snapshot = ref "" in
+  Obs.Emitter.add_finalizer obs (fun ~now ->
+      snapshot := Obs.Dash.snapshot_json dash ~now);
+  let boom (ops : Sim.Machine.ops) =
+    ops.Sim.Machine.compute 10_000_000;
+    raise Exit
+  in
+  (match Sim.Machine.run m (small_spec ~body:boom ()) with
+  | _ -> Alcotest.fail "expected the body to raise"
+  | exception Exit -> ());
+  let now = Hw.Cycles.now (Sim.Machine.clock m) in
+  Obs.Emitter.finalize obs ~now;
+  Alcotest.(check bool) "dash refreshed before the kill" true
+    (Obs.Dash.refreshes dash > 0);
+  Alcotest.(check bool) "finalizer wrote a snapshot" true (!snapshot <> "");
+  let module J = Workloads.Bench_gate.Json in
+  match J.parse !snapshot with
+  | Error e -> Alcotest.failf "snapshot does not parse: %s" e
+  | Ok doc ->
+      let str field =
+        match J.member field doc with
+        | Some (J.Str s) -> s
+        | _ -> Alcotest.failf "snapshot missing %S" field
+      in
+      Alcotest.(check string) "schema" "erebor-dash/1" (str "schema");
+      Alcotest.(check string) "label" "abnormal" (str "label");
+      List.iter
+        (fun field ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s section present" field)
+            true
+            (J.member field doc <> None))
+        [ "ts"; "window"; "slo"; "health"; "refreshes" ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -1185,5 +1621,36 @@ let () =
         [
           Alcotest.test_case "abnormal exit flushes exports" `Quick
             test_finalize_on_abnormal_exit;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "rotation + aging" `Quick test_window_rotation;
+          Alcotest.test_case "merge-on-read percentiles" `Quick
+            test_window_percentile;
+          Alcotest.test_case "record path is allocation-free" `Quick
+            test_window_record_allocation_free;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "multi-window fire + hysteretic clear" `Quick
+            test_slo_fire_and_clear;
+          Alcotest.test_case "slow burn alone never fires" `Quick
+            test_slo_needs_both_windows;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "stall ladder + recovery" `Quick
+            test_health_stall_ladder;
+          Alcotest.test_case "overrun + denial-spike watchdogs" `Quick
+            test_health_overrun_and_spike;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "live sinks never move the clock" `Quick
+            test_live_sinks_clock_free;
+          Alcotest.test_case "anchors byte-identical under telemetry" `Quick
+            test_anchors_identical_under_telemetry;
+          Alcotest.test_case "abnormal exit snapshots the dash" `Quick
+            test_dash_snapshot_abnormal_exit;
         ] );
     ]
