@@ -3,6 +3,11 @@
    fidelity checks, and registers one Bechamel wall-clock test per
    table/figure for the simulator's own hot paths.
 
+   Parsing is the declarative Workloads.Cli subcommand framework (shared
+   with bin/erebor_sim): every target is a subcommand carrying its own
+   flag list, "all" is the default when only flags are given, and an
+   unknown flag prints the usage of exactly the target it occurred under.
+
    Usage:
      bench/main.exe                 # everything (same as "all")
      bench/main.exe table3|table4|fig8|fig9|table6|fig10|memshare|tables-qual
@@ -14,13 +19,17 @@
                                     # (--smoke: first program only, the @ci cut)
      bench/main.exe icode           # decoded-instruction cache microbenchmark
      bench/main.exe check           # regression gate vs committed BENCH_sim.json
+                                    # (--from-journal FILE: verify a recording)
+     bench/main.exe journal         # flight-recorder gate (--smoke: @ci cut)
      bench/main.exe bechamel        # wall-clock microbenchmarks
-   Flags (anywhere on the line):
+   Common flags:
      --jobs N         domain-pool width for machine fan-out
                       (default: Domain.recommended_domain_count)
      --scale F        multiply simulated workload durations by F (default 1.0)
-     --baseline PATH  baseline file for "check" (default BENCH_sim.json)
+     --baseline PATH  baseline file for check/journal (default BENCH_sim.json)
      --full           "check" also compares every Fig. 9 row  *)
+
+module C = Workloads.Cli
 
 (* Parsed flags; set once in the driver before any experiment runs. *)
 let jobs_arg : int option ref = ref None
@@ -592,31 +601,57 @@ let print_icode () =
 (* Regression gate against the committed BENCH_sim.json                *)
 (* ------------------------------------------------------------------ *)
 
-let baseline_arg = ref "BENCH_sim.json"
-let full_arg = ref false
+let report_verdict ~baseline ~pass_detail verdict =
+  let fails = Workloads.Bench_gate.failures verdict in
+  if fails = [] then
+    Printf.printf "PASS: %d checks (%s)\n" (List.length verdict) pass_detail
+  else begin
+    (* All mismatches in one old/new table — one run is enough to see
+       the full extent of a regression. *)
+    Format.printf "%a" Workloads.Bench_gate.pp_mismatch_table verdict;
+    Printf.printf "FAIL: %d of %d checks failed against %s\n"
+      (List.length fails) (List.length verdict) baseline;
+    exit 1
+  end
 
-let run_check () =
-  header (Printf.sprintf "Regression gate: current build vs %s" !baseline_arg);
-  match
-    Workloads.Bench_gate.check_file ~fig9:!full_arg ?jobs:!jobs_arg
-      ~path:!baseline_arg ()
-  with
+let run_check ~baseline ~full ~from_journal () =
+  let result =
+    match from_journal with
+    | None ->
+        header (Printf.sprintf "Regression gate: current build vs %s" baseline);
+        Workloads.Bench_gate.check_file ~fig9:full ?jobs:!jobs_arg
+          ~path:baseline ()
+    | Some journal ->
+        header
+          (Printf.sprintf "Regression gate: recording %s vs %s" journal
+             baseline);
+        Workloads.Bench_gate.check_journal_file ~journal ~path:baseline ()
+  in
+  match result with
   | Error e ->
       Printf.eprintf "bench check: %s\n" e;
       exit 1
   | Ok verdict ->
-      let fails = Workloads.Bench_gate.failures verdict in
-      if fails = [] then
-        Printf.printf "PASS: %d checks (anchors exact, wall/GC within tolerance)\n"
-          (List.length verdict)
-      else begin
-        (* All mismatches in one old/new table — one run is enough to see
-           the full extent of a regression. *)
-        Format.printf "%a" Workloads.Bench_gate.pp_mismatch_table verdict;
-        Printf.printf "FAIL: %d of %d checks failed against %s\n"
-          (List.length fails) (List.length verdict) !baseline_arg;
-        exit 1
-      end
+      report_verdict ~baseline
+        ~pass_detail:
+          (match from_journal with
+          | None -> "anchors exact, wall/GC within tolerance"
+          | Some _ -> "recording reproduces the baseline Fig. 9 row")
+        verdict
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder gate (observability subsystem)                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_journal ~baseline () =
+  header
+    "Flight-recorder gate: invisible, lossless, allocation-free, diffable";
+  let verdict = Workloads.Journal_bench.run ~smoke:!smoke_arg ~baseline () in
+  Format.printf "%a" Workloads.Bench_gate.pp_verdict verdict;
+  report_verdict ~baseline
+    ~pass_detail:
+      "anchors byte-identical under recording, replay exact, 0 words/event"
+    verdict
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_sim.json — machine-readable run record for regression diffing *)
@@ -751,79 +786,116 @@ let smoke () =
   print_table3 ();
   print_table4 ()
 
-let usage =
-  "usage: main.exe \
-   [all|smoke|table3|table4|fig8|fig9|table6|fig10|memshare|density|slo|ablations|tables-qual|emchist|attrib|icode|check|bechamel]\n\
-  \       [--jobs N] [--scale F] [--baseline PATH] [--full]\n\
-  \       [--smoke] [--backend pks|wp|tmemk] [--tenants N]   (density, slo)\n"
+(* Shared flags; each target lists only the ones it reads, so an unknown
+   flag fails with the usage of exactly that target. *)
+let jobs_flag =
+  C.flag ~docv:"N" [ "--jobs"; "-j" ]
+    "Domain-pool width for machine fan-out (default: \
+     Domain.recommended_domain_count)."
+
+let scale_flag =
+  C.flag ~docv:"F" [ "--scale" ]
+    "Multiply simulated workload durations by F (default 1.0)."
+
+let smoke_flag = C.flag [ "--smoke" ] "Restrict to the quick @ci cut."
+
+let backend_flag =
+  C.flag ~docv:"KIND" [ "--backend" ]
+    "Isolation backend to measure (pks, wp, tmemk; default: both \
+     calibrated backends)."
+
+let tenants_flag =
+  C.flag ~docv:"N" [ "--tenants" ] "Single tenant count for the scaling matrix."
+
+let baseline_flag =
+  C.flag ~docv:"PATH" [ "--baseline" ]
+    "Baseline suite record to gate against (default BENCH_sim.json)."
+
+let full_flag = C.flag [ "--full" ] "Also compare every Fig. 9 row."
+
+let from_journal_flag =
+  C.flag ~docv:"FILE" [ "--from-journal" ]
+    "Verify the baseline's Fig. 9 anchors against a flight recording \
+     written by erebor-sim run --record instead of re-running the build."
+
+(* Fold the shared flags into the refs the experiment printers read. *)
+let setup p =
+  jobs_arg :=
+    (match C.str p jobs_flag with
+    | None -> None
+    | Some _ -> Some (C.int_of p ~min:1 ~default:1 jobs_flag));
+  (match C.str p scale_flag with
+  | None -> ()
+  | Some _ ->
+      let f = C.float_of p ~default:1.0 scale_flag in
+      if f <= 0.0 then C.fail p "--scale: positive number expected"
+      else begin
+        scale_arg := f;
+        Workloads.Workload.set_scale f
+      end);
+  smoke_arg := C.has p smoke_flag;
+  (match C.str p backend_flag with
+  | None -> backend_arg := None
+  | Some s -> (
+      match Erebor.Isolation.kind_of_name s with
+      | Ok b -> backend_arg := Some b
+      | Error e -> C.fail p ("--backend: " ^ e)));
+  tenants_arg :=
+    (match C.str p tenants_flag with
+    | None -> None
+    | Some _ -> Some (C.int_of p ~min:1 ~default:1 tenants_flag))
+
+let exp_flags = [ jobs_flag; scale_flag ]
+
+let target ?(flags = exp_flags) name doc f =
+  C.cmd ~name ~doc ~flags (fun p ->
+      setup p;
+      f p)
+
+let baseline_of p = Option.value (C.str p baseline_flag) ~default:"BENCH_sim.json"
 
 let () =
-  let target = ref None in
-  let bad msg =
-    Printf.eprintf "%s\n%s" msg usage;
-    exit 1
-  in
-  let argc = Array.length Sys.argv in
-  let i = ref 1 in
-  while !i < argc do
-    (match Sys.argv.(!i) with
-    | "--jobs" | "-j" ->
-        incr i;
-        if !i >= argc then bad "--jobs needs an argument";
-        (match int_of_string_opt Sys.argv.(!i) with
-        | Some n when n >= 1 -> jobs_arg := Some n
-        | _ -> bad "--jobs: positive integer expected")
-    | "--scale" ->
-        incr i;
-        if !i >= argc then bad "--scale needs an argument";
-        (match float_of_string_opt Sys.argv.(!i) with
-        | Some f when f > 0.0 ->
-            scale_arg := f;
-            Workloads.Workload.set_scale f
-        | _ -> bad "--scale: positive number expected")
-    | "--baseline" ->
-        incr i;
-        if !i >= argc then bad "--baseline needs an argument";
-        baseline_arg := Sys.argv.(!i)
-    | "--full" -> full_arg := true
-    | "--smoke" -> smoke_arg := true
-    | "--backend" ->
-        incr i;
-        if !i >= argc then bad "--backend needs an argument";
-        (match Erebor.Isolation.kind_of_name Sys.argv.(!i) with
-        | Ok b -> backend_arg := Some b
-        | Error e -> bad ("--backend: " ^ e))
-    | "--tenants" ->
-        incr i;
-        if !i >= argc then bad "--tenants needs an argument";
-        (match int_of_string_opt Sys.argv.(!i) with
-        | Some n when n >= 1 -> tenants_arg := Some n
-        | _ -> bad "--tenants: positive integer expected")
-    | s when String.length s > 0 && s.[0] = '-' ->
-        bad (Printf.sprintf "unknown flag %S" s)
-    | s -> (
-        match !target with
-        | None -> target := Some s
-        | Some prev -> bad (Printf.sprintf "multiple targets (%S and %S)" prev s)));
-    incr i
-  done;
-  match Option.value !target ~default:"all" with
-  | "all" -> all ()
-  | "smoke" -> smoke ()
-  | "table3" -> print_table3 ()
-  | "table4" -> print_table4 ()
-  | "fig8" -> print_fig8 ()
-  | "fig9" -> print_fig9 ()
-  | "table6" -> print_table6 ()
-  | "fig10" -> print_fig10 ()
-  | "memshare" -> print_memshare ()
-  | "density" -> print_density ()
-  | "slo" -> print_slo ()
-  | "ablations" -> print_ablations ()
-  | "tables-qual" -> print_tables_qual ()
-  | "emchist" -> print_emchist ()
-  | "attrib" -> print_attrib ()
-  | "icode" -> print_icode ()
-  | "check" -> run_check ()
-  | "bechamel" -> run_bechamel ()
-  | other -> bad (Printf.sprintf "unknown experiment %S" other)
+  C.run ~prog:"bench" ~default:"all"
+    ~doc:"Regenerate the paper's evaluation (§9) from the simulator"
+    [
+      target "all" "Every table and figure, then write BENCH_sim.json"
+        (fun _ -> all ());
+      target "smoke" "Tables 3+4 only (the @ci quick gate)" (fun _ -> smoke ());
+      target "table3" "Privilege-transition round-trip costs" (fun _ ->
+          print_table3 ());
+      target "table4" "Privileged-operation costs" (fun _ -> print_table4 ());
+      target "fig8" "LMBench overheads" (fun _ -> print_fig8 ());
+      target "fig9" "Real-world workload overheads" (fun _ -> print_fig9 ());
+      target "table6" "Program execution statistics" (fun _ -> print_table6 ());
+      target "fig10" "Background-server throughput" (fun _ -> print_fig10 ());
+      target "memshare" "Common-memory sharing (§9.2)" (fun _ ->
+          print_memshare ());
+      target "density"
+        ~flags:(exp_flags @ [ smoke_flag; backend_flag; tenants_flag ])
+        "Per-backend overhead + sandboxes-per-CVM scaling" (fun _ ->
+          print_density ());
+      target "slo"
+        ~flags:(exp_flags @ [ smoke_flag; backend_flag; tenants_flag ])
+        "Live SLO telemetry: seeded degradation + clean-run silence" (fun _ ->
+          print_slo ());
+      target "ablations" "Design-choice ablations (DESIGN.md)" (fun _ ->
+          print_ablations ());
+      target "tables-qual" "Qualitative tables (1, 2, 7)" (fun _ ->
+          print_tables_qual ());
+      target "emchist" "EMC latency histograms" (fun _ -> print_emchist ());
+      target "attrib" ~flags:(exp_flags @ [ smoke_flag ])
+        "Domain x phase cycle attribution (conservation-checked)" (fun _ ->
+          print_attrib ());
+      target "icode" "Decoded-instruction cache microbenchmark" (fun _ ->
+          print_icode ());
+      target "check"
+        ~flags:[ jobs_flag; baseline_flag; full_flag; from_journal_flag ]
+        "Regression gate vs the committed BENCH_sim.json" (fun p ->
+          run_check ~baseline:(baseline_of p) ~full:(C.has p full_flag)
+            ~from_journal:(C.str p from_journal_flag) ());
+      target "journal" ~flags:[ smoke_flag; baseline_flag ]
+        "Flight-recorder gate: invisible, lossless, allocation-free, \
+         diffable" (fun p -> run_journal ~baseline:(baseline_of p) ());
+      target "bechamel" "Wall-clock microbenchmarks of the simulator"
+        (fun _ -> run_bechamel ());
+    ]

@@ -1,33 +1,46 @@
 (* erebor-sim: the command-line front end to the simulated Erebor CVM —
-   the counterpart of the artifact's run scripts (§A.4). *)
+   the counterpart of the artifact's run scripts (§A.4). Parsing is the
+   declarative Workloads.Cli subcommand framework (no cmdliner): every
+   subcommand carries its flag list, and an unknown flag prints the usage
+   of exactly the subcommand it occurred under. *)
 
-open Cmdliner
+module C = Workloads.Cli
 
 let workloads = Workloads.Eval.all_programs
 
-let setting_conv =
-  let parse s =
-    match Sim.Config.of_name s with
-    | Some setting -> Ok setting
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown setting %S (expected one of: %s)" s
-               (String.concat ", " (List.map Sim.Config.name Sim.Config.all))))
-  in
-  Arg.conv (parse, fun fmt s -> Fmt.string fmt (Sim.Config.name s))
+let setting_of p s =
+  match Sim.Config.of_name s with
+  | Some setting -> setting
+  | None ->
+      C.fail p
+        (Printf.sprintf "unknown setting %S (expected one of: %s)" s
+           (String.concat ", " (List.map Sim.Config.name Sim.Config.all)))
 
-let workload_conv =
-  let parse s =
-    match List.assoc_opt s workloads with
-    | Some spec -> Ok (s, spec)
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown workload %S (expected one of: %s)" s
-               (String.concat ", " (List.map fst workloads))))
-  in
-  Arg.conv (parse, fun fmt (name, _) -> Fmt.string fmt name)
+let workload_of p s =
+  match List.assoc_opt s workloads with
+  | Some spec -> (s, spec)
+  | None ->
+      C.fail p
+        (Printf.sprintf "unknown workload %S (expected one of: %s)" s
+           (String.concat ", " (List.map fst workloads)))
+
+(* Shared flags. *)
+let workload_flag =
+  C.flag ~docv:"NAME" [ "-w"; "--workload" ] "Workload to run (see list)."
+
+let setting_flag =
+  C.flag ~docv:"SETTING" [ "-s"; "--setting" ]
+    "Evaluation setting: native, libos-only, erebor-mmu, erebor-exit, erebor."
+
+let get_workload p =
+  match C.str p workload_flag with
+  | Some s -> workload_of p s
+  | None -> C.fail p "a workload is required (-w NAME; see the list command)"
+
+let get_setting p =
+  match C.str p setting_flag with
+  | None -> Sim.Config.Erebor_full
+  | Some s -> setting_of p s
 
 (* The audit chain's MAC key. A real deployment would derive this from a
    sealed monitor secret; the simulator uses a fixed derivation shared with
@@ -56,512 +69,751 @@ let print_run name setting (r : Sim.Machine.run_result) =
     r.Sim.Machine.wire_output_len
     (Bytes.to_string r.Sim.Machine.output)
 
-let run_cmd =
-  let workload =
-    Arg.(
-      required
-      & opt (some workload_conv) None
-      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run (see $(b,list)).")
-  in
-  let setting =
-    Arg.(
-      value
-      & opt setting_conv Sim.Config.Erebor_full
-      & info [ "s"; "setting" ] ~docv:"SETTING"
-          ~doc:"Evaluation setting: native, libos-only, erebor-mmu, erebor-exit, erebor.")
-  in
-  let trace =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Record every trace event (boot included) and write a \
-             Chrome-trace JSON file loadable in chrome://tracing / Perfetto.")
-  in
-  let debug =
-    Arg.(
-      value & flag
-      & info [ "debug" ]
-          ~doc:
-            "Keep a ring buffer of the most recent trace events and dump it \
-             to stderr post mortem when the run dies on an unexpected fault \
-             or the sandbox is killed.")
-  in
-  let audit_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "audit" ] ~docv:"FILE"
-          ~doc:
-            "Record every monitor security decision in an HMAC-SHA256 \
-             hash-chained audit log and write it (JSONL) on exit — normal or \
-             abnormal. Check it offline with $(b,audit verify).")
-  in
-  let dash =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "dash" ] ~docv:"FILE"
-          ~doc:
-            "Live monitoring: attach a sliding-window sink, machine-level \
-             SLO burn-rate alerts and a health watchdog; repaint an ASCII \
-             dashboard to stderr every 50 virtual ms and write a JSON \
-             telemetry snapshot to $(docv) on exit — normal or abnormal.")
-  in
-  let run (name, spec_fn) setting trace debug audit_file dash_file =
-    if trace = None && (not debug) && audit_file = None && dash_file = None
-    then print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
-    else begin
-      let obs = Obs.Emitter.create () in
-      let recorder =
-        if trace = None then None
-        else Some (Obs.Chrome.attach obs (Obs.Chrome.create ()))
-      in
-      let ring =
-        if debug then Some (Obs.Ring.attach obs (Obs.Ring.create ~capacity:512))
-        else None
-      in
-      let chain =
-        match audit_file with
-        | None -> None
-        | Some _ ->
-            let chain = Obs.Audit.create ~key:audit_key in
-            Obs.Emitter.set_audit obs (Some chain);
-            Some chain
-      in
-      (* Live telemetry: a sliding window over the machine's event stream
-         (attached pre-boot via [~window]), machine-level SLOs with generous
-         ceilings — a healthy run must stay silent — and a health watchdog
-         fed by the same emitter. The dashboard repaints on a virtual-time
-         cadence and the final snapshot is written by an emitter finalizer,
-         so abnormal exits still leave a complete, parseable file. *)
-      let window =
-        match dash_file with
-        | None -> None
-        | Some _ ->
-            Some (Obs.Window.create ~width:10_500_000 ~buckets:120 ())
-      in
-      let dash =
-        match (dash_file, window) with
-        | Some _, Some window ->
-            let slo =
-              Obs.Slo.create ~emit:obs ~window
-                ~objectives:
-                  [
-                    Obs.Slo.objective ~name:"emc-latency"
-                      ~condition:
-                        (Obs.Slo.Latency_above
-                           { kind = Obs.Trace.Emc_entry; threshold = 65536 })
-                      ~budget:0.02 ();
-                    Obs.Slo.objective ~name:"emc-rate"
-                      ~condition:
-                        (Obs.Slo.Rate_above
-                           { kind = Obs.Trace.Emc_entry; per_second = 500_000.0 })
-                      ~budget:1.0 ();
-                    Obs.Slo.objective ~name:"audit-denials"
-                      ~condition:
-                        (Obs.Slo.Ratio
-                           { bad = Obs.Trace.Mmu_deny; total = Obs.Trace.Emc_entry })
-                      ~budget:0.02 ();
-                  ]
-                ()
-            in
-            (* A [run] session spans the whole body, so a per-request
-               deadline is meaningless here — the watchdogs that matter for
-               a single machine are the EMC stall (1 virtual second of
-               in-flight silence) and denial spikes. *)
-            let health =
-              Obs.Health.create ~emit:obs
-                ~rules:
-                  {
-                    Obs.Health.default_rules with
-                    Obs.Health.stall_cycles = 2_100_000_000;
-                    deadline_cycles = max_int / 2;
-                  }
-                ()
-            in
-            Some (slo, health, window)
-        | _ -> None
-      in
-      let m = Sim.Machine.create ~obs ?window ~setting () in
-      (match (dash_file, dash) with
-      | Some path, Some (slo, health, window) ->
-          let subject =
-            Obs.Health.register health ~name
-              ~now:(Hw.Cycles.now (Sim.Machine.clock m))
-          in
-          Obs.Health.watch health subject obs;
-          let d =
-            Obs.Dash.attach obs
-              (Obs.Dash.create ~label:name ~out:stderr ~slo ~health
-                 ~refresh_cycles:105_000_000 ~window ())
-          in
-          Obs.Emitter.add_finalizer obs (fun ~now ->
-              let oc = open_out path in
-              output_string oc (Obs.Dash.snapshot_json d ~now);
-              close_out oc;
-              Printf.printf "dash     : %d refreshes, snapshot -> %s\n"
-                (Obs.Dash.refreshes d) path)
-      | _ -> ());
-      let dump_ring reason =
-        match ring with
-        | None -> ()
-        | Some ring ->
-            Printf.eprintf "post-mortem (%s): last %d trace events (%d older dropped):\n"
-              reason (Obs.Ring.length ring) (Obs.Ring.dropped ring);
-            List.iter
-              (fun e -> Format.eprintf "  %a@." Obs.Trace.pp_event e)
-              (Obs.Ring.to_list ring)
-      in
-      let write_trace () =
-        match (trace, recorder) with
-        | Some path, Some recorder ->
-            let oc = open_out path in
-            output_string oc (Obs.Chrome.to_chrome_json recorder);
-            close_out oc;
-            Printf.printf "trace    : %d events -> %s\n"
-              (Obs.Chrome.length recorder) path
-        | _ -> ()
-      in
-      (* Flush every export that has buffered state — the trace file, the
-         finalized audit chain — on BOTH exit paths, so an abnormal exit
-         never drops a partially-written export. *)
-      let flush_exports () =
-        Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
-        write_trace ();
-        match (audit_file, chain) with
-        | Some path, Some chain ->
-            let oc = open_out path in
-            output_string oc (Obs.Audit.to_string chain);
-            close_out oc;
-            Printf.printf "audit    : %d records (chained, finalized) -> %s\n"
-              (Obs.Audit.length chain) path
-        | _ -> ()
-      in
-      match Sim.Machine.run m (spec_fn ()) with
-      | r ->
-          print_run name setting r;
-          flush_exports ();
-          (match r.Sim.Machine.killed with
-          | Some reason when debug -> dump_ring ("sandbox killed: " ^ reason)
-          | _ -> ())
-      | exception e ->
-          dump_ring (Printexc.to_string e);
-          flush_exports ();
-          Printf.eprintf "run aborted: %s\n" (Printexc.to_string e);
-          exit 2
-    end
-  in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Run one workload under one setting and print its results")
-    Term.(const run $ workload $ setting $ trace $ debug $ audit_file $ dash)
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
 
-let profile_cmd =
-  let workload =
-    Arg.(
-      required
-      & opt (some workload_conv) None
-      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to profile.")
-  in
-  let setting =
-    Arg.(
-      value
-      & opt setting_conv Sim.Config.Erebor_full
-      & info [ "s"; "setting" ] ~docv:"SETTING" ~doc:"Evaluation setting.")
-  in
-  let flame =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "flame" ] ~docv:"FILE"
-          ~doc:
-            "Write the cycle-attribution context tree as a collapsed-stack \
-             file (flamegraph.pl / speedscope / inferno input).")
-  in
-  let metrics =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:
-            "Write counters, latency histograms and cycle attribution as \
-             Prometheus text exposition (or JSON when FILE ends in .json).")
-  in
-  let profile (name, spec_fn) setting flame metrics =
+let trace_flag =
+  C.flag ~docv:"FILE" [ "--trace" ]
+    "Record every trace event (boot included) and write a Chrome-trace JSON \
+     file loadable in chrome://tracing / Perfetto."
+
+let debug_flag =
+  C.flag [ "--debug" ]
+    "Keep a ring buffer of the most recent trace events and dump it to \
+     stderr post mortem when the run dies on an unexpected fault or the \
+     sandbox is killed."
+
+let audit_flag =
+  C.flag ~docv:"FILE" [ "--audit" ]
+    "Record every monitor security decision in an HMAC-SHA256 hash-chained \
+     audit log and write it (JSONL) on exit — normal or abnormal. Check it \
+     offline with audit verify."
+
+let dash_flag =
+  C.flag ~docv:"FILE" [ "--dash" ]
+    "Live monitoring: attach a sliding-window sink, machine-level SLO \
+     burn-rate alerts and a health watchdog; repaint an ASCII dashboard to \
+     stderr every 50 virtual ms and write a JSON telemetry snapshot to FILE \
+     on exit — normal or abnormal."
+
+let record_flag =
+  C.flag ~docv:"FILE" [ "--record" ]
+    "Flight recorder: journal every trace event (boot included) to a \
+     crash-safe binary file. Analyze offline with the journal subcommands."
+
+let run_body p =
+  let name, spec_fn = get_workload p in
+  let setting = get_setting p in
+  let trace = C.str p trace_flag in
+  let debug = C.has p debug_flag in
+  let audit_file = C.str p audit_flag in
+  let dash_file = C.str p dash_flag in
+  let record = C.str p record_flag in
+  if
+    trace = None && (not debug) && audit_file = None && dash_file = None
+    && record = None
+  then print_run name setting (Sim.Machine.run_fresh ~setting (spec_fn ()))
+  else begin
     let obs = Obs.Emitter.create () in
-    let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
-    let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
-    let attrib = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
-    (* The attribution context tree must be closed before export; doing it
-       through the finalizer registry means the exception path below flushes
-       exactly the same way the normal path does. *)
-    Obs.Emitter.add_finalizer obs (fun ~now -> Obs.Attrib.close attrib ~now);
-    let m = Sim.Machine.create ~obs ~setting () in
-    let write_exports () =
-      (match flame with
-      | None -> ()
+    (* The journal writer attaches before anything else so boot events land
+       in the recording; its finalizer seals and closes the file on both
+       exit paths. *)
+    let journal =
+      match record with
+      | None -> None
       | Some path ->
-          let oc = open_out path in
-          output_string oc (Obs.Flame.collapsed attrib);
-          close_out oc;
-          Printf.printf "flame    : collapsed stacks -> %s\n" path);
-      match metrics with
-      | None -> ()
-      | Some path ->
-          let reg = Obs.Metrics.create () in
-          Obs.Metrics.add reg ~label:name ~counter:counters ~histogram:hist
-            ~attrib ();
-          let rendered =
-            if Filename.check_suffix path ".json" then Obs.Metrics.to_json reg
-            else Obs.Metrics.to_prometheus reg
+          let w =
+            Obs.Journal.Writer.create
+              ~meta:
+                [ ("workload", name); ("setting", Sim.Config.name setting) ]
+              ~path ()
           in
-          let oc = open_out path in
-          output_string oc rendered;
-          close_out oc;
-          Printf.printf "metrics  : %s -> %s\n"
-            (if Filename.check_suffix path ".json" then "JSON" else "Prometheus")
-            path
+          Obs.Journal.Writer.attach ~machine:"sim" w obs;
+          Some (w, path)
     in
-    let r =
-      match Sim.Machine.run m (spec_fn ()) with
-      | r -> r
-      | exception e ->
-          (* Abnormal exit: finalize the sinks and write well-formed
-             exports before dying, so a crash never loses the profile. *)
-          Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
-          write_exports ();
-          Printf.eprintf "profile aborted: %s (exports flushed)\n"
-            (Printexc.to_string e);
-          exit 2
+    let recorder =
+      if trace = None then None
+      else Some (Obs.Chrome.attach obs (Obs.Chrome.create ()))
     in
-    let total = Hw.Cycles.now (Sim.Machine.clock m) in
-    Obs.Emitter.finalize obs ~now:total;
-    Printf.printf "profile  : %s under %s (%d virtual cycles total)\n" name
-      (Sim.Config.name setting) total;
-    Printf.printf "  %-16s %10s %14s\n" "kind" "count" "cycles";
-    (* Cycle attribution: measured kinds carry their cycles as the event
-       argument; fixed-cost kinds are count x calibrated cost. EMC service
-       cycles are nested inside their gate round trips. *)
-    let attributed kind n =
-      match kind with
-      | Obs.Trace.Emc_entry | Obs.Trace.Emc _ | Obs.Trace.Tdcall | Obs.Trace.Vmcall ->
-          Some (Obs.Counter.arg_sum counters kind)
-      | Obs.Trace.Syscall -> Some (n * Hw.Cycles.Cost.syscall_roundtrip)
-      | Obs.Trace.Page_fault -> Some (n * Hw.Cycles.Cost.page_fault_base)
-      | Obs.Trace.Timer_irq -> Some (n * Hw.Cycles.Cost.interrupt_delivery)
-      | Obs.Trace.Ve_exit -> Some (n * Hw.Cycles.Cost.ve_handling)
-      | Obs.Trace.Context_switch -> Some (n * Hw.Cycles.Cost.context_switch)
+    let ring =
+      if debug then Some (Obs.Ring.attach obs (Obs.Ring.create ~capacity:512))
+      else None
+    in
+    let chain =
+      match audit_file with
+      | None -> None
+      | Some _ ->
+          let chain = Obs.Audit.create ~key:audit_key in
+          Obs.Emitter.set_audit obs (Some chain);
+          Some chain
+    in
+    (* Live telemetry: a sliding window over the machine's event stream
+       (attached pre-boot via [~window]), machine-level SLOs with generous
+       ceilings — a healthy run must stay silent — and a health watchdog
+       fed by the same emitter. The dashboard repaints on a virtual-time
+       cadence and the final snapshot is written by an emitter finalizer,
+       so abnormal exits still leave a complete, parseable file. *)
+    let window =
+      match dash_file with
+      | None -> None
+      | Some _ -> Some (Obs.Window.create ~width:10_500_000 ~buckets:120 ())
+    in
+    let dash =
+      match (dash_file, window) with
+      | Some _, Some window ->
+          let slo =
+            Obs.Slo.create ~emit:obs ~window
+              ~objectives:
+                [
+                  Obs.Slo.objective ~name:"emc-latency"
+                    ~condition:
+                      (Obs.Slo.Latency_above
+                         { kind = Obs.Trace.Emc_entry; threshold = 65536 })
+                    ~budget:0.02 ();
+                  Obs.Slo.objective ~name:"emc-rate"
+                    ~condition:
+                      (Obs.Slo.Rate_above
+                         { kind = Obs.Trace.Emc_entry; per_second = 500_000.0 })
+                    ~budget:1.0 ();
+                  Obs.Slo.objective ~name:"audit-denials"
+                    ~condition:
+                      (Obs.Slo.Ratio
+                         { bad = Obs.Trace.Mmu_deny; total = Obs.Trace.Emc_entry })
+                    ~budget:0.02 ();
+                ]
+              ()
+          in
+          (* A [run] session spans the whole body, so a per-request deadline
+             is meaningless here — the watchdogs that matter for a single
+             machine are the EMC stall (1 virtual second of in-flight
+             silence) and denial spikes. *)
+          let health =
+            Obs.Health.create ~emit:obs
+              ~rules:
+                {
+                  Obs.Health.default_rules with
+                  Obs.Health.stall_cycles = 2_100_000_000;
+                  deadline_cycles = max_int / 2;
+                }
+              ()
+          in
+          Some (slo, health, window)
       | _ -> None
     in
-    List.iter
-      (fun kind ->
-        let n = Obs.Counter.count counters kind in
-        match kind with
-        | Obs.Trace.Span_begin _ | Obs.Trace.Span_end _ -> ()
-        | _ when n = 0 -> ()
-        | _ -> (
-            match attributed kind n with
-            | Some cycles ->
-                Printf.printf "  %-16s %10d %14d\n" (Obs.Trace.name kind) n cycles
-            | None -> Printf.printf "  %-16s %10d %14s\n" (Obs.Trace.name kind) n "-"))
-      Obs.Trace.all;
-    (* Exact span-based decomposition: every virtual cycle lands in exactly
-       one domain x phase context (or "outside" for pre/post-span glue). *)
-    Printf.printf "attribution (domain x phase, sums exactly to total):\n";
-    Printf.printf "  %-8s %-10s %14s %8s\n" "domain" "phase" "cycles" "share";
-    List.iter
-      (fun (d, p, cycles) ->
-        Printf.printf "  %-8s %-10s %14d %7.2f%%\n" (Obs.Trace.domain_name d)
-          (Obs.Trace.phase_name p) cycles
-          (100.0 *. float_of_int cycles /. float_of_int total))
-      (Obs.Attrib.breakdown attrib);
-    Printf.printf "  %-8s %-10s %14d %7.2f%%\n" "-" "(outside)"
-      (Obs.Attrib.unattributed attrib)
-      (100.0
-      *. float_of_int (Obs.Attrib.unattributed attrib)
-      /. float_of_int total);
-    write_exports ();
-    match r.Sim.Machine.killed with
-    | Some reason -> Printf.printf "KILLED   : %s\n" reason
+    let m = Sim.Machine.create ~obs ?window ~setting () in
+    (match (dash_file, dash) with
+    | Some path, Some (slo, health, window) ->
+        let subject =
+          Obs.Health.register health ~name
+            ~now:(Hw.Cycles.now (Sim.Machine.clock m))
+        in
+        Obs.Health.watch health subject obs;
+        let d =
+          Obs.Dash.attach obs
+            (Obs.Dash.create ~label:name ~out:stderr ~slo ~health
+               ~refresh_cycles:105_000_000 ~window ())
+        in
+        Obs.Emitter.add_finalizer obs (fun ~now ->
+            let oc = open_out path in
+            output_string oc (Obs.Dash.snapshot_json d ~now);
+            close_out oc;
+            Printf.printf "dash     : %d refreshes, snapshot -> %s\n"
+              (Obs.Dash.refreshes d) path)
+    | _ -> ());
+    let dump_ring reason =
+      match ring with
+      | None -> ()
+      | Some ring ->
+          Printf.eprintf
+            "post-mortem (%s): last %d trace events (%d older dropped):\n"
+            reason (Obs.Ring.length ring) (Obs.Ring.dropped ring);
+          List.iter
+            (fun e -> Format.eprintf "  %a@." Obs.Trace.pp_event e)
+            (Obs.Ring.to_list ring)
+    in
+    let write_trace () =
+      match (trace, recorder) with
+      | Some path, Some recorder ->
+          let oc = open_out path in
+          output_string oc (Obs.Chrome.to_chrome_json recorder);
+          close_out oc;
+          Printf.printf "trace    : %d events -> %s\n"
+            (Obs.Chrome.length recorder) path
+      | _ -> ()
+    in
+    (* Flush every export that has buffered state — the trace file, the
+       finalized audit chain, the sealed journal — on BOTH exit paths, so
+       an abnormal exit never drops a partially-written export. *)
+    let flush_exports () =
+      Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
+      write_trace ();
+      (match journal with
+      | Some (w, path) ->
+          Printf.printf "journal  : %d events in %d segments -> %s\n"
+            (Obs.Journal.Writer.events w)
+            (Obs.Journal.Writer.segments w)
+            path
+      | None -> ());
+      match (audit_file, chain) with
+      | Some path, Some chain ->
+          let oc = open_out path in
+          output_string oc (Obs.Audit.to_string chain);
+          close_out oc;
+          Printf.printf "audit    : %d records (chained, finalized) -> %s\n"
+            (Obs.Audit.length chain) path
+      | _ -> ()
+    in
+    match Sim.Machine.run m (spec_fn ()) with
+    | r ->
+        print_run name setting r;
+        flush_exports ();
+        (match r.Sim.Machine.killed with
+        | Some reason when debug -> dump_ring ("sandbox killed: " ^ reason)
+        | _ -> ())
+    | exception e ->
+        dump_ring (Printexc.to_string e);
+        flush_exports ();
+        Printf.eprintf "run aborted: %s\n" (Printexc.to_string e);
+        exit 2
+  end
+
+let run_cmd =
+  C.cmd ~name:"run"
+    ~doc:"Run one workload under one setting and print its results"
+    ~flags:
+      [ workload_flag; setting_flag; trace_flag; debug_flag; audit_flag;
+        dash_flag; record_flag ]
+    run_body
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flame_flag =
+  C.flag ~docv:"FILE" [ "--flame" ]
+    "Write the cycle-attribution context tree as a collapsed-stack file \
+     (flamegraph.pl / speedscope / inferno input)."
+
+let metrics_flag =
+  C.flag ~docv:"FILE" [ "--metrics" ]
+    "Write counters, latency histograms and cycle attribution as Prometheus \
+     text exposition (or JSON when FILE ends in .json)."
+
+let profile_body p =
+  let name, spec_fn = get_workload p in
+  let setting = get_setting p in
+  let flame = C.str p flame_flag in
+  let metrics = C.str p metrics_flag in
+  let obs = Obs.Emitter.create () in
+  let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
+  let hist = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+  let attrib = Obs.Attrib.attach obs (Obs.Attrib.create ()) in
+  (* The attribution context tree must be closed before export; doing it
+     through the finalizer registry means the exception path below flushes
+     exactly the same way the normal path does. *)
+  Obs.Emitter.add_finalizer obs (fun ~now -> Obs.Attrib.close attrib ~now);
+  let m = Sim.Machine.create ~obs ~setting () in
+  let write_exports () =
+    (match flame with
     | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Flame.collapsed attrib);
+        close_out oc;
+        Printf.printf "flame    : collapsed stacks -> %s\n" path);
+    match metrics with
+    | None -> ()
+    | Some path ->
+        let reg = Obs.Metrics.create () in
+        Obs.Metrics.add reg ~label:name ~counter:counters ~histogram:hist
+          ~attrib ();
+        let rendered =
+          if Filename.check_suffix path ".json" then Obs.Metrics.to_json reg
+          else Obs.Metrics.to_prometheus reg
+        in
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Printf.printf "metrics  : %s -> %s\n"
+          (if Filename.check_suffix path ".json" then "JSON" else "Prometheus")
+          path
   in
-  Cmd.v
-    (Cmd.info "profile"
-       ~doc:
-         "Run one workload and print per-event-kind counts plus the exact \
-          domain x phase cycle decomposition; optionally export a flamegraph \
-          and Prometheus/JSON metrics")
-    Term.(const profile $ workload $ setting $ flame $ metrics)
+  let r =
+    match Sim.Machine.run m (spec_fn ()) with
+    | r -> r
+    | exception e ->
+        (* Abnormal exit: finalize the sinks and write well-formed exports
+           before dying, so a crash never loses the profile. *)
+        Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
+        write_exports ();
+        Printf.eprintf "profile aborted: %s (exports flushed)\n"
+          (Printexc.to_string e);
+        exit 2
+  in
+  let total = Hw.Cycles.now (Sim.Machine.clock m) in
+  Obs.Emitter.finalize obs ~now:total;
+  Printf.printf "profile  : %s under %s (%d virtual cycles total)\n" name
+    (Sim.Config.name setting) total;
+  Printf.printf "  %-16s %10s %14s\n" "kind" "count" "cycles";
+  (* Cycle attribution: measured kinds carry their cycles as the event
+     argument; fixed-cost kinds are count x calibrated cost. EMC service
+     cycles are nested inside their gate round trips. *)
+  let attributed kind n =
+    match kind with
+    | Obs.Trace.Emc_entry | Obs.Trace.Emc _ | Obs.Trace.Tdcall | Obs.Trace.Vmcall
+      ->
+        Some (Obs.Counter.arg_sum counters kind)
+    | Obs.Trace.Syscall -> Some (n * Hw.Cycles.Cost.syscall_roundtrip)
+    | Obs.Trace.Page_fault -> Some (n * Hw.Cycles.Cost.page_fault_base)
+    | Obs.Trace.Timer_irq -> Some (n * Hw.Cycles.Cost.interrupt_delivery)
+    | Obs.Trace.Ve_exit -> Some (n * Hw.Cycles.Cost.ve_handling)
+    | Obs.Trace.Context_switch -> Some (n * Hw.Cycles.Cost.context_switch)
+    | _ -> None
+  in
+  List.iter
+    (fun kind ->
+      let n = Obs.Counter.count counters kind in
+      match kind with
+      | Obs.Trace.Span_begin _ | Obs.Trace.Span_end _ -> ()
+      | _ when n = 0 -> ()
+      | _ -> (
+          match attributed kind n with
+          | Some cycles ->
+              Printf.printf "  %-16s %10d %14d\n" (Obs.Trace.name kind) n cycles
+          | None ->
+              Printf.printf "  %-16s %10d %14s\n" (Obs.Trace.name kind) n "-"))
+    Obs.Trace.all;
+  (* Exact span-based decomposition: every virtual cycle lands in exactly
+     one domain x phase context (or "outside" for pre/post-span glue). *)
+  Printf.printf "attribution (domain x phase, sums exactly to total):\n";
+  Printf.printf "  %-8s %-10s %14s %8s\n" "domain" "phase" "cycles" "share";
+  List.iter
+    (fun (d, p, cycles) ->
+      Printf.printf "  %-8s %-10s %14d %7.2f%%\n" (Obs.Trace.domain_name d)
+        (Obs.Trace.phase_name p) cycles
+        (100.0 *. float_of_int cycles /. float_of_int total))
+    (Obs.Attrib.breakdown attrib);
+  Printf.printf "  %-8s %-10s %14d %7.2f%%\n" "-" "(outside)"
+    (Obs.Attrib.unattributed attrib)
+    (100.0
+    *. float_of_int (Obs.Attrib.unattributed attrib)
+    /. float_of_int total);
+  write_exports ();
+  match r.Sim.Machine.killed with
+  | Some reason -> Printf.printf "KILLED   : %s\n" reason
+  | None -> ()
+
+let profile_cmd =
+  C.cmd ~name:"profile"
+    ~doc:
+      "Run one workload and print per-event-kind counts plus the exact \
+       domain x phase cycle decomposition; optionally export a flamegraph \
+       and Prometheus/JSON metrics"
+    ~flags:[ workload_flag; setting_flag; flame_flag; metrics_flag ]
+    profile_body
+
+(* ------------------------------------------------------------------ *)
+(* compare / list / selfcheck                                          *)
+(* ------------------------------------------------------------------ *)
 
 let compare_cmd =
-  let workload =
-    Arg.(
-      required
-      & opt (some workload_conv) None
-      & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to compare across settings.")
-  in
-  let compare (name, spec_fn) =
-    Printf.printf "%s across all settings:\n" name;
-    let native = ref 0 in
-    List.iter
-      (fun setting ->
-        let r = Sim.Machine.run_fresh ~setting (spec_fn ()) in
-        if setting = Sim.Config.Native then native := r.Sim.Machine.run_cycles;
-        Printf.printf "  %-12s %8.2fs  %+6.2f%%  EMC %6.1fk/s\n" (Sim.Config.name setting)
-          (Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
-          *. float_of_int Workloads.Workload.time_scale)
-          (100.0
-          *. ((float_of_int r.Sim.Machine.run_cycles /. float_of_int !native) -. 1.0))
-          (Sim.Stats.emc_rate r.Sim.Machine.stats /. 1000.0))
-      Sim.Config.all
-  in
-  Cmd.v
-    (Cmd.info "compare" ~doc:"Run one workload under every setting (Fig. 9 for one program)")
-    Term.(const compare $ workload)
+  C.cmd ~name:"compare"
+    ~doc:"Run one workload under every setting (Fig. 9 for one program)"
+    ~flags:[ workload_flag ]
+    (fun p ->
+      let name, spec_fn = get_workload p in
+      Printf.printf "%s across all settings:\n" name;
+      let native = ref 0 in
+      List.iter
+        (fun setting ->
+          let r = Sim.Machine.run_fresh ~setting (spec_fn ()) in
+          if setting = Sim.Config.Native then native := r.Sim.Machine.run_cycles;
+          Printf.printf "  %-12s %8.2fs  %+6.2f%%  EMC %6.1fk/s\n"
+            (Sim.Config.name setting)
+            (Hw.Cycles.to_seconds r.Sim.Machine.run_cycles
+            *. float_of_int Workloads.Workload.time_scale)
+            (100.0
+            *. ((float_of_int r.Sim.Machine.run_cycles /. float_of_int !native)
+               -. 1.0))
+            (Sim.Stats.emc_rate r.Sim.Machine.stats /. 1000.0))
+        Sim.Config.all)
 
 let list_cmd =
-  let list () =
-    print_endline "workloads:";
-    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) workloads;
-    print_endline "settings:";
-    List.iter (fun s -> Printf.printf "  %s\n" (Sim.Config.name s)) Sim.Config.all
-  in
-  Cmd.v (Cmd.info "list" ~doc:"List workloads and settings") Term.(const list $ const ())
+  C.cmd ~name:"list" ~doc:"List workloads and settings" (fun _ ->
+      print_endline "workloads:";
+      List.iter (fun (name, _) -> Printf.printf "  %s\n" name) workloads;
+      print_endline "settings:";
+      List.iter (fun s -> Printf.printf "  %s\n" (Sim.Config.name s))
+        Sim.Config.all)
 
 let selfcheck_cmd =
-  let selfcheck () =
-    (* An operator-facing rendition of §8's security analysis: build a
-       fresh stack, throw the attack battery, report per-claim verdicts. *)
-    let hw_key = Crypto.Sha256.digest_string "selfcheck key" in
-    let mem = Hw.Phys_mem.create ~frames:32768 in
-    let clock = Hw.Cycles.clock () in
-    let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 () in
-    let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
-    let host = Vmm.Host.create () in
-    Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
-    let monitor =
-      Erebor.Monitor.install ~cpu ~mem ~td ~firmware:(Bytes.of_string "OVMF")
-        ~monitor_frames:32 ~device_shared_frames:32 ()
-    in
-    let benign =
-      { Hw.Image.entry = 0x1000;
-        sections =
-          [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
-              writable = false; data = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Ret ] } ] }
-    in
-    let kern =
-      match
-        Erebor.Monitor.boot_kernel monitor ~kernel_image:benign ~reserved_frames:128
-          ~cma_frames:8192
-      with
-      | Ok k -> k
-      | Error e -> failwith e
-    in
-    let mgr = Erebor.Sandbox.create_manager ~monitor ~kern in
-    let failures = ref 0 in
-    let claim name expect_blocked f =
-      let blocked =
-        match f () with
-        | _ -> false
-        | exception Erebor.Monitor.Policy_violation _ -> true
-        | exception Hw.Fault.Fault _ -> true
+  C.cmd ~name:"selfcheck"
+    ~doc:"Run the security-claim battery (C1-C8) on a fresh stack"
+    (fun _ ->
+      (* An operator-facing rendition of §8's security analysis: build a
+         fresh stack, throw the attack battery, report per-claim verdicts. *)
+      let hw_key = Crypto.Sha256.digest_string "selfcheck key" in
+      let mem = Hw.Phys_mem.create ~frames:32768 in
+      let clock = Hw.Cycles.clock () in
+      let cpu = Hw.Cpu.create ~id:0 ~mem ~clock ~timer_period:2_000_000 () in
+      let td = Tdx.Td_module.create ~mem ~clock ~hw_key in
+      let host = Vmm.Host.create () in
+      Tdx.Td_module.set_vmm td (Vmm.Host.handler host);
+      let monitor =
+        Erebor.Monitor.install ~cpu ~mem ~td ~firmware:(Bytes.of_string "OVMF")
+          ~monitor_frames:32 ~device_shared_frames:32 ()
       in
-      let ok = blocked = expect_blocked in
-      if not ok then incr failures;
-      Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name
-    in
-    print_endline "C1: verified boot";
-    let evil =
-      { benign with
-        Hw.Image.sections =
-          [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
-              writable = false; data = Hw.Isa.assemble [ Hw.Isa.Wrmsr ] } ] }
-    in
-    (match Erebor.Monitor.boot_kernel monitor ~kernel_image:evil ~reserved_frames:128 ~cma_frames:64 with
-    | Error _ -> print_endline "  [PASS] kernel with sensitive instructions refused"
-    | Ok _ ->
-        incr failures;
-        print_endline "  [FAIL] kernel with sensitive instructions booted");
-    print_endline "C2-C4: privileged-mode enforcement";
-    let ops = kern.Kernel.privops in
-    claim "clearing SMAP blocked" true (fun () ->
-        ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smap false);
-    claim "writing IA32_PKRS blocked" true (fun () ->
-        ops.Kernel.Privops.write_msr Hw.Msr.ia32_pkrs 0L);
-    claim "stray PTE store blocked" true (fun () ->
-        ops.Kernel.Privops.write_pte ~pte_addr:(Hw.Phys_mem.addr_of_pfn 9000)
-          (Hw.Pte.make ~pfn:5 Hw.Pte.default_flags));
-    Kernel.ensure_direct_map kern ~pfn:kern.Kernel.kernel_root;
-    claim "direct write to page tables blocked" true (fun () ->
-        Hw.Cpu.write_u64 cpu
-          (Kernel.Layout.direct_map (Hw.Phys_mem.addr_of_pfn kern.Kernel.kernel_root))
-          0xBADL);
-    print_endline "C5: attestation exclusivity";
-    claim "kernel tdreport blocked" true (fun () ->
-        ignore (ops.Kernel.Privops.tdcall (Tdx.Ghci.Tdreport { report_data = Bytes.empty })));
-    print_endline "C6-C8: sandbox protection";
-    let sb =
-      Result.get_ok
-        (Erebor.Sandbox.create_sandbox mgr ~name:"probe" ~confined_budget:(64 * 4096))
-    in
-    let base = Result.get_ok (Erebor.Sandbox.declare_confined mgr sb ~len:(16 * 4096)) in
-    ignore (Result.get_ok (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "secret")));
-    ops.Kernel.Privops.write_cr3
-      ~root_pfn:(Erebor.Sandbox.main_task sb).Kernel.Task.root_pfn;
-    claim "kernel read of sandbox memory blocked (SMAP)" true (fun () ->
-        ignore (Hw.Cpu.read_u8 cpu base));
-    claim "usercopy exfiltration blocked" true (fun () ->
-        ignore (ops.Kernel.Privops.copy_from_user ~user_addr:base ~len:6));
-    (match Erebor.Sandbox.handle_syscall mgr sb (Kernel.Syscall.Open { path = "/leak" }) with
-    | Kernel.Syscall.Rerr _ -> print_endline "  [PASS] post-data syscall killed the sandbox"
-    | _ ->
-        incr failures;
-        print_endline "  [FAIL] post-data syscall allowed");
-    Printf.printf "\nself-check %s (%d failure(s))\n"
-      (if !failures = 0 then "PASSED" else "FAILED")
-      !failures;
-    if !failures > 0 then exit 1
-  in
-  Cmd.v
-    (Cmd.info "selfcheck" ~doc:"Run the security-claim battery (C1-C8) on a fresh stack")
-    Term.(const selfcheck $ const ())
+      let benign =
+        { Hw.Image.entry = 0x1000;
+          sections =
+            [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+                writable = false;
+                data = Hw.Isa.assemble [ Hw.Isa.Endbr; Hw.Isa.Ret ] } ] }
+      in
+      let kern =
+        match
+          Erebor.Monitor.boot_kernel monitor ~kernel_image:benign
+            ~reserved_frames:128 ~cma_frames:8192
+        with
+        | Ok k -> k
+        | Error e -> failwith e
+      in
+      let mgr = Erebor.Sandbox.create_manager ~monitor ~kern in
+      let failures = ref 0 in
+      let claim name expect_blocked f =
+        let blocked =
+          match f () with
+          | _ -> false
+          | exception Erebor.Monitor.Policy_violation _ -> true
+          | exception Hw.Fault.Fault _ -> true
+        in
+        let ok = blocked = expect_blocked in
+        if not ok then incr failures;
+        Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name
+      in
+      print_endline "C1: verified boot";
+      let evil =
+        { benign with
+          Hw.Image.sections =
+            [ { Hw.Image.name = ".text"; vaddr = 0x1000; executable = true;
+                writable = false; data = Hw.Isa.assemble [ Hw.Isa.Wrmsr ] } ] }
+      in
+      (match
+         Erebor.Monitor.boot_kernel monitor ~kernel_image:evil
+           ~reserved_frames:128 ~cma_frames:64
+       with
+      | Error _ -> print_endline "  [PASS] kernel with sensitive instructions refused"
+      | Ok _ ->
+          incr failures;
+          print_endline "  [FAIL] kernel with sensitive instructions booted");
+      print_endline "C2-C4: privileged-mode enforcement";
+      let ops = kern.Kernel.privops in
+      claim "clearing SMAP blocked" true (fun () ->
+          ops.Kernel.Privops.set_cr_bit ~reg:`Cr4 Hw.Cr.cr4_smap false);
+      claim "writing IA32_PKRS blocked" true (fun () ->
+          ops.Kernel.Privops.write_msr Hw.Msr.ia32_pkrs 0L);
+      claim "stray PTE store blocked" true (fun () ->
+          ops.Kernel.Privops.write_pte ~pte_addr:(Hw.Phys_mem.addr_of_pfn 9000)
+            (Hw.Pte.make ~pfn:5 Hw.Pte.default_flags));
+      Kernel.ensure_direct_map kern ~pfn:kern.Kernel.kernel_root;
+      claim "direct write to page tables blocked" true (fun () ->
+          Hw.Cpu.write_u64 cpu
+            (Kernel.Layout.direct_map
+               (Hw.Phys_mem.addr_of_pfn kern.Kernel.kernel_root))
+            0xBADL);
+      print_endline "C5: attestation exclusivity";
+      claim "kernel tdreport blocked" true (fun () ->
+          ignore
+            (ops.Kernel.Privops.tdcall
+               (Tdx.Ghci.Tdreport { report_data = Bytes.empty })));
+      print_endline "C6-C8: sandbox protection";
+      let sb =
+        Result.get_ok
+          (Erebor.Sandbox.create_sandbox mgr ~name:"probe"
+             ~confined_budget:(64 * 4096))
+      in
+      let base =
+        Result.get_ok (Erebor.Sandbox.declare_confined mgr sb ~len:(16 * 4096))
+      in
+      ignore
+        (Result.get_ok
+           (Erebor.Sandbox.load_client_data mgr sb (Bytes.of_string "secret")));
+      ops.Kernel.Privops.write_cr3
+        ~root_pfn:(Erebor.Sandbox.main_task sb).Kernel.Task.root_pfn;
+      claim "kernel read of sandbox memory blocked (SMAP)" true (fun () ->
+          ignore (Hw.Cpu.read_u8 cpu base));
+      claim "usercopy exfiltration blocked" true (fun () ->
+          ignore (ops.Kernel.Privops.copy_from_user ~user_addr:base ~len:6));
+      (match
+         Erebor.Sandbox.handle_syscall mgr sb
+           (Kernel.Syscall.Open { path = "/leak" })
+       with
+      | Kernel.Syscall.Rerr _ ->
+          print_endline "  [PASS] post-data syscall killed the sandbox"
+      | _ ->
+          incr failures;
+          print_endline "  [FAIL] post-data syscall allowed");
+      Printf.printf "\nself-check %s (%d failure(s))\n"
+        (if !failures = 0 then "PASSED" else "FAILED")
+        !failures;
+      if !failures > 0 then exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* audit verify                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let audit_cmd =
-  let file =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Audit log written by $(b,run --audit).")
-  in
-  let verify path =
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
-    match Obs.Audit.verify_string ~key:audit_key contents with
-    | Ok n ->
-        Printf.printf "audit verify: OK — %d record(s), chain intact and finalized\n" n
-    | Error msg ->
-        Printf.eprintf "audit verify: FAILED — %s\n" msg;
-        exit 1
-  in
-  let verify_cmd =
-    Cmd.v
-      (Cmd.info "verify"
-         ~doc:
-           "Re-walk an audit log's HMAC chain offline; any tampered, \
-            dropped, reordered or truncated record fails the check")
-      Term.(const verify $ file)
-  in
-  Cmd.group
-    (Cmd.info "audit" ~doc:"Inspect tamper-evident audit logs")
-    [ verify_cmd ]
+  C.group ~name:"audit" ~doc:"Inspect tamper-evident audit logs"
+    [
+      C.cmd ~name:"verify"
+        ~doc:
+          "Re-walk an audit log's HMAC chain offline; any tampered, dropped, \
+           reordered or truncated record fails the check"
+        (fun p ->
+          let path =
+            match C.pos p with
+            | [ path ] -> path
+            | _ -> C.fail p "exactly one FILE argument expected"
+          in
+          let ic =
+            try open_in_bin path
+            with Sys_error e -> C.fail p e
+          in
+          let len = in_channel_length ic in
+          let contents = really_input_string ic len in
+          close_in ic;
+          match Obs.Audit.verify_string ~key:audit_key contents with
+          | Ok n ->
+              Printf.printf
+                "audit verify: OK — %d record(s), chain intact and finalized\n"
+                n
+          | Error msg ->
+              Printf.eprintf "audit verify: FAILED — %s\n" msg;
+              exit 1);
+    ]
 
-let main =
-  Cmd.group
-    (Cmd.info "erebor-sim" ~version:"1.0.0"
-       ~doc:"Run the paper's workloads on the simulated Erebor CVM")
-    [ run_cmd; profile_cmd; compare_cmd; list_cmd; selfcheck_cmd; audit_cmd ]
+(* ------------------------------------------------------------------ *)
+(* journal query | critical | diff | export                            *)
+(* ------------------------------------------------------------------ *)
 
-let () = exit (Cmd.eval main)
+let journal_file p =
+  match C.pos p with
+  | [ path ] -> path
+  | _ -> C.fail p "exactly one journal FILE argument expected"
+
+let kind_of_name p s =
+  match List.find_opt (fun k -> Obs.Trace.name k = s) Obs.Trace.all with
+  | Some k -> k
+  | None -> C.fail p (Printf.sprintf "unknown event kind %S" s)
+
+let print_info (info : Obs.Journal.info) =
+  Printf.printf "journal  : %d events in %d segments, %s, last ts %d\n"
+    info.Obs.Journal.events info.Obs.Journal.segments
+    (if info.Obs.Journal.complete then "finalized"
+     else "NOT finalized (truncated tail)")
+    info.Obs.Journal.last_ts;
+  List.iter
+    (fun (k, v) -> Printf.printf "  meta   %-10s %s\n" k v)
+    info.Obs.Journal.meta;
+  List.iter
+    (fun (id, name) -> Printf.printf "  stream %-10d %s\n" id name)
+    info.Obs.Journal.machines
+
+let kind_flag =
+  C.flag ~docv:"NAME" [ "--kind" ]
+    "Keep only events of this kind (wire name, e.g. emc.mmu, page_fault)."
+
+let machine_flag =
+  C.flag ~docv:"NAME" [ "--machine" ] "Keep only this machine's stream."
+
+let sandbox_flag =
+  C.flag ~docv:"ID" [ "--sandbox" ]
+    "Keep only events inside this sandbox's lifetime window \
+     (create..exit/kill)."
+
+let from_flag =
+  C.flag ~docv:"CYCLES" [ "--from" ] "Keep events at or after this timestamp."
+
+let to_flag =
+  C.flag ~docv:"CYCLES" [ "--to" ] "Keep events at or before this timestamp."
+
+let group_flag =
+  C.flag ~docv:"BY" [ "--group" ]
+    "Aggregation key: kind (default), machine, phase, none."
+
+let query_cmd =
+  C.cmd ~name:"query"
+    ~doc:"Filter + group-by over a journal: counts, sums, log2 percentiles"
+    ~flags:[ kind_flag; machine_flag; sandbox_flag; from_flag; to_flag; group_flag ]
+    (fun p ->
+      let path = journal_file p in
+      let filter =
+        {
+          Obs.Query.kinds =
+            (match C.str p kind_flag with
+            | None -> []
+            | Some s -> [ kind_of_name p s ]);
+          machines =
+            (match C.str p machine_flag with None -> [] | Some m -> [ m ]);
+          sandbox =
+            (match C.str p sandbox_flag with
+            | None -> None
+            | Some _ -> Some (C.int_of p ~min:0 ~default:0 sandbox_flag));
+          t0 =
+            (match C.str p from_flag with
+            | None -> None
+            | Some _ -> Some (C.int_of p ~min:0 ~default:0 from_flag));
+          t1 =
+            (match C.str p to_flag with
+            | None -> None
+            | Some _ -> Some (C.int_of p ~min:0 ~default:0 to_flag));
+        }
+      in
+      let group =
+        match C.str p group_flag with
+        | None | Some "kind" -> Obs.Query.By_kind
+        | Some "machine" -> Obs.Query.By_machine
+        | Some "phase" -> Obs.Query.By_phase
+        | Some "none" -> Obs.Query.By_none
+        | Some g ->
+            C.fail p
+              (Printf.sprintf
+                 "unknown group %S (expected kind, machine, phase or none)" g)
+      in
+      match Obs.Query.run ~filter ~group ~path () with
+      | Error e ->
+          Printf.eprintf "journal query: %s\n" e;
+          exit 1
+      | Ok (rows, info) ->
+          print_info info;
+          print_string (Obs.Query.render rows))
+
+let top_flag =
+  C.flag ~docv:"N" [ "--top" ] "Show the N slowest requests (default 10)."
+
+let critical_cmd =
+  C.cmd ~name:"critical"
+    ~doc:
+      "Reconstruct per-request windows and split latency into queueing vs \
+       service with per-phase blame"
+    ~flags:[ top_flag ]
+    (fun p ->
+      let path = journal_file p in
+      let top = C.int_of p ~min:1 ~default:10 top_flag in
+      match Obs.Critical.analyze ~top ~path () with
+      | Error e ->
+          Printf.eprintf "journal critical: %s\n" e;
+          exit 1
+      | Ok (report, info) ->
+          print_info info;
+          print_string (Obs.Critical.render report))
+
+let threshold_flag =
+  C.flag ~docv:"PCT" [ "--threshold" ]
+    "Regression threshold in percent (default 5.0)."
+
+let min_cycles_flag =
+  C.flag ~docv:"N" [ "--min-cycles" ]
+    "Ignore deltas smaller than N absolute cycles (default 1000)."
+
+let diff_cmd =
+  C.cmd ~name:"diff"
+    ~doc:
+      "Compare two journals by domain x phase attribution; exit 1 when run \
+       B regresses past the threshold"
+    ~flags:[ threshold_flag; min_cycles_flag ]
+    (fun p ->
+      let a, b =
+        match C.pos p with
+        | [ a; b ] -> (a, b)
+        | _ -> C.fail p "exactly two journal FILE arguments expected (A B)"
+      in
+      let threshold = C.float_of p ~default:5.0 threshold_flag in
+      let min_cycles = C.int_of p ~min:0 ~default:1000 min_cycles_flag in
+      match Obs.Diff.compare_files ~a ~b with
+      | Error e ->
+          Printf.eprintf "journal diff: %s\n" e;
+          exit 1
+      | Ok d ->
+          print_string (Obs.Diff.render ~threshold ~min_cycles d);
+          if Obs.Diff.regressions ~threshold ~min_cycles d <> [] then exit 1)
+
+let chrome_flag =
+  C.flag ~docv:"FILE" [ "--chrome" ]
+    "Regenerate a Chrome-trace JSON file from the journal alone."
+
+let export_flame_flag =
+  C.flag ~docv:"FILE" [ "--flame" ]
+    "Regenerate a collapsed-stack flamegraph from the journal alone \
+     (attribution replay)."
+
+let export_cmd =
+  C.cmd ~name:"export"
+    ~doc:"Regenerate Chrome-trace / flamegraph exports from a journal"
+    ~flags:[ chrome_flag; export_flame_flag ]
+    (fun p ->
+      let path = journal_file p in
+      if C.str p chrome_flag = None && C.str p export_flame_flag = None then
+        C.fail p "nothing to export (pass --chrome and/or --flame)";
+      (match C.str p chrome_flag with
+      | None -> ()
+      | Some out -> (
+          (* Replay through the live Chrome sink: streams merge into one
+             timeline (virtual timestamps are shared). *)
+          let obs = Obs.Emitter.create () in
+          let rec_ = Obs.Chrome.attach obs (Obs.Chrome.create ()) in
+          match
+            Obs.Journal.fold ~path ~init:() (fun () (e : Obs.Journal.event) ->
+                Obs.Emitter.emit obs e.kind ~ts:e.ts ~arg:e.arg)
+          with
+          | Error e ->
+              Printf.eprintf "journal export: %s\n" e;
+              exit 1
+          | Ok ((), _) ->
+              let oc = open_out out in
+              output_string oc (Obs.Chrome.to_chrome_json rec_);
+              close_out oc;
+              Printf.printf "chrome   : %d events -> %s\n"
+                (Obs.Chrome.length rec_) out));
+      match C.str p export_flame_flag with
+      | None -> ()
+      | Some out -> (
+          (* The flamegraph needs the full context tree, not just per-phase
+             totals — replay stream 0 through a dedicated Attrib instance. *)
+          let att = Obs.Attrib.create () in
+          let sink = Obs.Attrib.sink att in
+          let last = ref 0 in
+          match
+            Obs.Journal.fold ~path ~init:() (fun () (e : Obs.Journal.event) ->
+                if e.stream = 0 then begin
+                  sink e.kind ~ts:e.ts ~arg:e.arg;
+                  if e.ts > !last then last := e.ts
+                end)
+          with
+          | Error e ->
+              Printf.eprintf "journal export: %s\n" e;
+              exit 1
+          | Ok ((), _) ->
+              Obs.Attrib.close att ~now:!last;
+              let oc = open_out out in
+              output_string oc (Obs.Flame.collapsed att);
+              close_out oc;
+              Printf.printf "flame    : collapsed stacks -> %s\n" out))
+
+let journal_cmd =
+  C.group ~name:"journal"
+    ~doc:"Analyze flight-recorder journals written by run --record"
+    [ query_cmd; critical_cmd; diff_cmd; export_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  C.run ~prog:"erebor-sim"
+    ~doc:"Run the paper's workloads on the simulated Erebor CVM"
+    [
+      run_cmd; profile_cmd; compare_cmd; list_cmd; selfcheck_cmd; audit_cmd;
+      journal_cmd;
+    ]

@@ -1,0 +1,227 @@
+(* Offline critical-path analysis: replay request windows + span stream
+   from a journal, splitting each window's latency into queueing vs service
+   and blaming service onto the (domain x phase) taxonomy. *)
+
+type blame = { bdomain : Trace.domain; bphase : Trace.phase; bcycles : int }
+
+type request = {
+  trace_id : int;
+  stream : int;
+  root : bool;
+  rt0 : int;
+  rt1 : int;
+  total : int;
+  service : int;
+  queueing : int;
+  path : blame list;
+}
+
+type report = {
+  requests : request list;
+  n : int;
+  lat_p50 : int;
+  lat_p95 : int;
+  lat_p99 : int;
+  total_service : int;
+  total_queueing : int;
+  phase_totals : (Trace.domain * Trace.phase * int) list;
+}
+
+(* An open span on a stream's stack. [child] accumulates the inclusive
+   durations of nested spans so self = duration - child at the end. *)
+type open_span = { phase : Trace.phase; t0 : int; mutable child : int }
+
+(* An open request window on a stream. *)
+type open_req = {
+  ot0 : int;
+  oroot : bool;
+  mutable oservice : int;
+  oblame : int array; (* per phase index *)
+}
+
+type stream_state = {
+  mutable stack : open_span list;
+  mutable open_reqs : (int * open_req) list; (* trace_id -> window *)
+}
+
+let analyze ?(top = 10) ~path () =
+  let streams : (int, stream_state) Hashtbl.t = Hashtbl.create 4 in
+  let state s =
+    match Hashtbl.find_opt streams s with
+    | Some st -> st
+    | None ->
+        let st = { stack = []; open_reqs = [] } in
+        Hashtbl.add streams s st;
+        st
+  in
+  let completed = ref [] in
+  let result =
+    Journal.fold ~path ~init:() (fun () (e : Journal.event) ->
+        match e.kind with
+        | Trace.Req_begin ->
+            let st = state e.stream in
+            let trace_id = e.arg lsr 2 in
+            let root = (e.arg lsr 1) land 1 = 1 in
+            st.open_reqs <-
+              ( trace_id,
+                {
+                  ot0 = e.ts;
+                  oroot = root;
+                  oservice = 0;
+                  oblame = Array.make Trace.n_phases 0;
+                } )
+              :: st.open_reqs
+        | Trace.Req_end -> (
+            let st = state e.stream in
+            let trace_id = e.arg lsr 2 in
+            match List.assoc_opt trace_id st.open_reqs with
+            | None -> ()
+            | Some r ->
+                st.open_reqs <- List.remove_assoc trace_id st.open_reqs;
+                let total = e.ts - r.ot0 in
+                let service = Stdlib.min r.oservice total in
+                let path =
+                  Trace.all_phases
+                  |> List.filter_map (fun p ->
+                         let c = r.oblame.(Trace.phase_index p) in
+                         if c = 0 then None
+                         else
+                           Some
+                             {
+                               bdomain = Trace.phase_domain p;
+                               bphase = p;
+                               bcycles = c;
+                             })
+                  |> List.sort (fun a b -> Stdlib.compare b.bcycles a.bcycles)
+                in
+                completed :=
+                  {
+                    trace_id;
+                    stream = e.stream;
+                    root = r.oroot;
+                    rt0 = r.ot0;
+                    rt1 = e.ts;
+                    total;
+                    service;
+                    queueing = Stdlib.max 0 (total - service);
+                    path;
+                  }
+                  :: !completed)
+        | Trace.Span_begin p ->
+            let st = state e.stream in
+            st.stack <- { phase = p; t0 = e.ts; child = 0 } :: st.stack
+        | Trace.Span_end p -> (
+            let st = state e.stream in
+            match st.stack with
+            | { phase; t0; child } :: rest when phase = p ->
+                st.stack <- rest;
+                let dur = e.ts - t0 in
+                let self = Stdlib.max 0 (dur - child) in
+                (match rest with
+                | parent :: _ -> parent.child <- parent.child + dur
+                | [] ->
+                    (* A top-level span closed: its window overlap is
+                       service time for every request open on the stream. *)
+                    List.iter
+                      (fun (_, r) ->
+                        let covered = e.ts - Stdlib.max t0 r.ot0 in
+                        if covered > 0 then r.oservice <- r.oservice + covered)
+                      st.open_reqs);
+                let i = Trace.phase_index p in
+                List.iter
+                  (fun (_, r) -> r.oblame.(i) <- r.oblame.(i) + self)
+                  st.open_reqs
+            | _ -> (* unbalanced end: ignore *) ())
+        | _ -> ())
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok ((), info) ->
+      let reqs = !completed in
+      let n = List.length reqs in
+      let latencies =
+        List.map (fun r -> r.total) reqs |> List.sort Stdlib.compare
+        |> Array.of_list
+      in
+      let pct p =
+        if n = 0 then 0
+        else
+          let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+          latencies.(Stdlib.max 0 (Stdlib.min (n - 1) i))
+      in
+      let totals = Array.make Trace.n_phases 0 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun b ->
+              let i = Trace.phase_index b.bphase in
+              totals.(i) <- totals.(i) + b.bcycles)
+            r.path)
+        reqs;
+      let phase_totals =
+        List.filter_map
+          (fun p ->
+            let c = totals.(Trace.phase_index p) in
+            if c = 0 then None else Some (Trace.phase_domain p, p, c))
+          Trace.all_phases
+      in
+      let slowest =
+        List.sort (fun a b -> Stdlib.compare b.total a.total) reqs
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: tl -> x :: take (k - 1) tl
+      in
+      Ok
+        ( {
+            requests = take top slowest;
+            n;
+            lat_p50 = pct 0.5;
+            lat_p95 = pct 0.95;
+            lat_p99 = pct 0.99;
+            total_service = List.fold_left (fun a r -> a + r.service) 0 reqs;
+            total_queueing = List.fold_left (fun a r -> a + r.queueing) 0 reqs;
+            phase_totals;
+          },
+          info )
+
+let render rep =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "requests: %d   latency p50/p95/p99: %d / %d / %d cycles\n"
+       rep.n rep.lat_p50 rep.lat_p95 rep.lat_p99);
+  let tot = rep.total_service + rep.total_queueing in
+  let pct x = if tot = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int tot in
+  Buffer.add_string b
+    (Printf.sprintf "service: %d cycles (%.1f%%)   queueing: %d cycles (%.1f%%)\n"
+       rep.total_service (pct rep.total_service) rep.total_queueing
+       (pct rep.total_queueing));
+  if rep.phase_totals <> [] then begin
+    Buffer.add_string b "blame (all requests):\n";
+    List.iter
+      (fun (d, p, c) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-8s %-10s %12d\n" (Trace.domain_name d)
+             (Trace.phase_name p) c))
+      (List.sort (fun (_, _, a) (_, _, b) -> Stdlib.compare b a) rep.phase_totals)
+  end;
+  if rep.requests <> [] then begin
+    Buffer.add_string b "slowest requests:\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "  trace %d%s: %d cycles (service %d, queueing %d)\n" r.trace_id
+             (if r.root then " (root)" else "")
+             r.total r.service r.queueing);
+        List.iter
+          (fun bl ->
+            Buffer.add_string b
+              (Printf.sprintf "    %-8s %-10s %12d\n"
+                 (Trace.domain_name bl.bdomain) (Trace.phase_name bl.bphase)
+                 bl.bcycles))
+          r.path)
+      rep.requests
+  end;
+  Buffer.contents b

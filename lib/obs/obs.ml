@@ -15,6 +15,10 @@ module Window = Window
 module Slo = Slo
 module Health = Health
 module Dash = Dash
+module Journal = Journal
+module Query = Query
+module Critical = Critical
+module Diff = Diff
 
 let with_span emitter ~now phase f =
   Emitter.emit emitter (Trace.span_begin phase) ~ts:(now ()) ~arg:0;

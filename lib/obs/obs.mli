@@ -7,7 +7,10 @@
     collector ({!Request}), a tamper-evident hash-chained audit log
     ({!Audit}), and live SLO telemetry — virtual-clock sliding windows
     ({!Window}), error-budget burn-rate alerts ({!Slo}), per-sandbox health
-    watchdogs ({!Health}) and an ASCII dashboard driver ({!Dash}).
+    watchdogs ({!Health}) and an ASCII dashboard driver ({!Dash}) — plus an
+    offline flight-recorder stack: a crash-safe binary journal ({!Journal})
+    with query ({!Query}), critical-path ({!Critical}) and run-diff
+    ({!Diff}) engines over recorded runs.
 
     Emission never advances the virtual clock: observability is free in
     simulated time, so calibrated results are identical with or without
@@ -29,6 +32,10 @@ module Window = Window
 module Slo = Slo
 module Health = Health
 module Dash = Dash
+module Journal = Journal
+module Query = Query
+module Critical = Critical
+module Diff = Diff
 
 val with_span : Emitter.t -> now:(unit -> int) -> Trace.phase -> (unit -> 'a) -> 'a
 (** [with_span emitter ~now phase f] emits [Span_begin phase], runs [f], and

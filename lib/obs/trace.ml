@@ -254,6 +254,9 @@ let all =
   @ List.map span_begin all_phases
   @ List.map span_end all_phases
 
+let kinds_arr = Array.of_list all
+let kind_of_index i = kinds_arr.(i)
+
 let pp_kind fmt k = Fmt.string fmt (name k)
 
 let pp_event fmt e =

@@ -103,6 +103,10 @@ val n_kinds : int
 val index : kind -> int
 (** Dense, stable index in [0, n_kinds). *)
 
+val kind_of_index : int -> kind
+(** Inverse of {!index}; raises on out-of-range input. Used by offline
+    readers ({!Journal}) to rehydrate events from their wire indices. *)
+
 val name : kind -> string
 (** Stable wire name ("emc.mmu", "page_fault", ...; spans use the phase
     name). *)

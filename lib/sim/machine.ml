@@ -64,12 +64,17 @@ let window t = t.window
 
 let page_size = Hw.Phys_mem.page_size
 
-let create ?obs ?window ?(backend = Erebor.Isolation.Pks) ?(frames = 262144)
-    ?(cma_frames = 65536) ?(reserved_frames = 256)
+let create ?obs ?journal ?window ?(backend = Erebor.Isolation.Pks)
+    ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256)
     ?(collect_request_spans = false) ~setting () =
   let mem = Hw.Phys_mem.create ~frames in
   let clock = Hw.Cycles.clock () in
   let obs = match obs with Some e -> e | None -> Obs.Emitter.create () in
+  (* The flight recorder attaches first so boot events land in the journal
+     before any other sink sees them. *)
+  (match journal with
+  | Some w -> Obs.Journal.Writer.attach ~machine:"sim" w obs
+  | None -> ());
   (* Attach the machine's counter sink before anything boots so every event
      from assembly onward is counted. *)
   let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in

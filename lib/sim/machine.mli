@@ -11,6 +11,7 @@ type t
 
 val create :
   ?obs:Obs.Emitter.t ->
+  ?journal:Obs.Journal.Writer.t ->
   ?window:Obs.Window.t ->
   ?backend:Erebor.Isolation.kind ->
   ?frames:int -> ?cma_frames:int -> ?reserved_frames:int ->
@@ -18,7 +19,10 @@ val create :
   unit -> t
 (** [?obs] supplies the machine's event emitter — attach sinks (recorders,
     histograms) to it before [create] to observe boot as well. A fresh
-    emitter is made otherwise. [?window] attaches a sliding-window sink
+    emitter is made otherwise. [?journal] attaches a flight-recorder writer
+    (stream name ["sim"]) before any other sink, so the journal holds the
+    complete event stream from machine assembly onward; the emitter's
+    finalizer seals and closes it. [?window] attaches a sliding-window sink
     before boot, so live SLO/health telemetry covers the full event stream.
     [?backend] picks the monitor's isolation backend (default [Pks], the
     calibrated configuration); it only matters for settings with a monitor.

@@ -478,6 +478,136 @@ let check_file ?fig9 ?jobs ?wall_tolerance ?gc_tolerance ~path () =
   | json -> check_string ?fig9 ?jobs ?wall_tolerance ?gc_tolerance json
   | exception Sys_error e -> Result.Error e
 
+(* Anchor verification against a flight recording: the journal's Run-span
+   slice must reproduce the baseline's Fig. 9 rate row for the (workload,
+   setting) pair named in its header. The rates are recomputed exactly the
+   way the live path computes them — event counts between the Run span
+   markers over [Hw.Cycles.to_seconds end - Hw.Cycles.to_seconds begin],
+   the same float expression [Sim.Stats.diff] produces — so a journal of an
+   undisturbed run matches the committed row to the last %.2f digit. *)
+let check_journal ~journal baseline =
+  match Obs.Journal.read_info ~path:journal with
+  | Result.Error e -> [ chk "journal/read" false e ]
+  | Result.Ok info -> (
+      let complete =
+        chk "journal/complete" info.Obs.Journal.complete
+          (if info.Obs.Journal.complete then
+             Printf.sprintf "finalized, %d events in %d segments"
+               info.Obs.Journal.events info.Obs.Journal.segments
+           else "journal not finalized (truncated tail)")
+      in
+      let meta k = List.assoc_opt k info.Obs.Journal.meta in
+      match (meta "workload", meta "setting") with
+      | None, _ | _, None ->
+          [
+            complete;
+            chk "journal/meta" false
+              "header lacks workload/setting metadata (record with \
+               erebor-sim run --record)";
+          ]
+      | Some program, Some setting -> (
+          (* One streaming pass: find the Run span window on whichever
+             stream opens it first and count the exit kinds inside it. *)
+          let in_run = ref false and done_run = ref false in
+          let run_stream = ref (-1) in
+          let t0 = ref 0 and t1 = ref 0 in
+          let pf = ref 0 and ti = ref 0 and ve = ref 0 and emc = ref 0 in
+          let scan =
+            Obs.Journal.fold ~path:journal ~init:()
+              (fun () (e : Obs.Journal.event) ->
+                match e.Obs.Journal.kind with
+                | Obs.Trace.Span_begin Obs.Trace.Run
+                  when (not !in_run) && not !done_run ->
+                    in_run := true;
+                    run_stream := e.Obs.Journal.stream;
+                    t0 := e.Obs.Journal.ts
+                | Obs.Trace.Span_end Obs.Trace.Run
+                  when !in_run && e.Obs.Journal.stream = !run_stream ->
+                    in_run := false;
+                    done_run := true;
+                    t1 := e.Obs.Journal.ts
+                | k when !in_run && e.Obs.Journal.stream = !run_stream -> (
+                    match k with
+                    | Obs.Trace.Page_fault -> incr pf
+                    | Obs.Trace.Timer_irq -> incr ti
+                    | Obs.Trace.Ve_exit -> incr ve
+                    | Obs.Trace.Emc_entry -> incr emc
+                    | _ -> ())
+                | _ -> ())
+          in
+          match scan with
+          | Result.Error e -> [ complete; chk "journal/read" false e ]
+          | Result.Ok ((), _) ->
+              if not !done_run then
+                [
+                  complete;
+                  chk "journal/run-span" false
+                    "no complete Run span in the recording";
+                ]
+              else
+                let span =
+                  chk "journal/run-span" true
+                    (Printf.sprintf "%s @ %s, run window %d..%d cycles"
+                       program setting !t0 !t1)
+                in
+                (* Reproduce Sim.Stats.diff's float math bit for bit. *)
+                let seconds =
+                  Hw.Cycles.to_seconds !t1 -. Hw.Cycles.to_seconds !t0
+                in
+                let rate n =
+                  if seconds <= 0.0 then 0.0 else float_of_int n /. seconds
+                in
+                let row =
+                  List.find_opt
+                    (fun r ->
+                      Json.to_str (Json.member "program" r) = Some program
+                      && Json.to_str (Json.member "setting" r) = Some setting)
+                    (Json.to_arr (Json.member "fig9" baseline))
+                in
+                let rates =
+                  match row with
+                  | None ->
+                      [
+                        chk "journal/fig9-row" false
+                          (Printf.sprintf
+                             "baseline has no fig9 row for %s @ %s" program
+                             setting);
+                      ]
+                  | Some row ->
+                      List.map
+                        (fun (field, n) ->
+                          let name = Printf.sprintf "journal/%s" field in
+                          let cur = Printf.sprintf "%.2f" (rate n) in
+                          match Json.to_float (Json.member field row) with
+                          | None ->
+                              chk ~new_value:cur name false
+                                "missing in baseline"
+                          | Some base ->
+                              let base = Printf.sprintf "%.2f" base in
+                              if base = cur then
+                                chk ~old_value:base ~new_value:cur name true
+                                  cur
+                              else
+                                chk ~old_value:base ~new_value:cur name false
+                                  (Printf.sprintf
+                                     "baseline %s/s, recording %s/s" base cur))
+                        [
+                          ("pf_rate", !pf);
+                          ("timer_rate", !ti);
+                          ("ve_rate", !ve);
+                          ("emc_rate", !emc);
+                        ]
+                in
+                complete :: span :: rates))
+
+let check_journal_file ~journal ~path () =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | json -> (
+      match Json.parse json with
+      | Result.Error e -> Result.Error ("baseline JSON: " ^ e)
+      | Result.Ok baseline -> Result.Ok (check_journal ~journal baseline))
+  | exception Sys_error e -> Result.Error e
+
 (* A minimal baseline covering just the exact anchors, regenerated from the
    current build — lets tests exercise the gate (and seed mismatches into
    it) without the committed file. *)

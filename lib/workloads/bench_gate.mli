@@ -89,6 +89,21 @@ val check_file :
   unit ->
   (verdict, string) result
 
+val check_journal : journal:string -> Json.t -> verdict
+(** Verify a flight recording ({!Obs.Journal}) written by
+    [erebor-sim run --record] against an already-parsed baseline: the
+    journal must be finalized, contain a complete Run span for the
+    (workload, setting) named in its header, and the exit rates recomputed
+    from the Run-span slice must match the baseline's Fig. 9 row for that
+    pair at the reported %.2f precision. The rate math reproduces
+    [Sim.Stats.diff] exactly, so an undisturbed recording matches to the
+    last digit. *)
+
+val check_journal_file :
+  journal:string -> path:string -> unit -> (verdict, string) result
+(** [check_journal] against the baseline JSON at [path] — the engine behind
+    [bench check --from-journal FILE]. *)
+
 val render_anchors : ?instrument:(Obs.Emitter.t -> unit) -> unit -> string
 (** A minimal baseline document (schema + exact Table 3 / Table 4 anchors)
     regenerated from the current build. Tests use this to construct a

@@ -1,0 +1,254 @@
+(* The flight-recorder bench gate (bench/main.exe journal, @ci-journal).
+
+   Five properties pin the recorder's contract:
+
+   1. Recording is invisible: the Table 3/4 anchor document regenerated
+      with a journal writer attached to every bench machine is byte-
+      identical to the plain one (emission never advances the virtual
+      clock).
+   2. Recording is lossless: a drugbank run's journal, replayed into a
+      fresh counter sink, reproduces the live counter sink's per-kind
+      count and arg-sum exactly, for every kind.
+   3. Recording is allocation-free: the steady-state record path costs
+      exactly 0 minor words per event (seals excepted; the check uses a
+      segment large enough that none occur inside the measured window).
+   4. Diffing is sound: a journal diffed against itself reports zero
+      deltas and no regressions, while a seeded slowdown (extra compute
+      appended to the same workload body) is flagged past the default
+      threshold.
+   5. Recording is cheap: the recorded run's CPU time stays inside the
+      same wall tolerance the bench gate applies, relative to the
+      committed BENCH_sim.json suite wall.
+
+   All scratch files live in the action's working directory (dune sandbox)
+   and are removed on the way out. *)
+
+module J = Obs.Journal
+
+let chk ?old_value ?new_value name ok detail =
+  { Bench_gate.name; ok; detail; old_value; new_value }
+
+let rm path = try Sys.remove path with Sys_error _ -> ()
+
+(* [Gc.minor_words] boxes its own result, so two back-to-back calls differ
+   by a small constant; calibrate it out so the steady-state check can
+   demand an exact zero. *)
+let minor_probe_overhead () =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  b -. a
+
+let anchors_check scratch =
+  let plain = Bench_gate.render_anchors () in
+  let w = J.Writer.create ~segment_bytes:(1 lsl 20) ~path:scratch () in
+  let recorded =
+    Bench_gate.render_anchors
+      ~instrument:(fun obs -> J.Writer.attach w obs)
+      ()
+  in
+  if not (J.Writer.closed w) then J.Writer.close w ~now:0;
+  let events = J.Writer.events w in
+  rm scratch;
+  chk "journal/anchors-identical" (plain = recorded)
+    (if plain = recorded then
+       Printf.sprintf
+         "Table 3/4 anchors byte-identical with recorder attached (%d \
+          events journaled)"
+         events
+     else "anchor document CHANGED with a journal writer attached")
+
+(* One recorded drugbank run under full Erebor: returns the journal path
+   (caller removes), the live counter sink, and the recording's CPU cost. *)
+let recorded_run ~path () =
+  let spec_fn = List.assoc "drugbank" Eval.all_programs in
+  let cpu0 = Sys.time () in
+  let obs = Obs.Emitter.create () in
+  let w =
+    J.Writer.create
+      ~meta:
+        [
+          ("workload", "drugbank");
+          ("setting", Sim.Config.name Sim.Config.Erebor_full);
+        ]
+      ~path ()
+  in
+  J.Writer.attach ~machine:"sim" w obs;
+  let m = Sim.Machine.create ~obs ~setting:Sim.Config.Erebor_full () in
+  ignore (Sim.Machine.run m (spec_fn ()));
+  Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m));
+  let cpu = Sys.time () -. cpu0 in
+  (Sim.Machine.counters m, cpu)
+
+let replay_check ~path live =
+  let robs = Obs.Emitter.create () in
+  let replayed = Obs.Counter.attach robs (Obs.Counter.create ()) in
+  match
+    J.fold ~path ~init:0 (fun n (e : J.event) ->
+        Obs.Emitter.emit robs e.J.kind ~ts:e.J.ts ~arg:e.J.arg;
+        n + 1)
+  with
+  | Result.Error e -> chk "journal/replay-counters" false e
+  | Result.Ok (n, _) ->
+      let mismatches =
+        List.filter
+          (fun k ->
+            Obs.Counter.count live k <> Obs.Counter.count replayed k
+            || Obs.Counter.arg_sum live k <> Obs.Counter.arg_sum replayed k)
+          Obs.Trace.all
+      in
+      let live_total = Obs.Counter.total live in
+      chk
+        ~old_value:(Printf.sprintf "%d live events" live_total)
+        ~new_value:(Printf.sprintf "%d replayed events" (Obs.Counter.total replayed))
+        "journal/replay-counters" (mismatches = [])
+        (if mismatches = [] then
+           Printf.sprintf
+             "replayed %d events: count and arg-sum equal for all %d kinds"
+             n (List.length Obs.Trace.all)
+         else
+           "live/replay disagree on: "
+           ^ String.concat ", " (List.map Obs.Trace.name mismatches))
+
+let zero_alloc_check ~smoke scratch =
+  let n = if smoke then 50_000 else 200_000 in
+  (* A segment large enough that no seal (and thus no I/O or framing) falls
+     inside the measured window — the property under test is the per-event
+     record path. *)
+  let w = J.Writer.create ~segment_bytes:(1 lsl 22) ~path:scratch () in
+  let s = J.Writer.stream w ~machine:"alloc" in
+  for i = 1 to 1024 do
+    J.Writer.record w ~stream:s Obs.Trace.Page_fault ~ts:i ~arg:(i * 64)
+  done;
+  let probe = minor_probe_overhead () in
+  let m0 = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    J.Writer.record w ~stream:s Obs.Trace.Page_fault ~ts:(1024 + i)
+      ~arg:(i land 4095 * 64)
+  done;
+  let dw = Gc.minor_words () -. m0 -. probe in
+  J.Writer.close w ~now:(1024 + n);
+  rm scratch;
+  chk ~old_value:"0.0 words/event"
+    ~new_value:(Printf.sprintf "%.4f words/event" (dw /. float_of_int n))
+    "journal/zero-alloc" (dw = 0.0)
+    (Printf.sprintf "%.0f minor words across %d steady-state records" dw n)
+
+let diff_checks ~rec_path ~slow_path =
+  let self =
+    match Obs.Diff.compare_files ~a:rec_path ~b:rec_path with
+    | Result.Error e -> chk "journal/diff-self" false e
+    | Result.Ok d ->
+        let zero =
+          List.for_all (fun (e : Obs.Diff.entry) -> e.Obs.Diff.delta = 0)
+            d.Obs.Diff.entries
+          && Obs.Diff.regressions d = []
+        in
+        chk ~old_value:(string_of_int d.Obs.Diff.total_a)
+          ~new_value:(string_of_int d.Obs.Diff.total_b)
+          "journal/diff-self" zero
+          (if zero then
+             Printf.sprintf "self-diff silent across %d phases"
+               (List.length d.Obs.Diff.entries)
+           else "self-diff reported nonzero deltas")
+  in
+  let seeded =
+    match Obs.Diff.compare_files ~a:rec_path ~b:slow_path with
+    | Result.Error e -> chk "journal/diff-regression" false e
+    | Result.Ok d ->
+        let regs = Obs.Diff.regressions ~threshold:5.0 ~min_cycles:1000 d in
+        let hits_run =
+          List.exists
+            (fun (e : Obs.Diff.entry) -> e.Obs.Diff.ephase = Obs.Trace.Run)
+            regs
+        in
+        chk
+          ~old_value:(string_of_int d.Obs.Diff.total_a)
+          ~new_value:(string_of_int d.Obs.Diff.total_b)
+          "journal/diff-regression"
+          (regs <> [] && hits_run)
+          (if regs = [] then "seeded slowdown NOT flagged"
+           else if not hits_run then
+             "regression flagged, but not on the seeded user/run phase"
+           else
+             Printf.sprintf "seeded slowdown flagged (%d regressing phase(s))"
+               (List.length regs))
+  in
+  [ self; seeded ]
+
+(* Re-run the same workload with extra compute appended to its body — a
+   deliberate user-phase regression sized off the baseline recording's own
+   Run-phase self cycles, so the percentage is workload-independent. *)
+let seeded_slow_run ~rec_path ~path () =
+  let extra =
+    match Obs.Diff.attribution ~path:rec_path with
+    | Result.Ok (arr, _) ->
+        let run_self, _ = arr.(Obs.Trace.phase_index Obs.Trace.Run) in
+        max 1_000_000 (run_self / 4)
+    | Result.Error _ -> 100_000_000
+  in
+  let spec_fn = List.assoc "drugbank" Eval.all_programs in
+  let spec = spec_fn () in
+  let slow =
+    {
+      spec with
+      Sim.Machine.body =
+        (fun ops ->
+          spec.Sim.Machine.body ops;
+          ops.Sim.Machine.compute extra);
+    }
+  in
+  let obs = Obs.Emitter.create () in
+  let w =
+    J.Writer.create
+      ~meta:
+        [
+          ("workload", "drugbank+seeded-slowdown");
+          ("setting", Sim.Config.name Sim.Config.Erebor_full);
+        ]
+      ~path ()
+  in
+  J.Writer.attach ~machine:"sim" w obs;
+  let m = Sim.Machine.create ~obs ~setting:Sim.Config.Erebor_full () in
+  ignore (Sim.Machine.run m slow);
+  Obs.Emitter.finalize obs ~now:(Hw.Cycles.now (Sim.Machine.clock m))
+
+let wall_check ~baseline ~cpu =
+  match In_channel.with_open_bin baseline In_channel.input_all with
+  | exception Sys_error e -> chk "journal/record-wall" false e
+  | json -> (
+      match Bench_gate.Json.parse json with
+      | Result.Error e -> chk "journal/record-wall" false ("baseline JSON: " ^ e)
+      | Result.Ok b -> (
+          match Bench_gate.Json.member "total_wall_s" b with
+          | Some (Bench_gate.Json.Num base) ->
+              let budget = 1.5 *. base in
+              chk
+                ~old_value:(Printf.sprintf "budget %.3fs" budget)
+                ~new_value:(Printf.sprintf "%.3fs cpu" cpu)
+                "journal/record-wall" (cpu <= budget)
+                (Printf.sprintf
+                   "recorded run %.3fs cpu, budget %.3fs (1.5x baseline \
+                    suite wall)"
+                   cpu budget)
+          | _ -> chk "journal/record-wall" false "baseline lacks total_wall_s"))
+
+let from_journal_checks ~baseline ~rec_path =
+  match Bench_gate.check_journal_file ~journal:rec_path ~path:baseline () with
+  | Result.Error e -> [ chk "journal/from-journal" false e ]
+  | Result.Ok verdict -> verdict
+
+let run ?(smoke = false) ?(baseline = "BENCH_sim.json") () =
+  let rec_path = ".journal-bench.rec.ejrn" in
+  let slow_path = ".journal-bench.slow.ejrn" in
+  let scratch = ".journal-bench.scratch.ejrn" in
+  let anchors = anchors_check scratch in
+  let live, cpu = recorded_run ~path:rec_path () in
+  let replay = replay_check ~path:rec_path live in
+  let alloc = zero_alloc_check ~smoke scratch in
+  seeded_slow_run ~rec_path ~path:slow_path ();
+  let diffs = diff_checks ~rec_path ~slow_path in
+  let wall = wall_check ~baseline ~cpu in
+  let from_journal = from_journal_checks ~baseline ~rec_path in
+  rm rec_path;
+  rm slow_path;
+  (anchors :: replay :: alloc :: diffs) @ (wall :: from_journal)

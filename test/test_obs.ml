@@ -1541,6 +1541,347 @@ let test_dash_snapshot_abnormal_exit () =
             (J.member field doc <> None))
         [ "ts"; "window"; "slo"; "health"; "refreshes" ]
 
+(* ------------------------------------------------------------------ *)
+(* Journal: flight-recorder round trips, corruption, offline engines   *)
+(* ------------------------------------------------------------------ *)
+
+let journal_path name = Printf.sprintf ".test-journal-%s.ejrn" name
+let rm_journal path = try Sys.remove path with Sys_error _ -> ()
+
+(* Write a two-machine event list [(stream01, kind, ts, arg); ...] and
+   finalize; returns nothing (read it back through the public reader). *)
+let write_journal ?(segment_bytes = 512) ?(meta = []) ~path evs =
+  let w = Obs.Journal.Writer.create ~segment_bytes ~meta ~path () in
+  let s0 = Obs.Journal.Writer.stream w ~machine:"alpha" in
+  let s1 = Obs.Journal.Writer.stream w ~machine:"beta" in
+  let last = ref 0 in
+  List.iter
+    (fun (st, kind, ts, arg) ->
+      Obs.Journal.Writer.record w
+        ~stream:(if st = 0 then s0 else s1)
+        kind ~ts ~arg;
+      if ts > !last then last := ts)
+    evs;
+  Obs.Journal.Writer.close w ~now:!last
+
+let read_journal ?strict path =
+  match Obs.Journal.read ?strict ~path () with
+  | Ok (evs, info) -> (evs, info)
+  | Error e -> Alcotest.failf "journal read: %s" e
+
+(* Random event streams survive the delta/varint codec bit for bit:
+   arbitrary kinds, non-monotone timestamps (negative deltas stress the
+   zigzag path), full-range arguments, interleaved streams, and a segment
+   size small enough that every run seals several segments. *)
+let prop_journal_roundtrip =
+  QCheck.Test.make ~name:"journal roundtrip = identity" ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 400)
+        (quad (int_bound 1) (int_bound (Obs.Trace.n_kinds - 1))
+           (int_range (-50) 5_000) QCheck.int))
+    (fun raw ->
+      let path = journal_path "prop" in
+      let _, evs =
+        List.fold_left
+          (fun (ts, acc) (st, ki, dts, arg) ->
+            let ts = Stdlib.max 0 (ts + dts) in
+            (ts, (st, Obs.Trace.kind_of_index ki, ts, arg) :: acc))
+          (0, []) raw
+      in
+      let evs = List.rev evs in
+      write_journal ~path evs;
+      let got, info = read_journal path in
+      rm_journal path;
+      info.Obs.Journal.complete
+      && info.Obs.Journal.events = List.length evs
+      && List.length got = List.length evs
+      && List.for_all2
+           (fun (st, k, ts, arg) (e : Obs.Journal.event) ->
+             e.Obs.Journal.stream = st
+             && e.Obs.Journal.kind = k
+             && e.Obs.Journal.ts = ts
+             && e.Obs.Journal.arg = arg)
+           evs got)
+
+let sample_events n =
+  List.init n (fun i ->
+      (i mod 2, Obs.Trace.Page_fault, i * 10, (i land 7) * 4096))
+
+let expect_journal_error name path ~msg_frag =
+  match Obs.Journal.read ~path () with
+  | Ok _ -> Alcotest.failf "%s: corruption accepted" name
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s names the cause (%S in %S)" name msg_frag e)
+        true
+        (contains ~sub:msg_frag e)
+
+let test_journal_corruption_rejected () =
+  let path = journal_path "corrupt" in
+  write_journal ~path (sample_events 300);
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let write_raw s =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+  in
+  (* Bit-flip inside the last frame's payload: CRC mismatch, named frame. *)
+  let flipped = Bytes.of_string raw in
+  let k = Bytes.length flipped - 1 in
+  Bytes.set flipped k (Char.chr (Char.code (Bytes.get flipped k) lxor 1));
+  write_raw (Bytes.to_string flipped);
+  expect_journal_error "bit flip" path ~msg_frag:"CRC mismatch";
+  expect_journal_error "bit flip frame id" path ~msg_frag:"frame";
+  (* Trailing data after the END frame is never silently ignored: a whole
+     duplicated frame is "data after END", junk bytes are an unknown tag.
+     Find the last frame by walking the header chain (magic is 6 bytes,
+     each frame is 12 header bytes + a LE u32 payload length). *)
+  let last_frame =
+    let u32 off =
+      Char.code raw.[off]
+      lor (Char.code raw.[off + 1] lsl 8)
+      lor (Char.code raw.[off + 2] lsl 16)
+      lor (Char.code raw.[off + 3] lsl 24)
+    in
+    let rec walk off =
+      let next = off + 12 + u32 (off + 4) in
+      if next >= String.length raw then off else walk next
+    in
+    walk 6
+  in
+  write_raw (raw ^ String.sub raw last_frame (String.length raw - last_frame));
+  expect_journal_error "data after END" path ~msg_frag:"data after END";
+  write_raw (raw ^ "XXXXXXXXXXXX");
+  expect_journal_error "junk after END" path ~msg_frag:"unknown tag";
+  (* A clobbered magic fails before any decoding. *)
+  write_raw ("X" ^ String.sub raw 1 (String.length raw - 1));
+  expect_journal_error "bad magic" path ~msg_frag:"bad magic";
+  (* A tail cut mid-frame is tolerated by default (sealed segments remain
+     readable, [complete = false]) and a precise error under [~strict]. *)
+  write_raw (String.sub raw 0 (String.length raw - 3));
+  let evs, info = read_journal path in
+  Alcotest.(check bool) "truncated tail: not finalized" false
+    info.Obs.Journal.complete;
+  Alcotest.(check int) "truncated tail: sealed events intact" 300
+    (List.length evs);
+  (match Obs.Journal.read ~strict:true ~path () with
+  | Ok _ -> Alcotest.fail "strict read accepted a truncated file"
+  | Error e ->
+      Alcotest.(check bool) "strict truncation error" true
+        (contains ~sub:"mid-frame" e || contains ~sub:"mid-header" e
+        || contains ~sub:"never finalized" e));
+  rm_journal path
+
+let test_journal_kill_mid_run () =
+  let path = journal_path "killed" in
+  let w = Obs.Journal.Writer.create ~segment_bytes:512 ~path () in
+  let s = Obs.Journal.Writer.stream w ~machine:"sim" in
+  let evs = sample_events 2000 in
+  List.iter
+    (fun (_, kind, ts, arg) -> Obs.Journal.Writer.record w ~stream:s kind ~ts ~arg)
+    evs;
+  (* No close: the process "died". Sealed segments were flushed frame by
+     frame, so the file is readable up to the last seal. *)
+  Alcotest.(check bool) "several segments sealed" true
+    (Obs.Journal.Writer.segments w > 2);
+  let got, info = read_journal path in
+  Alcotest.(check bool) "not finalized" false info.Obs.Journal.complete;
+  Alcotest.(check int) "sealed segments readable" info.Obs.Journal.segments
+    (Obs.Journal.Writer.segments w);
+  Alcotest.(check bool) "a true prefix survives" true
+    (List.length got > 0 && List.length got < 2000);
+  List.iteri
+    (fun i (e : Obs.Journal.event) ->
+      let _, k, ts, arg = List.nth evs i in
+      Alcotest.(check bool) "prefix event intact" true
+        (e.Obs.Journal.kind = k && e.Obs.Journal.ts = ts
+        && e.Obs.Journal.arg = arg))
+    got;
+  Obs.Journal.Writer.close w ~now:0;
+  rm_journal path
+
+(* The journal is a complete, faithful recording: a snapshot rebuilt purely
+   from replaying it equals the machine's live counter-derived snapshot. *)
+let test_journal_snapshot_replay () =
+  let path = journal_path "snapshot" in
+  let obs = Obs.Emitter.create () in
+  let w = Obs.Journal.Writer.create ~path () in
+  let m =
+    Sim.Machine.create ~obs ~journal:w ~frames:32768 ~cma_frames:4096
+      ~setting:Sim.Config.Erebor_full ()
+  in
+  ignore (Sim.Machine.run m (small_spec ~body:rich_body ()));
+  let snap = Sim.Machine.snapshot m in
+  let now = Hw.Cycles.now (Sim.Machine.clock m) in
+  Obs.Emitter.finalize obs ~now;
+  let robs = Obs.Emitter.create () in
+  let rc = Obs.Counter.attach robs (Obs.Counter.create ()) in
+  let info =
+    match
+      Obs.Journal.fold ~path ~init:() (fun () (e : Obs.Journal.event) ->
+          Obs.Emitter.emit robs e.Obs.Journal.kind ~ts:e.Obs.Journal.ts
+            ~arg:e.Obs.Journal.arg)
+    with
+    | Ok ((), info) -> info
+    | Error e -> Alcotest.failf "replay: %s" e
+  in
+  Alcotest.(check bool) "finalized by emitter finalizer" true
+    info.Obs.Journal.complete;
+  Alcotest.(check int) "final timestamp = machine clock" now
+    info.Obs.Journal.last_ts;
+  let c k = Obs.Counter.count rc k in
+  List.iter
+    (fun (label, k, expected) -> Alcotest.(check int) label expected (c k))
+    [
+      ("page faults", Obs.Trace.Page_fault, snap.Sim.Stats.page_faults);
+      ("timer irqs", Obs.Trace.Timer_irq, snap.Sim.Stats.timer_irqs);
+      ("ve exits", Obs.Trace.Ve_exit, snap.Sim.Stats.ve_exits);
+      ("syscalls", Obs.Trace.Syscall, snap.Sim.Stats.syscalls);
+      ("emc total", Obs.Trace.Emc_entry, snap.Sim.Stats.emc_total);
+      ("emc mmu", Obs.Trace.emc_mmu, snap.Sim.Stats.emc_mmu);
+      ("emc cr", Obs.Trace.emc_cr, snap.Sim.Stats.emc_cr);
+      ("emc msr", Obs.Trace.emc_msr, snap.Sim.Stats.emc_msr);
+      ("emc idt", Obs.Trace.emc_idt, snap.Sim.Stats.emc_idt);
+      ("emc smap", Obs.Trace.emc_smap, snap.Sim.Stats.emc_smap);
+      ("emc ghci", Obs.Trace.emc_ghci, snap.Sim.Stats.emc_ghci);
+      ("ctx switches", Obs.Trace.Context_switch, snap.Sim.Stats.context_switches);
+      ("denies", Obs.Trace.Mmu_deny, snap.Sim.Stats.mmu_denies);
+    ];
+  rm_journal path
+
+(* A small hand-built single-stream scenario shared by the three offline
+   engines: boot span, then one request whose window covers a Run span
+   with a nested page-fault handler, closing 20 cycles after Run ends.
+
+     boot [0,100]   req [100,220]   run [100,200]   pf [150,170]  *)
+let scenario_a =
+  let req_arg = (7 lsl 2) lor (1 lsl 1) lor 1 in
+  [
+    (0, Obs.Trace.span_begin Obs.Trace.Boot, 0, 0);
+    (0, Obs.Trace.span_end Obs.Trace.Boot, 100, 0);
+    (0, Obs.Trace.Req_begin, 100, req_arg);
+    (0, Obs.Trace.span_begin Obs.Trace.Run, 100, 0);
+    (0, Obs.Trace.Page_fault, 150, 4096);
+    (0, Obs.Trace.span_begin Obs.Trace.Pf_handler, 150, 0);
+    (0, Obs.Trace.span_end Obs.Trace.Pf_handler, 170, 0);
+    (0, Obs.Trace.Page_fault, 180, 12288);
+    (0, Obs.Trace.span_end Obs.Trace.Run, 200, 0);
+    (0, Obs.Trace.Req_end, 220, req_arg);
+  ]
+
+let test_journal_query () =
+  let path = journal_path "query" in
+  write_journal ~path scenario_a;
+  (* By_kind: page faults aggregate count / arg-sum / extrema. *)
+  (match Obs.Query.run ~path () with
+  | Error e -> Alcotest.failf "query: %s" e
+  | Ok (rows, _) -> (
+      match
+        List.find_opt
+          (fun (r : Obs.Query.row) -> r.Obs.Query.label = "page_fault")
+          rows
+      with
+      | None -> Alcotest.fail "no page_fault row"
+      | Some r ->
+          Alcotest.(check int) "pf count" 2 r.Obs.Query.count;
+          Alcotest.(check int) "pf arg sum" 16384 r.Obs.Query.sum;
+          Alcotest.(check int) "pf min" 4096 r.Obs.Query.min;
+          Alcotest.(check int) "pf max" 12288 r.Obs.Query.max));
+  (* Kind + time-range filter composes. *)
+  (match
+     Obs.Query.run
+       ~filter:
+         {
+           Obs.Query.no_filter with
+           Obs.Query.kinds = [ Obs.Trace.Page_fault ];
+           t0 = Some 160;
+         }
+       ~path ()
+   with
+  | Error e -> Alcotest.failf "filtered query: %s" e
+  | Ok (rows, _) ->
+      Alcotest.(check int) "one row" 1 (List.length rows);
+      let r = List.hd rows in
+      Alcotest.(check int) "one late fault" 1 r.Obs.Query.count;
+      Alcotest.(check int) "its arg" 12288 r.Obs.Query.sum);
+  (* By_phase: inclusive span durations per phase. *)
+  (match Obs.Query.run ~group:Obs.Query.By_phase ~path () with
+  | Error e -> Alcotest.failf "phase query: %s" e
+  | Ok (rows, _) ->
+      Alcotest.(check int) "three phases" 3 (List.length rows);
+      let sums =
+        List.map (fun (r : Obs.Query.row) -> r.Obs.Query.sum) rows
+        |> List.sort Stdlib.compare
+      in
+      Alcotest.(check (list int)) "boot/run inclusive, pf nested" [ 20; 100; 100 ]
+        sums);
+  rm_journal path
+
+let test_journal_critical () =
+  let path = journal_path "critical" in
+  write_journal ~path scenario_a;
+  (match Obs.Critical.analyze ~path () with
+  | Error e -> Alcotest.failf "critical: %s" e
+  | Ok (rep, _) ->
+      Alcotest.(check int) "one request" 1 rep.Obs.Critical.n;
+      let r = List.hd rep.Obs.Critical.requests in
+      Alcotest.(check int) "trace id" 7 r.Obs.Critical.trace_id;
+      Alcotest.(check bool) "root" true r.Obs.Critical.root;
+      Alcotest.(check int) "total latency" 120 r.Obs.Critical.total;
+      Alcotest.(check int) "service = run overlap" 100 r.Obs.Critical.service;
+      Alcotest.(check int) "queueing = remainder" 20 r.Obs.Critical.queueing;
+      (match r.Obs.Critical.path with
+      | [ a; b ] ->
+          Alcotest.(check bool) "dominant blame user:run 80" true
+            (a.Obs.Critical.bphase = Obs.Trace.Run
+            && a.Obs.Critical.bdomain = Obs.Trace.User
+            && a.Obs.Critical.bcycles = 80);
+          Alcotest.(check bool) "nested blame kernel:pf 20" true
+            (b.Obs.Critical.bphase = Obs.Trace.Pf_handler
+            && b.Obs.Critical.bdomain = Obs.Trace.Kernel
+            && b.Obs.Critical.bcycles = 20)
+      | p -> Alcotest.failf "expected 2 blame entries, got %d" (List.length p)));
+  rm_journal path
+
+let test_journal_diff () =
+  let path_a = journal_path "diff-a" in
+  let path_b = journal_path "diff-b" in
+  write_journal ~path:path_a scenario_a;
+  (* Self-diff is exactly silent. *)
+  (match Obs.Diff.compare_files ~a:path_a ~b:path_a with
+  | Error e -> Alcotest.failf "self diff: %s" e
+  | Ok d ->
+      Alcotest.(check bool) "all deltas zero" true
+        (List.for_all
+           (fun (e : Obs.Diff.entry) -> e.Obs.Diff.delta = 0)
+           d.Obs.Diff.entries);
+      Alcotest.(check int) "no regressions"
+        0
+        (List.length (Obs.Diff.regressions ~min_cycles:0 d)));
+  (* Run B: the Run span stretches 100 extra user cycles — flagged. *)
+  let scenario_b =
+    List.map
+      (fun (st, k, ts, arg) ->
+        match k with
+        | Obs.Trace.Span_end Obs.Trace.Run -> (st, k, 300, arg)
+        | Obs.Trace.Req_end -> (st, k, 320, arg)
+        | _ -> (st, k, ts, arg))
+      scenario_a
+  in
+  write_journal ~path:path_b scenario_b;
+  (match Obs.Diff.compare_files ~a:path_a ~b:path_b with
+  | Error e -> Alcotest.failf "seeded diff: %s" e
+  | Ok d ->
+      let regs = Obs.Diff.regressions ~threshold:5.0 ~min_cycles:10 d in
+      Alcotest.(check bool) "user/run regression flagged" true
+        (List.exists
+           (fun (e : Obs.Diff.entry) ->
+             e.Obs.Diff.ephase = Obs.Trace.Run
+             && e.Obs.Diff.edomain = Obs.Trace.User
+             && e.Obs.Diff.delta = 100)
+           regs));
+  rm_journal path_a;
+  rm_journal path_b
+
 let () =
   Alcotest.run "obs"
     [
@@ -1652,5 +1993,21 @@ let () =
             test_anchors_identical_under_telemetry;
           Alcotest.test_case "abnormal exit snapshots the dash" `Quick
             test_dash_snapshot_abnormal_exit;
+        ] );
+      ( "journal",
+        [
+          QCheck_alcotest.to_alcotest prop_journal_roundtrip;
+          Alcotest.test_case "corruption rejected with precise errors" `Quick
+            test_journal_corruption_rejected;
+          Alcotest.test_case "kill mid-run: sealed prefix readable" `Quick
+            test_journal_kill_mid_run;
+          Alcotest.test_case "snapshot = journal replay" `Quick
+            test_journal_snapshot_replay;
+          Alcotest.test_case "query: filter + group-by" `Quick
+            test_journal_query;
+          Alcotest.test_case "critical path: queueing vs service" `Quick
+            test_journal_critical;
+          Alcotest.test_case "diff: self silent, slowdown flagged" `Quick
+            test_journal_diff;
         ] );
     ]
