@@ -21,6 +21,7 @@
      bench/main.exe check           # regression gate vs committed BENCH_sim.json
                                     # (--from-journal FILE: verify a recording)
      bench/main.exe journal         # flight-recorder gate (--smoke: @ci cut)
+     bench/main.exe agg             # fleet-telemetry gate (--smoke: @ci cut)
      bench/main.exe bechamel        # wall-clock microbenchmarks
    Common flags:
      --jobs N         domain-pool width for machine fan-out
@@ -454,9 +455,40 @@ let bechamel_tests () =
     Test.make ~name:"memshare-2-sandboxes"
       (Staged.stage (fun () -> ignore (Workloads.Eval.memshare ~max_sandboxes:2 ())))
   in
+  (* Telemetry record paths, 1000 records per run: the live log2
+     histogram sink vs the mergeable quantile sketch vs the full fleet
+     record (sketch + per-tenant sketch + heavy-hitter + exemplar). *)
+  let hist_obs = Obs.Emitter.create () in
+  let _hist = Obs.Histogram.attach hist_obs (Obs.Histogram.create ()) in
+  let hist_test =
+    Test.make ~name:"obs-histogram-record-1k"
+      (Staged.stage (fun () ->
+           for i = 1 to 1000 do
+             Obs.Emitter.emit hist_obs Obs.Trace.Req_end ~ts:i
+               ~arg:(i land 0xFFFF)
+           done))
+  in
+  let sketch = Obs.Sketch.create () in
+  let sketch_test =
+    Test.make ~name:"obs-sketch-record-1k"
+      (Staged.stage (fun () ->
+           for i = 1 to 1000 do
+             Obs.Sketch.record sketch (i land 0xFFFF)
+           done))
+  in
+  let part = Obs.Agg.part ~machine:"bech" () in
+  let tn = Obs.Agg.tenant part "tenant-0" in
+  let agg_test =
+    Test.make ~name:"obs-agg-record-1k"
+      (Staged.stage (fun () ->
+           for i = 1 to 1000 do
+             Obs.Agg.record part tn Obs.Trace.Req_end
+               ~latency:(i land 0xFFFF) ~trace_id:i ~offset:(i * 64) ~ts:i
+           done))
+  in
   Test.make_grouped ~name:"erebor-eval"
     [ table3_test; table4_test; fig8_test; fig9_test; table6_test; fig10_test;
-      memshare_test ]
+      memshare_test; hist_test; sketch_test; agg_test ]
 
 let run_bechamel () =
   let open Bechamel in
@@ -651,6 +683,22 @@ let run_journal ~baseline () =
   report_verdict ~baseline
     ~pass_detail:
       "anchors byte-identical under recording, replay exact, 0 words/event"
+    verdict
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-telemetry gate (mergeable sketches / heavy hitters / exemplars) *)
+(* ------------------------------------------------------------------ *)
+
+let run_agg () =
+  header
+    "Fleet-telemetry gate: invisible, order-invariant, allocation-free, \
+     attributable";
+  let verdict = Workloads.Agg_bench.run ~smoke:!smoke_arg () in
+  Format.printf "%a" Workloads.Bench_gate.pp_verdict verdict;
+  report_verdict ~baseline:"Obs.Agg determinism contract"
+    ~pass_detail:
+      "anchors identical, quantiles within bound, merge order-invariant, \
+       0 words/record, spike attributable"
     verdict
 
 (* ------------------------------------------------------------------ *)
@@ -896,6 +944,9 @@ let () =
       target "journal" ~flags:[ smoke_flag; baseline_flag ]
         "Flight-recorder gate: invisible, lossless, allocation-free, \
          diffable" (fun p -> run_journal ~baseline:(baseline_of p) ());
+      target "agg" ~flags:[ smoke_flag ]
+        "Fleet-telemetry gate: mergeable sketches, heavy hitters, \
+         exemplars" (fun _ -> run_agg ());
       target "bechamel" "Wall-clock microbenchmarks of the simulator"
         (fun _ -> run_bechamel ());
     ]

@@ -801,10 +801,132 @@ let export_cmd =
               close_out oc;
               Printf.printf "flame    : collapsed stacks -> %s\n" out))
 
+let key_flag =
+  C.flag ~docv:"BY" [ "--key" ]
+    "Heavy-hitter key: machine-kind (default), kind, machine."
+
+let capacity_flag =
+  C.flag ~docv:"N" [ "--capacity" ]
+    "Space-saving table capacity (default 64)."
+
+let offset_flag =
+  C.flag ~docv:"BYTES" [ "--offset" ]
+    "Resolve a frame offset (as carried by a fleet p99 exemplar) instead: \
+     list the events recorded in the SEGM frame at this byte offset."
+
+let topk_cmd =
+  C.cmd ~name:"topk"
+    ~doc:
+      "Offline heavy hitters over a journal (space-saving, with guaranteed \
+       count bounds); --offset resolves an exemplar's frame"
+    ~flags:[ key_flag; capacity_flag; top_flag; offset_flag ]
+    (fun p ->
+      let path = journal_file p in
+      match C.str p offset_flag with
+      | Some _ -> (
+          (* The exemplar-resolution path: a fleet p99 exemplar carries the
+             byte offset of the SEGM frame its request was recorded into;
+             this lists exactly that frame's events. *)
+          let off = C.int_of p ~min:0 ~default:0 offset_flag in
+          match
+            Obs.Journal.fold ~path ~init:[]
+              (fun acc (e : Obs.Journal.event) ->
+                if e.off = off then e :: acc else acc)
+          with
+          | Error e ->
+              Printf.eprintf "journal topk: %s\n" e;
+              exit 1
+          | Ok (acc, info) ->
+              print_info info;
+              let evs = List.rev acc in
+              Printf.printf "frame at offset %d: %d event(s)\n" off
+                (List.length evs);
+              List.iter
+                (fun (e : Obs.Journal.event) ->
+                  Printf.printf "  %-10s %-14s ts %-14d arg %d\n"
+                    (Obs.Journal.machine_name info e.stream)
+                    (Obs.Trace.name e.kind) e.ts e.arg)
+                evs;
+              if evs = [] then begin
+                Printf.eprintf
+                  "journal topk: no events at offset %d (not a SEGM frame \
+                   of this journal?)\n"
+                  off;
+                exit 1
+              end)
+      | None -> (
+          let capacity = C.int_of p ~min:1 ~default:64 capacity_flag in
+          let top = C.int_of p ~min:1 ~default:10 top_flag in
+          let mode =
+            match C.str p key_flag with
+            | None | Some "machine-kind" -> `Machine_kind
+            | Some "kind" -> `Kind
+            | Some "machine" -> `Machine
+            | Some g ->
+                C.fail p
+                  (Printf.sprintf
+                     "unknown key %S (expected machine-kind, kind or machine)"
+                     g)
+          in
+          (* Machine names are interned in the stream itself, so resolve
+             them first (one metadata pass), then fold the events through a
+             space-saving table with one interned key string per
+             (stream, kind) class. *)
+          match Obs.Journal.read_info ~path with
+          | Error e ->
+              Printf.eprintf "journal topk: %s\n" e;
+              exit 1
+          | Ok info -> (
+              let tk = Obs.Topk.create ~capacity () in
+              let cache : (int, string) Hashtbl.t = Hashtbl.create 64 in
+              let key (e : Obs.Journal.event) =
+                let ki = Obs.Trace.index e.kind in
+                let ck =
+                  match mode with
+                  | `Machine_kind -> (e.stream * Obs.Trace.n_kinds) + ki
+                  | `Kind -> ki
+                  | `Machine -> -1 - e.stream
+                in
+                match Hashtbl.find_opt cache ck with
+                | Some s -> s
+                | None ->
+                    let s =
+                      match mode with
+                      | `Machine_kind ->
+                          Obs.Journal.machine_name info e.stream
+                          ^ "/" ^ Obs.Trace.name e.kind
+                      | `Kind -> Obs.Trace.name e.kind
+                      | `Machine -> Obs.Journal.machine_name info e.stream
+                    in
+                    Hashtbl.add cache ck s;
+                    s
+              in
+              match
+                Obs.Journal.fold ~path ~init:()
+                  (fun () (e : Obs.Journal.event) ->
+                    Obs.Topk.observe tk ~key:(key e) ~weight:1)
+              with
+              | Error e ->
+                  Printf.eprintf "journal topk: %s\n" e;
+                  exit 1
+              | Ok ((), info) ->
+                  print_info info;
+                  let s = Obs.Topk.seal tk in
+                  Printf.printf
+                    "heavy hitters: %d key(s) tracked, capacity %d, absent \
+                     keys <= %d\n"
+                    (Obs.Topk.n_keys s) capacity (Obs.Topk.floor_total s);
+                  List.iter
+                    (fun (r : Obs.Topk.ranked) ->
+                      Printf.printf "  %10d  %-28s true in [%d, %d]\n"
+                        r.Obs.Topk.rcount r.Obs.Topk.rkey r.Obs.Topk.lower
+                        r.Obs.Topk.upper)
+                    (Obs.Topk.top ~n:top s))))
+
 let journal_cmd =
   C.group ~name:"journal"
     ~doc:"Analyze flight-recorder journals written by run --record"
-    [ query_cmd; critical_cmd; diff_cmd; export_cmd ]
+    [ query_cmd; critical_cmd; diff_cmd; export_cmd; topk_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* Entry                                                               *)

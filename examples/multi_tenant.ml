@@ -15,6 +15,8 @@
                                                      [--tenants N]
 *)
 
+module C = Workloads.Cli
+
 let hw_key = Crypto.Sha256.digest_string "example hardware key"
 
 let kernel_image =
@@ -67,18 +69,26 @@ let serve_request service (input : bytes) =
       let log = Workloads.Ids.synthetic_log ~rng ~events:200 ~anomaly_rate:0.05 in
       Printf.sprintf "anomaly score %.3f" (Workloads.Ids.score ~baseline log)
 
-let () =
+let backend_flag =
+  C.flag ~docv:"NAME" [ "--backend" ]
+    "Isolation backend: pks (protection keys, the paper's TDX \
+     configuration) or tmemk (per-tenant memory-encryption key ids)."
+
+let tenants_flag =
+  C.flag ~docv:"N" [ "--tenants" ]
+    "Number of mutually-distrusting tenants to pack into the CVM \
+     (default 3: one replica of each service)."
+
+let main p =
   let backend =
-    match Workloads.Cli.flag_arg "--backend" with
+    match C.str p backend_flag with
     | None -> Erebor.Isolation.Pks
     | Some s -> (
         match Erebor.Isolation.kind_of_name s with
         | Ok b -> b
-        | Error e ->
-            Printf.eprintf "--backend: %s\n" e;
-            exit 2)
+        | Error e -> C.fail p (Printf.sprintf "--backend: %s" e))
   in
-  let tenants = Workloads.Cli.int_arg ~default:3 "--tenants" in
+  let tenants = C.int_of p ~min:1 ~default:3 tenants_flag in
   Printf.printf "Multi-tenant CVM: %d tenants on the %s backend\n" tenants
     (Erebor.Isolation.kind_name backend);
 
@@ -240,3 +250,14 @@ let () =
   List.iter (fun (sb, _, _, _) -> Erebor.Sandbox.terminate mgr sb) tenant_list;
   Printf.printf "[cvm] done: %d tenants served and scrubbed, 0 violations\n"
     tenants
+
+let () =
+  C.run ~prog:"multi_tenant" ~default:"run"
+    ~doc:"Three services as mutually-distrusting sandboxes in one CVM"
+    [
+      C.cmd ~name:"run"
+        ~doc:"Provision, serve two rounds, scrub, adversarial probe (the \
+              default)"
+        ~flags:[ backend_flag; tenants_flag ]
+        main;
+    ]

@@ -62,6 +62,13 @@ module Writer : sig
 
   val closed : t -> bool
 
+  val offset : t -> int
+  (** The file offset of the frame that will hold the open segment — the
+      [event.off] a reader will report for the next recorded event. Read
+      it {e before} recording: the record itself may cross the seal
+      threshold and flush that very frame. Used by {!Exemplar} capture to
+      make a tail request resolvable offline. *)
+
   val close : t -> now:int -> unit
   (** Seal the partial segment, write the END frame and close the file.
       Idempotent. [now] is recorded as the journal's final timestamp. *)
@@ -72,6 +79,8 @@ type event = {
   kind : Trace.kind;
   ts : int;
   arg : int;
+  off : int;            (** Byte offset of the containing SEGM frame —
+                            matches {!Writer.offset} at record time. *)
 }
 
 type info = {

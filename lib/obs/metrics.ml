@@ -9,14 +9,18 @@ type source = {
   histogram : Histogram.t option;
   attrib : Attrib.t option;
   window : Window.t option;
+  sketch : Sketch.t option;
+  exemplar : Exemplar.t option;
 }
 
 type t = { namespace : string; mutable sources : source list (* reversed *) }
 
 let create ?(namespace = "erebor") () = { namespace; sources = [] }
 
-let add t ~label ?counter ?histogram ?attrib ?window () =
-  t.sources <- { label; counter; histogram; attrib; window } :: t.sources
+let add t ~label ?counter ?histogram ?attrib ?window ?sketch ?exemplar () =
+  t.sources <-
+    { label; counter; histogram; attrib; window; sketch; exemplar }
+    :: t.sources
 
 let sources t = List.rev t.sources
 
@@ -41,18 +45,23 @@ let to_prometheus t =
   let buf = Buffer.create 4096 in
   let ns = t.namespace in
   let srcs = sources t in
-  let header name typ help =
+  let header ?unit_ name typ help =
     Printf.bprintf buf "# HELP %s_%s %s\n# TYPE %s_%s %s\n" ns name help ns
-      name typ
+      name typ;
+    (* OpenMetrics: a UNIT line for families whose name carries a unit
+       suffix. *)
+    match unit_ with
+    | None -> ()
+    | Some u -> Printf.bprintf buf "# UNIT %s_%s %s\n" ns name u
   in
-  let family name typ help render =
+  let family ?unit_ name typ help render =
     let started = ref false in
     List.iter
       (fun s ->
         render s (fun line ->
             if not !started then begin
               started := true;
-              header name typ help
+              header ?unit_ name typ help
             end;
             Buffer.add_string buf line))
       srcs
@@ -189,6 +198,95 @@ let to_prometheus t =
                 out (Printf.sprintf "%s_event_arg_count{%s} %d\n" ns labels n)
               end)
             Trace.all);
+  (* Sketch-backed families (fleet telemetry). The histogram exposition
+     re-buckets the sketch onto the log2 exemplar bands so each bucket
+     line can carry that band's OpenMetrics exemplar:
+       ..._bucket{le="1023"} 412 # {trace_id="0x2a",...} 987 55        *)
+  let sketch_band_counts sk =
+    let bands = Array.make Exemplar.n_bands 0 in
+    bands.(0) <- Sketch.zeros sk;
+    List.iter
+      (fun (i, c) ->
+        let b = Exemplar.band_of (Sketch.estimate sk i) in
+        bands.(b) <- bands.(b) + c)
+      (Sketch.buckets sk);
+    bands
+  in
+  let exemplar_suffix s band =
+    match s.exemplar with
+    | None -> ""
+    | Some ex -> (
+        match Exemplar.best ex ~band with
+        | None -> ""
+        | Some e ->
+            Printf.sprintf
+              " # {trace_id=\"%#x\",machine=\"%s\",offset=\"%d\"} %d %d"
+              e.Exemplar.i_trace_id
+              (escape_label e.Exemplar.i_machine)
+              e.Exemplar.i_offset e.Exemplar.i_latency e.Exemplar.i_ts)
+  in
+  family ~unit_:"cycles" "sketch_latency_cycles" "histogram"
+    "Request-latency distribution from the mergeable quantile sketch \
+     (log2 exposition bands; bucket lines carry OpenMetrics exemplars)."
+    (fun s out ->
+      match s.sketch with
+      | None -> ()
+      | Some sk ->
+          let n = Sketch.count sk in
+          if n > 0 then begin
+            let labels =
+              Printf.sprintf "source=\"%s\"" (escape_label s.label)
+            in
+            let bands = sketch_band_counts sk in
+            let cum = ref 0 in
+            for b = 0 to Exemplar.n_bands - 1 do
+              if bands.(b) > 0 then begin
+                cum := !cum + bands.(b);
+                out
+                  (Printf.sprintf
+                     "%s_sketch_latency_cycles_bucket{%s,le=\"%d\"} %d%s\n" ns
+                     labels (Exemplar.band_hi b) !cum (exemplar_suffix s b))
+              end
+            done;
+            out
+              (Printf.sprintf
+                 "%s_sketch_latency_cycles_bucket{%s,le=\"+Inf\"} %d\n" ns
+                 labels n);
+            out
+              (Printf.sprintf "%s_sketch_latency_cycles_sum{%s} %d\n" ns labels
+                 (Sketch.sum sk));
+            out
+              (Printf.sprintf "%s_sketch_latency_cycles_count{%s} %d\n" ns
+                 labels n)
+          end);
+  family ~unit_:"cycles" "sketch_quantile_cycles" "summary"
+    "Request-latency quantiles from the mergeable sketch (relative-error \
+     bounded, merge-order invariant)."
+    (fun s out ->
+      match s.sketch with
+      | None -> ()
+      | Some sk ->
+          let n = Sketch.count sk in
+          if n > 0 then begin
+            let labels =
+              Printf.sprintf "source=\"%s\"" (escape_label s.label)
+            in
+            List.iter
+              (fun (q, p) ->
+                out
+                  (Printf.sprintf
+                     "%s_sketch_quantile_cycles{%s,quantile=\"%s\"} %d\n" ns
+                     labels q (Sketch.quantile sk ~p)))
+              [ ("0.5", 0.50); ("0.95", 0.95); ("0.99", 0.99) ];
+            out
+              (Printf.sprintf "%s_sketch_quantile_cycles_sum{%s} %d\n" ns
+                 labels (Sketch.sum sk));
+            out
+              (Printf.sprintf "%s_sketch_quantile_cycles_count{%s} %d\n" ns
+                 labels n)
+          end);
+  (* OpenMetrics requires the exposition to end with an EOF marker. *)
+  Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
 (* JSON rendering of the same data, one object per source. *)
@@ -286,6 +384,31 @@ let to_json t =
       | Some w ->
           Buffer.add_string buf ",\"window\":";
           Buffer.add_string buf (Window.to_json w ()));
+      (match s.sketch with
+      | None -> ()
+      | Some sk ->
+          Printf.bprintf buf
+            ",\"sketch\":{\"alpha\":%g,\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+            (Sketch.alpha sk) (Sketch.count sk) (Sketch.sum sk)
+            (Sketch.min_value sk) (Sketch.max_value sk)
+            (Sketch.quantile sk ~p:0.50) (Sketch.quantile sk ~p:0.95)
+            (Sketch.quantile sk ~p:0.99));
+      (match s.exemplar with
+      | None -> ()
+      | Some ex ->
+          Buffer.add_string buf ",\"exemplars\":[";
+          let first = ref true in
+          List.iter
+            (fun (b, (e : Exemplar.item)) ->
+              comma first;
+              Printf.bprintf buf
+                "{\"band_lo\":%d,\"band_hi\":%d,\"latency\":%d,\"trace_id\":%d,\"machine\":\"%s\",\"offset\":%d,\"ts\":%d}"
+                (Exemplar.band_lo b) (Exemplar.band_hi b) e.Exemplar.i_latency
+                e.Exemplar.i_trace_id
+                (escape_json e.Exemplar.i_machine)
+                e.Exemplar.i_offset e.Exemplar.i_ts)
+            (Exemplar.items ex);
+          Buffer.add_string buf "]");
       Buffer.add_string buf "}")
     (sources t);
   Buffer.add_string buf "]}\n";

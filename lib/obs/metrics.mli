@@ -9,7 +9,13 @@
     log2 boundaries). A {!Window} source adds window-scoped gauges —
     [<ns>_window_events{source,kind}], [<ns>_window_rate{source,kind}] and
     [<ns>_window_arg{source,kind,quantile}] — that describe the sliding
-    window rather than the whole run. *)
+    window rather than the whole run. A {!Sketch} source adds the fleet
+    families [<ns>_sketch_latency_cycles{source}] (a histogram re-bucketed
+    onto the log2 exemplar bands, with [# UNIT] metadata and, when an
+    {!Exemplar} reservoir is registered alongside, an OpenMetrics exemplar
+    [# {trace_id=...,machine=...,offset=...} latency ts] on each bucket
+    line) and [<ns>_sketch_quantile_cycles{source,quantile}] (a summary).
+    The exposition terminates with the OpenMetrics [# EOF] marker. *)
 
 type t
 
@@ -23,9 +29,13 @@ val add :
   ?histogram:Histogram.t ->
   ?attrib:Attrib.t ->
   ?window:Window.t ->
+  ?sketch:Sketch.t ->
+  ?exemplar:Exemplar.t ->
   unit ->
   unit
-(** Register one source (rendered with label [source="label"]). *)
+(** Register one source (rendered with label [source="label"]).
+    [sketch] / [exemplar] are typically a fleet aggregator's
+    {!Agg.latency_sketch} and {!Agg.exemplars}. *)
 
 val escape_label : string -> string
 (** Prometheus label-value escaping (backslash, quote, newline). *)

@@ -19,6 +19,10 @@ module Journal = Journal
 module Query = Query
 module Critical = Critical
 module Diff = Diff
+module Sketch = Sketch
+module Topk = Topk
+module Exemplar = Exemplar
+module Agg = Agg
 
 let with_span emitter ~now phase f =
   Emitter.emit emitter (Trace.span_begin phase) ~ts:(now ()) ~arg:0;

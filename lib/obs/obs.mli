@@ -10,7 +10,10 @@
     watchdogs ({!Health}) and an ASCII dashboard driver ({!Dash}) — plus an
     offline flight-recorder stack: a crash-safe binary journal ({!Journal})
     with query ({!Query}), critical-path ({!Critical}) and run-diff
-    ({!Diff}) engines over recorded runs.
+    ({!Diff}) engines over recorded runs — and fleet telemetry: mergeable
+    relative-error quantile sketches ({!Sketch}), heavy-hitter summaries
+    ({!Topk}), tail-latency exemplars ({!Exemplar}) and the
+    order-invariant fleet aggregator ({!Agg}).
 
     Emission never advances the virtual clock: observability is free in
     simulated time, so calibrated results are identical with or without
@@ -36,6 +39,10 @@ module Journal = Journal
 module Query = Query
 module Critical = Critical
 module Diff = Diff
+module Sketch = Sketch
+module Topk = Topk
+module Exemplar = Exemplar
+module Agg = Agg
 
 val with_span : Emitter.t -> now:(unit -> int) -> Trace.phase -> (unit -> 'a) -> 'a
 (** [with_span emitter ~now phase f] emits [Span_begin phase], runs [f], and

@@ -51,6 +51,10 @@ type t = {
   window : Obs.Window.t option;
       (* Optional sliding-window sink, attached before boot so live SLO /
          health telemetry sees the event stream from the first cycle. *)
+  sketches : Obs.Sketch.Family.t option;
+      (* Optional per-kind quantile-sketch family, attached before boot;
+         unlike the log2 histogram its state merges across machines with
+         bounded relative error, which is what fleet aggregation reads. *)
 }
 
 let setting t = t.setting
@@ -61,10 +65,11 @@ let obs t = t.cpu.Hw.Cpu.obs
 let counters t = t.counters
 let requests t = t.requests
 let window t = t.window
+let sketches t = t.sketches
 
 let page_size = Hw.Phys_mem.page_size
 
-let create ?obs ?journal ?window ?(backend = Erebor.Isolation.Pks)
+let create ?obs ?journal ?window ?sketches ?(backend = Erebor.Isolation.Pks)
     ?(frames = 262144) ?(cma_frames = 65536) ?(reserved_frames = 256)
     ?(collect_request_spans = false) ~setting () =
   let mem = Hw.Phys_mem.create ~frames in
@@ -80,6 +85,9 @@ let create ?obs ?journal ?window ?(backend = Erebor.Isolation.Pks)
   let counters = Obs.Counter.attach obs (Obs.Counter.create ()) in
   (match window with
   | Some w -> ignore (Obs.Window.attach obs w)
+  | None -> ());
+  (match sketches with
+  | Some f -> ignore (Obs.Sketch.Family.attach obs f)
   | None -> ());
   let requests = Obs.Request.create ~collect_spans:collect_request_spans () in
   Obs.Request.attach requests ~machine:"sim" obs;
@@ -152,7 +160,7 @@ let create ?obs ?journal ?window ?(backend = Erebor.Isolation.Pks)
   {
     setting; mem; clock; cpu; td; host; kern; monitor; mgr; proxy; proxy_buf;
     proxy_fd; scratch_slots; copy_scratch = Bytes.create page_size; counters;
-    requests; window;
+    requests; window; sketches;
   }
 
 (* Every field below is a per-kind count from the machine's counter sink;

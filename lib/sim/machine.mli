@@ -13,6 +13,7 @@ val create :
   ?obs:Obs.Emitter.t ->
   ?journal:Obs.Journal.Writer.t ->
   ?window:Obs.Window.t ->
+  ?sketches:Obs.Sketch.Family.t ->
   ?backend:Erebor.Isolation.kind ->
   ?frames:int -> ?cma_frames:int -> ?reserved_frames:int ->
   ?collect_request_spans:bool -> setting:Config.setting ->
@@ -24,6 +25,9 @@ val create :
     complete event stream from machine assembly onward; the emitter's
     finalizer seals and closes it. [?window] attaches a sliding-window sink
     before boot, so live SLO/health telemetry covers the full event stream.
+    [?sketches] attaches a per-kind mergeable quantile-sketch family before
+    boot — the per-machine state fleet aggregation ({!Obs.Agg}) merges with
+    bounded relative error.
     [?backend] picks the monitor's isolation backend (default [Pks], the
     calibrated configuration); it only matters for settings with a monitor.
     [?collect_request_spans] (default false) makes the machine's request
@@ -51,6 +55,9 @@ val requests : t -> Obs.Request.t
 
 val window : t -> Obs.Window.t option
 (** The sliding-window sink the machine was created with, if any. *)
+
+val sketches : t -> Obs.Sketch.Family.t option
+(** The quantile-sketch family the machine was created with, if any. *)
 
 val snapshot : t -> Stats.snapshot
 

@@ -1,0 +1,16 @@
+(** The fleet-telemetry bench gate ([bench agg], [@ci-agg]).
+
+    Pins {!Obs.Agg}'s contract end to end: the Table 3/4 anchors and a
+    Fig. 9 workload are byte-identical/undisturbed with fleet telemetry
+    attached; merged fleet percentiles stay within the sketch's
+    relative-error bound of the exact sort oracle; the merged snapshot
+    serializes identically for any merge order and any [Sim.Runner]
+    [--jobs] width; one steady-state fleet record costs exactly 0 minor
+    words; and a seeded tail-latency spike is attributable — its tenant
+    ranks first in the heavy hitters with sound count bounds, and the
+    fleet p99 exemplar's trace id and journal frame offset resolve to
+    events recorded inside that exact request's window. *)
+
+val run : ?smoke:bool -> unit -> Bench_gate.check list
+(** Run every check. [smoke] shrinks fleet size and iteration counts for
+    the CI gate; the pinned properties are identical. *)

@@ -1882,6 +1882,455 @@ let test_journal_diff () =
   rm_journal path_a;
   rm_journal path_b
 
+(* ------------------------------------------------------------------ *)
+(* Fleet telemetry: sketches, heavy hitters, exemplars, aggregator     *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact order statistic [quantile] targets: rank ceil(p * n),
+   1-based, over the sorted stream. *)
+let oracle_quantile sorted ~p =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.ceil (p *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (idx - 1)))
+
+let sketch_of ?alpha ?capacity vs =
+  let s = Obs.Sketch.create ?alpha ?capacity () in
+  List.iter (Obs.Sketch.record s) vs;
+  s
+
+let check_sketch_accuracy name values =
+  let sk = sketch_of values in
+  let sorted = Array.of_list (List.sort compare values) in
+  List.iter
+    (fun p ->
+      let est = Obs.Sketch.quantile sk ~p in
+      let exact = oracle_quantile sorted ~p in
+      let bound =
+        (Obs.Sketch.alpha sk *. float_of_int (abs exact)) +. 1.0
+      in
+      if float_of_int (abs (est - exact)) > bound then
+        Alcotest.failf "%s: p=%.3f est %d vs exact %d (bound %.1f)" name p est
+          exact bound)
+    [ 0.01; 0.25; 0.50; 0.90; 0.95; 0.99; 0.999 ]
+
+(* Deterministic LCG so the adversarial streams are reproducible. *)
+let lcg seed =
+  let s = ref seed in
+  fun m ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod m
+
+let test_sketch_accuracy_adversarial () =
+  check_sketch_accuracy "constant" (List.init 1000 (fun _ -> 777));
+  check_sketch_accuracy "single-sample" [ 42 ];
+  check_sketch_accuracy "two-sample" [ 5; 5_000_000 ];
+  check_sketch_accuracy "bimodal"
+    (List.init 1000 (fun i -> if i mod 2 = 0 then 10 else 1_000_000));
+  check_sketch_accuracy "uniform" (List.init 2048 (fun i -> i + 1));
+  check_sketch_accuracy "zeros+positive"
+    (List.init 600 (fun i -> if i mod 4 = 0 then 0 else i));
+  let rand = lcg 987654321 in
+  check_sketch_accuracy "heavy-tailed"
+    (List.init 2000 (fun _ ->
+         let e = rand 9 in
+         let base = int_of_float (10.0 ** float_of_int e) in
+         base + rand (max 1 base)))
+
+(* Satellite: Obs.Histogram.percentile and Obs.Sketch.quantile must agree
+   on identical streams — exactly on the pinned edges (empty, single
+   sample, p <= 0, p >= 1), and within one log2 bucket band elsewhere
+   (the histogram's own resolution). *)
+let test_sketch_histogram_crosscheck () =
+  let kind = Obs.Trace.Req_end in
+  let rand = lcg 24681357 in
+  let streams =
+    [
+      ("empty", []);
+      ("single", [ 5000 ]);
+      ("constant", List.init 300 (fun _ -> 123456));
+      ("uniform", List.init 1000 (fun i -> i + 1));
+      ("bimodal", List.init 500 (fun i -> if i mod 3 = 0 then 64 else 262144));
+      ("random", List.init 800 (fun _ -> rand 1_000_000));
+    ]
+  in
+  List.iter
+    (fun (name, vs) ->
+      let obs = Obs.Emitter.create () in
+      let h = Obs.Histogram.attach obs (Obs.Histogram.create ()) in
+      let sk = sketch_of vs in
+      List.iter (fun v -> Obs.Emitter.emit obs kind ~ts:0 ~arg:v) vs;
+      List.iter
+        (fun p ->
+          let hv = Obs.Histogram.percentile h kind ~p in
+          let sv = Obs.Sketch.quantile sk ~p in
+          if vs = [] || List.length vs = 1 || p <= 0.0 || p >= 1.0 then begin
+            if hv <> sv then
+              Alcotest.failf "%s: edge p=%.2f diverges (hist %d, sketch %d)"
+                name p hv sv
+          end
+          else begin
+            let bh = Obs.Histogram.bucket_of hv
+            and bs = Obs.Histogram.bucket_of sv in
+            if abs (bh - bs) > 1 then
+              Alcotest.failf
+                "%s: p=%.2f outside the log2 band (hist %d b%d, sketch %d b%d)"
+                name p hv bh sv bs
+          end)
+        [ -0.5; 0.0; 0.25; 0.50; 0.95; 0.99; 1.0; 1.5 ])
+    streams
+
+let test_sketch_collapse_and_edges () =
+  (* Collapse-lowest: a tiny capacity keeps the tail accurate while the
+     collapsed low end stays within [min, max]. *)
+  let sk = Obs.Sketch.create ~capacity:8 () in
+  List.iter (Obs.Sketch.record sk) (List.init 1000 (fun i -> i + 1));
+  Alcotest.(check bool) "collapse engaged" true (Obs.Sketch.bucket_floor sk > 0);
+  let p99 = Obs.Sketch.quantile sk ~p:0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tail accuracy survives collapse (p99=%d)" p99)
+    true
+    (abs (p99 - 990) <= 11);
+  let p01 = Obs.Sketch.quantile sk ~p:0.01 in
+  Alcotest.(check bool) "collapsed head stays in [min,max]" true
+    (p01 >= 1 && p01 <= 1000);
+  (* Same multiset through a different record order: byte-identical. *)
+  let sk2 = Obs.Sketch.create ~capacity:8 () in
+  List.iter (Obs.Sketch.record sk2) (List.init 1000 (fun i -> 1000 - i));
+  Alcotest.(check string) "record order never changes state"
+    (Obs.Sketch.serialize sk) (Obs.Sketch.serialize sk2);
+  (* Deserialize rejects corruption with a named cause. *)
+  let blob = Obs.Sketch.serialize sk in
+  (match Obs.Sketch.deserialize (blob ^ "x") with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error e -> Alcotest.(check bool) "trailing named" true
+      (contains ~sub:"trailing" e));
+  (match Obs.Sketch.deserialize "not a sketch" with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error e ->
+      Alcotest.(check bool) "magic named" true (contains ~sub:"magic" e))
+
+(* qcheck: merging per-chunk sketches — in any order or grouping — leaves
+   byte-identical state, equal to recording the whole stream into one
+   sketch. Small capacities exercise the collapse path. *)
+let prop_sketch_merge_canonical =
+  QCheck.Test.make ~name:"sketch merge assoc/comm: canonical bytes" ~count:60
+    QCheck.(
+      pair (int_range 4 64)
+        (list_of_size
+           Gen.(0 -- 6)
+           (list_of_size Gen.(0 -- 60) (int_bound (1 lsl 30)))))
+    (fun (cap, chunks) ->
+      let mk () = Obs.Sketch.create ~capacity:cap () in
+      let parts =
+        List.map
+          (fun vs ->
+            let s = mk () in
+            List.iter (Obs.Sketch.record s) vs;
+            s)
+          chunks
+      in
+      let merged l =
+        let acc = mk () in
+        List.iter (fun s -> Obs.Sketch.merge ~into:acc s) l;
+        Obs.Sketch.serialize acc
+      in
+      let all = mk () in
+      List.iter (fun vs -> List.iter (Obs.Sketch.record all) vs) chunks;
+      let reference = Obs.Sketch.serialize all in
+      let halves l =
+        let rec go i acc = function
+          | rest when i = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: xs -> go (i - 1) (x :: acc) xs
+        in
+        go (List.length l / 2) [] l
+      in
+      let a, b = halves parts in
+      let regrouped =
+        let acc = mk () in
+        (match Obs.Sketch.deserialize (merged a) with
+        | Ok s -> Obs.Sketch.merge ~into:acc s
+        | Error e -> Alcotest.failf "half deserialize: %s" e);
+        (match Obs.Sketch.deserialize (merged b) with
+        | Ok s -> Obs.Sketch.merge ~into:acc s
+        | Error e -> Alcotest.failf "half deserialize: %s" e);
+        Obs.Sketch.serialize acc
+      in
+      merged parts = reference
+      && merged (List.rev parts) = reference
+      && regrouped = reference
+      &&
+      match Obs.Sketch.deserialize reference with
+      | Ok s -> Obs.Sketch.serialize s = reference
+      | Error _ -> false)
+
+(* qcheck: space-saving guarantees. For any stream and a deliberately
+   tiny table: tracked keys obey lower <= exact <= upper, untracked keys
+   have exact <= floor_total, and merged summaries are byte-identical
+   for any merge order. *)
+let prop_topk_bounds =
+  QCheck.Test.make ~name:"topk error bounds + merge invariance" ~count:80
+    QCheck.(list_of_size Gen.(0 -- 240) (int_bound 11))
+    (fun ids ->
+      (* Skew the alphabet so some keys genuinely dominate. *)
+      let keys = List.map (fun i -> Printf.sprintf "k%d" (i * i / 24)) ids in
+      let exact = Hashtbl.create 16 in
+      List.iter
+        (fun k ->
+          Hashtbl.replace exact k
+            (1 + try Hashtbl.find exact k with Not_found -> 0))
+        keys;
+      let exact_count k = try Hashtbl.find exact k with Not_found -> 0 in
+      (* Three machines see interleaved thirds of the stream. *)
+      let parts = Array.init 3 (fun _ -> Obs.Topk.create ~capacity:4 ()) in
+      List.iteri
+        (fun i k -> Obs.Topk.observe parts.(i mod 3) ~key:k ~weight:1)
+        keys;
+      let sums = Array.to_list (Array.map Obs.Topk.seal parts) in
+      let merged =
+        List.fold_left Obs.Topk.merge_summaries Obs.Topk.empty_summary sums
+      in
+      let merged_rev =
+        List.fold_left Obs.Topk.merge_summaries Obs.Topk.empty_summary
+          (List.rev sums)
+      in
+      let bounds_ok =
+        List.for_all
+          (fun (r : Obs.Topk.ranked) ->
+            let e = exact_count r.Obs.Topk.rkey in
+            r.Obs.Topk.lower <= e && e <= r.Obs.Topk.upper)
+          (Obs.Topk.top merged)
+      in
+      let tracked =
+        List.map (fun (r : Obs.Topk.ranked) -> r.Obs.Topk.rkey)
+          (Obs.Topk.top merged)
+      in
+      let absent_ok =
+        Hashtbl.fold
+          (fun k c ok ->
+            ok && (List.mem k tracked || c <= Obs.Topk.floor_total merged))
+          exact true
+      in
+      bounds_ok && absent_ok
+      && Obs.Topk.serialize merged = Obs.Topk.serialize merged_rev
+      &&
+      match Obs.Topk.deserialize (Obs.Topk.serialize merged) with
+      | Ok s -> Obs.Topk.serialize s = Obs.Topk.serialize merged
+      | Error _ -> false)
+
+let test_exemplar_reservoir () =
+  let mk l =
+    let t = Obs.Exemplar.create () in
+    List.iter
+      (fun (lat, id, m, off, ts) ->
+        Obs.Exemplar.record t ~latency:lat ~trace_id:id ~machine:m ~offset:off
+          ~ts)
+      l;
+    t
+  in
+  let a = mk [ (100, 1, "m0", 10, 5); (900, 2, "m0", 20, 6) ] in
+  let b = mk [ (1000, 3, "m1", 30, 7); (80, 4, "m1", 40, 8) ] in
+  (* 900 and 1000 share band 10; the slower one wins any merge order. *)
+  let m1 = Obs.Exemplar.create () in
+  Obs.Exemplar.merge ~into:m1 a;
+  Obs.Exemplar.merge ~into:m1 b;
+  let m2 = Obs.Exemplar.create () in
+  Obs.Exemplar.merge ~into:m2 b;
+  Obs.Exemplar.merge ~into:m2 a;
+  Alcotest.(check string) "merge order invariant"
+    (Obs.Exemplar.serialize m1) (Obs.Exemplar.serialize m2);
+  (match Obs.Exemplar.best m1 ~band:(Obs.Exemplar.band_of 1000) with
+  | Some e ->
+      Alcotest.(check int) "slowest wins the band" 3 e.Obs.Exemplar.i_trace_id;
+      Alcotest.(check string) "machine travels" "m1" e.Obs.Exemplar.i_machine
+  | None -> Alcotest.fail "band empty after merge");
+  (* for_value falls back to the nearest occupied band. *)
+  (match Obs.Exemplar.for_value m1 500 with
+  | Some e -> Alcotest.(check int) "nearest band below" 100 e.Obs.Exemplar.i_latency
+  | None -> Alcotest.fail "for_value found nothing");
+  match Obs.Exemplar.deserialize (Obs.Exemplar.serialize m1) with
+  | Ok r ->
+      Alcotest.(check string) "roundtrip" (Obs.Exemplar.serialize m1)
+        (Obs.Exemplar.serialize r)
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+
+(* A seeded tail spike in one tenant must be attributable from the merged
+   snapshot alone: Topk ranks it first and the p99 exemplar carries the
+   spike's trace id — for every merge order. *)
+let test_agg_spike_attribution () =
+  let mk_part m = Obs.Agg.part ~machine:m () in
+  let parts = [| mk_part "m0"; mk_part "m1"; mk_part "m2" |] in
+  let rand = lcg 1357924680 in
+  for i = 0 to 899 do
+    let p = parts.(i mod 3) in
+    let alice = Obs.Agg.tenant p "alice" in
+    Obs.Agg.record p alice Obs.Trace.Req_end ~latency:(500 + rand 200)
+      ~trace_id:i ~offset:(-1) ~ts:i
+  done;
+  (* bob's tail spikes: 40 of 2400 requests (> 1% of the 3300-request
+     fleet) at 9M cycles, so the fleet p99 lands in the spike band. The
+     seeded request i = 0 wins the exemplar tie-break (equal latency,
+     lowest trace id) and carries a journal offset. *)
+  for i = 0 to 2399 do
+    let p = parts.(i mod 3) in
+    let bob = Obs.Agg.tenant p "bob" in
+    let spiked = i mod 60 = 0 in
+    Obs.Agg.record p bob Obs.Trace.Req_end
+      ~latency:(if spiked then 9_000_000 else 600 + rand 200)
+      ~trace_id:(10_000 + i)
+      ~offset:(if i = 0 then 4242 else -1)
+      ~ts:(1000 + i)
+  done;
+  let sealed = Array.to_list (Array.map Obs.Agg.seal parts) in
+  let snap = Obs.Agg.merge_all sealed in
+  let perm = Obs.Agg.merge_all (List.rev sealed) in
+  Alcotest.(check string) "merge order byte-identical"
+    (Obs.Agg.serialize snap) (Obs.Agg.serialize perm);
+  Alcotest.(check string) "render deterministic" (Obs.Agg.render snap)
+    (Obs.Agg.render perm);
+  (match Obs.Agg.top ~n:1 snap with
+  | [ r ] ->
+      Alcotest.(check string) "spiked tenant ranks first" "bob/req.end"
+        r.Obs.Topk.rkey
+  | _ -> Alcotest.fail "no heavy hitter");
+  (match Obs.Agg.exemplar_for snap ~p:0.99 with
+  | Some e ->
+      Alcotest.(check int) "p99 exemplar is the spike" 10_000
+        e.Obs.Exemplar.i_trace_id;
+      Alcotest.(check int) "journal offset travels" 4242
+        e.Obs.Exemplar.i_offset;
+      Alcotest.(check string) "machine travels" "m0" e.Obs.Exemplar.i_machine
+  | None -> Alcotest.fail "no p99 exemplar");
+  Alcotest.(check (list string)) "machines sorted" [ "m0"; "m1"; "m2" ]
+    (Obs.Agg.machines snap);
+  Alcotest.(check int) "request total" 3300 (Obs.Agg.requests snap);
+  (match Obs.Agg.deserialize (Obs.Agg.serialize snap) with
+  | Ok r ->
+      Alcotest.(check string) "snapshot roundtrip" (Obs.Agg.serialize snap)
+        (Obs.Agg.serialize r)
+  | Error e -> Alcotest.failf "agg roundtrip: %s" e);
+  let panel = Obs.Agg.render snap in
+  Alcotest.(check bool) "panel lists tenants" true
+    (contains ~sub:"alice" panel && contains ~sub:"bob" panel);
+  Alcotest.(check bool) "panel shows exemplar offset" true
+    (contains ~sub:"offset 4242" panel)
+
+(* The whole fleet record path — sketch + topk hit + exemplar challenge —
+   in steady state allocates nothing. *)
+let test_fleet_record_allocation_free () =
+  let p = Obs.Agg.part ~machine:"m0" () in
+  let ten = Obs.Agg.tenant p "alice" in
+  let spin () =
+    for i = 1 to 10_000 do
+      Obs.Agg.record p ten Obs.Trace.Req_end
+        ~latency:(1 + (i land 4095))
+        ~trace_id:i ~offset:(i * 64) ~ts:i
+    done
+  in
+  spin ();
+  let before = Gc.minor_words () in
+  spin ();
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "fleet record allocates nothing (%.0f words)" delta)
+    true (delta <= 32.0)
+
+(* Satellite: escape_label / escape_json round-trips, plus the new
+   OpenMetrics surface (# EOF terminator, # UNIT metadata, exemplar
+   syntax on sketch bucket lines). *)
+let unescape_label s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    (if s.[!i] = '\\' && !i + 1 < String.length s then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | c -> Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+let prop_escape_label_roundtrip =
+  QCheck.Test.make ~name:"escape_label roundtrip" ~count:200
+    QCheck.(string_gen (Gen.oneofl [ 'a'; '"'; '\\'; '\n'; ' '; 'z' ]))
+    (fun s -> unescape_label (Obs.Metrics.escape_label s) = s)
+
+let prop_escape_json_roundtrip =
+  QCheck.Test.make ~name:"escape_json roundtrip via parser" ~count:200
+    QCheck.(
+      string_gen
+        (Gen.oneofl [ 'a'; '"'; '\\'; '\n'; '\r'; '\t'; '\001'; 'q' ]))
+    (fun s ->
+      let quoted = "\"" ^ Obs.Metrics.escape_json s ^ "\"" in
+      match Workloads.Bench_gate.Json.parse quoted with
+      | Ok (Workloads.Bench_gate.Json.Str v) -> v = s
+      | _ -> false)
+
+let test_metrics_openmetrics_sketch () =
+  let sk = sketch_of (List.init 500 (fun i -> i + 1)) in
+  let ex = Obs.Exemplar.create () in
+  Obs.Exemplar.record ex ~latency:499 ~trace_id:0xBEEF ~machine:"m0"
+    ~offset:777 ~ts:123;
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.add reg ~label:"fleet" ~sketch:sk ~exemplar:ex ();
+  let prom = Obs.Metrics.to_prometheus reg in
+  Alcotest.(check bool) "ends with # EOF" true
+    (let n = String.length prom in
+     n >= 6 && String.sub prom (n - 6) 6 = "# EOF\n");
+  Alcotest.(check bool) "UNIT metadata" true
+    (contains ~sub:"# UNIT erebor_sketch_latency_cycles cycles" prom
+    && contains ~sub:"# UNIT erebor_sketch_quantile_cycles cycles" prom);
+  Alcotest.(check bool) "TYPE metadata" true
+    (contains ~sub:"# TYPE erebor_sketch_latency_cycles histogram" prom
+    && contains ~sub:"# TYPE erebor_sketch_quantile_cycles summary" prom);
+  Alcotest.(check bool) "quantile series" true
+    (contains ~sub:{|erebor_sketch_quantile_cycles{source="fleet",quantile="0.99"}|}
+       prom);
+  Alcotest.(check bool) "exemplar on the 499 bucket line" true
+    (contains ~sub:{|# {trace_id="0xbeef",machine="m0",offset="777"} 499 123|}
+       prom);
+  Alcotest.(check bool) "+Inf closes the histogram" true
+    (contains ~sub:{|erebor_sketch_latency_cycles_bucket{source="fleet",le="+Inf"} 500|}
+       prom);
+  let json = Obs.Metrics.to_json reg in
+  match Workloads.Bench_gate.Json.parse json with
+  | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  | Ok _ ->
+      Alcotest.(check bool) "json carries sketch + exemplars" true
+        (contains ~sub:{|"sketch":{"alpha":0.01|} json
+        && contains ~sub:{|"trace_id":48879|} json)
+
+(* Journal frame offsets: what Writer.offset reported at record time is
+   what the reader hands back in event.off, and it points at a SEGM
+   frame header. *)
+let test_journal_frame_offsets () =
+  let path = journal_path "offsets" in
+  let w = Obs.Journal.Writer.create ~segment_bytes:512 ~path () in
+  let s = Obs.Journal.Writer.stream w ~machine:"sim" in
+  let expected =
+    List.init 600 (fun i ->
+        let off = Obs.Journal.Writer.offset w in
+        Obs.Journal.Writer.record w ~stream:s Obs.Trace.Page_fault ~ts:(i * 7)
+          ~arg:(i land 63 * 4096);
+        off)
+  in
+  Obs.Journal.Writer.close w ~now:(600 * 7);
+  let evs, info = read_journal path in
+  Alcotest.(check bool) "several frames" true (info.Obs.Journal.segments > 2);
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  List.iter2
+    (fun off (e : Obs.Journal.event) ->
+      Alcotest.(check int) "offset matches reader" off e.Obs.Journal.off;
+      Alcotest.(check string) "offset points at a SEGM frame" "SEGM"
+        (String.sub raw off 4))
+    expected evs;
+  rm_journal path
+
 let () =
   Alcotest.run "obs"
     [
@@ -2009,5 +2458,34 @@ let () =
             test_journal_critical;
           Alcotest.test_case "diff: self silent, slowdown flagged" `Quick
             test_journal_diff;
+          Alcotest.test_case "frame offsets resolve" `Quick
+            test_journal_frame_offsets;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "accuracy vs oracle (adversarial)" `Quick
+            test_sketch_accuracy_adversarial;
+          Alcotest.test_case "histogram cross-check" `Quick
+            test_sketch_histogram_crosscheck;
+          Alcotest.test_case "collapse + wire edges" `Quick
+            test_sketch_collapse_and_edges;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_canonical;
+        ] );
+      ( "topk", [ QCheck_alcotest.to_alcotest prop_topk_bounds ] );
+      ( "fleet-agg",
+        [
+          Alcotest.test_case "exemplar reservoir" `Quick
+            test_exemplar_reservoir;
+          Alcotest.test_case "seeded spike attributable end-to-end" `Quick
+            test_agg_spike_attribution;
+          Alcotest.test_case "record path is allocation-free" `Quick
+            test_fleet_record_allocation_free;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "sketch families + EOF + exemplars" `Quick
+            test_metrics_openmetrics_sketch;
+          QCheck_alcotest.to_alcotest prop_escape_label_roundtrip;
+          QCheck_alcotest.to_alcotest prop_escape_json_roundtrip;
         ] );
     ]
